@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Shared helpers for the figure-reproduction bench binaries.
+ */
+
+#ifndef LAZYGPU_BENCH_BENCH_UTIL_HH
+#define LAZYGPU_BENCH_BENCH_UTIL_HH
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analysis/harness.hh"
+#include "workloads/resnet18.hh"
+
+namespace lazygpu
+{
+
+/** Printf a formatted float with fixed precision as a cell. */
+inline std::string
+cell(double v, int prec = 3)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+    return buf;
+}
+
+inline std::string
+pct(double v, int prec = 1)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", prec, v * 100.0);
+    return buf;
+}
+
+inline void
+printRow(const std::vector<std::string> &cells, unsigned width = 12)
+{
+    std::printf("%s\n", formatRow(cells, width).c_str());
+}
+
+inline double
+geomean(const std::vector<double> &vals)
+{
+    if (vals.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (double v : vals)
+        acc += std::log(v);
+    return std::exp(acc / static_cast<double>(vals.size()));
+}
+
+/** The mode ladder the ResNet figures compare. */
+inline const std::vector<ExecMode> &
+modeLadder()
+{
+    static const std::vector<ExecMode> ladder = {
+        ExecMode::LazyCore, ExecMode::LazyZC, ExecMode::LazyGPU};
+    return ladder;
+}
+
+inline GpuConfig
+configFor(ExecMode mode, unsigned machine_scale = 4)
+{
+    GpuConfig cfg = mode == ExecMode::Baseline
+                        ? GpuConfig::r9Nano()
+                        : GpuConfig::lazyGpu(mode);
+    return cfg.scaled(machine_scale);
+}
+
+/**
+ * ResNet experiments scale channels by 4 and spatial dims by 2, and run
+ * on a 1/8 machine (8 CUs, 1 L2 bank) so the wavefront-per-CU ratio of
+ * the full-size layers on the 64-CU R9 Nano is preserved.
+ */
+inline Resnet18::Params
+resnetParams(double weight_sparsity)
+{
+    Resnet18::Params p;
+    p.weightSparsity = weight_sparsity;
+    p.channelDiv = 4;
+    p.spatialDiv = 2;
+    return p;
+}
+
+inline GpuConfig
+resnetConfig(ExecMode mode)
+{
+    return configFor(mode, 8);
+}
+
+} // namespace lazygpu
+
+#endif // LAZYGPU_BENCH_BENCH_UTIL_HH

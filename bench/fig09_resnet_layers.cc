@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Figure 9: per-layer speedup of LazyCore, LazyCore+(1) and LazyGPU
+ * over the baseline for ResNet-18 inference (a) and training (b) at
+ * 50% weight sparsity, plus the EagerZC comparison point.
+ *
+ * Paper: network speedups 1.31x inference / 1.24x training for
+ * LazyGPU; 1.05x / 1.01x for LazyCore alone; EagerZC 1.26x / 1.02x.
+ */
+
+#include <cstdio>
+
+#include "analysis/resnet_runner.hh"
+#include "bench/bench_util.hh"
+
+using namespace lazygpu;
+
+int
+main()
+{
+    Resnet18 net(resnetParams(0.5));
+
+    for (bool training : {false, true}) {
+        std::printf("Figure 9%s: ResNet-18 %s, 50%% weight sparsity\n",
+                    training ? "b" : "a",
+                    training ? "training" : "inference");
+
+        ResnetOutcome base =
+            runResnet(net, resnetConfig(ExecMode::Baseline), training);
+
+        std::vector<ResnetOutcome> outs;
+        for (ExecMode mode : modeLadder())
+            outs.push_back(runResnet(net, resnetConfig(mode), training));
+
+        printRow({"layer", "LazyCore", "LazyCore+1", "LazyGPU"});
+        for (unsigned i = 0; i < net.specs().size(); ++i) {
+            std::vector<std::string> row{net.specs()[i].name};
+            for (const auto &o : outs) {
+                row.push_back(cell(
+                    static_cast<double>(base.perLayer[i].cycles) /
+                    static_cast<double>(o.perLayer[i].cycles)));
+            }
+            printRow(row);
+        }
+        std::vector<std::string> total{"ResNet-18"};
+        for (const auto &o : outs) {
+            total.push_back(
+                cell(static_cast<double>(base.total.cycles) /
+                     static_cast<double>(o.total.cycles)));
+        }
+        printRow(total);
+
+        ResnetOutcome eager =
+            runResnet(net, resnetConfig(ExecMode::EagerZC), training);
+        std::printf("EagerZC (zero caches with eager execution): "
+                    "%.3fx (paper: %.2fx)\n\n",
+                    static_cast<double>(base.total.cycles) /
+                        static_cast<double>(eager.total.cycles),
+                    training ? 1.02 : 1.26);
+    }
+    return 0;
+}

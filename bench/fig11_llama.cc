@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Figure 11: LLaMA-7B decoder inference.
+ *  (a) speedup and (fitted) perplexity as Wanda weight sparsity grows
+ *      0%..60%. Paper: 1.52x dense, 2.18x at 60%.
+ *  (b) speedup at 50% sparsity across L2 cache sizes. Paper: LazyGPU
+ *      keeps winning as L2 grows 2M..64M.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "workloads/llama.hh"
+
+using namespace lazygpu;
+
+namespace
+{
+
+double
+llamaSpeedup(double sparsity, std::uint64_t l2_total_bytes)
+{
+    Llama::Params lp;
+    lp.sparsity = sparsity;
+
+    auto run = [&](ExecMode mode) {
+        Llama model(lp);
+        Workload w = model.decoderWorkload();
+        GpuConfig cfg = mode == ExecMode::Baseline
+                            ? GpuConfig::r9Nano()
+                            : GpuConfig::lazyGpu(mode);
+        // Batch-1 decode has few wavefronts; shrink the machine so the
+        // wavefront:CU ratio matches the full model on 64 CUs.
+        cfg = cfg.scaled(16);
+        if (l2_total_bytes) {
+            cfg.l2.size = l2_total_bytes / cfg.l2Banks;
+            if (hasZeroCaches(mode)) {
+                cfg.l2Zero.size = cfg.l2.size / 8;
+                cfg.l2.size -= cfg.l2Zero.size;
+            }
+        }
+        return runWorkload(cfg, w, false).cycles;
+    };
+
+    return static_cast<double>(run(ExecMode::Baseline)) /
+           static_cast<double>(run(ExecMode::LazyGPU));
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Figure 11a: LLaMA-7B speedup and perplexity vs "
+                "sparsity (paper: 1.52x dense, 2.18x at 60%%)\n");
+    printRow({"sparsity", "speedup", "perplexity*"});
+    for (int s = 0; s <= 60; s += 10) {
+        printRow({std::to_string(s) + "%",
+                  cell(llamaSpeedup(s / 100.0, 0)),
+                  cell(Llama::perplexityAt(s / 100.0), 2)});
+    }
+    std::printf("* perplexity is a curve fitted to Wanda's published "
+                "LLaMA-7B numbers, not measured (see DESIGN.md)\n\n");
+
+    std::printf("Figure 11b: speedup at 50%% sparsity vs total L2 size "
+                "(scaled machine: paper sweeps 2M..64M on 8 banks)\n");
+    printRow({"L2 total", "speedup"});
+    for (std::uint64_t mib : {1ull, 2ull, 4ull, 8ull, 16ull}) {
+        printRow({std::to_string(mib) + "MiB",
+                  cell(llamaSpeedup(0.5, mib << 20))});
+    }
+    return 0;
+}

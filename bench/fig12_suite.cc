@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Figure 12: LazyGPU speedup over the baseline across the Table 3
+ * benchmark suite, with default inputs (0%) and at 5/10/20/50% input
+ * sparsity.
+ *
+ * Paper: geomean 1.08x at 0% (up to 1.67x) and 1.28x at 50% (up to
+ * 3.66x). Workloads without exploitable zeros (BFS, NW) stay near 1x;
+ * latency-sensitive ones (MT, AES, Stencil2D) gain little.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "workloads/suite.hh"
+
+using namespace lazygpu;
+
+int
+main(int argc, char **argv)
+{
+    // Default to three sparsity points; --full adds the paper's 5 % and
+    // 10 % columns, --quick drops to two.
+    const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+    const bool full = argc > 1 && std::string(argv[1]) == "--full";
+    const std::vector<double> sparsities =
+        quick ? std::vector<double>{0.0, 0.5}
+        : full ? std::vector<double>{0.0, 0.05, 0.1, 0.2, 0.5}
+               : std::vector<double>{0.0, 0.2, 0.5};
+
+    std::printf("Figure 12: suite speedup, LazyGPU vs baseline\n");
+    std::vector<std::string> header{"benchmark"};
+    for (double s : sparsities)
+        header.push_back(pct(s, 0));
+    printRow(header);
+
+    std::vector<std::vector<double>> columns(sparsities.size());
+    for (const std::string &name : suiteNames()) {
+        std::vector<std::string> row{name};
+        for (unsigned si = 0; si < sparsities.size(); ++si) {
+            WorkloadParams p;
+            p.sparsity = sparsities[si];
+
+            Workload wb = makeSuiteWorkload(name, p);
+            RunResult base =
+                runWorkload(configFor(ExecMode::Baseline), wb, false);
+            Workload wl = makeSuiteWorkload(name, p);
+            RunResult lazy =
+                runWorkload(configFor(ExecMode::LazyGPU), wl, false);
+
+            const double sp = speedup(base, lazy);
+            columns[si].push_back(sp);
+            row.push_back(cell(sp));
+        }
+        printRow(row);
+    }
+
+    std::vector<std::string> gm{"Geo.Mean"};
+    for (const auto &col : columns)
+        gm.push_back(cell(geomean(col)));
+    printRow(gm);
+    std::printf("\npaper: geomean 1.08x at 0%% sparsity, 1.28x at "
+                "50%%\n");
+    return 0;
+}

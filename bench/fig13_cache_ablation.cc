@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Figure 13 / Table 4: zero-cache partitioning ablation. LazyGPU's
+ * capacity is carved out of the normal caches, so the split matters:
+ * too-small Zero Caches throttle mask traffic, too-large ones starve
+ * the data working set. The paper picks 1/8 L1 + 1/8 L2.
+ */
+
+#include <cstdio>
+
+#include "analysis/resnet_runner.hh"
+#include "bench/bench_util.hh"
+
+using namespace lazygpu;
+
+int
+main()
+{
+    // Fig 13 uses the unpruned network.
+    Resnet18 net(resnetParams(0.0));
+
+    std::printf("Figure 13 / Table 4: zero-cache partitioning ablation "
+                "(ResNet-18, no pruning)\n");
+    printRow({"config", "inference"}, 16);
+
+    ResnetOutcome base_inf =
+        runResnet(net, resnetConfig(ExecMode::Baseline), false);
+
+    const unsigned l1_fracs[] = {2, 8, 16};
+    const unsigned l2_fracs[] = {2, 8, 32};
+    for (unsigned l1f : l1_fracs) {
+        for (unsigned l2f : l2_fracs) {
+            GpuConfig cfg =
+                GpuConfig::withZeroCacheSplit(l1f, l2f).scaled(8);
+            ResnetOutcome inf = runResnet(net, cfg, false);
+            printRow({"1/" + std::to_string(l1f) + "L1+1/" +
+                          std::to_string(l2f) + "L2",
+                      cell(static_cast<double>(base_inf.total.cycles) /
+                           static_cast<double>(inf.total.cycles))},
+                     16);
+        }
+    }
+    std::printf("\npaper picks 1/8L1+1/8L2; extreme splits lose "
+                "performance in both directions\n");
+    return 0;
+}

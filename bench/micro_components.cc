@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Component microbenchmarks (google-benchmark): raw speed of the
+ * simulator's building blocks. These guard against performance
+ * regressions in the simulation kernel itself.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/harness.hh"
+#include "gpu/coalescer.hh"
+#include "gpu/gpu.hh"
+#include "isa/encoding.hh"
+#include "mem/cache.hh"
+#include "mem/dram.hh"
+#include "sim/engine.hh"
+#include "workloads/suite.hh"
+
+namespace lazygpu
+{
+namespace
+{
+
+void
+BM_EventQueue(benchmark::State &state)
+{
+    for (auto _ : state) {
+        Engine engine;
+        int fired = 0;
+        for (int i = 0; i < 1024; ++i)
+            engine.schedule(static_cast<Tick>(i * 7 % 997),
+                            [&fired]() { ++fired; });
+        engine.run();
+        benchmark::DoNotOptimize(fired);
+    }
+}
+BENCHMARK(BM_EventQueue);
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    Engine engine;
+    StatSet stats;
+    CacheParams params;
+    params.size = 64 * 1024;
+    params.latency = 1;
+    DramChannel dram(engine, stats, "dram", 32, 10);
+    Cache cache(engine, stats, "c", params, Cache::WritePolicy::WriteBack,
+                dram);
+    Addr a = 0;
+    for (auto _ : state) {
+        cache.access(MemAccess{a, 32, false}, nullptr);
+        a = (a + 64) % (1 << 20);
+        engine.run();
+    }
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_Coalescer(benchmark::State &state)
+{
+    std::vector<Addr> addrs(wavefrontSize);
+    for (unsigned i = 0; i < wavefrontSize; ++i)
+        addrs[i] = 0x1000 + i * static_cast<Addr>(state.range(0));
+    for (auto _ : state) {
+        auto txs = coalesce(addrs, 4);
+        benchmark::DoNotOptimize(txs);
+    }
+}
+BENCHMARK(BM_Coalescer)->Arg(4)->Arg(64);
+
+void
+BM_EncodingPack(benchmark::State &state)
+{
+    Addr a = 0x1234567890ull;
+    for (auto _ : state) {
+        std::uint32_t packed = packPending(InstType::Ld4B, a);
+        benchmark::DoNotOptimize(unpackAddr(packed, upperBits(a)));
+        a += 32;
+    }
+}
+BENCHMARK(BM_EncodingPack);
+
+void
+BM_SimulateReLU(benchmark::State &state)
+{
+    // End-to-end simulator throughput: cycles simulated per second.
+    for (auto _ : state) {
+        WorkloadParams p;
+        p.scale = 64;
+        Workload w = makeReLU(p);
+        RunResult r =
+            runWorkload(GpuConfig::lazyGpu().scaled(8), w, false);
+        state.counters["sim_cycles"] =
+            static_cast<double>(r.cycles);
+        benchmark::DoNotOptimize(r.cycles);
+    }
+}
+BENCHMARK(BM_SimulateReLU)->Unit(benchmark::kMillisecond);
+
+} // namespace
+} // namespace lazygpu
+
+BENCHMARK_MAIN();

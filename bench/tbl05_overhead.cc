@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Section 5.5 hardware overhead and the Table 1 inst-type encoding.
+ */
+
+#include <cstdio>
+
+#include "core/overhead.hh"
+#include "isa/encoding.hh"
+
+using namespace lazygpu;
+
+int
+main()
+{
+    std::printf("Table 1: inst type encoding\n");
+    std::printf("  %-8s %s\n", "field", "binary");
+    struct
+    {
+        const char *name;
+        InstType t;
+    } rows[] = {
+        {"ld.1B", InstType::Ld1B},   {"ld.2B", InstType::Ld2B},
+        {"ld.4B", InstType::Ld4B},   {"ld.8B", InstType::Ld8B},
+        {"ld.16B", InstType::Ld16B}, {"reg-3", InstType::RegMinus3},
+        {"reg-2", InstType::RegMinus2}, {"reg-1", InstType::RegMinus1},
+    };
+    for (const auto &r : rows) {
+        unsigned v = static_cast<unsigned>(r.t);
+        std::printf("  %-8s %u%u%u\n", r.name, (v >> 2) & 1,
+                    (v >> 1) & 1, v & 1);
+    }
+    std::printf("  packed register word: %u-bit inst type + %u-bit "
+                "offset + %u-bit low address; %u upper bits shared per "
+                "wavefront\n\n",
+                instTypeBits, offsetBits, lowerAddrBits, upperAddrBits);
+
+    std::printf("Section 5.5: hardware overhead (R9 Nano)\n");
+    OverheadResult o = computeOverhead(OverheadInputs{});
+    std::printf("  busy bits per CU:          %.3f KiB (paper: 8 KiB)\n",
+                o.busyBitsKiBPerCu);
+    std::printf("  address upper bits per CU: %.3f KiB (paper: 4.375 "
+                "KiB)\n",
+                o.upperBitsKiBPerCu);
+    std::printf("  total added SRAM:          %.1f KiB across 64 CUs\n",
+                o.totalKiB);
+    std::printf("  per-CU bits vs die transistors: %.4f%% (paper "
+                "reports 0.009%%)\n",
+                o.perCuFractionOfDie * 100);
+    std::printf("  whole-GPU bits vs die transistors: %.3f%%\n",
+                o.fractionOfDie * 100);
+    return 0;
+}

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Example: architecture design-space exploration.
+ *
+ * Sweeps machine parameters (zero-cache split, MSHR count, DRAM
+ * bandwidth) for one workload and prints how LazyGPU's advantage moves
+ * — the kind of what-if study the simulator is built for.
+ *
+ * Usage: arch_explorer [benchmark] [sparsity]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "analysis/harness.hh"
+#include "workloads/suite.hh"
+
+using namespace lazygpu;
+
+namespace
+{
+
+double
+speedupFor(const std::string &bench, double sparsity,
+           const GpuConfig &base_cfg, const GpuConfig &lazy_cfg)
+{
+    WorkloadParams p;
+    p.sparsity = sparsity;
+    Workload wb = makeSuiteWorkload(bench, p);
+    RunResult base = runWorkload(base_cfg, wb, false);
+    Workload wl = makeSuiteWorkload(bench, p);
+    RunResult lazy = runWorkload(lazy_cfg, wl, false);
+    return speedup(base, lazy);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string bench = argc > 1 ? argv[1] : "FIR";
+    const double sparsity = argc > 2 ? std::atof(argv[2]) : 0.5;
+
+    std::printf("Design-space exploration: %s at %.0f%% sparsity\n\n",
+                bench.c_str(), sparsity * 100);
+
+    std::printf("zero-cache split (fraction of L1/L2 repurposed):\n");
+    for (unsigned frac : {2u, 8u, 16u}) {
+        GpuConfig lazy =
+            GpuConfig::withZeroCacheSplit(frac, frac).scaled(4);
+        std::printf("  1/%-2u -> %.3fx\n", frac,
+                    speedupFor(bench, sparsity,
+                               GpuConfig::r9Nano().scaled(4), lazy));
+    }
+
+    std::printf("\nL1 MSHR count (memory-level parallelism limit):\n");
+    for (unsigned mshrs : {8u, 32u, 128u}) {
+        GpuConfig base = GpuConfig::r9Nano().scaled(4);
+        GpuConfig lazy = GpuConfig::lazyGpu().scaled(4);
+        base.l1.mshrs = lazy.l1.mshrs = mshrs;
+        std::printf("  %3u -> %.3fx\n", mshrs,
+                    speedupFor(bench, sparsity, base, lazy));
+    }
+
+    std::printf("\nDRAM bandwidth per channel (bytes/cycle):\n");
+    for (unsigned bpc : {8u, 32u, 128u}) {
+        GpuConfig base = GpuConfig::r9Nano().scaled(4);
+        GpuConfig lazy = GpuConfig::lazyGpu().scaled(4);
+        base.dramBytesPerCycle = lazy.dramBytesPerCycle = bpc;
+        std::printf("  %3u -> %.3fx\n", bpc,
+                    speedupFor(bench, sparsity, base, lazy));
+    }
+
+    std::printf("\nLazyGPU's advantage grows when the memory system is "
+                "the constraint, and shrinks when bandwidth or MLP is "
+                "abundant.\n");
+    return 0;
+}

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Example: writing your own kernel against the public API.
+ *
+ * Builds a SAXPY-with-threshold kernel (y = max(a*x + y, 0)) from
+ * scratch with KernelBuilder, runs it on LazyGPU, and cross-checks the
+ * result on the host. Demonstrates: buffer allocation, the builder's
+ * loop and operand helpers, launching, and reading stats.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "analysis/harness.hh"
+#include "gpu/gpu.hh"
+#include "isa/kernel.hh"
+#include "mem/memory.hh"
+#include "sim/rng.hh"
+
+using namespace lazygpu;
+
+int
+main()
+{
+    const unsigned n = 64 * 1024; // one element per thread
+    GlobalMemory mem;
+    Addr x = mem.alloc(4ull * n);
+    Addr y = mem.alloc(4ull * n);
+    Addr out = mem.alloc(4ull * n);
+    const float a = 2.5f;
+
+    Rng rng(7);
+    for (unsigned i = 0; i < n; ++i) {
+        mem.writeF32(x + 4ull * i, rng.range(-1.0f, 1.0f));
+        mem.writeF32(y + 4ull * i, rng.range(-1.0f, 1.0f));
+    }
+
+    // out[i] = max(a * x[i] + y[i], 0)
+    KernelBuilder kb("saxpy_relu");
+    kb.threadId(0);                                         // v0 = tid
+    kb.valu(Opcode::VShlU32, 1, Src::vreg(0), Src::imm(2)); // byte offset
+    kb.load(Opcode::LoadDword, 2, 1, x);
+    kb.load(Opcode::LoadDword, 3, 1, y);
+    kb.valu(Opcode::VMacF32, 3, Src::vreg(2), Src::immF(a)); // y += a*x
+    kb.valu(Opcode::VMaxF32, 4, Src::vreg(3), Src::immF(0.0f));
+    kb.store(Opcode::StoreDword, 1, 4, out);
+    Kernel kernel = kb.build(n / wavefrontSize);
+
+    Gpu gpu(GpuConfig::lazyGpu().scaled(4), mem);
+    KernelResult res = gpu.run(kernel);
+
+    unsigned errors = 0;
+    for (unsigned i = 0; i < n; ++i) {
+        float expect = std::max(
+            0.0f, a * mem.readF32(x + 4ull * i) + mem.readF32(y + 4ull * i));
+        // The kernel updated y in v3 only, so recompute from inputs.
+        float got = mem.readF32(out + 4ull * i);
+        if (std::abs(got - expect) > 1e-4f)
+            ++errors;
+    }
+
+    std::printf("saxpy_relu: %u wavefronts, %llu cycles, %u errors\n",
+                kernel.numWavefronts,
+                static_cast<unsigned long long>(res.cycles), errors);
+    std::printf("memory transactions issued: %llu, stores skipped as "
+                "all-zero: %llu\n",
+                static_cast<unsigned long long>(
+                    gpu.stats().counter("cu.txs_issued").value()),
+                static_cast<unsigned long long>(
+                    gpu.stats()
+                        .counter("cu.store_txs_zero_skipped")
+                        .value()));
+    return errors == 0 ? 0 : 1;
+}

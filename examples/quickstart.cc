@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Quickstart: run one benchmark (default: MM) on the baseline R9 Nano
+ * and on LazyGPU, print the headline numbers, and show how the public
+ * API fits together.
+ *
+ * Usage: quickstart [benchmark] [sparsity]
+ *   benchmark  one of the Table 3 names (ReLU, SC, MM, ...); default MM
+ *   sparsity   input zero fraction in [0, 1); default 0.5
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "analysis/harness.hh"
+#include "workloads/suite.hh"
+
+using namespace lazygpu;
+
+int
+main(int argc, char **argv)
+{
+    const std::string bench = argc > 1 ? argv[1] : "MM";
+    WorkloadParams params;
+    params.sparsity = argc > 2 ? std::atof(argv[2]) : 0.5;
+    params.scale = 8;
+
+    std::printf("LazyGPU quickstart: %s at %.0f%% input sparsity\n",
+                bench.c_str(), params.sparsity * 100);
+    std::printf("%s\n",
+                formatRow({"mode", "cycles", "mem txs", "elim(1)",
+                           "elim(2)", "ALU util", "verify"})
+                    .c_str());
+
+    RunResult base;
+    for (ExecMode mode : {ExecMode::Baseline, ExecMode::LazyCore,
+                          ExecMode::LazyZC, ExecMode::LazyGPU}) {
+        // Each configuration gets a fresh workload image: in-place
+        // kernels mutate their inputs.
+        Workload w = makeSuiteWorkload(bench, params);
+        GpuConfig cfg = mode == ExecMode::Baseline
+                            ? GpuConfig::r9Nano()
+                            : GpuConfig::lazyGpu(mode);
+        cfg = cfg.scaled(4); // 4 SAs / 16 CUs for a quick run
+
+        RunResult r = runWorkload(cfg, w);
+        if (mode == ExecMode::Baseline)
+            base = r;
+
+        std::printf("%s\n",
+                    formatRow({toString(mode),
+                               std::to_string(r.cycles),
+                               std::to_string(r.txsIssued),
+                               std::to_string(r.txsElimZero),
+                               std::to_string(r.txsElimOtimes),
+                               std::to_string(static_cast<int>(
+                                   r.aluUtilization * 100)) + "%",
+                               r.verifyError.empty() ? "ok" : "FAIL"})
+                        .c_str());
+        if (mode != ExecMode::Baseline) {
+            std::printf("  -> speedup over baseline: %.3fx\n",
+                        speedup(base, r));
+        }
+        if (!r.verifyError.empty()) {
+            std::fprintf(stderr, "verification failed: %s\n",
+                         r.verifyError.c_str());
+            return 1;
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Example: sparse DNN inference, the paper's motivating scenario.
+ *
+ * Prunes ResNet-18 to a chosen weight sparsity, runs a slice of the
+ * network on the baseline GPU and on LazyGPU, and reports where the
+ * speedup comes from (requests eliminated by the Zero Caches and by
+ * otimes instructions).
+ *
+ * Usage: sparse_inference [weight_sparsity] (default 0.5)
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "analysis/resnet_runner.hh"
+
+using namespace lazygpu;
+
+int
+main(int argc, char **argv)
+{
+    const double sparsity = argc > 1 ? std::atof(argv[1]) : 0.5;
+
+    Resnet18::Params params;
+    params.weightSparsity = sparsity;
+    params.channelDiv = 4;
+    params.spatialDiv = 4; // small slice so the example runs in seconds
+    Resnet18 net(params);
+
+    std::printf("ResNet-18 inference at %.0f%% weight sparsity "
+                "(channels/4, spatial/4 scale)\n\n",
+                sparsity * 100);
+
+    GpuConfig base_cfg = GpuConfig::r9Nano().scaled(8);
+    GpuConfig lazy_cfg = GpuConfig::lazyGpu().scaled(8);
+
+    ResnetOutcome base = runResnet(net, base_cfg, false, true);
+    ResnetOutcome lazy = runResnet(net, lazy_cfg, false, true);
+
+    if (!base.total.verifyError.empty() ||
+        !lazy.total.verifyError.empty()) {
+        std::fprintf(stderr, "functional check failed: %s%s\n",
+                     base.total.verifyError.c_str(),
+                     lazy.total.verifyError.c_str());
+        return 1;
+    }
+
+    std::printf("baseline: %llu cycles, %llu load transactions\n",
+                static_cast<unsigned long long>(base.total.cycles),
+                static_cast<unsigned long long>(base.total.txsIssued));
+    std::printf("lazygpu:  %llu cycles, %llu load transactions\n",
+                static_cast<unsigned long long>(lazy.total.cycles),
+                static_cast<unsigned long long>(lazy.total.txsIssued));
+    std::printf("\nspeedup: %.3fx\n",
+                static_cast<double>(base.total.cycles) /
+                    static_cast<double>(lazy.total.cycles));
+    std::printf("eliminated by Zero Caches (opt 1):       %llu\n",
+                static_cast<unsigned long long>(
+                    lazy.total.txsElimZero));
+    std::printf("eliminated by otimes instructions (opt 2): %llu\n",
+                static_cast<unsigned long long>(
+                    lazy.total.txsElimOtimes));
+    std::printf("eliminated as dead on overwrite/retire:  %llu\n",
+                static_cast<unsigned long long>(
+                    lazy.total.txsElimDead));
+    std::printf("all-zero stores absorbed by Zero Caches: %llu\n",
+                static_cast<unsigned long long>(
+                    lazy.total.storeTxsZeroSkipped));
+    std::printf("\nboth configurations produced identical, verified "
+                "layer outputs.\n");
+    return 0;
+}

@@ -1,0 +1,7 @@
+#!/bin/sh
+# Regenerate every paper figure/table; see EXPERIMENTS.md.
+for b in build/bench/*; do
+    echo "===== $b ====="
+    "$b"
+    echo
+done

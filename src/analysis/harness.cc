@@ -1,0 +1,121 @@
+#include "analysis/harness.hh"
+
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace lazygpu
+{
+
+double
+RunResult::eliminationRate() const
+{
+    const double candidates =
+        static_cast<double>(txsIssued + txsElimZero + txsElimOtimes +
+                            txsElimDead);
+    if (candidates == 0)
+        return 0.0;
+    return static_cast<double>(txsElimZero + txsElimOtimes +
+                               txsElimDead) /
+           candidates;
+}
+
+void
+RunResult::accumulate(const RunResult &other)
+{
+    cycles += other.cycles;
+    txsIssued += other.txsIssued;
+    txsElimZero += other.txsElimZero;
+    txsElimOtimes += other.txsElimOtimes;
+    txsElimDead += other.txsElimDead;
+    txsEagerFallback += other.txsEagerFallback;
+    storeTxs += other.storeTxs;
+    storeTxsZeroSkipped += other.storeTxsZeroSkipped;
+    l1Requests += other.l1Requests;
+    l2Requests += other.l2Requests;
+    dramRequests += other.dramRequests;
+    l1Hits += other.l1Hits;
+    l1Misses += other.l1Misses;
+    l2Hits += other.l2Hits;
+    l2Misses += other.l2Misses;
+    zl1Hits += other.zl1Hits;
+    zl1Misses += other.zl1Misses;
+    zl2Hits += other.zl2Hits;
+    zl2Misses += other.zl2Misses;
+    if (verifyError.empty())
+        verifyError = other.verifyError;
+}
+
+RunResult
+runWorkload(const GpuConfig &cfg, Workload &w, bool verify)
+{
+    Gpu gpu(cfg, *w.mem);
+    RunResult res;
+    for (const Kernel &k : w.kernels)
+        res.cycles += gpu.run(k).cycles;
+
+    const StatSet &st = gpu.stats();
+    auto ctr = [&](const char *name) {
+        auto it = st.counters().find(name);
+        return it == st.counters().end() ? 0ull : it->second.value();
+    };
+    res.txsIssued = ctr("cu.txs_issued");
+    res.txsElimZero = ctr("cu.txs_elim_zero");
+    res.txsElimOtimes = ctr("cu.txs_elim_otimes");
+    res.txsElimDead = ctr("cu.txs_elim_dead");
+    res.txsEagerFallback = ctr("cu.txs_eager_fallback");
+    res.storeTxs = ctr("cu.store_txs");
+    res.storeTxsZeroSkipped = ctr("cu.store_txs_zero_skipped");
+    res.l1Requests = gpu.l1Requests();
+    res.l2Requests = gpu.l2Requests();
+    res.dramRequests = gpu.dramRequests();
+
+    const double total_simd_cycles =
+        static_cast<double>(res.cycles) * cfg.numCus() * cfg.simdPerCu;
+    res.aluUtilization =
+        total_simd_cycles > 0
+            ? static_cast<double>(ctr("cu.simd_busy_cycles")) /
+                  total_simd_cycles
+            : 0.0;
+
+    auto lat = st.dists().find("mem.latency");
+    if (lat != st.dists().end())
+        res.avgMemLatency = lat->second.mean();
+
+    res.l1Hits = st.sumCounters("l1.", ".hits");
+    res.l1Misses = st.sumCounters("l1.", ".misses");
+    res.l2Hits = st.sumCounters("l2.", ".hits");
+    res.l2Misses = st.sumCounters("l2.", ".misses");
+    res.zl1Hits = st.sumCounters("zl1.", ".hits");
+    res.zl1Misses = st.sumCounters("zl1.", ".misses");
+    res.zl2Hits = st.sumCounters("zl2.", ".hits");
+    res.zl2Misses = st.sumCounters("zl2.", ".misses");
+
+    if (verify && w.verify)
+        res.verifyError = w.verify(*w.mem);
+    return res;
+}
+
+double
+speedup(const RunResult &base, const RunResult &test)
+{
+    panic_if(test.cycles == 0, "speedup against an empty run");
+    return static_cast<double>(base.cycles) /
+           static_cast<double>(test.cycles);
+}
+
+std::string
+formatRow(const std::vector<std::string> &cells, unsigned width)
+{
+    std::ostringstream os;
+    for (const std::string &c : cells) {
+        os << c;
+        if (c.size() < width)
+            os << std::string(width - c.size(), ' ');
+        else
+            os << "  ";
+    }
+    return os.str();
+}
+
+} // namespace lazygpu

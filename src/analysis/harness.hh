@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Experiment harness helpers shared by the tests, benches and examples:
+ * run a Workload on a configuration, collect the headline metrics, and
+ * print paper-style tables.
+ */
+
+#ifndef LAZYGPU_ANALYSIS_HARNESS_HH
+#define LAZYGPU_ANALYSIS_HARNESS_HH
+
+#include <string>
+#include <vector>
+
+#include "gpu/gpu.hh"
+#include "workloads/common.hh"
+
+namespace lazygpu
+{
+
+/** Aggregate outcome of running a workload on one configuration. */
+struct RunResult
+{
+    Tick cycles = 0;
+    std::uint64_t txsIssued = 0;
+    std::uint64_t txsElimZero = 0;
+    std::uint64_t txsElimOtimes = 0;
+    std::uint64_t txsElimDead = 0;
+    std::uint64_t txsEagerFallback = 0;
+    std::uint64_t storeTxs = 0;
+    std::uint64_t storeTxsZeroSkipped = 0;
+    std::uint64_t l1Requests = 0;
+    std::uint64_t l2Requests = 0;
+    std::uint64_t dramRequests = 0;
+    double aluUtilization = 0.0;
+    double avgMemLatency = 0.0;
+    std::uint64_t l1Hits = 0, l1Misses = 0;
+    std::uint64_t l2Hits = 0, l2Misses = 0;
+    std::uint64_t zl1Hits = 0, zl1Misses = 0;
+    std::uint64_t zl2Hits = 0, zl2Misses = 0;
+    std::string verifyError; //!< empty when functional check passed
+
+    /** Fraction of candidate load transactions eliminated. */
+    double eliminationRate() const;
+
+    double l1HitRate() const { return rate(l1Hits, l1Misses); }
+    double l2HitRate() const { return rate(l2Hits, l2Misses); }
+    double zl1HitRate() const { return rate(zl1Hits, zl1Misses); }
+    double zl2HitRate() const { return rate(zl2Hits, zl2Misses); }
+
+    /** Accumulate another run's totals (per-layer aggregation). */
+    void accumulate(const RunResult &other);
+
+  private:
+    static double
+    rate(std::uint64_t hits, std::uint64_t misses)
+    {
+        return hits + misses
+                   ? static_cast<double>(hits) / (hits + misses)
+                   : 0.0;
+    }
+};
+
+/**
+ * Run every kernel of the workload on a fresh Gpu built from cfg.
+ *
+ * A Workload instance may be run only once: in-place kernels (FFT, NW,
+ * BFS) mutate their inputs. Regenerate the workload (same seed gives an
+ * identical image) for each configuration being compared.
+ *
+ * @param verify run the workload's functional check afterwards.
+ */
+RunResult runWorkload(const GpuConfig &cfg, Workload &w,
+                      bool verify = true);
+
+/** speedup = cycles(base) / cycles(test). */
+double speedup(const RunResult &base, const RunResult &test);
+
+/** Format a markdown-ish table row; used by the bench binaries. */
+std::string formatRow(const std::vector<std::string> &cells,
+                      unsigned width = 12);
+
+} // namespace lazygpu
+
+#endif // LAZYGPU_ANALYSIS_HARNESS_HH

@@ -1,0 +1,20 @@
+#include "analysis/resnet_runner.hh"
+
+namespace lazygpu
+{
+
+ResnetOutcome
+runResnet(const Resnet18 &net, const GpuConfig &cfg, bool training,
+          bool verify)
+{
+    ResnetOutcome out;
+    for (unsigned idx = 0; idx < net.specs().size(); ++idx) {
+        Workload w = net.layerWorkload(idx, training);
+        RunResult r = runWorkload(cfg, w, verify);
+        out.total.accumulate(r);
+        out.perLayer.push_back(std::move(r));
+    }
+    return out;
+}
+
+} // namespace lazygpu

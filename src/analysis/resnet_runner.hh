@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Shared ResNet-18 experiment runner used by the Fig 9/10/13/14/15/16
+ * bench binaries: simulate every evaluated layer under one
+ * configuration (kernel-level sampling, as the paper does with Photon)
+ * and aggregate.
+ */
+
+#ifndef LAZYGPU_ANALYSIS_RESNET_RUNNER_HH
+#define LAZYGPU_ANALYSIS_RESNET_RUNNER_HH
+
+#include <vector>
+
+#include "analysis/harness.hh"
+#include "workloads/resnet18.hh"
+
+namespace lazygpu
+{
+
+struct ResnetOutcome
+{
+    std::vector<RunResult> perLayer;
+    RunResult total; //!< accumulated across layers
+};
+
+/**
+ * Run all 23 evaluated layers under cfg.
+ *
+ * @param training add the dW/dX GEMMs per conv layer.
+ * @param verify   functionally check each layer (slower).
+ */
+ResnetOutcome runResnet(const Resnet18 &net, const GpuConfig &cfg,
+                        bool training, bool verify = false);
+
+} // namespace lazygpu
+
+#endif // LAZYGPU_ANALYSIS_RESNET_RUNNER_HH

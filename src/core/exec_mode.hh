@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The execution modes evaluated by the paper.
+ */
+
+#ifndef LAZYGPU_CORE_EXEC_MODE_HH
+#define LAZYGPU_CORE_EXEC_MODE_HH
+
+#include <string>
+
+namespace lazygpu
+{
+
+/**
+ * Which core architecture a simulation models.
+ *
+ * The paper's ablation ladder: Baseline (eager R9 Nano) -> LazyCore (lazy
+ * issue only) -> LazyZC (LazyCore+(1): zero-cache elimination) -> LazyGPU
+ * (LazyCore+(1)(2): also otimes-instruction dead-load elimination).
+ * EagerZC is the comparison point of Fig 9: eager issue with zero caches
+ * bolted on (Islam & Stenstrom style), which still issues requests for
+ * zero data.
+ */
+enum class ExecMode
+{
+    Baseline,
+    LazyCore,
+    LazyZC,
+    LazyGPU,
+    EagerZC,
+};
+
+/** True when loads are issued lazily (deferred until first use). */
+inline bool
+isLazy(ExecMode m)
+{
+    return m == ExecMode::LazyCore || m == ExecMode::LazyZC ||
+           m == ExecMode::LazyGPU;
+}
+
+/** True when the configuration instantiates Zero Caches. */
+inline bool
+hasZeroCaches(ExecMode m)
+{
+    return m == ExecMode::LazyZC || m == ExecMode::LazyGPU ||
+           m == ExecMode::EagerZC;
+}
+
+/** True when optimization (1) (zero-mask elimination) is active. */
+inline bool
+hasZeroElimination(ExecMode m)
+{
+    return m == ExecMode::LazyZC || m == ExecMode::LazyGPU;
+}
+
+/** True when optimization (2) (otimes dead-load elimination) is active. */
+inline bool
+hasOtimesElimination(ExecMode m)
+{
+    return m == ExecMode::LazyGPU;
+}
+
+/** Human-readable mode name, matching the paper's terminology. */
+inline std::string
+toString(ExecMode m)
+{
+    switch (m) {
+      case ExecMode::Baseline:
+        return "Baseline";
+      case ExecMode::LazyCore:
+        return "LazyCore";
+      case ExecMode::LazyZC:
+        return "LazyCore+1";
+      case ExecMode::LazyGPU:
+        return "LazyGPU";
+      case ExecMode::EagerZC:
+        return "EagerZC";
+    }
+    return "?";
+}
+
+} // namespace lazygpu
+
+#endif // LAZYGPU_CORE_EXEC_MODE_HH

@@ -1,0 +1,46 @@
+#include "core/overhead.hh"
+
+namespace lazygpu
+{
+
+OverheadResult
+computeOverhead(const OverheadInputs &in)
+{
+    OverheadResult out;
+
+    // Busy bits: one per physical register (Sec 5.5: 16,384 registers
+    // per SIMD, 4 SIMDs -> 8 KiB per CU).
+    const double busy_bits_per_cu =
+        static_cast<double>(in.physRegsPerSimd) * in.simdPerCu;
+    out.busyBitsKiBPerCu = busy_bits_per_cu / 8.0 / 1024.0;
+
+    // Address upper bits: 35 bits shared by each group of registers
+    // with the same name across the wavefront's threads
+    // (35 * M / N bits for M physical registers, N threads ->
+    // 4.375 KiB per CU on the R9 Nano).
+    const double upper_bits_per_cu =
+        static_cast<double>(in.upperAddrBits) * in.physRegsPerSimd *
+        in.simdPerCu / in.threadsPerWavefront;
+    out.upperBitsKiBPerCu = upper_bits_per_cu / 8.0 / 1024.0;
+
+    const double kib_per_cu =
+        out.busyBitsKiBPerCu + out.upperBitsKiBPerCu;
+    out.totalKiB = kib_per_cu * in.numCus;
+
+    // Area readings. The transaction metadata itself reuses the
+    // destination registers, so the added storage is just these bits;
+    // converting at 6T SRAM density against the Fiji die's 8.9e9
+    // transistors:
+    //   one CU's 12.375 KiB -> ~0.007% of the die, the reading that
+    //   matches the paper's 0.009% claim;
+    //   all 64 CUs -> ~0.44%, the whole-GPU reading.
+    constexpr double transistors_per_bit = 6.0;
+    constexpr double die_transistors = 8.9e9;
+    out.perCuFractionOfDie = kib_per_cu * 8.0 * 1024.0 *
+                             transistors_per_bit / die_transistors;
+    out.fractionOfDie = out.perCuFractionOfDie * in.numCus;
+    out.areaMm2 = out.fractionOfDie * in.dieAreaMm2;
+    return out;
+}
+
+} // namespace lazygpu

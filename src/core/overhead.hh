@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Analytic hardware-overhead model (Sec 5.5): the busy bits and the
+ * shared address-upper-bits storage LazyGPU adds to each compute unit,
+ * as a fraction of the R9 Nano die.
+ */
+
+#ifndef LAZYGPU_CORE_OVERHEAD_HH
+#define LAZYGPU_CORE_OVERHEAD_HH
+
+#include <cstdint>
+
+namespace lazygpu
+{
+
+struct OverheadInputs
+{
+    unsigned physRegsPerSimd = 16384; //!< physical registers per SIMD
+    unsigned simdPerCu = 4;
+    unsigned numCus = 64;
+    unsigned threadsPerWavefront = 64;
+    unsigned upperAddrBits = 35;      //!< shared per register group
+    /**
+     * R9 Nano (Fiji) die: 8.9e9 transistors on 596 mm^2. SRAM density
+     * assumption used to convert added bits to area: 6T cells at the
+     * same process's logic density.
+     */
+    double dieAreaMm2 = 596.0;
+    double mm2PerMib = 5.0; //!< 28 nm-class SRAM macro density
+};
+
+struct OverheadResult
+{
+    double busyBitsKiBPerCu = 0.0;   //!< paper: 8 KiB
+    double upperBitsKiBPerCu = 0.0;  //!< paper: 4.375 KiB
+    double totalKiB = 0.0;           //!< across every CU
+    double areaMm2 = 0.0;
+    /**
+     * One CU's added bits as a fraction of the die's transistor budget
+     * (6T SRAM). This is the reading consistent with the paper's
+     * "0.009% of the total die area".
+     */
+    double perCuFractionOfDie = 0.0;
+    double fractionOfDie = 0.0; //!< whole-GPU reading (all CUs)
+};
+
+/** Evaluate Sec 5.5's overhead arithmetic. */
+OverheadResult computeOverhead(const OverheadInputs &in);
+
+} // namespace lazygpu
+
+#endif // LAZYGPU_CORE_OVERHEAD_HH

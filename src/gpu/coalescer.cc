@@ -1,0 +1,23 @@
+#include "gpu/coalescer.hh"
+
+#include <unordered_set>
+
+namespace lazygpu
+{
+
+std::vector<Addr>
+coalesce(const std::vector<Addr> &addrs, unsigned bytes)
+{
+    std::vector<Addr> txs;
+    std::unordered_set<Addr> seen;
+    for (Addr a : addrs) {
+        for (Addr t = txAlign(a); t <= txAlign(a + bytes - 1);
+             t += transactionSize) {
+            if (seen.insert(t).second)
+                txs.push_back(t);
+        }
+    }
+    return txs;
+}
+
+} // namespace lazygpu

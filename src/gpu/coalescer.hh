@@ -1,0 +1,34 @@
+/**
+ * @file
+ * The memory coalescer: per-lane word addresses -> 32 B transactions.
+ */
+
+#ifndef LAZYGPU_GPU_COALESCER_HH
+#define LAZYGPU_GPU_COALESCER_HH
+
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace lazygpu
+{
+
+/** Align an address down to its 32 B transaction. */
+inline Addr
+txAlign(Addr a)
+{
+    return a & ~Addr(transactionSize - 1);
+}
+
+/**
+ * Coalesce a set of byte ranges into the unique transactions covering
+ * them, preserving first-touch order (the order requests enter the LSU).
+ *
+ * @param addrs  starting byte address of each access
+ * @param bytes  access width in bytes (same for all)
+ */
+std::vector<Addr> coalesce(const std::vector<Addr> &addrs, unsigned bytes);
+
+} // namespace lazygpu
+
+#endif // LAZYGPU_GPU_COALESCER_HH

@@ -1,0 +1,1012 @@
+#include "gpu/compute_unit.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "gpu/coalescer.hh"
+#include "isa/encoding.hh"
+#include "sim/logging.hh"
+
+namespace lazygpu
+{
+
+namespace
+{
+
+float
+asF(std::uint32_t bits)
+{
+    float f;
+    std::memcpy(&f, &bits, sizeof(f));
+    return f;
+}
+
+std::uint32_t
+asU(float f)
+{
+    std::uint32_t bits;
+    std::memcpy(&bits, &f, sizeof(bits));
+    return bits;
+}
+
+} // namespace
+
+ComputeUnit::ComputeUnit(Engine &engine, StatSet &stats,
+                         const GpuConfig &cfg, GlobalMemory &mem,
+                         MemoryHierarchy &hier, unsigned cu_id,
+                         unsigned sa_id)
+    : engine_(engine), stats_(stats), cfg_(cfg), mem_(mem), hier_(hier),
+      cu_id_(cu_id), sa_id_(sa_id), mode_(cfg.mode),
+      simd_busy_(cfg.simdPerCu, 0),
+      valu_insts_(stats.counter("cu.valu_insts")),
+      salu_insts_(stats.counter("cu.salu_insts")),
+      simd_busy_cycles_(stats.counter("cu.simd_busy_cycles")),
+      load_insts_(stats.counter("cu.load_insts")),
+      store_insts_(stats.counter("cu.store_insts")),
+      txs_issued_(stats.counter("cu.txs_issued")),
+      txs_completed_(stats.counter("cu.txs_completed")),
+      txs_elim_zero_(stats.counter("cu.txs_elim_zero")),
+      txs_elim_otimes_(stats.counter("cu.txs_elim_otimes")),
+      txs_elim_dead_(stats.counter("cu.txs_elim_dead")),
+      txs_eager_fallback_(stats.counter("cu.txs_eager_fallback")),
+      store_txs_(stats.counter("cu.store_txs")),
+      store_txs_zero_skipped_(stats.counter("cu.store_txs_zero_skipped")),
+      mask_reads_(stats.counter("cu.mask_reads")),
+      mask_writes_(stats.counter("cu.mask_writes")),
+      zc_short_circuits_(stats.counter("cu.zc_short_circuits")),
+      lanes_zeroed_(stats.counter("cu.lanes_zeroed")),
+      lanes_suspended_(stats.counter("cu.lanes_suspended")),
+      mem_latency_(stats.dist("mem.latency"))
+{
+    if (cfg.enableTraces) {
+        lat_series_ = &stats.series("trace.latency");
+        inflight_series_ = &stats.series("trace.inflight");
+    }
+}
+
+void
+ComputeUnit::addWavefront(std::unique_ptr<Wavefront> wave)
+{
+    panic_if(!hasFreeSlot(), "cu.%u: dispatch beyond occupancy limit",
+             cu_id_);
+    // Pin the wavefront to the least-loaded SIMD.
+    std::vector<unsigned> load(cfg_.simdPerCu, 0);
+    for (const auto &w : waves_)
+        ++load[w->simdId];
+    unsigned best = 0;
+    for (unsigned s = 1; s < cfg_.simdPerCu; ++s) {
+        if (load[s] < load[best])
+            best = s;
+    }
+    wave->simdId = best;
+    wave->dispatchTick = engine_.now();
+    waves_.push_back(std::move(wave));
+}
+
+bool
+ComputeUnit::quiescent() const
+{
+    for (const auto &w : waves_) {
+        if (w->status == WaveStatus::Ready)
+            return false;
+    }
+    return true;
+}
+
+Wavefront *
+ComputeUnit::pickWave(unsigned simd)
+{
+    const Tick now = engine_.now();
+    Wavefront *best = nullptr;
+    for (const auto &w : waves_) {
+        if (w->simdId != simd || w->status != WaveStatus::Ready ||
+            w->nextIssue > now) {
+            continue;
+        }
+        if (!best || w->dispatchTick < best->dispatchTick)
+            best = w.get();
+    }
+    return best;
+}
+
+void
+ComputeUnit::tick()
+{
+    const Tick now = engine_.now();
+    for (unsigned s = 0; s < cfg_.simdPerCu; ++s) {
+        if (simd_busy_[s] > now)
+            continue;
+        Wavefront *wave = pickWave(s);
+        if (wave)
+            executeOne(*wave, s);
+    }
+}
+
+std::uint32_t
+ComputeUnit::readSrc(const Wavefront &wave, const Src &s,
+                     unsigned lane) const
+{
+    switch (s.kind) {
+      case SrcKind::VReg:
+        return wave.vreg(s.value, lane);
+      case SrcKind::SReg:
+        return wave.sregs[s.value];
+      case SrcKind::Imm:
+        return s.value;
+      case SrcKind::None:
+        return 0;
+    }
+    return 0;
+}
+
+void
+ComputeUnit::executeOne(Wavefront &wave, unsigned simd)
+{
+    const Instruction &inst = wave.kernel().code[wave.pc];
+    const Tick now = engine_.now();
+
+    if (isScalar(inst.op)) {
+        executeScalar(wave, inst);
+        simd_busy_[simd] = now + 1;
+        ++simd_busy_cycles_;
+        return;
+    }
+    if (isLoad(inst.op)) {
+        executeLoad(wave, inst);
+        if (wave.status == WaveStatus::Ready) {
+            simd_busy_[simd] = now + 1;
+            ++simd_busy_cycles_;
+        }
+        return;
+    }
+    if (isStore(inst.op)) {
+        executeStore(wave, inst);
+        if (wave.status == WaveStatus::Ready) {
+            simd_busy_[simd] = now + 1;
+            ++simd_busy_cycles_;
+        }
+        return;
+    }
+
+    // VALU: a 64-lane wavefront occupies the 16-wide SIMD for 4 cycles.
+    executeValu(wave, inst);
+    if (wave.status == WaveStatus::Ready) {
+        simd_busy_[simd] = now + cfg_.aluLatency;
+        wave.nextIssue = now + cfg_.aluLatency;
+        simd_busy_cycles_ += cfg_.aluLatency;
+    }
+}
+
+void
+ComputeUnit::executeScalar(Wavefront &wave, const Instruction &inst)
+{
+    ++salu_insts_;
+    const std::uint32_t a = readSrc(wave, inst.src0, 0);
+    const std::uint32_t b = readSrc(wave, inst.src1, 0);
+
+    switch (inst.op) {
+      case Opcode::SMov:
+        wave.sregs[inst.dst] = a;
+        break;
+      case Opcode::SAddU32:
+        wave.sregs[inst.dst] = a + b;
+        break;
+      case Opcode::SMulU32:
+        wave.sregs[inst.dst] = a * b;
+        break;
+      case Opcode::SCmpLtU32:
+        wave.scc = a < b;
+        break;
+      case Opcode::SCBranch1:
+        wave.pc = wave.scc ? static_cast<unsigned>(inst.target)
+                           : wave.pc + 1;
+        return;
+      case Opcode::SCBranch0:
+        wave.pc = !wave.scc ? static_cast<unsigned>(inst.target)
+                            : wave.pc + 1;
+        return;
+      case Opcode::SBranch:
+        wave.pc = static_cast<unsigned>(inst.target);
+        return;
+      case Opcode::SEndpgm:
+        retire(wave);
+        return;
+      default:
+        panic("unhandled scalar opcode %s", opcodeName(inst.op).c_str());
+    }
+    ++wave.pc;
+}
+
+bool
+ComputeUnit::counterpartZero(const Wavefront &wave,
+                             const Instruction &inst, unsigned reg,
+                             unsigned lane) const
+{
+    // The counterpart operand of each otimes source (Sec 4.3): the
+    // result is unaffected by src0's value in lanes where src1 is zero,
+    // and vice versa.
+    if (!isOtimes(inst.op) || !hasOtimesElimination(mode_))
+        return false;
+    const Src *other = nullptr;
+    if (inst.src0.kind == SrcKind::VReg && inst.src0.value == reg)
+        other = &inst.src1;
+    else if (inst.src1.kind == SrcKind::VReg && inst.src1.value == reg)
+        other = &inst.src0;
+    if (!other || other->kind == SrcKind::None)
+        return false;
+    if (other->kind == SrcKind::VReg &&
+        wave.regState(other->value, lane) != RegState::Ready) {
+        return false; // counterpart value unknown: cannot suspend
+    }
+    return readSrc(wave, *other, lane) == 0;
+}
+
+void
+ComputeUnit::trySuspend(Wavefront &wave, const Instruction &inst,
+                        unsigned reg)
+{
+    PendingLoad *pl = wave.pendingFor(reg);
+    if (!pl)
+        return;
+    for (unsigned lane = 0; lane < wavefrontSize; ++lane) {
+        if (wave.regState(reg, lane) != RegState::Pending)
+            continue;
+        if (!counterpartZero(wave, inst, reg, lane))
+            continue;
+        wave.setRegState(reg, lane, RegState::Suspended);
+        ++lanes_suspended_;
+        if (auto *tx = pl->txFor(pl->wordAddr(reg - pl->firstDst, lane)))
+            tx->hadSuspended = true;
+    }
+}
+
+void
+ComputeUnit::issueSoonNeeded(Wavefront &wave)
+{
+    if (wave.pendings().empty())
+        return;
+
+    // Decode runs ahead of execute, so the Lazy Unit sees the next few
+    // straight-line instructions; this is where otimes instructions are
+    // identified (Sec 4.3). Pending loads consumed inside the window
+    // are issued together (the bundled stall GCN's s_waitcnt implies);
+    // later consumers (software-pipelined prefetches) stay lazy.
+    constexpr unsigned look_ahead = 12;
+    const auto &code = wave.kernel().code;
+
+    std::vector<unsigned> issue_ids;
+    std::vector<bool> seen(wave.kernel().numVregs, false);
+
+    auto consider = [&](unsigned reg, const Instruction &inst,
+                        bool otimes_src) {
+        if (reg >= seen.size() || seen[reg])
+            return;
+        seen[reg] = true;
+        PendingLoad *pl = wave.pendingFor(reg);
+        if (!pl)
+            return;
+        if (otimes_src)
+            trySuspend(wave, inst, reg);
+        bool has_pending = false;
+        for (unsigned lane = 0; lane < wavefrontSize && !has_pending;
+             ++lane) {
+            has_pending =
+                wave.regState(reg, lane) == RegState::Pending;
+        }
+        if (has_pending &&
+            std::find(issue_ids.begin(), issue_ids.end(), pl->id) ==
+                issue_ids.end()) {
+            issue_ids.push_back(pl->id);
+        }
+    };
+
+    unsigned pc = wave.pc;
+    for (unsigned i = 0; i < look_ahead && pc < code.size(); ++i, ++pc) {
+        const Instruction &inst = code[pc];
+        if (isBranch(inst.op) || inst.op == Opcode::SEndpgm)
+            break;
+        if (isScalar(inst.op))
+            continue;
+        const bool otimes = isOtimes(inst.op);
+        if (inst.src0.kind == SrcKind::VReg)
+            consider(inst.src0.value, inst, otimes);
+        if (inst.src1.kind == SrcKind::VReg)
+            consider(inst.src1.value, inst, otimes);
+        if (inst.op == Opcode::VMacF32)
+            consider(inst.dst, inst, false); // accumulator read
+        if (isStore(inst.op)) {
+            for (unsigned r = 0; r < storeBytes(inst.op) / 4; ++r)
+                consider(inst.src2.value + r, inst, false);
+        }
+    }
+
+    for (unsigned id : issue_ids) {
+        auto it = wave.pendings().find(id);
+        if (it == wave.pendings().end())
+            continue;
+        if (it->second.masksOutstanding > 0) {
+            // Fig 7: the Read Req may only be issued once the Zero
+            // Read Rsp is back; park until the masks arrive.
+            it->second.issueRequested = true;
+        } else {
+            issuePendingLoad(wave, it->second);
+        }
+    }
+}
+
+bool
+ComputeUnit::ensureReady(Wavefront &wave, const Instruction &inst,
+                         const std::vector<unsigned> &regs)
+{
+    bool any_busy = false;
+    for (unsigned reg : regs) {
+        for (unsigned lane = 0; lane < wavefrontSize; ++lane) {
+            switch (wave.regState(reg, lane)) {
+              case RegState::Ready:
+                break;
+              case RegState::InFlight:
+              case RegState::Pending:
+                any_busy = true;
+                break;
+              case RegState::Suspended:
+                if (!counterpartZero(wave, inst, reg, lane)) {
+                    // Requalify: the data is needed after all.
+                    wave.setRegState(reg, lane, RegState::Pending);
+                    any_busy = true;
+                }
+                break;
+            }
+        }
+    }
+    if (!any_busy)
+        return true;
+
+    // The stall point: bundle-issue everything the next instructions
+    // will touch (with optimization (2) filtering), then wait for
+    // whatever is genuinely outstanding.
+    issueSoonNeeded(wave);
+
+    bool must_wait = false;
+    for (unsigned reg : regs) {
+        for (unsigned lane = 0; lane < wavefrontSize; ++lane) {
+            RegState st = wave.regState(reg, lane);
+            if (st == RegState::InFlight || st == RegState::Pending) {
+                must_wait = true;
+                break;
+            }
+        }
+        if (must_wait)
+            break;
+    }
+    if (must_wait)
+        wave.status = WaveStatus::Waiting;
+    return !must_wait;
+}
+
+bool
+ComputeUnit::prepareOverwrite(Wavefront &wave, unsigned first,
+                              unsigned nregs)
+{
+    // WAW: an in-flight fill may not race the overwrite.
+    for (unsigned r = first; r < first + nregs; ++r) {
+        if (wave.anyInFlight(r)) {
+            wave.status = WaveStatus::Waiting;
+            return false;
+        }
+    }
+    // Pending/Suspended words under the overwrite are dead: their values
+    // can never be observed, so their requests are permanently eliminated.
+    eliminateForRegs(wave, first, nregs);
+    return true;
+}
+
+void
+ComputeUnit::executeValu(Wavefront &wave, const Instruction &inst)
+{
+    std::vector<unsigned> srcs;
+    if (inst.src0.kind == SrcKind::VReg)
+        srcs.push_back(inst.src0.value);
+    if (inst.src1.kind == SrcKind::VReg)
+        srcs.push_back(inst.src1.value);
+    const bool reads_dst = inst.op == Opcode::VMacF32;
+    if (reads_dst)
+        srcs.push_back(inst.dst);
+
+    if (!ensureReady(wave, inst, srcs))
+        return;
+    if (!reads_dst && !prepareOverwrite(wave, inst.dst, 1))
+        return;
+
+    ++valu_insts_;
+
+    auto read = [&](const Src &s, unsigned lane) -> std::uint32_t {
+        // A (2)-suspended lane is read as zero; by construction its value
+        // cannot affect the result (counterpart operand is zero).
+        if (s.kind == SrcKind::VReg &&
+            wave.regState(s.value, lane) == RegState::Suspended) {
+            return 0;
+        }
+        return readSrc(wave, s, lane);
+    };
+
+    for (unsigned lane = 0; lane < wavefrontSize; ++lane) {
+        const std::uint32_t a = read(inst.src0, lane);
+        const std::uint32_t b = read(inst.src1, lane);
+        std::uint32_t out = 0;
+        switch (inst.op) {
+          case Opcode::VMov:
+            out = a;
+            break;
+          case Opcode::VAddF32:
+            out = asU(asF(a) + asF(b));
+            break;
+          case Opcode::VSubF32:
+            out = asU(asF(a) - asF(b));
+            break;
+          case Opcode::VMulF32:
+            out = asU(asF(a) * asF(b));
+            break;
+          case Opcode::VMacF32:
+            out = asU(asF(wave.vreg(inst.dst, lane)) + asF(a) * asF(b));
+            break;
+          case Opcode::VMaxF32:
+            out = asU(std::max(asF(a), asF(b)));
+            break;
+          case Opcode::VMinF32:
+            out = asU(std::min(asF(a), asF(b)));
+            break;
+          case Opcode::VRcpF32:
+            out = asU(1.0f / asF(a));
+            break;
+          case Opcode::VSqrtF32:
+            out = asU(std::sqrt(asF(a)));
+            break;
+          case Opcode::VCmpGtF32:
+            out = asU(asF(a) > asF(b) ? 1.0f : 0.0f);
+            break;
+          case Opcode::VCmpLtF32:
+            out = asU(asF(a) < asF(b) ? 1.0f : 0.0f);
+            break;
+          case Opcode::VAddU32:
+            out = a + b;
+            break;
+          case Opcode::VSubU32:
+            out = a - b;
+            break;
+          case Opcode::VMulU32:
+            out = a * b;
+            break;
+          case Opcode::VShlU32:
+            out = a << (b & 31);
+            break;
+          case Opcode::VShrU32:
+            out = a >> (b & 31);
+            break;
+          case Opcode::VAndB32:
+            out = a & b;
+            break;
+          case Opcode::VOrB32:
+            out = a | b;
+            break;
+          case Opcode::VXorB32:
+            out = a ^ b;
+            break;
+          case Opcode::VCmpEqU32:
+            out = (a == b) ? 1u : 0u;
+            break;
+          case Opcode::VMinU32:
+            out = std::min(a, b);
+            break;
+          case Opcode::VCvtF32U32:
+            out = asU(static_cast<float>(a));
+            break;
+          case Opcode::VThreadId:
+            out = wave.wid() * wavefrontSize + lane;
+            break;
+          case Opcode::VLaneId:
+            out = lane;
+            break;
+          default:
+            panic("unhandled VALU opcode %s", opcodeName(inst.op).c_str());
+        }
+        wave.setVreg(inst.dst, lane, out);
+    }
+    ++wave.pc;
+}
+
+std::uint32_t
+ComputeUnit::loadWord(Opcode op, Addr addr, unsigned reg_off) const
+{
+    switch (op) {
+      case Opcode::LoadByte:
+        return mem_.readByte(addr);
+      case Opcode::LoadShort:
+        return mem_.readByte(addr) |
+               (static_cast<std::uint32_t>(mem_.readByte(addr + 1)) << 8);
+      default:
+        return mem_.readU32(addr + 4ull * reg_off);
+    }
+}
+
+void
+ComputeUnit::executeLoad(Wavefront &wave, const Instruction &inst)
+{
+    // The address register is a source; reading it may trigger lazy
+    // issue of an earlier load.
+    std::vector<unsigned> srcs{inst.src0.value};
+    if (!ensureReady(wave, inst, srcs))
+        return;
+    const unsigned nregs = loadDstRegs(inst.op);
+    if (!prepareOverwrite(wave, inst.dst, nregs))
+        return;
+
+    ++load_insts_;
+
+    std::vector<Addr> lane_addr(wavefrontSize);
+    for (unsigned lane = 0; lane < wavefrontSize; ++lane) {
+        lane_addr[lane] =
+            inst.base + wave.vreg(inst.src0.value, lane);
+    }
+
+    recordLazyLoad(wave, inst, lane_addr);
+    ++wave.pc;
+}
+
+void
+ComputeUnit::recordLazyLoad(Wavefront &wave, const Instruction &inst,
+                            const std::vector<Addr> &lane_addr)
+{
+    const unsigned nregs = loadDstRegs(inst.op);
+    const unsigned bytes_per_lane = loadBytes(inst.op);
+
+    PendingLoad pl;
+    pl.op = inst.op;
+    pl.firstDst = inst.dst;
+    pl.numRegs = nregs;
+    std::copy(lane_addr.begin(), lane_addr.end(), pl.laneAddr.begin());
+
+    // Group every (reg, lane) word into its covering transaction,
+    // preserving lane order.
+    const unsigned bytes_per_word =
+        std::min(bytes_per_lane, maskGranularity);
+    for (unsigned lane = 0; lane < wavefrontSize; ++lane) {
+        for (unsigned r = 0; r < nregs; ++r) {
+            Addr wa = pl.wordAddr(r, lane);
+            Addr ta = txAlign(wa);
+            panic_if(txAlign(wa + bytes_per_word - 1) != ta,
+                     "load word straddles a transaction; kernels must "
+                     "use naturally aligned accesses");
+            PendingLoad::Tx *tx = pl.txFor(wa);
+            if (!tx) {
+                pl.txs.emplace_back();
+                tx = &pl.txs.back();
+                tx->addr = ta;
+            }
+            tx->words.emplace_back(static_cast<std::uint8_t>(r),
+                                   static_cast<std::uint8_t>(lane));
+            ++tx->unresolved;
+            ++pl.wordsLeft;
+            wave.setRegState(inst.dst + r, lane, RegState::Pending);
+        }
+    }
+
+    // Encodability (Sec 4.1): lanes whose upper 35 address bits differ
+    // from lane 0's cannot be parked in the register metadata and are
+    // issued without lazy execution.
+    const std::uint64_t shared_upper = upperBits(lane_addr[0]);
+    bool any_fallback = false;
+    for (unsigned lane = 0; lane < wavefrontSize; ++lane) {
+        if (upperBits(lane_addr[lane]) != shared_upper) {
+            any_fallback = true;
+            break;
+        }
+    }
+
+    PendingLoad &stored = wave.addPending(std::move(pl));
+
+    const bool eager_issue = !isLazy(mode_);
+    if (any_fallback && !eager_issue) {
+        // Mixed upper bits: per the paper these requests are promptly
+        // issued; we fall back to eager issue for the whole instruction.
+        txs_eager_fallback_ += stored.txs.size();
+        issuePendingLoad(wave, stored);
+        return;
+    }
+
+    if (hasZeroElimination(mode_))
+        requestMasks(wave, stored);
+
+    if (eager_issue) {
+        if (mode_ == ExecMode::EagerZC)
+            requestMasks(wave, stored); // concurrent mask fetch
+        issuePendingLoad(wave, stored);
+    }
+}
+
+void
+ComputeUnit::issuePendingLoad(Wavefront &wave, PendingLoad &pl)
+{
+    pl.dataIssued = true;
+    Wavefront *wp = &wave;
+    const unsigned first_dst = pl.firstDst;
+    const unsigned pl_id = pl.id;
+
+    for (auto &tx : pl.txs) {
+        if (tx.outcome != TxOutcome::Unissued)
+            continue;
+        bool has_pending = false;
+        bool all_zero = true;
+        for (const auto &[r, lane] : tx.words) {
+            RegState st = wave.regState(first_dst + r, lane);
+            if (st == RegState::Pending)
+                has_pending = true;
+            if (st == RegState::Pending || st == RegState::Suspended) {
+                if (!mem_.isZeroWord(pl.wordAddr(r, lane)))
+                    all_zero = false;
+            }
+        }
+        if (!has_pending)
+            continue; // entirely suspended/resolved: stays parked
+
+        // EagerZC (Fig 9 comparison): the L1 Zero Cache is probed in
+        // parallel with the data path; if the mask is on hand and every
+        // needed word is zero the L2 access is short-circuited -- but
+        // the request has already consumed the issue slot and LSU.
+        if (mode_ == ExecMode::EagerZC && all_zero &&
+            hier_.maskResidentInL1(sa_id_,
+                                   GlobalMemory::maskAddr(tx.addr))) {
+            ++zc_short_circuits_;
+            tx.outcome = TxOutcome::Issued;
+            for (const auto &[r, lane] : tx.words) {
+                if (wave.regState(first_dst + r, lane) !=
+                    RegState::Ready) {
+                    wave.setRegState(first_dst + r, lane,
+                                     RegState::InFlight);
+                }
+            }
+            ++wave.outstanding_txs_;
+            Addr tx_addr = tx.addr;
+            engine_.scheduleIn(
+                cfg_.lsuPipeLatency + cfg_.l1HitLatency,
+                [this, wp, pl_id, tx_addr]() {
+                    Wavefront &w = *wp;
+                    --w.outstanding_txs_;
+                    auto it = w.pendings().find(pl_id);
+                    if (it != w.pendings().end()) {
+                        PendingLoad &p = it->second;
+                        if (auto *t = p.txFor(tx_addr)) {
+                            for (const auto &[r2, l2] : t->words) {
+                                resolveWord(w, p, r2, l2, 0);
+                            }
+                        }
+                        finishPendingIfResolved(w, p);
+                    }
+                    wake(w);
+                    maybeFinalize(wp);
+                });
+            continue;
+        }
+
+        tx.outcome = TxOutcome::Issued;
+        for (const auto &[r, lane] : tx.words) {
+            if (wave.regState(first_dst + r, lane) != RegState::Ready)
+                wave.setRegState(first_dst + r, lane, RegState::InFlight);
+        }
+        ++wave.outstanding_txs_;
+        ++pl.inflightTxs;
+        ++txs_issued_;
+        if (inflight_series_) {
+            inflight_series_->sample(
+                engine_.now(), static_cast<double>(txs_issued_.value() -
+                                                   txs_completed_.value()));
+        }
+
+        const Tick issue_tick = engine_.now();
+        Addr tx_addr = tx.addr;
+        issueTx(tx.addr, false,
+                [this, wp, pl_id, tx_addr, issue_tick]() {
+            Wavefront &w = *wp;
+            --w.outstanding_txs_;
+            ++txs_completed_;
+            const Tick lat = engine_.now() - issue_tick;
+            mem_latency_.sample(static_cast<double>(lat));
+            if (lat_series_) {
+                lat_series_->sample(engine_.now(),
+                                    static_cast<double>(lat));
+            }
+            if (inflight_series_) {
+                inflight_series_->sample(
+                    engine_.now(),
+                    static_cast<double>(txs_issued_.value() -
+                                        txs_completed_.value()));
+            }
+            auto it = w.pendings().find(pl_id);
+            bool load_drained = true;
+            if (it != w.pendings().end()) {
+                PendingLoad &p = it->second;
+                --p.inflightTxs;
+                load_drained = p.inflightTxs == 0;
+                if (auto *t = p.txFor(tx_addr)) {
+                    for (const auto &[r2, l2] : t->words) {
+                        if (w.regState(p.firstDst + r2, l2) ==
+                            RegState::InFlight) {
+                            resolveWord(w, p, r2, l2,
+                                        loadWord(p.op,
+                                                 p.laneAddr[l2], r2));
+                        }
+                    }
+                }
+                finishPendingIfResolved(w, p);
+            }
+            // Waking per transaction would burn issue slots on futile
+            // re-executions; wake once the whole load's data is in.
+            if (load_drained)
+                wake(w);
+            maybeFinalize(wp);
+        });
+    }
+}
+
+void
+ComputeUnit::requestMasks(Wavefront &wave, PendingLoad &pl)
+{
+    if (pl.maskRequested || !hier_.hasZeroCaches())
+        return;
+    pl.maskRequested = true;
+
+    // One mask transaction covers transactionSize * 8 * maskGranularity
+    // bytes of data (1 KiB); a load's footprint usually needs one or two.
+    std::vector<Addr> mask_words;
+    for (const auto &tx : pl.txs)
+        mask_words.push_back(GlobalMemory::maskAddr(tx.addr));
+    std::vector<Addr> mask_txs = coalesce(mask_words, 1);
+
+    Wavefront *wp = &wave;
+    const unsigned pl_id = pl.id;
+    const bool lazy_elim = hasZeroElimination(mode_);
+
+    pl.masksOutstanding += static_cast<unsigned>(mask_txs.size());
+    for (Addr ma : mask_txs) {
+        ++mask_reads_;
+        ++wave.outstanding_masks_;
+        issueMaskTx(ma, false, [this, wp, pl_id, ma, lazy_elim]() {
+            Wavefront &w = *wp;
+            --w.outstanding_masks_;
+            bool masks_done = true;
+            if (auto it = w.pendings().find(pl_id);
+                it != w.pendings().end()) {
+                --it->second.masksOutstanding;
+                masks_done = it->second.masksOutstanding == 0;
+            }
+            if (lazy_elim)
+                onMaskResponse(w, pl_id, ma);
+            // The mask may have resolved everything; otherwise honour a
+            // parked issue request now that the Zero Read Rsp is back
+            // (re-running the look-ahead so optimization (2) sees the
+            // freshly zeroed counterpart values).
+            if (auto it = w.pendings().find(pl_id);
+                it != w.pendings().end() && masks_done &&
+                it->second.issueRequested &&
+                w.status != WaveStatus::Done) {
+                issueSoonNeeded(w);
+                if (auto it2 = w.pendings().find(pl_id);
+                    it2 != w.pendings().end() &&
+                    it2->second.issueRequested) {
+                    issuePendingLoad(w, it2->second);
+                }
+            }
+            if (masks_done)
+                wake(w);
+            maybeFinalize(wp);
+        });
+    }
+}
+
+void
+ComputeUnit::onMaskResponse(Wavefront &wave, unsigned pl_id,
+                            Addr mask_addr)
+{
+    auto it = wave.pendings().find(pl_id);
+    if (it == wave.pendings().end())
+        return;
+    PendingLoad &pl = it->second;
+
+    // Data region covered by this 32 B mask transaction: 1 KiB.
+    const Addr lo = GlobalMemory::maskedDataAddr(mask_addr);
+    const Addr hi = GlobalMemory::maskedDataAddr(mask_addr +
+                                                 transactionSize);
+
+    for (auto &tx : pl.txs) {
+        if (tx.outcome != TxOutcome::Unissued)
+            continue;
+        if (tx.addr < lo || tx.addr >= hi)
+            continue;
+        for (const auto &[r, lane] : tx.words) {
+            const unsigned reg = pl.firstDst + r;
+            if (wave.regState(reg, lane) != RegState::Pending)
+                continue;
+            if (mem_.isZeroWord(pl.wordAddr(r, lane))) {
+                // Optimization (1): materialise the zero without memory
+                // traffic (busy bit cleared, register initialised to 0).
+                ++lanes_zeroed_;
+                ++tx.zeroedWords;
+                resolveWord(wave, pl, r, lane, 0);
+            }
+        }
+    }
+    finishPendingIfResolved(wave, pl);
+}
+
+void
+ComputeUnit::resolveWord(Wavefront &wave, PendingLoad &pl,
+                         unsigned reg_off, unsigned lane,
+                         std::uint32_t value)
+{
+    const unsigned reg = pl.firstDst + reg_off;
+    if (wave.regState(reg, lane) == RegState::Ready)
+        return;
+    wave.setVreg(reg, lane, value);
+    wave.setRegState(reg, lane, RegState::Ready);
+
+    PendingLoad::Tx *tx = pl.txFor(pl.wordAddr(reg_off, lane));
+    panic_if(!tx, "resolved word outside its load's footprint");
+    panic_if(tx->unresolved == 0, "transaction resolved twice");
+    --tx->unresolved;
+    --pl.wordsLeft;
+
+    if (tx->unresolved == 0 && tx->outcome == TxOutcome::Unissued) {
+        // This transaction will never be issued; classify why (Fig 14).
+        if (tx->zeroedWords == tx->words.size()) {
+            tx->outcome = TxOutcome::EliminatedZero;
+            ++txs_elim_zero_;
+        } else if (tx->hadSuspended) {
+            tx->outcome = TxOutcome::EliminatedOtimes;
+            ++txs_elim_otimes_;
+        } else {
+            tx->outcome = TxOutcome::EliminatedDead;
+            ++txs_elim_dead_;
+        }
+    }
+}
+
+void
+ComputeUnit::finishPendingIfResolved(Wavefront &wave, PendingLoad &pl)
+{
+    if (pl.wordsLeft == 0)
+        wave.removePending(pl.id);
+}
+
+void
+ComputeUnit::eliminateForRegs(Wavefront &wave, unsigned first,
+                              unsigned nregs)
+{
+    for (unsigned r = first; r < first + nregs; ++r) {
+        PendingLoad *pl = wave.pendingFor(r);
+        if (!pl)
+            continue;
+        const unsigned reg_off = r - pl->firstDst;
+        for (unsigned lane = 0; lane < wavefrontSize; ++lane) {
+            RegState st = wave.regState(r, lane);
+            if (st == RegState::Pending || st == RegState::Suspended)
+                resolveWord(wave, *pl, reg_off, lane, 0);
+        }
+        finishPendingIfResolved(wave, *pl);
+    }
+}
+
+void
+ComputeUnit::executeStore(Wavefront &wave, const Instruction &inst)
+{
+    const unsigned nregs = storeBytes(inst.op) / 4;
+    std::vector<unsigned> srcs{inst.src0.value};
+    for (unsigned r = 0; r < nregs; ++r)
+        srcs.push_back(inst.src2.value + r);
+    if (!ensureReady(wave, inst, srcs))
+        return;
+
+    ++store_insts_;
+
+    // Functional write, immediately (timing below is fire-and-forget).
+    std::vector<Addr> lane_addr(wavefrontSize);
+    for (unsigned lane = 0; lane < wavefrontSize; ++lane) {
+        lane_addr[lane] = inst.base + wave.vreg(inst.src0.value, lane);
+        for (unsigned r = 0; r < nregs; ++r) {
+            mem_.writeU32(lane_addr[lane] + 4ull * r,
+                          wave.vreg(inst.src2.value + r, lane));
+        }
+    }
+
+    std::vector<Addr> txs = coalesce(lane_addr, storeBytes(inst.op));
+    const bool zc = hier_.hasZeroCaches();
+    if (zc) {
+        // Fig 7 write path: the zero masks are always updated to keep
+        // the Zero Caches coherent with the data. Mask bytes of all the
+        // store's transactions coalesce into aligned mask transactions.
+        std::vector<Addr> mask_bytes;
+        mask_bytes.reserve(txs.size());
+        for (Addr ta : txs)
+            mask_bytes.push_back(GlobalMemory::maskAddr(ta));
+        for (Addr ma : coalesce(mask_bytes, 1)) {
+            ++mask_writes_;
+            issueMaskTx(ma, true, nullptr);
+        }
+    }
+    for (Addr ta : txs) {
+        if (zc && hasZeroElimination(mode_) &&
+            mem_.zeroMaskByte(ta) == 0xff) {
+            // All-zero block: only the Zero Cache is written (Sec 4.2).
+            ++store_txs_zero_skipped_;
+            continue;
+        }
+        ++store_txs_;
+        issueTx(ta, true, nullptr); // posted write
+    }
+    ++wave.pc;
+}
+
+void
+ComputeUnit::issueTx(Addr addr, bool write, Completion cb)
+{
+    engine_.scheduleIn(cfg_.lsuPipeLatency,
+                       [this, addr, write, cb = std::move(cb)]() mutable {
+                           hier_.accessData(sa_id_, addr, transactionSize,
+                                            write, std::move(cb));
+                       });
+}
+
+void
+ComputeUnit::issueMaskTx(Addr mask_addr, bool write, Completion cb)
+{
+    engine_.scheduleIn(cfg_.lsuPipeLatency,
+                       [this, mask_addr, write,
+                        cb = std::move(cb)]() mutable {
+                           hier_.accessMask(sa_id_, mask_addr, write,
+                                            std::move(cb));
+                       });
+}
+
+void
+ComputeUnit::wake(Wavefront &wave)
+{
+    if (wave.status == WaveStatus::Waiting)
+        wave.status = WaveStatus::Ready;
+}
+
+void
+ComputeUnit::retire(Wavefront &wave)
+{
+    // Permanently eliminate every still-parked request: the wavefront is
+    // complete, so their values can never be observed (Sec 4.3).
+    std::vector<unsigned> ids;
+    for (const auto &[id, pl] : wave.pendings())
+        ids.push_back(id);
+    for (unsigned id : ids) {
+        auto it = wave.pendings().find(id);
+        if (it == wave.pendings().end())
+            continue;
+        eliminateForRegs(wave, it->second.firstDst, it->second.numRegs);
+    }
+    wave.status = WaveStatus::Done;
+    maybeFinalize(&wave);
+}
+
+
+void
+ComputeUnit::maybeFinalize(Wavefront *wave)
+{
+    if (wave->status != WaveStatus::Done || !wave->drained())
+        return;
+    panic_if(!wave->pendings().empty(),
+             "retiring wavefront with unresolved pending loads");
+    auto it = std::find_if(waves_.begin(), waves_.end(),
+                           [wave](const std::unique_ptr<Wavefront> &w) {
+                               return w.get() == wave;
+                           });
+    panic_if(it == waves_.end(), "finalizing an unknown wavefront");
+    waves_.erase(it);
+    if (retire_cb_)
+        retire_cb_();
+}
+
+} // namespace lazygpu

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * ComputeUnit: one GCN3-style CU with four SIMD units, the wavefront
+ * scheduler, the LSU, and the paper's Lazy Unit.
+ *
+ * The CU implements every execution mode of the paper:
+ *  - Baseline: loads issue eagerly at execute; the scoreboard (busy bits)
+ *    stalls the first use.
+ *  - LazyCore: loads are recorded into PendingLoad metadata; the Lazy
+ *    Unit issues them when a dependent instruction first reads a busy
+ *    register (Sec 4.1).
+ *  - LazyCore+(1): a zero-mask fetch is launched at record time; words
+ *    that are zero are materialised without memory traffic, and
+ *    transactions whose every needed word is zero are eliminated
+ *    (Sec 4.2).
+ *  - LazyGPU (+(2)): lanes feeding an otimes instruction whose
+ *    counterpart operand is zero are suspended and eliminated on
+ *    overwrite/retire (Sec 4.3).
+ *  - EagerZC: eager issue with zero caches probed in parallel (the
+ *    comparison point of Fig 9).
+ */
+
+#ifndef LAZYGPU_GPU_COMPUTE_UNIT_HH
+#define LAZYGPU_GPU_COMPUTE_UNIT_HH
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "gpu/wavefront.hh"
+#include "mem/hierarchy.hh"
+#include "mem/memory.hh"
+#include "sim/config.hh"
+#include "sim/engine.hh"
+#include "sim/stats.hh"
+
+namespace lazygpu
+{
+
+class ComputeUnit : public Clocked
+{
+  public:
+    ComputeUnit(Engine &engine, StatSet &stats, const GpuConfig &cfg,
+                GlobalMemory &mem, MemoryHierarchy &hier, unsigned cu_id,
+                unsigned sa_id);
+
+    /** Occupancy limit for the running kernel (register-usage bound). */
+    void setMaxWaves(unsigned n) { max_waves_ = n; }
+    unsigned maxWaves() const { return max_waves_; }
+    unsigned residentWaves() const
+    {
+        return static_cast<unsigned>(waves_.size());
+    }
+    bool hasFreeSlot() const { return residentWaves() < max_waves_; }
+
+    /** Install a dispatched wavefront. */
+    void addWavefront(std::unique_ptr<Wavefront> wave);
+
+    /** Invoked whenever a wavefront fully retires (slot freed). */
+    void setRetireCallback(std::function<void()> cb)
+    {
+        retire_cb_ = std::move(cb);
+    }
+
+    // Clocked interface.
+    void tick() override;
+    bool quiescent() const override;
+
+  private:
+    // --- Scheduling ------------------------------------------------------
+    Wavefront *pickWave(unsigned simd);
+    void executeOne(Wavefront &wave, unsigned simd);
+    void executeScalar(Wavefront &wave, const Instruction &inst);
+    void executeValu(Wavefront &wave, const Instruction &inst);
+    void executeLoad(Wavefront &wave, const Instruction &inst);
+    void executeStore(Wavefront &wave, const Instruction &inst);
+    void retire(Wavefront &wave);
+
+    // --- Operand access ---------------------------------------------------
+    std::uint32_t readSrc(const Wavefront &wave, const Src &s,
+                          unsigned lane) const;
+
+    /**
+     * Make the given source registers readable, triggering lazy issue
+     * and/or optimization (2) suspension as required.
+     *
+     * When inst is an otimes instruction, a busy lane of src0/src1 may be
+     * suspended instead of issued if the counterpart operand's value in
+     * that lane is a ready zero (Sec 4.3).
+     *
+     * @return true when the instruction can execute now.
+     */
+    bool ensureReady(Wavefront &wave, const Instruction &inst,
+                     const std::vector<unsigned> &regs);
+
+    /** WAW guard + lazy dead-on-overwrite elimination for dst regs. */
+    bool prepareOverwrite(Wavefront &wave, unsigned first, unsigned nregs);
+
+    // --- Lazy Unit ---------------------------------------------------------
+    void recordLazyLoad(Wavefront &wave, const Instruction &inst,
+                        const std::vector<Addr> &lane_addr);
+    void issuePendingLoad(Wavefront &wave, PendingLoad &pl);
+
+    /**
+     * The Lazy Unit's decode look-ahead (Sec 4.3: otimes instructions
+     * are identified at decode, ahead of execution). When the wavefront
+     * stalls, every pending load whose first consumer lies within the
+     * next few straight-line instructions is issued together -- the
+     * bundled-issue behaviour GCN's s_waitcnt implies -- after applying
+     * optimization (2) suspension using currently-known (including
+     * mask-zeroed) counterpart values. Loads consumed beyond the window
+     * (e.g. software-pipelined next-tile prefetches) stay lazy.
+     */
+    void issueSoonNeeded(Wavefront &wave);
+
+    /** Per-lane otimes suspension for one source register of inst. */
+    void trySuspend(Wavefront &wave, const Instruction &inst,
+                    unsigned reg);
+
+    /**
+     * True when inst is an otimes instruction whose *other* operand is
+     * a known zero in this lane (so reg's value cannot matter).
+     */
+    bool counterpartZero(const Wavefront &wave, const Instruction &inst,
+                         unsigned reg, unsigned lane) const;
+    void requestMasks(Wavefront &wave, PendingLoad &pl);
+    void onMaskResponse(Wavefront &wave, unsigned pl_id, Addr mask_addr);
+    void eliminateForRegs(Wavefront &wave, unsigned first, unsigned nregs);
+    void resolveWord(Wavefront &wave, PendingLoad &pl, unsigned reg_off,
+                     unsigned lane, std::uint32_t value);
+    void finishPendingIfResolved(Wavefront &wave, PendingLoad &pl);
+
+    // --- Eager path ---------------------------------------------------------
+    void issueEagerLoad(Wavefront &wave, const Instruction &inst,
+                        const std::vector<Addr> &lane_addr);
+
+    // --- Transaction plumbing -----------------------------------------------
+    /** Issue one data transaction through the LSU pipe; cb on response. */
+    void issueTx(Addr addr, bool write, Completion cb);
+    void issueMaskTx(Addr mask_addr, bool write, Completion cb);
+    void wake(Wavefront &wave);
+
+    /** Destroy the wavefront if it is Done and fully drained. */
+    void maybeFinalize(Wavefront *wave);
+
+    /** Functional load of one register word. */
+    std::uint32_t loadWord(Opcode op, Addr addr, unsigned reg_off) const;
+
+    Engine &engine_;
+    StatSet &stats_;
+    const GpuConfig &cfg_;
+    GlobalMemory &mem_;
+    MemoryHierarchy &hier_;
+    const unsigned cu_id_;
+    const unsigned sa_id_;
+    const ExecMode mode_;
+
+    unsigned max_waves_ = 0;
+    std::vector<std::unique_ptr<Wavefront>> waves_;
+    std::vector<Tick> simd_busy_;
+    std::function<void()> retire_cb_;
+
+    // Shared GPU-wide stats (one StatSet per Gpu).
+    Counter &valu_insts_;
+    Counter &salu_insts_;
+    Counter &simd_busy_cycles_;
+    Counter &load_insts_;
+    Counter &store_insts_;
+    Counter &txs_issued_;
+    Counter &txs_completed_;
+    Counter &txs_elim_zero_;
+    Counter &txs_elim_otimes_;
+    Counter &txs_elim_dead_;
+    Counter &txs_eager_fallback_;
+    Counter &store_txs_;
+    Counter &store_txs_zero_skipped_;
+    Counter &mask_reads_;
+    Counter &mask_writes_;
+    Counter &zc_short_circuits_;
+    Counter &lanes_zeroed_;
+    Counter &lanes_suspended_;
+    Distribution &mem_latency_;
+
+    // Optional Fig 2 instrumentation (cfg.enableTraces).
+    TimeSeries *lat_series_ = nullptr;
+    TimeSeries *inflight_series_ = nullptr;
+};
+
+} // namespace lazygpu
+
+#endif // LAZYGPU_GPU_COMPUTE_UNIT_HH

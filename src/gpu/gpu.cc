@@ -1,0 +1,98 @@
+#include "gpu/gpu.hh"
+
+#include "sim/logging.hh"
+
+namespace lazygpu
+{
+
+Gpu::Gpu(const GpuConfig &cfg, GlobalMemory &mem)
+    : cfg_(cfg), mem_(mem), hier_(engine_, stats_, cfg_, mem_)
+{
+    for (unsigned sa = 0; sa < cfg_.numShaderArrays; ++sa) {
+        for (unsigned c = 0; c < cfg_.cusPerSa; ++c) {
+            unsigned cu_id = sa * cfg_.cusPerSa + c;
+            cus_.push_back(std::make_unique<ComputeUnit>(
+                engine_, stats_, cfg_, mem_, hier_, cu_id, sa));
+            engine_.addClocked(cus_.back().get());
+            ComputeUnit *cu = cus_.back().get();
+            cu->setRetireCallback([this, cu]() { refill(*cu); });
+        }
+    }
+}
+
+void
+Gpu::refill(ComputeUnit &cu)
+{
+    while (current_ && cu.hasFreeSlot() &&
+           next_wid_ < current_->numWavefronts) {
+        cu.addWavefront(
+            std::make_unique<Wavefront>(*current_, next_wid_++));
+    }
+}
+
+KernelResult
+Gpu::run(const Kernel &kernel, Tick limit_cycles)
+{
+    fatal_if(kernel.code.empty(), "kernel '%s' has no instructions",
+             kernel.name.c_str());
+
+    current_ = &kernel;
+    next_wid_ = 0;
+
+    const unsigned per_cu = cfg_.wavesPerCuForKernel(kernel.numVregs);
+    for (auto &cu : cus_)
+        cu->setMaxWaves(per_cu);
+
+    // Breadth-first initial dispatch for balance across CUs.
+    bool placed = true;
+    while (placed && next_wid_ < kernel.numWavefronts) {
+        placed = false;
+        for (auto &cu : cus_) {
+            if (next_wid_ >= kernel.numWavefronts)
+                break;
+            if (cu->hasFreeSlot()) {
+                cu->addWavefront(
+                    std::make_unique<Wavefront>(kernel, next_wid_++));
+                placed = true;
+            }
+        }
+    }
+
+    KernelResult res;
+    res.startTick = engine_.now();
+    res.endTick = engine_.run(res.startTick + limit_cycles);
+    res.cycles = res.endTick - res.startTick;
+    current_ = nullptr;
+
+    for (const auto &cu : cus_) {
+        panic_if(cu->residentWaves() != 0,
+                 "kernel '%s' drained with resident wavefronts",
+                 kernel.name.c_str());
+    }
+    return res;
+}
+
+std::uint64_t
+Gpu::l1Requests() const
+{
+    return stats_.sumCounters("l1.", ".hits") +
+           stats_.sumCounters("l1.", ".misses") +
+           stats_.sumCounters("l1.", ".write_throughs");
+}
+
+std::uint64_t
+Gpu::l2Requests() const
+{
+    return stats_.sumCounters("l2.", ".hits") +
+           stats_.sumCounters("l2.", ".misses") +
+           stats_.sumCounters("l2.", ".write_throughs");
+}
+
+std::uint64_t
+Gpu::dramRequests() const
+{
+    return stats_.sumCounters("dram.", ".reads") +
+           stats_.sumCounters("dram.", ".writes");
+}
+
+} // namespace lazygpu

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Gpu: the top-level simulated device.
+ *
+ * Owns the engine, the statistics, the memory hierarchy, and the compute
+ * units, and provides the host-side API: build a GlobalMemory, write your
+ * buffers, construct a Gpu with a GpuConfig, and run() kernels on it.
+ * Kernels run back to back on warm caches, like a real device.
+ */
+
+#ifndef LAZYGPU_GPU_GPU_HH
+#define LAZYGPU_GPU_GPU_HH
+
+#include <memory>
+#include <vector>
+
+#include "gpu/compute_unit.hh"
+#include "isa/kernel.hh"
+#include "mem/hierarchy.hh"
+#include "mem/memory.hh"
+#include "sim/config.hh"
+#include "sim/engine.hh"
+#include "sim/stats.hh"
+
+namespace lazygpu
+{
+
+/** Timing outcome of one kernel launch. */
+struct KernelResult
+{
+    Tick cycles = 0;    //!< launch-to-drain duration
+    Tick startTick = 0; //!< simulated time at launch
+    Tick endTick = 0;
+};
+
+class Gpu
+{
+  public:
+    Gpu(const GpuConfig &cfg, GlobalMemory &mem);
+
+    /**
+     * Execute a kernel to completion (blocking).
+     *
+     * @param limit_cycles panic guard against livelocked kernels.
+     */
+    KernelResult run(const Kernel &kernel,
+                     Tick limit_cycles = 4'000'000'000ull);
+
+    StatSet &stats() { return stats_; }
+    Engine &engine() { return engine_; }
+    MemoryHierarchy &hierarchy() { return hier_; }
+    GlobalMemory &memory() { return mem_; }
+    const GpuConfig &config() const { return cfg_; }
+
+    /** Total data-path memory requests seen at each level (Fig 15). */
+    std::uint64_t l1Requests() const;
+    std::uint64_t l2Requests() const;
+    std::uint64_t dramRequests() const;
+
+  private:
+    void refill(ComputeUnit &cu);
+
+    GpuConfig cfg_;
+    GlobalMemory &mem_;
+    Engine engine_;
+    StatSet stats_;
+    MemoryHierarchy hier_;
+    std::vector<std::unique_ptr<ComputeUnit>> cus_;
+
+    const Kernel *current_ = nullptr;
+    unsigned next_wid_ = 0;
+};
+
+} // namespace lazygpu
+
+#endif // LAZYGPU_GPU_GPU_HH

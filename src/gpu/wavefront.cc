@@ -1,0 +1,91 @@
+#include "gpu/wavefront.hh"
+
+#include "sim/logging.hh"
+
+namespace lazygpu
+{
+
+Wavefront::Wavefront(const Kernel &kernel, unsigned wid)
+    : kernel_(&kernel), wid_(wid), values_(kernel.numVregs),
+      state_(kernel.numVregs), owner_(kernel.numVregs, -1)
+{
+    for (auto &regs : values_)
+        regs.fill(0);
+    for (auto &regs : state_)
+        regs.fill(RegState::Ready);
+
+    sregs.assign(kernel.numSregs, 0);
+    sregs[0] = wid;
+    if (kernel.initSregs)
+        kernel.initSregs(wid, sregs);
+}
+
+PendingLoad::Tx *
+PendingLoad::txFor(Addr word_addr)
+{
+    Addr aligned = word_addr & ~Addr(transactionSize - 1);
+    for (Tx &tx : txs) {
+        if (tx.addr == aligned)
+            return &tx;
+    }
+    return nullptr;
+}
+
+bool
+Wavefront::anyNotReady(unsigned r) const
+{
+    for (unsigned lane = 0; lane < wavefrontSize; ++lane) {
+        if (state_[r][lane] != RegState::Ready)
+            return true;
+    }
+    return false;
+}
+
+bool
+Wavefront::anyInFlight(unsigned r) const
+{
+    for (unsigned lane = 0; lane < wavefrontSize; ++lane) {
+        if (state_[r][lane] == RegState::InFlight)
+            return true;
+    }
+    return false;
+}
+
+PendingLoad *
+Wavefront::pendingFor(unsigned r)
+{
+    if (r >= owner_.size() || owner_[r] < 0)
+        return nullptr;
+    auto it = pendings_.find(static_cast<unsigned>(owner_[r]));
+    return it == pendings_.end() ? nullptr : &it->second;
+}
+
+PendingLoad &
+Wavefront::addPending(PendingLoad &&pl)
+{
+    const unsigned id = next_pending_id_++;
+    const unsigned first = pl.firstDst;
+    const unsigned nregs = pl.numRegs;
+    pl.id = id;
+    auto [it, fresh] = pendings_.insert_or_assign(id, std::move(pl));
+    panic_if(!fresh, "pending-load id reused");
+    for (unsigned r = first; r < first + nregs; ++r)
+        owner_[r] = static_cast<int>(id);
+    return it->second;
+}
+
+void
+Wavefront::removePending(unsigned id)
+{
+    auto it = pendings_.find(id);
+    if (it == pendings_.end())
+        return;
+    const PendingLoad &pl = it->second;
+    for (unsigned r = pl.firstDst; r < pl.firstDst + pl.numRegs; ++r) {
+        if (owner_[r] == static_cast<int>(id))
+            owner_[r] = -1;
+    }
+    pendings_.erase(it);
+}
+
+} // namespace lazygpu

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Wavefront: the architectural context of one 64-lane wavefront.
+ *
+ * Holds the program counter, scalar registers, per-lane vector register
+ * values, the per-(register, lane) scoreboard state that implements the
+ * paper's busy bits, and the PendingLoad records that model the lazy
+ * in-register transaction metadata of Sec 4.1. All members here are pure
+ * state transitions; the ComputeUnit drives timing.
+ */
+
+#ifndef LAZYGPU_GPU_WAVEFRONT_HH
+#define LAZYGPU_GPU_WAVEFRONT_HH
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "isa/kernel.hh"
+#include "sim/types.hh"
+
+namespace lazygpu
+{
+
+/** Per-(vreg, lane) scoreboard state. */
+enum class RegState : std::uint8_t
+{
+    Ready = 0,
+    Pending,   //!< lazy load recorded, request not yet issued (busy bit)
+    InFlight,  //!< request issued to the memory system (busy bit)
+    Suspended, //!< optimization (2): deferred because the otimes
+               //!< counterpart operand is zero
+};
+
+/** How a transaction of a pending load was finally resolved (Fig 14). */
+enum class TxOutcome : std::uint8_t
+{
+    Unissued = 0,
+    Issued,
+    EliminatedZero,   //!< optimization (1)
+    EliminatedOtimes, //!< optimization (2)
+    EliminatedDead,   //!< overwritten / retired while still pending
+};
+
+/**
+ * One lazily recorded load instruction (Sec 4.1, Fig 6).
+ *
+ * The real hardware packs {inst type, offset, address low bits} into the
+ * destination registers themselves and keeps the 35 shared upper bits per
+ * register group; we keep the expanded form for simulation and enforce
+ * the encodability rule (lanes disagreeing in the upper bits are issued
+ * eagerly) at record time.
+ */
+struct PendingLoad
+{
+    unsigned id = 0; //!< unique per wavefront; assigned by addPending
+    Opcode op = Opcode::LoadDword;
+    unsigned firstDst = 0;
+    unsigned numRegs = 1;
+    /** Per-lane address of the first destination register's word. */
+    std::array<Addr, wavefrontSize> laneAddr{};
+    bool maskRequested = false;
+    unsigned masksOutstanding = 0; //!< zero-mask reads still in flight
+    /**
+     * A consumer asked for the data while the Zero Read Rsp was still
+     * outstanding; issue as soon as the masks arrive (Fig 7 orders the
+     * Read Req strictly after the Zero Read Rsp).
+     */
+    bool issueRequested = false;
+    bool dataIssued = false; //!< issue was triggered at least once
+    unsigned inflightTxs = 0; //!< issued but not yet completed
+
+    /** One 32 B transaction of the load's footprint. */
+    struct Tx
+    {
+        Addr addr = 0; //!< transaction-aligned
+        /** The (reg offset, lane) words this transaction feeds. */
+        std::vector<std::pair<std::uint8_t, std::uint8_t>> words;
+        TxOutcome outcome = TxOutcome::Unissued;
+        unsigned unresolved = 0;   //!< words not yet Ready/eliminated
+        unsigned zeroedWords = 0;  //!< words resolved by the zero mask
+        bool hadSuspended = false; //!< ever held a (2)-suspended word
+    };
+
+    std::vector<Tx> txs;
+    unsigned wordsLeft = 0; //!< unresolved words across all txs
+
+    /** The transaction covering the given word, or nullptr. */
+    Tx *txFor(Addr word_addr);
+
+    /** Per-lane word address for destination register first+reg_off. */
+    Addr
+    wordAddr(unsigned reg_off, unsigned lane) const
+    {
+        return laneAddr[lane] + 4ull * reg_off;
+    }
+};
+
+/** Wavefront scheduling status. */
+enum class WaveStatus : std::uint8_t
+{
+    Ready,   //!< can be picked by the SIMD scheduler
+    Waiting, //!< stalled on busy source registers
+    Done,
+};
+
+class Wavefront
+{
+  public:
+    Wavefront(const Kernel &kernel, unsigned wid);
+
+    const Kernel &kernel() const { return *kernel_; }
+    unsigned wid() const { return wid_; }
+
+    unsigned pc = 0;
+    unsigned simdId = 0; //!< the SIMD unit this wavefront is pinned to
+    WaveStatus status = WaveStatus::Ready;
+    bool scc = false;
+    Tick nextIssue = 0; //!< earliest tick the next instruction may issue
+    Tick dispatchTick = 0;
+
+    std::vector<std::uint32_t> sregs;
+
+    // --- Vector register file slice ------------------------------------
+    std::uint32_t
+    vreg(unsigned r, unsigned lane) const
+    {
+        return values_[r][lane];
+    }
+
+    void
+    setVreg(unsigned r, unsigned lane, std::uint32_t v)
+    {
+        values_[r][lane] = v;
+    }
+
+    RegState regState(unsigned r, unsigned lane) const
+    {
+        return state_[r][lane];
+    }
+
+    void
+    setRegState(unsigned r, unsigned lane, RegState s)
+    {
+        state_[r][lane] = s;
+    }
+
+    /** True if any lane of register r is Pending/InFlight/Suspended. */
+    bool anyNotReady(unsigned r) const;
+
+    /** True if any lane of register r is InFlight. */
+    bool anyInFlight(unsigned r) const;
+
+    // --- Pending (lazy) loads -------------------------------------------
+    /** The pending load owning register r, or nullptr. */
+    PendingLoad *pendingFor(unsigned r);
+
+    /** Record a new pending load; assigns it a unique id. */
+    PendingLoad &addPending(PendingLoad &&pl);
+
+    /** Remove a fully resolved pending load by id. */
+    void removePending(unsigned id);
+
+    std::unordered_map<unsigned, PendingLoad> &pendings()
+    {
+        return pendings_;
+    }
+
+    bool
+    hasUnfinishedMemory() const
+    {
+        return !pendings_.empty() || outstanding_txs_ > 0;
+    }
+
+    /** Count of this wavefront's in-flight data transactions. */
+    unsigned outstanding_txs_ = 0;
+    /** Count of this wavefront's in-flight zero-mask transactions. */
+    unsigned outstanding_masks_ = 0;
+
+    bool
+    drained() const
+    {
+        return outstanding_txs_ == 0 && outstanding_masks_ == 0;
+    }
+
+  private:
+    const Kernel *kernel_;
+    unsigned wid_;
+    std::vector<std::array<std::uint32_t, wavefrontSize>> values_;
+    std::vector<std::array<RegState, wavefrontSize>> state_;
+    std::unordered_map<unsigned, PendingLoad> pendings_; //!< by id
+    unsigned next_pending_id_ = 0;
+    /** reg -> id of the pending load that owns it, or -1. */
+    std::vector<int> owner_;
+
+    friend class ComputeUnit;
+};
+
+} // namespace lazygpu
+
+#endif // LAZYGPU_GPU_WAVEFRONT_HH

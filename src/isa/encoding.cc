@@ -1,0 +1,81 @@
+#include "isa/encoding.hh"
+
+#include "sim/logging.hh"
+
+namespace lazygpu
+{
+
+InstType
+instTypeForLoad(Opcode op)
+{
+    switch (op) {
+      case Opcode::LoadByte:
+        return InstType::Ld1B;
+      case Opcode::LoadShort:
+        return InstType::Ld2B;
+      case Opcode::LoadDword:
+        return InstType::Ld4B;
+      case Opcode::LoadDwordX2:
+        return InstType::Ld8B;
+      case Opcode::LoadDwordX4:
+        return InstType::Ld16B;
+      default:
+        panic("instTypeForLoad on non-load opcode %s",
+              opcodeName(op).c_str());
+    }
+}
+
+InstType
+instTypeForTrailing(unsigned regs_back)
+{
+    switch (regs_back) {
+      case 1:
+        return InstType::RegMinus1;
+      case 2:
+        return InstType::RegMinus2;
+      case 3:
+        return InstType::RegMinus3;
+      default:
+        panic("trailing distance %u unsupported (max 4 target registers)",
+              regs_back);
+    }
+}
+
+unsigned
+trailingDistance(InstType t)
+{
+    switch (t) {
+      case InstType::RegMinus1:
+        return 1;
+      case InstType::RegMinus2:
+        return 2;
+      case InstType::RegMinus3:
+        return 3;
+      default:
+        return 0;
+    }
+}
+
+std::uint32_t
+packPending(InstType type, Addr addr)
+{
+    const std::uint32_t offset =
+        static_cast<std::uint32_t>(addr) & ((1u << offsetBits) - 1);
+    const std::uint32_t lower =
+        static_cast<std::uint32_t>(addr >> offsetBits) &
+        ((1u << lowerAddrBits) - 1);
+    return (static_cast<std::uint32_t>(type) << (32 - instTypeBits)) |
+           (lower << offsetBits) | offset;
+}
+
+Addr
+unpackAddr(std::uint32_t packed, std::uint64_t upper_bits)
+{
+    const Addr offset = packed & ((1u << offsetBits) - 1);
+    const Addr lower =
+        (packed >> offsetBits) & ((1u << lowerAddrBits) - 1);
+    return (upper_bits << (offsetBits + lowerAddrBits)) |
+           (lower << offsetBits) | offset;
+}
+
+} // namespace lazygpu

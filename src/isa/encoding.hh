@@ -1,0 +1,89 @@
+/**
+ * @file
+ * The paper's in-register pending-request encoding (Sec 4.1, Table 1).
+ *
+ * A lazy load parks its transaction metadata inside its own destination
+ * registers: a 3-bit *inst type* (load width, or the offset back to the
+ * first destination register of a multi-register load), a 5-bit offset
+ * within the 32 B transaction, and the 24 low address bits. The remaining
+ * 35 upper address bits are shared by all lanes of the wavefront; lanes
+ * that disagree in the upper bits cannot be encoded and are issued
+ * eagerly. This module implements the packing exactly so tests can verify
+ * Table 1 and so the simulator can enforce the sharing rule.
+ */
+
+#ifndef LAZYGPU_ISA_ENCODING_HH
+#define LAZYGPU_ISA_ENCODING_HH
+
+#include <cstdint>
+
+#include "isa/opcode.hh"
+#include "sim/types.hh"
+
+namespace lazygpu
+{
+
+/** The 3-bit inst-type field (Table 1). */
+enum class InstType : std::uint8_t
+{
+    Ld16B = 0b000,
+    RegMinus1 = 0b001,
+    RegMinus2 = 0b010,
+    RegMinus3 = 0b011,
+    Ld1B = 0b100,
+    Ld2B = 0b101,
+    Ld4B = 0b110,
+    Ld8B = 0b111,
+};
+
+/** Field widths of the packed register word. */
+constexpr unsigned instTypeBits = 3;
+constexpr unsigned offsetBits = 5;  //!< within a 32 B transaction
+constexpr unsigned lowerAddrBits = 24;
+constexpr unsigned upperAddrBits = 35; //!< shared across the wavefront
+
+static_assert(offsetBits + lowerAddrBits + upperAddrBits == 64,
+              "address fields must cover a 64-bit address");
+static_assert(instTypeBits + offsetBits + lowerAddrBits == 32,
+              "packed metadata must fit one 32-bit register");
+
+/** Table 1 encoding for a load opcode's width. */
+InstType instTypeForLoad(Opcode op);
+
+/** Table 1 encoding for a trailing register of a multi-register load. */
+InstType instTypeForTrailing(unsigned regs_back);
+
+/** True if the inst type denotes a reg-Y back-pointer. */
+inline bool
+isTrailing(InstType t)
+{
+    return t == InstType::RegMinus1 || t == InstType::RegMinus2 ||
+           t == InstType::RegMinus3;
+}
+
+/** Registers back to the first destination register (0 if not trailing). */
+unsigned trailingDistance(InstType t);
+
+/** Pack inst type + address low bits into one 32-bit register word. */
+std::uint32_t packPending(InstType type, Addr addr);
+
+/** The wavefront-shared upper 35 bits of an address. */
+inline std::uint64_t
+upperBits(Addr addr)
+{
+    return addr >> (offsetBits + lowerAddrBits);
+}
+
+/** Recover a full address from the packed word and shared upper bits. */
+Addr unpackAddr(std::uint32_t packed, std::uint64_t upper_bits);
+
+/** Recover the inst type from a packed word. */
+inline InstType
+unpackInstType(std::uint32_t packed)
+{
+    return static_cast<InstType>(packed >> (32 - instTypeBits));
+}
+
+} // namespace lazygpu
+
+#endif // LAZYGPU_ISA_ENCODING_HH

@@ -1,0 +1,64 @@
+#include "isa/instruction.hh"
+
+#include <cstring>
+#include <sstream>
+
+namespace lazygpu
+{
+
+Src
+Src::immF(float f)
+{
+    std::uint32_t bits;
+    std::memcpy(&bits, &f, sizeof(bits));
+    return {SrcKind::Imm, bits};
+}
+
+namespace
+{
+
+std::string
+srcToString(const Src &s)
+{
+    switch (s.kind) {
+      case SrcKind::None:
+        return "";
+      case SrcKind::VReg:
+        return "v" + std::to_string(s.value);
+      case SrcKind::SReg:
+        return "s" + std::to_string(s.value);
+      case SrcKind::Imm:
+        return "#" + std::to_string(s.value);
+    }
+    return "?";
+}
+
+} // namespace
+
+std::string
+Instruction::toString() const
+{
+    std::ostringstream os;
+    os << opcodeName(op);
+    if (isLoad(op)) {
+        os << " v" << dst;
+        if (loadDstRegs(op) > 1)
+            os << ":" << (dst + loadDstRegs(op) - 1);
+        os << ", [" << std::hex << base << std::dec << " + "
+           << srcToString(src0) << "]";
+    } else if (isStore(op)) {
+        os << " [" << std::hex << base << std::dec << " + "
+           << srcToString(src0) << "], " << srcToString(src2);
+    } else if (isBranch(op)) {
+        os << " @" << target;
+    } else if (op != Opcode::SEndpgm) {
+        os << (isScalar(op) ? " s" : " v") << dst;
+        for (const Src *s : {&src0, &src1, &src2}) {
+            if (s->kind != SrcKind::None)
+                os << ", " << srcToString(*s);
+        }
+    }
+    return os.str();
+}
+
+} // namespace lazygpu

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * The Instruction record: one static instruction of a kernel.
+ */
+
+#ifndef LAZYGPU_ISA_INSTRUCTION_HH
+#define LAZYGPU_ISA_INSTRUCTION_HH
+
+#include <cstdint>
+#include <string>
+
+#include "isa/opcode.hh"
+#include "sim/types.hh"
+
+namespace lazygpu
+{
+
+/** Where a source operand's value comes from. */
+enum class SrcKind : std::uint8_t
+{
+    None,
+    VReg, //!< per-lane vector register
+    SReg, //!< wavefront-wide scalar register (broadcast)
+    Imm,  //!< 32-bit immediate (bit pattern; may encode a float)
+};
+
+/** One source operand. */
+struct Src
+{
+    SrcKind kind = SrcKind::None;
+    std::uint32_t value = 0; //!< register index, or immediate bit pattern
+
+    static Src none() { return {}; }
+    static Src vreg(unsigned idx) { return {SrcKind::VReg, idx}; }
+    static Src sreg(unsigned idx) { return {SrcKind::SReg, idx}; }
+    static Src imm(std::uint32_t v) { return {SrcKind::Imm, v}; }
+    static Src immF(float f);
+};
+
+/**
+ * A static instruction.
+ *
+ * For memory operations the per-lane byte address is
+ * base + u32(vreg[addr][lane]); base carries the 64-bit buffer base so
+ * the "upper address bits shared across the wavefront" property of the
+ * paper's in-register encoding holds naturally for well-formed kernels.
+ */
+struct Instruction
+{
+    Opcode op = Opcode::SEndpgm;
+    std::uint16_t dst = 0;  //!< first destination vreg (or sreg for S ops)
+    Src src0;
+    Src src1;
+    Src src2;               //!< store data reg; spare operand otherwise
+    std::uint64_t base = 0; //!< memory base address
+    std::int32_t target = -1; //!< branch destination (instruction index)
+
+    /** Render as pseudo-assembly for traces and debugging. */
+    std::string toString() const;
+};
+
+} // namespace lazygpu
+
+#endif // LAZYGPU_ISA_INSTRUCTION_HH

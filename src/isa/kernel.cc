@@ -1,0 +1,175 @@
+#include "isa/kernel.hh"
+
+#include "sim/logging.hh"
+
+namespace lazygpu
+{
+
+int
+KernelBuilder::label()
+{
+    label_pos_.push_back(-1);
+    return static_cast<int>(label_pos_.size()) - 1;
+}
+
+void
+KernelBuilder::place(int label)
+{
+    panic_if(label < 0 || label >= static_cast<int>(label_pos_.size()),
+             "unknown label %d", label);
+    panic_if(label_pos_[label] >= 0, "label %d placed twice", label);
+    label_pos_[label] = static_cast<int>(code_.size());
+}
+
+Instruction &
+KernelBuilder::append(Opcode op)
+{
+    code_.emplace_back();
+    code_.back().op = op;
+    return code_.back();
+}
+
+void
+KernelBuilder::touchVreg(unsigned idx)
+{
+    if (idx + 1 > max_vreg_)
+        max_vreg_ = idx + 1;
+}
+
+void
+KernelBuilder::touchSreg(unsigned idx)
+{
+    if (idx + 1 > max_sreg_)
+        max_sreg_ = idx + 1;
+}
+
+void
+KernelBuilder::touch(const Src &s)
+{
+    if (s.kind == SrcKind::VReg)
+        touchVreg(s.value);
+    else if (s.kind == SrcKind::SReg)
+        touchSreg(s.value);
+}
+
+void
+KernelBuilder::load(Opcode op, unsigned dst, unsigned addr_vreg,
+                    std::uint64_t base)
+{
+    panic_if(!isLoad(op), "load() requires a load opcode");
+    Instruction &inst = append(op);
+    inst.dst = static_cast<std::uint16_t>(dst);
+    inst.src0 = Src::vreg(addr_vreg);
+    inst.base = base;
+    touchVreg(dst + loadDstRegs(op) - 1);
+    touchVreg(addr_vreg);
+}
+
+void
+KernelBuilder::store(Opcode op, unsigned addr_vreg, unsigned data_vreg,
+                     std::uint64_t base)
+{
+    panic_if(!isStore(op), "store() requires a store opcode");
+    Instruction &inst = append(op);
+    inst.src0 = Src::vreg(addr_vreg);
+    inst.src2 = Src::vreg(data_vreg);
+    inst.base = base;
+    touchVreg(addr_vreg);
+    touchVreg(data_vreg + storeBytes(op) / 4 - 1);
+}
+
+void
+KernelBuilder::valu(Opcode op, unsigned dst, Src a, Src b)
+{
+    panic_if(isMemory(op) || isScalar(op), "valu() requires a VALU opcode");
+    Instruction &inst = append(op);
+    inst.dst = static_cast<std::uint16_t>(dst);
+    inst.src0 = a;
+    inst.src1 = b;
+    touchVreg(dst);
+    touch(a);
+    touch(b);
+}
+
+void
+KernelBuilder::mac(unsigned dst, Src a, Src b)
+{
+    valu(Opcode::VMacF32, dst, a, b);
+}
+
+void
+KernelBuilder::salu(Opcode op, unsigned dst, Src a, Src b)
+{
+    panic_if(!isScalar(op) || isBranch(op) || op == Opcode::SEndpgm,
+             "salu() requires a scalar ALU opcode");
+    Instruction &inst = append(op);
+    inst.dst = static_cast<std::uint16_t>(dst);
+    inst.src0 = a;
+    inst.src1 = b;
+    touchSreg(dst);
+    touch(a);
+    touch(b);
+}
+
+void
+KernelBuilder::scmpLt(unsigned a, Src b)
+{
+    Instruction &inst = append(Opcode::SCmpLtU32);
+    inst.src0 = Src::sreg(a);
+    inst.src1 = b;
+    touchSreg(a);
+    touch(b);
+}
+
+void
+KernelBuilder::cbranch1(int label)
+{
+    append(Opcode::SCBranch1);
+    fixups_.emplace_back(code_.size() - 1, label);
+}
+
+void
+KernelBuilder::cbranch0(int label)
+{
+    append(Opcode::SCBranch0);
+    fixups_.emplace_back(code_.size() - 1, label);
+}
+
+void
+KernelBuilder::branch(int label)
+{
+    append(Opcode::SBranch);
+    fixups_.emplace_back(code_.size() - 1, label);
+}
+
+void
+KernelBuilder::endpgm()
+{
+    append(Opcode::SEndpgm);
+    has_end_ = true;
+}
+
+Kernel
+KernelBuilder::build(unsigned num_wavefronts)
+{
+    if (!has_end_)
+        endpgm();
+
+    for (const auto &[inst_idx, label] : fixups_) {
+        panic_if(label < 0 || label >= static_cast<int>(label_pos_.size()),
+                 "unknown label %d in %s", label, name_.c_str());
+        panic_if(label_pos_[label] < 0, "label %d never placed in %s",
+                 label, name_.c_str());
+        code_[inst_idx].target = label_pos_[label];
+    }
+
+    Kernel k;
+    k.name = name_;
+    k.code = std::move(code_);
+    k.numVregs = max_vreg_;
+    k.numSregs = std::max(max_sreg_, 1u); // sreg 0 always holds the wid
+    k.numWavefronts = num_wavefronts;
+    return k;
+}
+
+} // namespace lazygpu

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Kernel: a static program plus launch geometry, and the KernelBuilder
+ * used by the workload generators to write kernels fluently.
+ */
+
+#ifndef LAZYGPU_ISA_KERNEL_HH
+#define LAZYGPU_ISA_KERNEL_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "isa/instruction.hh"
+
+namespace lazygpu
+{
+
+/**
+ * A compiled kernel. Every wavefront executes the same code; sreg 0 is
+ * pre-loaded with the wavefront id and initSregs may set further
+ * wavefront-uniform scalars (tile coordinates, row bases, ...).
+ */
+struct Kernel
+{
+    std::string name;
+    std::vector<Instruction> code;
+    unsigned numVregs = 0;
+    unsigned numSregs = 0;
+    unsigned numWavefronts = 1;
+
+    /** Optional per-wavefront scalar initialisation (sregs[0] == wid). */
+    std::function<void(unsigned wid, std::vector<std::uint32_t> &sregs)>
+        initSregs;
+};
+
+/**
+ * Fluent kernel assembler with label-based branch resolution.
+ *
+ * Register indices are validated at build() time; branch targets must be
+ * placed exactly once.
+ */
+class KernelBuilder
+{
+  public:
+    explicit KernelBuilder(std::string name) : name_(std::move(name)) {}
+
+    /** Create a fresh (unplaced) label. */
+    int label();
+
+    /** Place a label at the next instruction. */
+    void place(int label);
+
+    /** Append a load: dst.. <- [base + u32(vreg[addr_vreg])]. */
+    void load(Opcode op, unsigned dst, unsigned addr_vreg,
+              std::uint64_t base);
+
+    /** Append a store: [base + u32(vreg[addr_vreg])] <- data_vreg.. */
+    void store(Opcode op, unsigned addr_vreg, unsigned data_vreg,
+               std::uint64_t base);
+
+    /** Append a two-source VALU op. */
+    void valu(Opcode op, unsigned dst, Src a, Src b = Src::none());
+
+    /** v_mac dst += a * b (dst is also a source). */
+    void mac(unsigned dst, Src a, Src b);
+
+    /** dst = global thread id. */
+    void threadId(unsigned dst) { valu(Opcode::VThreadId, dst, Src::none()); }
+
+    /** Append a scalar op writing sreg dst. */
+    void salu(Opcode op, unsigned dst, Src a, Src b = Src::none());
+
+    /** scc = (sreg a < b). */
+    void scmpLt(unsigned a, Src b);
+
+    /** Conditional/unconditional branches to a label. */
+    void cbranch1(int label);
+    void cbranch0(int label);
+    void branch(int label);
+
+    void endpgm();
+
+    /**
+     * Declare that the kernel uses at least n vector registers even if
+     * the generated code touches fewer. Models the register pressure of
+     * the original (hand-tiled) kernels, which bounds occupancy (Sec 3:
+     * tiled MM runs only 768 concurrent wavefronts on the R9 Nano).
+     */
+    void reserveVregs(unsigned n) { touchVreg(n - 1); }
+
+    /** Resolve labels, size the register file, and produce the Kernel. */
+    Kernel build(unsigned num_wavefronts);
+
+  private:
+    void touch(const Src &s);
+    void touchVreg(unsigned idx);
+    void touchSreg(unsigned idx);
+    Instruction &append(Opcode op);
+
+    std::string name_;
+    std::vector<Instruction> code_;
+    std::vector<int> label_pos_;      //!< -1 until placed
+    std::vector<std::pair<size_t, int>> fixups_; //!< (inst idx, label)
+    unsigned max_vreg_ = 0;
+    unsigned max_sreg_ = 0;
+    bool has_end_ = false;
+};
+
+} // namespace lazygpu
+
+#endif // LAZYGPU_ISA_KERNEL_HH

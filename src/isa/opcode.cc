@@ -1,0 +1,54 @@
+#include "isa/opcode.hh"
+
+namespace lazygpu
+{
+
+std::string
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::LoadByte: return "flat_load_ubyte";
+      case Opcode::LoadShort: return "flat_load_ushort";
+      case Opcode::LoadDword: return "flat_load_dword";
+      case Opcode::LoadDwordX2: return "flat_load_dwordx2";
+      case Opcode::LoadDwordX4: return "flat_load_dwordx4";
+      case Opcode::StoreDword: return "flat_store_dword";
+      case Opcode::StoreDwordX2: return "flat_store_dwordx2";
+      case Opcode::StoreDwordX4: return "flat_store_dwordx4";
+      case Opcode::VMov: return "v_mov_b32";
+      case Opcode::VAddF32: return "v_add_f32";
+      case Opcode::VSubF32: return "v_sub_f32";
+      case Opcode::VMulF32: return "v_mul_f32";
+      case Opcode::VMacF32: return "v_mac_f32";
+      case Opcode::VMaxF32: return "v_max_f32";
+      case Opcode::VMinF32: return "v_min_f32";
+      case Opcode::VRcpF32: return "v_rcp_f32";
+      case Opcode::VSqrtF32: return "v_sqrt_f32";
+      case Opcode::VCmpGtF32: return "v_cmp_gt_f32";
+      case Opcode::VCmpLtF32: return "v_cmp_lt_f32";
+      case Opcode::VAddU32: return "v_add_u32";
+      case Opcode::VSubU32: return "v_sub_u32";
+      case Opcode::VMulU32: return "v_mul_u32";
+      case Opcode::VShlU32: return "v_lshl_b32";
+      case Opcode::VShrU32: return "v_lshr_b32";
+      case Opcode::VAndB32: return "v_and_b32";
+      case Opcode::VOrB32: return "v_or_b32";
+      case Opcode::VXorB32: return "v_xor_b32";
+      case Opcode::VCmpEqU32: return "v_cmp_eq_u32";
+      case Opcode::VMinU32: return "v_min_u32";
+      case Opcode::VCvtF32U32: return "v_cvt_f32_u32";
+      case Opcode::VThreadId: return "v_thread_id";
+      case Opcode::VLaneId: return "v_lane_id";
+      case Opcode::SMov: return "s_mov_b32";
+      case Opcode::SAddU32: return "s_add_u32";
+      case Opcode::SMulU32: return "s_mul_u32";
+      case Opcode::SCmpLtU32: return "s_cmp_lt_u32";
+      case Opcode::SCBranch1: return "s_cbranch_scc1";
+      case Opcode::SCBranch0: return "s_cbranch_scc0";
+      case Opcode::SBranch: return "s_branch";
+      case Opcode::SEndpgm: return "s_endpgm";
+    }
+    return "???";
+}
+
+} // namespace lazygpu

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * The mini GCN3-like instruction set executed by the simulator.
+ *
+ * The set is deliberately small but sufficient to express every workload
+ * in the paper: flat loads/stores of 1..16 bytes per lane, the
+ * floating-point and integer VALU operations the kernels need (including
+ * the otimes instructions mul / mac / and that drive optimization (2)),
+ * and scalar loop control.
+ */
+
+#ifndef LAZYGPU_ISA_OPCODE_HH
+#define LAZYGPU_ISA_OPCODE_HH
+
+#include <cstdint>
+#include <string>
+
+namespace lazygpu
+{
+
+enum class Opcode : std::uint8_t
+{
+    // Vector memory (per-lane address = base + 32-bit offset register).
+    LoadByte,    //!< ld.1B  -> 1 vreg (zero-extended)
+    LoadShort,   //!< ld.2B  -> 1 vreg (zero-extended)
+    LoadDword,   //!< ld.4B  -> 1 vreg
+    LoadDwordX2, //!< ld.8B  -> 2 vregs
+    LoadDwordX4, //!< ld.16B -> 4 vregs
+    StoreDword,  //!< st.4B  from 1 vreg
+    StoreDwordX2,
+    StoreDwordX4,
+
+    // Vector ALU, fp32.
+    VMov,        //!< dst = src0
+    VAddF32,
+    VSubF32,
+    VMulF32,     //!< otimes
+    VMacF32,     //!< dst += src0 * src1; otimes
+    VMaxF32,
+    VMinF32,
+    VRcpF32,     //!< dst = 1 / src0
+    VSqrtF32,
+    VCmpGtF32,   //!< dst = (src0 > src1) ? 1.0f : 0.0f
+    VCmpLtF32,   //!< dst = (src0 < src1) ? 1.0f : 0.0f
+
+    // Vector ALU, u32 (address arithmetic and integer kernels).
+    VAddU32,
+    VSubU32,
+    VMulU32,
+    VShlU32,
+    VShrU32,
+    VAndB32,     //!< otimes
+    VOrB32,
+    VXorB32,
+    VCmpEqU32,   //!< dst = (src0 == src1) ? 1 : 0
+    VMinU32,
+    VCvtF32U32,  //!< dst = float(src0 interpreted as u32)
+
+    // Lane/thread identity.
+    VThreadId,   //!< dst = global thread id (wavefront*64 + lane)
+    VLaneId,     //!< dst = lane id within the wavefront
+
+    // Scalar (one execution per wavefront).
+    SMov,        //!< sdst = src0
+    SAddU32,
+    SMulU32,
+    SCmpLtU32,   //!< scc = (src0 < src1)
+    SCBranch1,   //!< branch to target if scc
+    SCBranch0,   //!< branch to target if !scc
+    SBranch,
+    SEndpgm,
+};
+
+/** 1 for single-register loads, 2/4 for x2/x4; 0 for non-loads. */
+inline unsigned
+loadDstRegs(Opcode op)
+{
+    switch (op) {
+      case Opcode::LoadByte:
+      case Opcode::LoadShort:
+      case Opcode::LoadDword:
+        return 1;
+      case Opcode::LoadDwordX2:
+        return 2;
+      case Opcode::LoadDwordX4:
+        return 4;
+      default:
+        return 0;
+    }
+}
+
+/** Bytes fetched per lane; 0 for non-loads. */
+inline unsigned
+loadBytes(Opcode op)
+{
+    switch (op) {
+      case Opcode::LoadByte:
+        return 1;
+      case Opcode::LoadShort:
+        return 2;
+      case Opcode::LoadDword:
+        return 4;
+      case Opcode::LoadDwordX2:
+        return 8;
+      case Opcode::LoadDwordX4:
+        return 16;
+      default:
+        return 0;
+    }
+}
+
+/** Bytes stored per lane; 0 for non-stores. */
+inline unsigned
+storeBytes(Opcode op)
+{
+    switch (op) {
+      case Opcode::StoreDword:
+        return 4;
+      case Opcode::StoreDwordX2:
+        return 8;
+      case Opcode::StoreDwordX4:
+        return 16;
+      default:
+        return 0;
+    }
+}
+
+inline bool isLoad(Opcode op) { return loadDstRegs(op) > 0; }
+inline bool isStore(Opcode op) { return storeBytes(op) > 0; }
+inline bool isMemory(Opcode op) { return isLoad(op) || isStore(op); }
+
+/** True for the paper's otimes instructions (mul, mac, and). */
+inline bool
+isOtimes(Opcode op)
+{
+    return op == Opcode::VMulF32 || op == Opcode::VMacF32 ||
+           op == Opcode::VAndB32;
+}
+
+inline bool
+isScalar(Opcode op)
+{
+    switch (op) {
+      case Opcode::SMov:
+      case Opcode::SAddU32:
+      case Opcode::SMulU32:
+      case Opcode::SCmpLtU32:
+      case Opcode::SCBranch1:
+      case Opcode::SCBranch0:
+      case Opcode::SBranch:
+      case Opcode::SEndpgm:
+        return true;
+      default:
+        return false;
+    }
+}
+
+inline bool
+isBranch(Opcode op)
+{
+    return op == Opcode::SCBranch1 || op == Opcode::SCBranch0 ||
+           op == Opcode::SBranch;
+}
+
+/** Mnemonic for disassembly and traces. */
+std::string opcodeName(Opcode op);
+
+} // namespace lazygpu
+
+#endif // LAZYGPU_ISA_OPCODE_HH

@@ -1,0 +1,244 @@
+#include "mem/cache.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace lazygpu
+{
+
+Cache::Cache(Engine &engine, StatSet &stats, const std::string &name,
+             const CacheParams &params, WritePolicy policy,
+             MemDevice &below)
+    : engine_(engine), name_(name), line_size_(params.lineSize),
+      assoc_(params.assoc),
+      num_sets_(std::max<unsigned>(
+          1, params.size / (params.lineSize * params.assoc))),
+      mshr_limit_(params.mshrs),
+      bytes_per_cycle_(std::max(1u, params.bytesPerCycle)),
+      latency_(params.latency), policy_(policy), below_(below),
+      lines_(num_sets_ * assoc_),
+      hits_(stats.counter(name + ".hits")),
+      misses_(stats.counter(name + ".misses")),
+      write_throughs_(stats.counter(name + ".write_throughs")),
+      evictions_(stats.counter(name + ".evictions")),
+      mshr_wait_(stats.dist(name + ".mshr_wait"))
+{
+    panic_if(params.size == 0, "%s: zero-sized cache instantiated",
+             name.c_str());
+}
+
+std::uint64_t
+Cache::setIndex(Addr line_addr) const
+{
+    return (line_addr / line_size_) % num_sets_;
+}
+
+Cache::Line *
+Cache::findLine(Addr line_addr)
+{
+    Line *set = &lines_[setIndex(line_addr) * assoc_];
+    for (unsigned w = 0; w < assoc_; ++w) {
+        if (set[w].valid && set[w].tag == line_addr)
+            return &set[w];
+    }
+    return nullptr;
+}
+
+const Cache::Line *
+Cache::findLine(Addr line_addr) const
+{
+    return const_cast<Cache *>(this)->findLine(line_addr);
+}
+
+Cache::Line &
+Cache::victimLine(Addr line_addr)
+{
+    Line *set = &lines_[setIndex(line_addr) * assoc_];
+    Line *victim = &set[0];
+    for (unsigned w = 0; w < assoc_; ++w) {
+        if (!set[w].valid)
+            return set[w];
+        if (set[w].lruStamp < victim->lruStamp)
+            victim = &set[w];
+    }
+    return *victim;
+}
+
+bool
+Cache::contains(Addr addr) const
+{
+    return findLine(lineAddr(addr)) != nullptr;
+}
+
+void
+Cache::touchLine(Addr addr)
+{
+    Addr la = lineAddr(addr);
+    if (findLine(la))
+        return;
+    Line &line = victimLine(la);
+    line.tag = la;
+    line.valid = true;
+    line.dirty = false;
+    line.lruStamp = ++lru_clock_;
+}
+
+void
+Cache::access(const MemAccess &acc, Completion done)
+{
+    // Transactions never straddle a line: they are <= 32 B and aligned.
+    panic_if(lineAddr(acc.addr) != lineAddr(acc.addr + acc.size - 1),
+             "%s: access straddles a cache line", name_.c_str());
+
+    const Tick now = engine_.now();
+    const Tick service = std::max<Tick>(
+        1, (acc.size + bytes_per_cycle_ - 1) / bytes_per_cycle_);
+    const Tick start = std::max(now, port_busy_);
+    port_busy_ = start + service;
+
+    if (start == now) {
+        lookup(acc, std::move(done));
+    } else {
+        engine_.schedule(start, [this, acc, cb = std::move(done)]() mutable {
+            lookup(acc, std::move(cb));
+        });
+    }
+}
+
+void
+Cache::lookup(const MemAccess &acc, Completion done)
+{
+    if (acc.write)
+        handleWrite(acc, std::move(done));
+    else
+        handleRead(lineAddr(acc.addr), std::move(done));
+}
+
+void
+Cache::handleRead(Addr line_addr, Completion done)
+{
+    if (Line *line = findLine(line_addr)) {
+        ++hits_;
+        line->lruStamp = ++lru_clock_;
+        if (done)
+            engine_.scheduleIn(latency_, std::move(done));
+        return;
+    }
+    ++misses_;
+
+    if (auto it = mshrs_.find(line_addr); it != mshrs_.end()) {
+        // Secondary miss: ride the outstanding fill.
+        if (done)
+            it->second.waiters.push_back(std::move(done));
+        return;
+    }
+
+    if (mshrs_.size() >= mshr_limit_) {
+        // Structural stall: this is the congestion LazyCore relieves.
+        const Tick enq = engine_.now();
+        pending_.emplace_back(
+            MemAccess{line_addr, line_size_, false},
+            [this, enq, cb = std::move(done)]() mutable {
+                mshr_wait_.sample(
+                    static_cast<double>(engine_.now() - enq));
+                if (cb)
+                    cb();
+            });
+        return;
+    }
+
+    Mshr &mshr = mshrs_[line_addr];
+    if (done)
+        mshr.waiters.push_back(std::move(done));
+    below_.access(MemAccess{line_addr, line_size_, false},
+                  [this, line_addr]() { fill(line_addr); });
+}
+
+void
+Cache::handleWrite(const MemAccess &acc, Completion done)
+{
+    if (policy_ == WritePolicy::WriteAround) {
+        // Writes bypass this level entirely; drop any stale local copy.
+        if (Line *line = findLine(lineAddr(acc.addr)))
+            line->valid = false;
+        ++write_throughs_;
+        below_.access(acc, std::move(done));
+        return;
+    }
+
+    // Write-back, write-allocate.
+    Addr la = lineAddr(acc.addr);
+    if (Line *line = findLine(la)) {
+        ++hits_;
+        line->dirty = true;
+        line->lruStamp = ++lru_clock_;
+        if (done)
+            engine_.scheduleIn(latency_, std::move(done));
+        return;
+    }
+    ++misses_;
+
+    auto mark_dirty = [this, la, cb = std::move(done)]() mutable {
+        if (Line *line = findLine(la))
+            line->dirty = true;
+        if (cb)
+            cb();
+    };
+
+    if (auto it = mshrs_.find(la); it != mshrs_.end()) {
+        it->second.waiters.push_back(std::move(mark_dirty));
+        return;
+    }
+    if (mshrs_.size() >= mshr_limit_) {
+        pending_.emplace_back(MemAccess{acc.addr, acc.size, true},
+                              std::move(mark_dirty));
+        return;
+    }
+    Mshr &mshr = mshrs_[la];
+    mshr.waiters.push_back(std::move(mark_dirty));
+    below_.access(MemAccess{la, line_size_, false},
+                  [this, la]() { fill(la); });
+}
+
+void
+Cache::fill(Addr line_addr)
+{
+    Line &victim = victimLine(line_addr);
+    if (victim.valid && victim.dirty) {
+        ++evictions_;
+        // Fire-and-forget writeback; it consumes downstream bandwidth.
+        below_.access(MemAccess{victim.tag, line_size_, true}, nullptr);
+    }
+    victim.tag = line_addr;
+    victim.valid = true;
+    victim.dirty = false;
+    victim.lruStamp = ++lru_clock_;
+
+    auto it = mshrs_.find(line_addr);
+    panic_if(it == mshrs_.end(), "%s: fill without an MSHR",
+             name_.c_str());
+    std::vector<Completion> waiters = std::move(it->second.waiters);
+    mshrs_.erase(it);
+
+    for (auto &w : waiters) {
+        if (w)
+            engine_.scheduleIn(latency_, std::move(w));
+    }
+    drainPending();
+}
+
+void
+Cache::drainPending()
+{
+    while (!pending_.empty() && mshrs_.size() < mshr_limit_) {
+        auto [acc, cb] = std::move(pending_.front());
+        pending_.pop_front();
+        lookup(acc, std::move(cb));
+        // A pending hit or coalesce does not consume an MSHR, so keep
+        // draining; the loop terminates because each iteration pops.
+    }
+}
+
+} // namespace lazygpu

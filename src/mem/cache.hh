@@ -1,0 +1,110 @@
+/**
+ * @file
+ * A set-associative, non-blocking, timing-only cache.
+ *
+ * Tags are modelled; data is not (function lives in GlobalMemory). The
+ * cache supports the two policies the evaluated GPU uses: write-around
+ * (L1 vector caches: writes bypass and invalidate) and write-back with
+ * write-allocate (memory-side L2 banks). Misses allocate MSHRs with
+ * same-line coalescing; when MSHRs are exhausted requests wait in a FIFO,
+ * which is where the paper's queuing congestion comes from.
+ */
+
+#ifndef LAZYGPU_MEM_CACHE_HH
+#define LAZYGPU_MEM_CACHE_HH
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/device.hh"
+#include "sim/config.hh"
+#include "sim/engine.hh"
+#include "sim/stats.hh"
+
+namespace lazygpu
+{
+
+class Cache : public MemDevice
+{
+  public:
+    enum class WritePolicy
+    {
+        WriteAround, //!< forward writes below; invalidate local copy
+        WriteBack,   //!< write-allocate; dirty eviction writes below
+    };
+
+    Cache(Engine &engine, StatSet &stats, const std::string &name,
+          const CacheParams &params, WritePolicy policy,
+          MemDevice &below);
+
+    void access(const MemAccess &acc, Completion done) override;
+
+    /**
+     * Probe the tags without any timing side effects. Used by the
+     * EagerZC model to ask "would this mask be on hand right now?".
+     */
+    bool contains(Addr addr) const;
+
+    /** Pre-load a line into the tags (testing and warm-start only). */
+    void touchLine(Addr addr);
+
+    const std::string &name() const { return name_; }
+
+  private:
+    struct Line
+    {
+        Addr tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        std::uint64_t lruStamp = 0;
+    };
+
+    struct Mshr
+    {
+        Addr lineAddr = 0;
+        std::vector<Completion> waiters;
+    };
+
+    Addr lineAddr(Addr a) const { return a & ~Addr(line_size_ - 1); }
+    std::uint64_t setIndex(Addr line_addr) const;
+    Line *findLine(Addr line_addr);
+    const Line *findLine(Addr line_addr) const;
+    Line &victimLine(Addr line_addr);
+
+    /** Start the tag lookup once the port accepts the request. */
+    void lookup(const MemAccess &acc, Completion done);
+    void handleRead(Addr line_addr, Completion done);
+    void handleWrite(const MemAccess &acc, Completion done);
+    void fill(Addr line_addr);
+    void drainPending();
+
+    Engine &engine_;
+    const std::string name_;
+    const unsigned line_size_;
+    const unsigned assoc_;
+    const unsigned num_sets_;
+    const unsigned mshr_limit_;
+    const unsigned bytes_per_cycle_;
+    const Tick latency_;
+    const WritePolicy policy_;
+    MemDevice &below_;
+
+    std::vector<Line> lines_; //!< num_sets_ x assoc_
+    std::unordered_map<Addr, Mshr> mshrs_;
+    std::deque<std::pair<MemAccess, Completion>> pending_;
+    Tick port_busy_ = 0;
+    std::uint64_t lru_clock_ = 0;
+
+    Counter &hits_;
+    Counter &misses_;
+    Counter &write_throughs_;
+    Counter &evictions_;
+    Distribution &mshr_wait_;
+};
+
+} // namespace lazygpu
+
+#endif // LAZYGPU_MEM_CACHE_HH

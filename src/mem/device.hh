@@ -1,0 +1,41 @@
+/**
+ * @file
+ * The timing-side memory interface shared by caches, crossbars and DRAM.
+ */
+
+#ifndef LAZYGPU_MEM_DEVICE_HH
+#define LAZYGPU_MEM_DEVICE_HH
+
+#include <functional>
+
+#include "sim/types.hh"
+
+namespace lazygpu
+{
+
+/** One timing access (reads and writes; data moves functionally). */
+struct MemAccess
+{
+    Addr addr = 0;
+    unsigned size = transactionSize;
+    bool write = false;
+};
+
+/** Invoked when an access completes at the requesting level. */
+using Completion = std::function<void()>;
+
+/**
+ * Anything a request can be sent to. Completion fires when the access
+ * has been serviced (including all queuing below this device).
+ */
+class MemDevice
+{
+  public:
+    virtual ~MemDevice() = default;
+
+    virtual void access(const MemAccess &acc, Completion done) = 0;
+};
+
+} // namespace lazygpu
+
+#endif // LAZYGPU_MEM_DEVICE_HH

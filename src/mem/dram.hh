@@ -1,0 +1,44 @@
+/**
+ * @file
+ * A DRAM channel: first-come-first-served with bandwidth occupancy.
+ *
+ * Each L2 bank owns one channel. Service is modelled as a busy window of
+ * ceil(size / bytesPerCycle) cycles per transaction plus the fixed access
+ * latency; queuing latency under bursts is emergent from the busy window
+ * racing ahead of the request arrival times (the effect Fig 2a shows).
+ */
+
+#ifndef LAZYGPU_MEM_DRAM_HH
+#define LAZYGPU_MEM_DRAM_HH
+
+#include <string>
+
+#include "mem/device.hh"
+#include "sim/engine.hh"
+#include "sim/stats.hh"
+
+namespace lazygpu
+{
+
+class DramChannel : public MemDevice
+{
+  public:
+    DramChannel(Engine &engine, StatSet &stats, const std::string &name,
+                unsigned bytes_per_cycle, Tick access_latency);
+
+    void access(const MemAccess &acc, Completion done) override;
+
+  private:
+    Engine &engine_;
+    Tick busy_until_ = 0;
+    const unsigned bytes_per_cycle_;
+    const Tick access_latency_;
+
+    Counter &reads_;
+    Counter &writes_;
+    Distribution &queue_delay_;
+};
+
+} // namespace lazygpu
+
+#endif // LAZYGPU_MEM_DRAM_HH

@@ -1,0 +1,129 @@
+#include "mem/hierarchy.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace lazygpu
+{
+
+BankRouter::BankRouter(Engine &engine, unsigned interleave,
+                       unsigned bytes_per_cycle)
+    : engine_(engine), interleave_(interleave),
+      bytes_per_cycle_(std::max(1u, bytes_per_cycle))
+{
+}
+
+unsigned
+BankRouter::bankFor(Addr addr) const
+{
+    return static_cast<unsigned>((addr / interleave_) % banks_.size());
+}
+
+void
+BankRouter::access(const MemAccess &acc, Completion done)
+{
+    panic_if(banks_.empty(), "router has no banks");
+
+    // Crossbar occupancy: the aggregate ingress port serialises bursts.
+    const Tick now = engine_.now();
+    const Tick service = std::max<Tick>(
+        1, (acc.size + bytes_per_cycle_ - 1) / bytes_per_cycle_);
+    const Tick start = std::max(now, port_busy_);
+    port_busy_ = start + service;
+
+    MemDevice *bank = banks_[bankFor(acc.addr)];
+    if (start == now) {
+        bank->access(acc, std::move(done));
+    } else {
+        engine_.schedule(start,
+                         [bank, acc, cb = std::move(done)]() mutable {
+                             bank->access(acc, std::move(cb));
+                         });
+    }
+}
+
+MemoryHierarchy::MemoryHierarchy(Engine &engine, StatSet &stats,
+                                 const GpuConfig &cfg, GlobalMemory &mem)
+    : mem_(mem)
+{
+    const bool zero_caches = cfg.l1Zero.size > 0 && cfg.l2Zero.size > 0;
+
+    // One DRAM channel per L2 bank.
+    for (unsigned b = 0; b < cfg.l2Banks; ++b) {
+        dram_.push_back(std::make_unique<DramChannel>(
+            engine, stats, "dram." + std::to_string(b),
+            cfg.dramBytesPerCycle, cfg.dramLatency));
+    }
+
+    // Memory-side L2 banks and their router.
+    l2_router_ = std::make_unique<BankRouter>(
+        engine, cfg.interleave, cfg.l2.bytesPerCycle * cfg.l2Banks);
+    for (unsigned b = 0; b < cfg.l2Banks; ++b) {
+        CacheParams p = cfg.l2;
+        p.latency = cfg.l2HopLatency;
+        l2_.push_back(std::make_unique<Cache>(
+            engine, stats, "l2." + std::to_string(b), p,
+            Cache::WritePolicy::WriteBack, *dram_[b]));
+        l2_router_->addBank(l2_[b].get());
+    }
+
+    if (zero_caches) {
+        zc_router_ = std::make_unique<BankRouter>(
+            engine, cfg.interleave,
+            cfg.l2Zero.bytesPerCycle * cfg.l2Banks);
+        for (unsigned b = 0; b < cfg.l2Banks; ++b) {
+            CacheParams p = cfg.l2Zero;
+            p.latency = cfg.l2HopLatency;
+            l2_zero_.push_back(std::make_unique<Cache>(
+                engine, stats, "zl2." + std::to_string(b), p,
+                Cache::WritePolicy::WriteBack, *dram_[b]));
+            zc_router_->addBank(l2_zero_[b].get());
+        }
+    }
+
+    // Core-side L1s, one per shader array.
+    for (unsigned sa = 0; sa < cfg.numShaderArrays; ++sa) {
+        CacheParams p = cfg.l1;
+        p.latency = cfg.l1HitLatency;
+        l1_.push_back(std::make_unique<Cache>(
+            engine, stats, "l1." + std::to_string(sa), p,
+            Cache::WritePolicy::WriteAround, *l2_router_));
+        if (zero_caches) {
+            CacheParams zp = cfg.l1Zero;
+            zp.latency = cfg.zcacheHitLatency;
+            l1_zero_.push_back(std::make_unique<Cache>(
+                engine, stats, "zl1." + std::to_string(sa), zp,
+                Cache::WritePolicy::WriteAround, *zc_router_));
+        }
+    }
+}
+
+void
+MemoryHierarchy::accessData(unsigned sa, Addr addr, unsigned size,
+                            bool write, Completion done)
+{
+    panic_if(sa >= l1_.size(), "shader array %u out of range", sa);
+    l1_[sa]->access(MemAccess{addr, size, write}, std::move(done));
+}
+
+void
+MemoryHierarchy::accessMask(unsigned sa, Addr mask_addr, bool write,
+                            Completion done)
+{
+    panic_if(l1_zero_.empty(),
+             "mask access on a configuration without Zero Caches");
+    l1_zero_[sa]->access(MemAccess{mask_addr, transactionSize, write},
+                         std::move(done));
+}
+
+bool
+MemoryHierarchy::maskResidentInL1(unsigned sa, Addr mask_addr) const
+{
+    if (l1_zero_.empty())
+        return false;
+    return l1_zero_[sa]->contains(mask_addr);
+}
+
+} // namespace lazygpu

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * MemoryHierarchy: wires the evaluated machine's memory system together.
+ *
+ * Per shader array: an L1 vector cache and (when configured) an L1 Zero
+ * Cache. Memory-side: a crossbar router that interleaves addresses across
+ * the banked L2s (and L2 Zero Caches), each bank backed by its own DRAM
+ * channel. Mask (zero-cache) traffic shares the DRAM channels with data,
+ * as in the paper.
+ */
+
+#ifndef LAZYGPU_MEM_HIERARCHY_HH
+#define LAZYGPU_MEM_HIERARCHY_HH
+
+#include <memory>
+#include <vector>
+
+#include "mem/cache.hh"
+#include "mem/device.hh"
+#include "mem/dram.hh"
+#include "mem/memory.hh"
+#include "sim/config.hh"
+#include "sim/engine.hh"
+#include "sim/stats.hh"
+
+namespace lazygpu
+{
+
+/** Routes an access to the L2 bank owning its address. */
+class BankRouter : public MemDevice
+{
+  public:
+    BankRouter(Engine &engine, unsigned interleave,
+               unsigned bytes_per_cycle);
+
+    void addBank(MemDevice *bank) { banks_.push_back(bank); }
+
+    void access(const MemAccess &acc, Completion done) override;
+
+    unsigned bankFor(Addr addr) const;
+
+  private:
+    Engine &engine_;
+    std::vector<MemDevice *> banks_;
+    const unsigned interleave_;
+    const unsigned bytes_per_cycle_;
+    Tick port_busy_ = 0;
+};
+
+class MemoryHierarchy
+{
+  public:
+    MemoryHierarchy(Engine &engine, StatSet &stats, const GpuConfig &cfg,
+                    GlobalMemory &mem);
+
+    /** Issue a data transaction from shader array sa. */
+    void accessData(unsigned sa, Addr addr, unsigned size, bool write,
+                    Completion done);
+
+    /**
+     * Issue a zero-mask transaction from shader array sa. The mask
+     * address space is GlobalMemory::maskAddr(data address).
+     */
+    void accessMask(unsigned sa, Addr mask_addr, bool write,
+                    Completion done);
+
+    /** Tag probe of the SA's L1 Zero Cache (EagerZC's concurrent check). */
+    bool maskResidentInL1(unsigned sa, Addr mask_addr) const;
+
+    bool hasZeroCaches() const { return !l1_zero_.empty(); }
+
+    Cache &l1(unsigned sa) { return *l1_[sa]; }
+    Cache &l2(unsigned bank) { return *l2_[bank]; }
+    Cache &l1Zero(unsigned sa) { return *l1_zero_[sa]; }
+    Cache &l2Zero(unsigned bank) { return *l2_zero_[bank]; }
+    unsigned numL2Banks() const { return static_cast<unsigned>(l2_.size()); }
+
+  private:
+    GlobalMemory &mem_;
+    std::vector<std::unique_ptr<DramChannel>> dram_;
+    std::unique_ptr<BankRouter> l2_router_;
+    std::unique_ptr<BankRouter> zc_router_;
+    std::vector<std::unique_ptr<Cache>> l2_;
+    std::vector<std::unique_ptr<Cache>> l2_zero_;
+    std::vector<std::unique_ptr<Cache>> l1_;
+    std::vector<std::unique_ptr<Cache>> l1_zero_;
+};
+
+} // namespace lazygpu
+
+#endif // LAZYGPU_MEM_HIERARCHY_HH

@@ -1,0 +1,135 @@
+#include "mem/memory.hh"
+
+#include "sim/logging.hh"
+
+namespace lazygpu
+{
+
+Addr
+GlobalMemory::alloc(std::uint64_t size, std::uint64_t align)
+{
+    panic_if(align == 0 || (align & (align - 1)) != 0,
+             "alignment must be a power of two");
+    next_alloc_ = (next_alloc_ + align - 1) & ~(align - 1);
+    Addr base = next_alloc_;
+    next_alloc_ += size;
+    fatal_if(next_alloc_ >= maskBase,
+             "workload footprint collides with the mask shadow region");
+    return base;
+}
+
+const std::uint8_t *
+GlobalMemory::pageFor(Addr a) const
+{
+    auto it = pages_.find(a >> pageShift);
+    return it == pages_.end() ? nullptr : it->second.data();
+}
+
+std::uint8_t *
+GlobalMemory::pageForWrite(Addr a)
+{
+    auto &page = pages_[a >> pageShift];
+    if (page.empty())
+        page.assign(pageSize, 0);
+    return page.data();
+}
+
+std::uint8_t
+GlobalMemory::readByte(Addr a) const
+{
+    const std::uint8_t *page = pageFor(a);
+    return page ? page[a & (pageSize - 1)] : 0;
+}
+
+void
+GlobalMemory::writeByte(Addr a, std::uint8_t v)
+{
+    pageForWrite(a)[a & (pageSize - 1)] = v;
+}
+
+std::uint32_t
+GlobalMemory::readU32(Addr a) const
+{
+    // Words may straddle pages; the byte path is the simple, correct one.
+    std::uint32_t v = 0;
+    for (unsigned i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(readByte(a + i)) << (8 * i);
+    return v;
+}
+
+void
+GlobalMemory::writeU32(Addr a, std::uint32_t v)
+{
+    for (unsigned i = 0; i < 4; ++i)
+        writeByte(a + i, static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+float
+GlobalMemory::readF32(Addr a) const
+{
+    std::uint32_t bits = readU32(a);
+    float f;
+    std::memcpy(&f, &bits, sizeof(f));
+    return f;
+}
+
+void
+GlobalMemory::writeF32(Addr a, float v)
+{
+    std::uint32_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    writeU32(a, bits);
+}
+
+void
+GlobalMemory::writeF32Array(Addr a, const std::vector<float> &vals)
+{
+    for (std::uint64_t i = 0; i < vals.size(); ++i)
+        writeF32(a + 4 * i, vals[i]);
+}
+
+void
+GlobalMemory::writeU32Array(Addr a, const std::vector<std::uint32_t> &vals)
+{
+    for (std::uint64_t i = 0; i < vals.size(); ++i)
+        writeU32(a + 4 * i, vals[i]);
+}
+
+std::vector<float>
+GlobalMemory::readF32Array(Addr a, std::uint64_t count) const
+{
+    std::vector<float> out(count);
+    for (std::uint64_t i = 0; i < count; ++i)
+        out[i] = readF32(a + 4 * i);
+    return out;
+}
+
+bool
+GlobalMemory::isZeroWord(Addr a) const
+{
+    Addr base = a & ~Addr(maskGranularity - 1);
+    const std::uint8_t *page = pageFor(base);
+    if (!page)
+        return true;
+    Addr off = base & (pageSize - 1);
+    if (off + maskGranularity <= pageSize) {
+        std::uint32_t word;
+        std::memcpy(&word, page + off, sizeof(word));
+        return word == 0;
+    }
+    return readU32(base) == 0;
+}
+
+std::uint8_t
+GlobalMemory::zeroMaskByte(Addr a) const
+{
+    Addr block = a & ~Addr(transactionSize - 1);
+    std::uint8_t mask = 0;
+    for (unsigned w = 0; w < transactionSize / maskGranularity; ++w) {
+        if (isZeroWord(block + w * maskGranularity))
+            mask |= static_cast<std::uint8_t>(1u << w);
+    }
+    return mask;
+}
+
+} // namespace lazygpu

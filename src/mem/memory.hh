@@ -1,0 +1,95 @@
+/**
+ * @file
+ * GlobalMemory: the functional backing store of the simulated GPU.
+ *
+ * Timing and function are decoupled: caches and DRAM model *when* data
+ * moves, GlobalMemory holds *what* the data is. It is paged so workloads
+ * can use sparse 64-bit address spaces, provides a bump allocator for
+ * buffers, and serves the zero-mask queries the Zero Caches are built on
+ * (one mask bit per aligned 4-byte word).
+ */
+
+#ifndef LAZYGPU_MEM_MEMORY_HH
+#define LAZYGPU_MEM_MEMORY_HH
+
+#include <cstdint>
+#include <cstring>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace lazygpu
+{
+
+class GlobalMemory
+{
+  public:
+    static constexpr unsigned pageShift = 12;
+    static constexpr Addr pageSize = Addr(1) << pageShift;
+
+    /** Allocate size bytes, aligned to align (power of two). */
+    Addr alloc(std::uint64_t size, std::uint64_t align = 256);
+
+    std::uint8_t readByte(Addr a) const;
+    void writeByte(Addr a, std::uint8_t v);
+
+    std::uint32_t readU32(Addr a) const;
+    void writeU32(Addr a, std::uint32_t v);
+
+    float readF32(Addr a) const;
+    void writeF32(Addr a, float v);
+
+    /** Bulk helpers for workload initialisation. */
+    void writeF32Array(Addr a, const std::vector<float> &vals);
+    void writeU32Array(Addr a, const std::vector<std::uint32_t> &vals);
+    std::vector<float> readF32Array(Addr a, std::uint64_t count) const;
+
+    /** True iff the aligned 4-byte word containing a is all zero. */
+    bool isZeroWord(Addr a) const;
+
+    /**
+     * The zero mask byte for the 32 B block containing a: bit i set iff
+     * word i of the block is all zero.
+     */
+    std::uint8_t zeroMaskByte(Addr a) const;
+
+    /** Total bytes handed out by the allocator. */
+    std::uint64_t footprint() const { return next_alloc_ - allocBase; }
+
+    /** Base of the heap; fixed so kernels get stable addresses. */
+    static constexpr Addr allocBase = 0x10000000ull;
+
+    /**
+     * Base of the shadow mask region. One mask byte per 32 data bytes:
+     * maskAddr(a) = maskBase + a / 32.
+     */
+    static constexpr Addr maskBase = Addr(1) << 40;
+
+    static Addr
+    maskAddr(Addr data_addr)
+    {
+        return maskBase + data_addr / transactionSize;
+    }
+
+    static bool isMaskAddr(Addr a) { return a >= maskBase; }
+
+    /** The data address whose mask lives at mask address a. */
+    static Addr
+    maskedDataAddr(Addr mask_addr)
+    {
+        return (mask_addr - maskBase) * transactionSize;
+    }
+
+  private:
+    const std::uint8_t *pageFor(Addr a) const;
+    std::uint8_t *pageForWrite(Addr a);
+
+    // Untouched pages read as zero without being materialised.
+    std::unordered_map<Addr, std::vector<std::uint8_t>> pages_;
+    Addr next_alloc_ = allocBase;
+};
+
+} // namespace lazygpu
+
+#endif // LAZYGPU_MEM_MEMORY_HH

@@ -1,0 +1,85 @@
+#include "sim/config.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace lazygpu
+{
+
+unsigned
+GpuConfig::wavesPerCuForKernel(unsigned n_vregs) const
+{
+    fatal_if(n_vregs == 0 || n_vregs > vregsPerSimd,
+             "kernel uses %u vregs; SIMD has %u", n_vregs, vregsPerSimd);
+    unsigned per_simd = std::min(maxWavesPerSimd, vregsPerSimd / n_vregs);
+    return std::max(1u, per_simd) * simdPerCu;
+}
+
+GpuConfig
+GpuConfig::r9Nano()
+{
+    GpuConfig c;
+    c.mode = ExecMode::Baseline;
+    c.name = "r9nano";
+
+    c.l1.size = 64 * 1024;
+    c.l1.assoc = 4;
+    c.l1.lineSize = 64;
+    c.l1.mshrs = 32;
+    c.l1.bytesPerCycle = 128; // 2 TB/s aggregate over 16 L1s @ 1 GHz
+    c.l1.latency = 0;
+
+    c.l2.size = 256 * 1024;
+    c.l2.assoc = 16;
+    c.l2.lineSize = 64;
+    c.l2.mshrs = 64;
+    c.l2.bytesPerCycle = 64; // 512 GB/s aggregate over 8 banks
+    c.l2.latency = 0;
+
+    c.l1Zero.size = 0;
+    c.l2Zero.size = 0;
+    return c;
+}
+
+GpuConfig
+GpuConfig::lazyGpu(ExecMode mode)
+{
+    return withZeroCacheSplit(8, 8, mode);
+}
+
+GpuConfig
+GpuConfig::withZeroCacheSplit(unsigned l1_frac, unsigned l2_frac,
+                              ExecMode mode)
+{
+    fatal_if(l1_frac < 2 || l2_frac < 2,
+             "zero-cache fraction must leave room for the normal cache");
+    GpuConfig c = r9Nano();
+    c.mode = mode;
+    c.name = "lazygpu-l1/" + std::to_string(l1_frac) + "-l2/" +
+             std::to_string(l2_frac);
+
+    if (hasZeroCaches(mode)) {
+        c.l1Zero = c.l1;
+        c.l1Zero.size = c.l1.size / l1_frac;
+        c.l1.size -= c.l1Zero.size;
+
+        c.l2Zero = c.l2;
+        c.l2Zero.size = c.l2.size / l2_frac;
+        c.l2.size -= c.l2Zero.size;
+    }
+    return c;
+}
+
+GpuConfig
+GpuConfig::scaled(unsigned factor) const
+{
+    fatal_if(factor == 0, "scale factor must be >= 1");
+    GpuConfig c = *this;
+    c.numShaderArrays = std::max(1u, numShaderArrays / factor);
+    c.l2Banks = std::max(1u, l2Banks / factor);
+    c.name += "-x1/" + std::to_string(factor);
+    return c;
+}
+
+} // namespace lazygpu

@@ -1,0 +1,77 @@
+#include "sim/engine.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace lazygpu
+{
+
+void
+Engine::schedule(Tick when, Callback cb)
+{
+    panic_if(when < now_, "scheduling event in the past (%llu < %llu)",
+             static_cast<unsigned long long>(when),
+             static_cast<unsigned long long>(now_));
+    events_.push(Event{when, next_seq_++, std::move(cb)});
+}
+
+void
+Engine::drainEventsAtNow()
+{
+    while (!events_.empty() && events_.top().when == now_) {
+        // The callback may schedule new events (possibly at now_), so we
+        // must pop before invoking it.
+        Callback cb = std::move(const_cast<Event &>(events_.top()).cb);
+        events_.pop();
+        cb();
+    }
+}
+
+bool
+Engine::allQuiescent() const
+{
+    for (const Clocked *c : clocked_) {
+        if (!c->quiescent())
+            return false;
+    }
+    return true;
+}
+
+Tick
+Engine::run(Tick limit)
+{
+    while (true) {
+        drainEventsAtNow();
+
+        bool quiet = allQuiescent();
+        if (quiet) {
+            if (events_.empty())
+                return now_;
+            // Fast-forward to the next event; every clocked component is
+            // stalled waiting on the memory system.
+            now_ = events_.top().when;
+        } else {
+            for (Clocked *c : clocked_) {
+                if (!c->quiescent())
+                    c->tick();
+            }
+            ++now_;
+        }
+
+        panic_if(now_ > limit,
+                 "simulation exceeded %llu cycles; livelock suspected",
+                 static_cast<unsigned long long>(limit));
+    }
+}
+
+void
+Engine::reset()
+{
+    now_ = 0;
+    next_seq_ = 0;
+    while (!events_.empty())
+        events_.pop();
+}
+
+} // namespace lazygpu

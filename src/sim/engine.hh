@@ -1,0 +1,110 @@
+/**
+ * @file
+ * The simulation engine: a hybrid cycle/event-driven scheduler.
+ *
+ * Compute units are *clocked* components ticked every core cycle while
+ * they have resident wavefronts; the memory system is *event-driven*
+ * (latencies and bandwidth occupancy are modelled by scheduling callback
+ * events). When every clocked component is quiescent (all wavefronts
+ * stalled on memory), the engine fast-forwards to the next pending event.
+ */
+
+#ifndef LAZYGPU_SIM_ENGINE_HH
+#define LAZYGPU_SIM_ENGINE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace lazygpu
+{
+
+/** A component driven once per core clock cycle. */
+class Clocked
+{
+  public:
+    virtual ~Clocked() = default;
+
+    /** Advance one cycle. */
+    virtual void tick() = 0;
+
+    /** True when the component has no work at all (may be skipped). */
+    virtual bool quiescent() const = 0;
+};
+
+/**
+ * Time-ordered event queue plus the clocked-component tick loop.
+ *
+ * Events scheduled for the same tick execute in scheduling order. The
+ * engine finishes when every clocked component is quiescent and no events
+ * remain.
+ */
+class Engine
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Current simulated time in cycles. */
+    Tick now() const { return now_; }
+
+    /** Schedule cb to run at absolute tick when (>= now). */
+    void schedule(Tick when, Callback cb);
+
+    /** Schedule cb to run delay cycles from now. */
+    void scheduleIn(Tick delay, Callback cb) { schedule(now_ + delay, cb); }
+
+    /** Register a component to be ticked every cycle. */
+    void addClocked(Clocked *c) { clocked_.push_back(c); }
+
+    /**
+     * Run until completion.
+     *
+     * @param limit Abort (panic) if simulated time exceeds this many
+     *              cycles; guards against livelock bugs.
+     * @return The tick at which the simulation went idle.
+     */
+    Tick run(Tick limit = maxTick);
+
+    /** Discard all pending events and reset time to zero. */
+    void reset();
+
+    bool hasPendingEvents() const { return !events_.empty(); }
+
+  private:
+    struct Event
+    {
+        Tick when;
+        std::uint64_t seq;
+        Callback cb;
+    };
+
+    struct EventOrder
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            // std::priority_queue is a max-heap; invert for earliest-first
+            // and break ties by insertion order for determinism.
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    /** Run every event scheduled at the current tick. */
+    void drainEventsAtNow();
+
+    bool allQuiescent() const;
+
+    Tick now_ = 0;
+    std::uint64_t next_seq_ = 0;
+    std::priority_queue<Event, std::vector<Event>, EventOrder> events_;
+    std::vector<Clocked *> clocked_;
+};
+
+} // namespace lazygpu
+
+#endif // LAZYGPU_SIM_ENGINE_HH

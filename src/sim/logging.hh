@@ -1,0 +1,71 @@
+/**
+ * @file
+ * gem5-style status and error reporting helpers.
+ *
+ * panic() is for conditions that indicate a simulator bug; fatal() is for
+ * conditions caused by the user (bad configuration, impossible workload
+ * parameters); warn()/inform() report status without stopping simulation.
+ */
+
+#ifndef LAZYGPU_SIM_LOGGING_HH
+#define LAZYGPU_SIM_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace lazygpu
+{
+
+namespace detail
+{
+
+[[noreturn]] void terminateWith(const char *kind, const std::string &msg,
+                                const char *file, int line, bool abort_run);
+
+void message(const char *kind, const std::string &msg);
+
+std::string formatString(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace detail
+
+/** Abort the simulation: an internal invariant was violated (a bug). */
+#define panic(...)                                                          \
+    ::lazygpu::detail::terminateWith(                                       \
+        "panic", ::lazygpu::detail::formatString(__VA_ARGS__),              \
+        __FILE__, __LINE__, true)
+
+/** Exit the simulation: the user asked for something unsupported. */
+#define fatal(...)                                                          \
+    ::lazygpu::detail::terminateWith(                                       \
+        "fatal", ::lazygpu::detail::formatString(__VA_ARGS__),              \
+        __FILE__, __LINE__, false)
+
+/** Report a suspicious-but-survivable condition. */
+#define warn(...)                                                           \
+    ::lazygpu::detail::message(                                             \
+        "warn", ::lazygpu::detail::formatString(__VA_ARGS__))
+
+/** Report normal operating status. */
+#define inform(...)                                                         \
+    ::lazygpu::detail::message(                                             \
+        "info", ::lazygpu::detail::formatString(__VA_ARGS__))
+
+/** panic() unless the condition holds. */
+#define panic_if(cond, ...)                                                 \
+    do {                                                                    \
+        if (cond)                                                           \
+            panic(__VA_ARGS__);                                             \
+    } while (0)
+
+/** fatal() unless the condition holds. */
+#define fatal_if(cond, ...)                                                 \
+    do {                                                                    \
+        if (cond)                                                           \
+            fatal(__VA_ARGS__);                                             \
+    } while (0)
+
+} // namespace lazygpu
+
+#endif // LAZYGPU_SIM_LOGGING_HH

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All workload data generation goes through Rng so that every experiment
+ * is exactly reproducible from its seed; we never consume entropy from the
+ * host.
+ */
+
+#ifndef LAZYGPU_SIM_RNG_HH
+#define LAZYGPU_SIM_RNG_HH
+
+#include <cstdint>
+
+namespace lazygpu
+{
+
+/** xoshiro256** generator: fast, high quality, fully deterministic. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+    {
+        // SplitMix64 seeding to fill the state from a single word.
+        std::uint64_t z = seed;
+        for (auto &word : state) {
+            z += 0x9e3779b97f4a7c15ull;
+            std::uint64_t x = z;
+            x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+            x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+            word = x ^ (x >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        auto rotl = [](std::uint64_t v, int k) {
+            return (v << k) | (v >> (64 - k));
+        };
+        const std::uint64_t result = rotl(state[1] * 5, 7) * 9;
+        const std::uint64_t t = state[1] << 17;
+        state[2] ^= state[0];
+        state[3] ^= state[1];
+        state[1] ^= state[2];
+        state[0] ^= state[3];
+        state[2] ^= t;
+        state[3] = rotl(state[3], 45);
+        return result;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform integer in [0, bound). bound must be non-zero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform float in [lo, hi). */
+    float
+    range(float lo, float hi)
+    {
+        return lo + static_cast<float>(uniform()) * (hi - lo);
+    }
+
+    /** Bernoulli draw with probability p of true. */
+    bool
+    chance(double p)
+    {
+        return uniform() < p;
+    }
+
+  private:
+    std::uint64_t state[4];
+};
+
+} // namespace lazygpu
+
+#endif // LAZYGPU_SIM_RNG_HH

@@ -1,0 +1,53 @@
+#include "sim/stats.hh"
+
+#include <sstream>
+
+namespace lazygpu
+{
+
+std::uint64_t
+StatSet::sumCounters(const std::string &prefix,
+                     const std::string &suffix) const
+{
+    std::uint64_t total = 0;
+    for (const auto &[name, ctr] : counters_) {
+        if (name.size() < prefix.size() + suffix.size())
+            continue;
+        if (name.compare(0, prefix.size(), prefix) != 0)
+            continue;
+        if (!suffix.empty() &&
+            name.compare(name.size() - suffix.size(), suffix.size(),
+                         suffix) != 0) {
+            continue;
+        }
+        total += ctr.value();
+    }
+    return total;
+}
+
+void
+StatSet::reset()
+{
+    for (auto &[name, ctr] : counters_)
+        ctr.reset();
+    for (auto &[name, d] : dists_)
+        d.reset();
+    for (auto &[name, s] : series_)
+        s.reset();
+}
+
+std::string
+StatSet::dump() const
+{
+    std::ostringstream os;
+    for (const auto &[name, ctr] : counters_)
+        os << name << " " << ctr.value() << "\n";
+    for (const auto &[name, d] : dists_) {
+        os << name << ".count " << d.count() << "\n";
+        os << name << ".mean " << d.mean() << "\n";
+        os << name << ".max " << d.max() << "\n";
+    }
+    return os.str();
+}
+
+} // namespace lazygpu

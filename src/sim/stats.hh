@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Lightweight statistics infrastructure.
+ *
+ * Components own Counter/Histogram/TimeSeries objects registered in a
+ * StatSet; the harness reads them back by name after a simulation to
+ * regenerate the paper's tables and figures.
+ */
+
+#ifndef LAZYGPU_SIM_STATS_HH
+#define LAZYGPU_SIM_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace lazygpu
+{
+
+/** A monotonically increasing event counter. */
+class Counter
+{
+  public:
+    void operator+=(std::uint64_t n) { value_ += n; }
+    void operator++() { ++value_; }
+    void operator++(int) { ++value_; }
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** Running scalar distribution: count / sum / min / max / mean. */
+class Distribution
+{
+  public:
+    void
+    sample(double v)
+    {
+        if (count_ == 0 || v < min_)
+            min_ = v;
+        if (count_ == 0 || v > max_)
+            max_ = v;
+        sum_ += v;
+        ++count_;
+    }
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+
+    void
+    reset()
+    {
+        count_ = 0;
+        sum_ = min_ = max_ = 0.0;
+    }
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/** A (tick, value) series, e.g. Fig 2's latency-over-time traces. */
+class TimeSeries
+{
+  public:
+    struct Point
+    {
+        Tick tick;
+        double value;
+    };
+
+    void sample(Tick t, double v) { points_.push_back({t, v}); }
+    const std::vector<Point> &points() const { return points_; }
+    void reset() { points_.clear(); }
+
+  private:
+    std::vector<Point> points_;
+};
+
+/**
+ * A flat registry of named statistics. Names are hierarchical by
+ * convention ("l2.0.hits"). The registry owns the stat objects so that
+ * components can be destroyed while results are still being read.
+ */
+class StatSet
+{
+  public:
+    Counter &counter(const std::string &name) { return counters_[name]; }
+    Distribution &dist(const std::string &name) { return dists_[name]; }
+    TimeSeries &series(const std::string &name) { return series_[name]; }
+
+    /** Sum of every counter whose name matches prefix + "*" + suffix. */
+    std::uint64_t sumCounters(const std::string &prefix,
+                              const std::string &suffix = "") const;
+
+    const std::map<std::string, Counter> &counters() const
+    {
+        return counters_;
+    }
+    const std::map<std::string, Distribution> &dists() const
+    {
+        return dists_;
+    }
+    const std::map<std::string, TimeSeries> &allSeries() const
+    {
+        return series_;
+    }
+
+    void reset();
+
+    /** Render every counter/distribution as "name value" lines. */
+    std::string dump() const;
+
+  private:
+    std::map<std::string, Counter> counters_;
+    std::map<std::string, Distribution> dists_;
+    std::map<std::string, TimeSeries> series_;
+};
+
+} // namespace lazygpu
+
+#endif // LAZYGPU_SIM_STATS_HH

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every LazyGPU subsystem.
+ */
+
+#ifndef LAZYGPU_SIM_TYPES_HH
+#define LAZYGPU_SIM_TYPES_HH
+
+#include <cstdint>
+
+namespace lazygpu
+{
+
+/** Simulation time, measured in core clock cycles (1 GHz domain). */
+using Tick = std::uint64_t;
+
+/** A byte address in the simulated 64-bit global memory space. */
+using Addr = std::uint64_t;
+
+/** Sentinel for "no tick scheduled". */
+constexpr Tick maxTick = ~Tick(0);
+
+/** Number of lanes (threads) per wavefront on GCN3. */
+constexpr int wavefrontSize = 64;
+
+/** Per-lane bitmask type; bit i corresponds to lane i of a wavefront. */
+using LaneMask = std::uint64_t;
+
+/** A LaneMask with every lane set. */
+constexpr LaneMask allLanes = ~LaneMask(0);
+
+/** Granularity of one memory transaction in bytes (paper default). */
+constexpr unsigned transactionSize = 32;
+
+/** Bytes of data covered by one bit in the Zero Caches (one fp32 word). */
+constexpr unsigned maskGranularity = 4;
+
+} // namespace lazygpu
+
+#endif // LAZYGPU_SIM_TYPES_HH

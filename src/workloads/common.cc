@@ -1,0 +1,47 @@
+#include "workloads/common.hh"
+
+#include <cmath>
+#include <sstream>
+
+namespace lazygpu
+{
+
+void
+fillSparseF32(GlobalMemory &mem, Addr base, std::uint64_t count,
+              double sparsity, Rng &rng, float lo, float hi)
+{
+    for (std::uint64_t i = 0; i < count; ++i) {
+        float v = rng.chance(sparsity) ? 0.0f : rng.range(lo, hi);
+        mem.writeF32(base + 4 * i, v);
+    }
+}
+
+void
+fillRandU32(GlobalMemory &mem, Addr base, std::uint64_t count,
+            std::uint32_t bound, Rng &rng)
+{
+    for (std::uint64_t i = 0; i < count; ++i)
+        mem.writeU32(base + 4 * i, static_cast<std::uint32_t>(
+                                       rng.below(bound)));
+}
+
+std::string
+compareF32(const GlobalMemory &mem, Addr actual,
+           const std::vector<float> &expected, float tol)
+{
+    for (std::uint64_t i = 0; i < expected.size(); ++i) {
+        float got = mem.readF32(actual + 4 * i);
+        float want = expected[i];
+        float err = std::fabs(got - want);
+        float rel = err / std::max(1.0f, std::fabs(want));
+        if (rel > tol) {
+            std::ostringstream os;
+            os << "mismatch at element " << i << ": expected " << want
+               << ", got " << got;
+            return os.str();
+        }
+    }
+    return "";
+}
+
+} // namespace lazygpu

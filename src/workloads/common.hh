@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Shared workload infrastructure: parameter block, the Workload record
+ * consumed by the harness, and data-generation helpers.
+ */
+
+#ifndef LAZYGPU_WORKLOADS_COMMON_HH
+#define LAZYGPU_WORKLOADS_COMMON_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "isa/kernel.hh"
+#include "mem/memory.hh"
+#include "sim/rng.hh"
+
+namespace lazygpu
+{
+
+/** Knobs shared by every workload generator. */
+struct WorkloadParams
+{
+    /** Fraction of input values set to zero (Fig 12's sweep). */
+    double sparsity = 0.0;
+    /**
+     * Demand divisor relative to the paper's input sizes; generators
+     * shrink their problem so one run takes seconds, not hours.
+     */
+    unsigned scale = 8;
+    std::uint64_t seed = 42;
+};
+
+/**
+ * A ready-to-run workload: its own functional memory image plus the
+ * kernels to launch in order (multi-kernel workloads model multi-stage
+ * algorithms such as FFT passes or NW anti-diagonals).
+ */
+struct Workload
+{
+    std::string name;
+    std::unique_ptr<GlobalMemory> mem;
+    std::vector<Kernel> kernels;
+    /** Optional functional check; returns an empty string on success. */
+    std::function<std::string(const GlobalMemory &)> verify;
+};
+
+/**
+ * Fill count floats at base: each is zero with probability sparsity,
+ * otherwise uniform in [lo, hi).
+ */
+void fillSparseF32(GlobalMemory &mem, Addr base, std::uint64_t count,
+                   double sparsity, Rng &rng, float lo = 0.25f,
+                   float hi = 2.0f);
+
+/** Fill count u32 values uniform in [0, bound). */
+void fillRandU32(GlobalMemory &mem, Addr base, std::uint64_t count,
+                 std::uint32_t bound, Rng &rng);
+
+/** Compare two float buffers; returns "" or a mismatch description. */
+std::string compareF32(const GlobalMemory &mem, Addr actual,
+                       const std::vector<float> &expected,
+                       float tol = 1e-3f);
+
+} // namespace lazygpu
+
+#endif // LAZYGPU_WORKLOADS_COMMON_HH

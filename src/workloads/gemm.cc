@@ -1,0 +1,60 @@
+#include "workloads/gemm.hh"
+
+#include "workloads/kernel_util.hh"
+
+namespace lazygpu
+{
+
+Kernel
+buildGemm(const GemmDesc &d)
+{
+    // GEMV (m == 1) needs no row decomposition, so n only has to cover
+    // whole wavefronts; general GEMM extracts (row, col) with shifts.
+    fatal_if(d.m != 1 && !isPow2(d.n),
+             "GEMM n (%u) must be a power of two", d.n);
+    fatal_if(d.k % 8 != 0, "GEMM k (%u) must be a multiple of 8", d.k);
+    fatal_if((std::uint64_t(d.m) * d.n) % wavefrontSize != 0,
+             "GEMM m*n must be a multiple of the wavefront size");
+
+    KernelBuilder kb(d.name);
+    kb.threadId(0);
+    if (d.m == 1) {
+        kb.valu(Opcode::VMov, 2, Src::imm(0));
+        kb.valu(Opcode::VMov, 3, Src::vreg(0));
+    } else {
+        kb.valu(Opcode::VShrU32, 2, Src::vreg(0), Src::imm(log2u(d.n)));
+        kb.valu(Opcode::VAndB32, 3, Src::vreg(0), Src::imm(d.n - 1));
+    }
+    kb.valu(Opcode::VMulU32, 4, Src::vreg(2), Src::imm(d.k * 4)); // I off
+    kb.valu(Opcode::VShlU32, 5, Src::vreg(3), Src::imm(2));       // W off
+    kb.valu(Opcode::VMov, 6, Src::immF(0.0f));                    // acc
+
+    auto load_w_tile = [&](unsigned first) {
+        for (unsigned i = 0; i < 4; ++i) {
+            kb.load(Opcode::LoadDword, first + i, 5, d.weight);
+            kb.valu(Opcode::VAddU32, 5, Src::vreg(5), Src::imm(d.n * 4));
+        }
+    };
+
+    kb.load(Opcode::LoadDwordX4, 10, 4, d.input); // preload tile 0
+    load_w_tile(14);
+    kb.valu(Opcode::VAddU32, 4, Src::vreg(4), Src::imm(16));
+    int top = emitLoopBegin(kb, 1, d.k / 8);
+    kb.load(Opcode::LoadDwordX4, 20, 4, d.input); // prefetch tile 2j+1
+    load_w_tile(24);
+    kb.valu(Opcode::VAddU32, 4, Src::vreg(4), Src::imm(16));
+    for (unsigned i = 0; i < 4; ++i)
+        kb.mac(6, Src::vreg(10 + i), Src::vreg(14 + i));
+    kb.load(Opcode::LoadDwordX4, 10, 4, d.input); // prefetch tile 2j+2
+    load_w_tile(14);
+    kb.valu(Opcode::VAddU32, 4, Src::vreg(4), Src::imm(16));
+    for (unsigned i = 0; i < 4; ++i)
+        kb.mac(6, Src::vreg(20 + i), Src::vreg(24 + i));
+    emitLoopEnd(kb, 1, top);
+    kb.valu(Opcode::VShlU32, 7, Src::vreg(0), Src::imm(2));
+    kb.store(Opcode::StoreDword, 7, 6, d.output);
+    kb.reserveVregs(d.vregs);
+    return kb.build((d.m * d.n) / wavefrontSize);
+}
+
+} // namespace lazygpu

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * The library's GEMM lowering: a software-pipelined (double-buffered)
+ * kernel computing O[m][n] = sum_k I[m][k] * W[k][n], the shape every
+ * conv (im2col), fully-connected, and attention projection reduces to.
+ */
+
+#ifndef LAZYGPU_WORKLOADS_GEMM_HH
+#define LAZYGPU_WORKLOADS_GEMM_HH
+
+#include <string>
+
+#include "isa/kernel.hh"
+#include "mem/memory.hh"
+
+namespace lazygpu
+{
+
+/** Shape and bindings of one GEMM launch. */
+struct GemmDesc
+{
+    std::string name = "gemm";
+    Addr input = 0;   //!< I: m x k, row-major
+    Addr weight = 0;  //!< W: k x n, depth(k)-major; padded by 8 rows
+    Addr output = 0;  //!< O: m x n
+    unsigned m = 0;   //!< rows; m*n must be a multiple of 64
+    unsigned n = 0;   //!< columns; must be a power of two
+    unsigned k = 0;   //!< depth; must be a multiple of 8
+    unsigned vregs = 48; //!< modelled register pressure (occupancy)
+};
+
+/**
+ * Build the pipelined GEMM kernel. One thread produces one output
+ * element; the wavefront's lanes cover consecutive columns, so I loads
+ * are wavefront-uniform and W loads coalesce along rows. The next
+ * depth-tile's loads are issued a full mac-block ahead of use, like
+ * ROCm's scheduled kernels (and the Fig 1 snippet).
+ */
+Kernel buildGemm(const GemmDesc &d);
+
+/** Bytes to allocate for the weight operand (includes prefetch pad). */
+inline std::uint64_t
+gemmWeightBytes(unsigned n, unsigned k)
+{
+    return 4ull * (k + 8) * n + 64;
+}
+
+} // namespace lazygpu
+
+#endif // LAZYGPU_WORKLOADS_GEMM_HH

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Small code-generation idioms shared by the workload kernels.
+ */
+
+#ifndef LAZYGPU_WORKLOADS_KERNEL_UTIL_HH
+#define LAZYGPU_WORKLOADS_KERNEL_UTIL_HH
+
+#include <cstdint>
+
+#include "isa/kernel.hh"
+#include "sim/logging.hh"
+
+namespace lazygpu
+{
+
+/** True when v is a power of two (> 0). */
+inline bool
+isPow2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** log2 of a power of two. */
+inline unsigned
+log2u(std::uint64_t v)
+{
+    panic_if(!isPow2(v), "log2u of a non-power-of-two");
+    unsigned b = 0;
+    while ((v >>= 1) != 0)
+        ++b;
+    return b;
+}
+
+/**
+ * Emit the head of a counted loop running `count` times using scalar
+ * register `sreg` as the down-counter. Returns the label to pass to
+ * emitLoopEnd. count must be >= 1.
+ */
+inline int
+emitLoopBegin(KernelBuilder &kb, unsigned sreg, std::uint32_t count)
+{
+    panic_if(count == 0, "counted loop with zero iterations");
+    kb.salu(Opcode::SMov, sreg, Src::imm(count));
+    int top = kb.label();
+    kb.place(top);
+    return top;
+}
+
+/** Emit the tail of a counted loop begun with emitLoopBegin. */
+inline void
+emitLoopEnd(KernelBuilder &kb, unsigned sreg, int top)
+{
+    kb.salu(Opcode::SAddU32, sreg, Src::sreg(sreg), Src::imm(0xffffffffu));
+    kb.scmpLt(sreg, Src::imm(1)); // scc = (sreg == 0)
+    kb.cbranch0(top);             // loop while the counter is non-zero
+}
+
+} // namespace lazygpu
+
+#endif // LAZYGPU_WORKLOADS_KERNEL_UTIL_HH

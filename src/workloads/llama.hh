@@ -1,0 +1,62 @@
+/**
+ * @file
+ * LLaMA-7B decoder workload model (Fig 11).
+ *
+ * Single-token (batch-1) inference: every projection is a GEMV whose
+ * weight matrix streams from memory, which is why the paper sees large
+ * lazy-execution gains even at zero sparsity. Weights are pruned with a
+ * Wanda-style score (|w| * ||x||). Dimensions are scaled by dimDiv
+ * versus the real model (d=4096, ffn=11008, heads over a seq-256 KV
+ * cache); activations are dense, as LLaMA has no ReLU/dropout (Sec 5.2).
+ *
+ * Perplexity is NOT measured: simulating WikiText evaluation offline is
+ * infeasible, so perplexityAt() returns a curve fitted to the Wanda
+ * paper's published LLaMA-7B numbers (5.68 dense, 7.26 at 50%); it is
+ * reported for context only, exactly as Fig 11a uses it.
+ */
+
+#ifndef LAZYGPU_WORKLOADS_LLAMA_HH
+#define LAZYGPU_WORKLOADS_LLAMA_HH
+
+#include <cstdint>
+
+#include "workloads/common.hh"
+
+namespace lazygpu
+{
+
+class Llama
+{
+  public:
+    struct Params
+    {
+        double sparsity = 0.0;  //!< unstructured weight sparsity
+        unsigned dimDiv = 8;    //!< scale versus d=4096 / ffn=11008
+        unsigned seqLen = 256;  //!< KV-cache length for attention
+        std::uint64_t seed = 42;
+    };
+
+    explicit Llama(const Params &p);
+
+    /**
+     * One decoder layer's kernels for a single generated token:
+     * QKV projections, attention score and context GEMVs, the output
+     * projection, and the gate/up/down MLP projections.
+     */
+    Workload decoderWorkload() const;
+
+    unsigned hiddenDim() const { return d_; }
+    unsigned ffnDim() const { return ffn_; }
+
+    /** Fitted Wanda LLaMA-7B WikiText perplexity (documentation only). */
+    static double perplexityAt(double sparsity);
+
+  private:
+    Params params_;
+    unsigned d_;
+    unsigned ffn_;
+};
+
+} // namespace lazygpu
+
+#endif // LAZYGPU_WORKLOADS_LLAMA_HH

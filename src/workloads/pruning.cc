@@ -1,0 +1,74 @@
+#include "workloads/pruning.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "sim/logging.hh"
+
+namespace lazygpu
+{
+
+void
+magnitudePrune(std::vector<float> &weights, double sparsity)
+{
+    if (sparsity <= 0.0 || weights.empty())
+        return;
+    fatal_if(sparsity >= 1.0, "sparsity must be below 1");
+
+    std::vector<float> mags(weights.size());
+    for (size_t i = 0; i < weights.size(); ++i)
+        mags[i] = std::fabs(weights[i]);
+    const size_t cut =
+        static_cast<size_t>(sparsity * static_cast<double>(mags.size()));
+    if (cut == 0)
+        return;
+    std::nth_element(mags.begin(), mags.begin() + (cut - 1), mags.end());
+    const float threshold = mags[cut - 1];
+    size_t removed = 0;
+    for (float &w : weights) {
+        if (removed < cut && std::fabs(w) <= threshold && w != 0.0f) {
+            w = 0.0f;
+            ++removed;
+        }
+    }
+}
+
+void
+wandaPrune(std::vector<float> &weights, unsigned rows, unsigned cols,
+           const std::vector<float> &act_norm, double sparsity)
+{
+    if (sparsity <= 0.0)
+        return;
+    fatal_if(act_norm.size() < cols, "activation norm vector too short");
+    fatal_if(weights.size() < std::size_t(rows) * cols,
+             "weight matrix smaller than rows x cols");
+
+    const unsigned cut =
+        static_cast<unsigned>(sparsity * static_cast<double>(cols));
+    std::vector<std::pair<float, unsigned>> scored(cols);
+    for (unsigned r = 0; r < rows; ++r) {
+        float *row = weights.data() + std::size_t(r) * cols;
+        for (unsigned c = 0; c < cols; ++c)
+            scored[c] = {std::fabs(row[c]) * act_norm[c], c};
+        std::nth_element(scored.begin(), scored.begin() + cut,
+                         scored.end());
+        for (unsigned i = 0; i < cut; ++i)
+            row[scored[i].second] = 0.0f;
+    }
+}
+
+double
+measureSparsity(const std::vector<float> &v)
+{
+    if (v.empty())
+        return 0.0;
+    std::uint64_t zeros = 0;
+    for (float x : v) {
+        if (x == 0.0f)
+            ++zeros;
+    }
+    return static_cast<double>(zeros) / static_cast<double>(v.size());
+}
+
+} // namespace lazygpu

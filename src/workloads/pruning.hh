@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Weight-pruning generators: magnitude pruning (Han et al., used for
+ * ResNet-18) and Wanda-style pruning (|w| * ||x||, used for LLaMA).
+ */
+
+#ifndef LAZYGPU_WORKLOADS_PRUNING_HH
+#define LAZYGPU_WORKLOADS_PRUNING_HH
+
+#include <vector>
+
+namespace lazygpu
+{
+
+/** Zero the smallest-|w| fraction of the weights (unstructured). */
+void magnitudePrune(std::vector<float> &weights, double sparsity);
+
+/**
+ * Wanda pruning: score each weight by |w| * ||x_j|| (the norm of the
+ * activation feature it multiplies) and zero the lowest-scored fraction
+ * per output row. weights is rows x cols row-major; act_norm has one
+ * entry per column.
+ */
+void wandaPrune(std::vector<float> &weights, unsigned rows, unsigned cols,
+                const std::vector<float> &act_norm, double sparsity);
+
+/** Fraction of exactly-zero entries. */
+double measureSparsity(const std::vector<float> &v);
+
+} // namespace lazygpu
+
+#endif // LAZYGPU_WORKLOADS_PRUNING_HH

@@ -1,0 +1,504 @@
+#include "workloads/resnet18.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "workloads/gemm.hh"
+#include "workloads/kernel_util.hh"
+#include "workloads/pruning.hh"
+
+namespace lazygpu
+{
+
+namespace
+{
+
+/** Round up to a multiple of m. */
+unsigned
+roundUp(unsigned v, unsigned m)
+{
+    return (v + m - 1) / m * m;
+}
+
+/** Next power of two >= v. */
+unsigned
+nextPow2(unsigned v)
+{
+    unsigned p = 1;
+    while (p < v)
+        p <<= 1;
+    return p;
+}
+
+} // namespace
+
+Resnet18::Resnet18(const Params &p) : params_(p)
+{
+    const unsigned cd = p.channelDiv;
+    const unsigned sp = 224 / p.spatialDiv; // input spatial size
+    const unsigned c1 = 64 / cd, c2 = 128 / cd, c3 = 256 / cd,
+                   c4 = 512 / cd;
+
+    auto conv = [&](const std::string &name, int in, unsigned cin,
+                    unsigned cout, unsigned hin, unsigned k, unsigned s,
+                    unsigned pad) {
+        specs_.push_back({name, LayerType::Conv, in, cin, cout, hin, hin,
+                          k, s, pad});
+    };
+
+    // The 23 evaluated layers of Fig 4, in its x-axis order.
+    conv("conv1", -1, 3, c1, sp, 7, 2, 3);
+    specs_.push_back({"maxpool", LayerType::MaxPool, 0, c1, c1,
+                      specs_[0].hout(), specs_[0].hout(), 3, 2, 1});
+    const unsigned s2 = specs_[1].hout();
+    conv("conv2_1_1", 1, c1, c1, s2, 3, 1, 1);
+    conv("conv2_1_2", 2, c1, c1, s2, 3, 1, 1);
+    conv("conv2_2_1", 3, c1, c1, s2, 3, 1, 1);
+    conv("conv2_2_2", 4, c1, c1, s2, 3, 1, 1);
+    conv("conv3_DS", 5, c1, c2, s2, 1, 2, 0);
+    conv("conv3_1_1", 5, c1, c2, s2, 3, 2, 1);
+    const unsigned s3 = specs_.back().hout();
+    conv("conv3_1_2", 7, c2, c2, s3, 3, 1, 1);
+    conv("conv3_1_3", 8, c2, c2, s3, 3, 1, 1);
+    conv("conv3_1_4", 9, c2, c2, s3, 3, 1, 1);
+    conv("conv4_DS", 10, c2, c3, s3, 1, 2, 0);
+    conv("conv4_1_1", 10, c2, c3, s3, 3, 2, 1);
+    const unsigned s4 = specs_.back().hout();
+    conv("conv4_1_2", 12, c3, c3, s4, 3, 1, 1);
+    conv("conv4_2_1", 13, c3, c3, s4, 3, 1, 1);
+    conv("conv4_2_2", 14, c3, c3, s4, 3, 1, 1);
+    conv("conv5_DS", 15, c3, c4, s4, 1, 2, 0);
+    conv("conv5_1_1", 15, c3, c4, s4, 3, 2, 1);
+    const unsigned s5 = specs_.back().hout();
+    conv("conv5_1_2", 17, c4, c4, s5, 3, 1, 1);
+    conv("conv5_2_1", 18, c4, c4, s5, 3, 1, 1);
+    conv("conv5_2_2", 19, c4, c4, s5, 3, 1, 1);
+    specs_.push_back({"avgpool", LayerType::AvgPool, 20, c4, c4, s5, s5,
+                      s5, 1, 0});
+    // fc: 1000 ImageNet classes scaled and padded to a power of two.
+    specs_.push_back({"fc", LayerType::FC, 21, c4,
+                      nextPow2(1000 / cd), 1, 1, 1, 1, 0});
+
+    // Random input image (natural images are dense).
+    Rng rng(p.seed);
+    image_.resize(std::size_t(sp) * sp * 3);
+    for (float &v : image_)
+        v = rng.range(0.0f, 1.0f);
+
+    layers_.resize(specs_.size());
+    for (unsigned i = 0; i < specs_.size(); ++i) {
+        const ResnetLayerSpec &s = specs_[i];
+        if (s.type == LayerType::Conv || s.type == LayerType::FC) {
+            LayerData &ld = layers_[i];
+            ld.weights.resize(std::size_t(s.cout) * s.cin * s.kernel *
+                              s.kernel);
+            for (float &v : ld.weights)
+                v = rng.range(-0.5f, 0.5f);
+            magnitudePrune(ld.weights, p.weightSparsity);
+        }
+        forward(i);
+        // Training deltas: random error signal masked by the ReLU
+        // activation pattern (gradients are zero where ReLU clamped).
+        LayerData &ld = layers_[i];
+        ld.delta.resize(ld.output.size());
+        for (std::size_t j = 0; j < ld.output.size(); ++j) {
+            ld.delta[j] =
+                ld.output[j] > 0.0f ? rng.range(-0.1f, 0.1f) : 0.0f;
+        }
+    }
+}
+
+const std::vector<float> &
+Resnet18::layerInput(unsigned idx) const
+{
+    const int src = specs_[idx].inputLayer;
+    return src < 0 ? image_ : layers_[src].output;
+}
+
+std::vector<float>
+Resnet18::im2col(unsigned idx, unsigned k_padded) const
+{
+    const ResnetLayerSpec &s = specs_[idx];
+    const std::vector<float> &in = layerInput(idx);
+    const unsigned m = s.hout() * s.wout();
+    std::vector<float> mat(std::size_t(m) * k_padded, 0.0f);
+    for (unsigned oy = 0; oy < s.hout(); ++oy) {
+        for (unsigned ox = 0; ox < s.wout(); ++ox) {
+            float *row =
+                mat.data() + std::size_t(oy * s.wout() + ox) * k_padded;
+            unsigned col = 0;
+            for (unsigned ky = 0; ky < s.kernel; ++ky) {
+                for (unsigned kx = 0; kx < s.kernel; ++kx) {
+                    const int iy = static_cast<int>(oy * s.stride + ky) -
+                                   static_cast<int>(s.pad);
+                    const int ix = static_cast<int>(ox * s.stride + kx) -
+                                   static_cast<int>(s.pad);
+                    for (unsigned ci = 0; ci < s.cin; ++ci, ++col) {
+                        if (iy < 0 || ix < 0 ||
+                            iy >= static_cast<int>(s.hin) ||
+                            ix >= static_cast<int>(s.win)) {
+                            continue; // zero padding
+                        }
+                        row[col] =
+                            in[(std::size_t(iy) * s.win + ix) * s.cin +
+                               ci];
+                    }
+                }
+            }
+        }
+    }
+    return mat;
+}
+
+void
+Resnet18::forward(unsigned idx)
+{
+    const ResnetLayerSpec &s = specs_[idx];
+    const std::vector<float> &in = layerInput(idx);
+    LayerData &ld = layers_[idx];
+    const unsigned m = s.hout() * s.wout();
+
+    switch (s.type) {
+      case LayerType::Conv:
+      case LayerType::FC: {
+        const unsigned kdim = s.cin * s.kernel * s.kernel;
+        std::vector<float> cols = im2col(idx, kdim);
+        ld.output.assign(std::size_t(m) * s.cout, 0.0f);
+        for (unsigned r = 0; r < m; ++r) {
+            for (unsigned co = 0; co < s.cout; ++co) {
+                float acc = 0.0f;
+                const float *wrow =
+                    ld.weights.data() + std::size_t(co) * kdim;
+                const float *irow = cols.data() + std::size_t(r) * kdim;
+                for (unsigned kk = 0; kk < kdim; ++kk)
+                    acc += irow[kk] * wrow[kk];
+                // ReLU everywhere except the logits.
+                ld.output[std::size_t(r) * s.cout + co] =
+                    s.type == LayerType::FC ? acc : std::max(0.0f, acc);
+            }
+        }
+        break;
+      }
+      case LayerType::MaxPool: {
+        ld.output.assign(std::size_t(m) * s.cout, 0.0f);
+        for (unsigned oy = 0; oy < s.hout(); ++oy) {
+            for (unsigned ox = 0; ox < s.wout(); ++ox) {
+                for (unsigned c = 0; c < s.cout; ++c) {
+                    float best = 0.0f; // inputs are post-ReLU (>= 0)
+                    for (unsigned ky = 0; ky < s.kernel; ++ky) {
+                        for (unsigned kx = 0; kx < s.kernel; ++kx) {
+                            const int iy =
+                                static_cast<int>(oy * s.stride + ky) -
+                                static_cast<int>(s.pad);
+                            const int ix =
+                                static_cast<int>(ox * s.stride + kx) -
+                                static_cast<int>(s.pad);
+                            if (iy < 0 || ix < 0 ||
+                                iy >= static_cast<int>(s.hin) ||
+                                ix >= static_cast<int>(s.win)) {
+                                continue;
+                            }
+                            best = std::max(
+                                best,
+                                in[(std::size_t(iy) * s.win + ix) *
+                                       s.cin +
+                                   c]);
+                        }
+                    }
+                    ld.output[(std::size_t(oy) * s.wout() + ox) *
+                                  s.cout +
+                              c] = best;
+                }
+            }
+        }
+        break;
+      }
+      case LayerType::AvgPool: {
+        ld.output.assign(s.cout, 0.0f);
+        const unsigned pixels = s.hin * s.win;
+        for (unsigned c = 0; c < s.cout; ++c) {
+            float acc = 0.0f;
+            for (unsigned pp = 0; pp < pixels; ++pp)
+                acc += in[std::size_t(pp) * s.cin + c];
+            ld.output[c] = acc / static_cast<float>(pixels);
+        }
+        break;
+      }
+    }
+}
+
+Workload
+Resnet18::layerWorkload(unsigned idx, bool training) const
+{
+    panic_if(idx >= specs_.size(), "layer index out of range");
+    const ResnetLayerSpec &s = specs_[idx];
+    Workload w;
+    w.name = "resnet18." + s.name;
+    w.mem = std::make_unique<GlobalMemory>();
+    GlobalMemory &mem = *w.mem;
+    const LayerData &ld = layers_[idx];
+    const unsigned m = s.hout() * s.wout();
+
+    if (s.type == LayerType::Conv || s.type == LayerType::FC) {
+        const unsigned kdim = s.cin * s.kernel * s.kernel;
+        const unsigned kpad = roundUp(kdim, 8);
+        const unsigned n = s.cout; // power of two by construction
+        const unsigned mpad =
+            roundUp(std::max(m, 1u), std::max(1u, 64u / n));
+
+        std::vector<float> cols = im2col(idx, kpad);
+        cols.resize(std::size_t(mpad) * kpad, 0.0f);
+
+        // Weights in depth-major layout for the GEMM's coalesced loads.
+        std::vector<float> wkm(std::size_t(kpad + 8) * n, 0.0f);
+        for (unsigned co = 0; co < n; ++co) {
+            for (unsigned kk = 0; kk < kdim; ++kk) {
+                wkm[std::size_t(kk) * n + co] =
+                    ld.weights[std::size_t(co) * kdim + kk];
+            }
+        }
+
+        Addr i_buf = mem.alloc(4ull * mpad * kpad + 64);
+        Addr w_buf = mem.alloc(4ull * wkm.size() + 64);
+        Addr o_buf = mem.alloc(4ull * mpad * n + 64);
+        mem.writeF32Array(i_buf, cols);
+        mem.writeF32Array(w_buf, wkm);
+
+        GemmDesc fwd;
+        fwd.name = w.name + ".fwd";
+        fwd.input = i_buf;
+        fwd.weight = w_buf;
+        fwd.output = o_buf;
+        fwd.m = mpad;
+        fwd.n = n;
+        fwd.k = kpad;
+        w.kernels.push_back(buildGemm(fwd));
+
+        // Verify the forward GEMM against the host activations
+        // (pre-ReLU, so recompute the raw conv here).
+        std::vector<float> expect(std::size_t(m) * n, 0.0f);
+        for (unsigned r = 0; r < m; ++r) {
+            for (unsigned co = 0; co < n; ++co) {
+                float acc = 0.0f;
+                for (unsigned kk = 0; kk < kdim; ++kk) {
+                    acc += cols[std::size_t(r) * kpad + kk] *
+                           ld.weights[std::size_t(co) * kdim + kk];
+                }
+                expect[std::size_t(r) * n + co] = acc;
+            }
+        }
+        w.verify = [o_buf, expect](const GlobalMemory &gm) {
+            return compareF32(gm, o_buf, expect, 5e-3f);
+        };
+
+        if (training) {
+            // dW[k][n] = sum_m I^T[k][m] * delta[m][n]
+            const unsigned mk = roundUp(m, 8); // depth of the dW GEMM
+            std::vector<float> itr(std::size_t(kpad) * mk, 0.0f);
+            for (unsigned r = 0; r < m; ++r) {
+                for (unsigned kk = 0; kk < kpad; ++kk) {
+                    itr[std::size_t(kk) * mk + r] =
+                        cols[std::size_t(r) * kpad + kk];
+                }
+            }
+            std::vector<float> dl(std::size_t(mk + 8) * n, 0.0f);
+            for (unsigned r = 0; r < m; ++r) {
+                for (unsigned co = 0; co < n; ++co)
+                    dl[std::size_t(r) * n + co] =
+                        ld.delta[std::size_t(r) * n + co];
+            }
+            Addr it_buf = mem.alloc(4ull * itr.size() + 64);
+            Addr d_buf = mem.alloc(4ull * dl.size() + 64);
+            Addr dw_buf = mem.alloc(4ull * kpad * n + 64);
+            mem.writeF32Array(it_buf, itr);
+            mem.writeF32Array(d_buf, dl);
+
+            GemmDesc dw;
+            dw.name = w.name + ".dw";
+            dw.input = it_buf;  // kpad x mk
+            dw.weight = d_buf;  // mk x n, depth(m)-major
+            dw.output = dw_buf; // kpad x n
+            dw.m = kpad;
+            dw.n = n;
+            dw.k = mk;
+            w.kernels.push_back(buildGemm(dw));
+
+            // dX[m][k2] = sum_n delta[m][n] * W[n][k2]
+            const unsigned k2 = nextPow2(kpad);
+            const unsigned mpad2 =
+                roundUp(std::max(m, 1u), std::max(1u, 64u / k2));
+            std::vector<float> wn(std::size_t(n + 8) * k2, 0.0f);
+            for (unsigned co = 0; co < n; ++co) {
+                for (unsigned kk = 0; kk < kdim; ++kk)
+                    wn[std::size_t(co) * k2 + kk] =
+                        ld.weights[std::size_t(co) * kdim + kk];
+            }
+            std::vector<float> dm(std::size_t(mpad2) * n, 0.0f);
+            for (unsigned r = 0; r < m; ++r) {
+                for (unsigned co = 0; co < n; ++co)
+                    dm[std::size_t(r) * n + co] =
+                        ld.delta[std::size_t(r) * n + co];
+            }
+            Addr wn_buf = mem.alloc(4ull * wn.size() + 64);
+            Addr dm_buf = mem.alloc(4ull * dm.size() + 64);
+            Addr dx_buf = mem.alloc(4ull * mpad2 * k2 + 64);
+            mem.writeF32Array(wn_buf, wn);
+            mem.writeF32Array(dm_buf, dm);
+
+            GemmDesc dx;
+            dx.name = w.name + ".dx";
+            dx.input = dm_buf;  // mpad2 x n
+            dx.weight = wn_buf; // n x k2, depth(n)-major
+            dx.output = dx_buf;
+            dx.m = mpad2;
+            dx.n = k2;
+            dx.k = std::max(8u, n);
+            w.kernels.push_back(buildGemm(dx));
+        }
+        return w;
+    }
+
+    // Pooling layers: gather-table kernels over HWC activations.
+    const std::vector<float> &in = layerInput(idx);
+    const unsigned c = s.cin;
+    const unsigned pw = s.win + 2, ph = s.hin + 2;
+    std::vector<float> padded(std::size_t(pw) * ph * c, 0.0f);
+    for (unsigned y = 0; y < s.hin; ++y) {
+        for (unsigned x = 0; x < s.win; ++x) {
+            for (unsigned cc = 0; cc < c; ++cc) {
+                padded[((std::size_t(y) + 1) * pw + x + 1) * c + cc] =
+                    in[(std::size_t(y) * s.win + x) * c + cc];
+            }
+        }
+    }
+    Addr in_buf = mem.alloc(4ull * padded.size() + 64);
+    mem.writeF32Array(in_buf, padded);
+
+    if (s.type == LayerType::MaxPool) {
+        const unsigned mp = s.hout() * s.wout();
+        std::vector<std::uint32_t> bases(roundUp(mp, 64), 0);
+        for (unsigned oy = 0; oy < s.hout(); ++oy) {
+            for (unsigned ox = 0; ox < s.wout(); ++ox) {
+                // top-left of the window in padded coords (pad folded in)
+                bases[oy * s.wout() + ox] =
+                    (oy * s.stride) * pw + (ox * s.stride);
+            }
+        }
+        Addr idx_buf = mem.alloc(4ull * bases.size() + 64);
+        Addr out_buf = mem.alloc(4ull * roundUp(mp, 64) * c + 64);
+        mem.writeU32Array(idx_buf, bases);
+
+        KernelBuilder kb(w.name);
+        kb.threadId(0);
+        kb.valu(Opcode::VShrU32, 2, Src::vreg(0), Src::imm(log2u(c)));
+        kb.valu(Opcode::VAndB32, 3, Src::vreg(0), Src::imm(c - 1));
+        kb.valu(Opcode::VShlU32, 4, Src::vreg(2), Src::imm(2));
+        kb.load(Opcode::LoadDword, 5, 4, idx_buf); // window base pixel
+        kb.valu(Opcode::VMulU32, 5, Src::vreg(5), Src::imm(c * 4));
+        kb.valu(Opcode::VShlU32, 6, Src::vreg(3), Src::imm(2));
+        kb.valu(Opcode::VAddU32, 5, Src::vreg(5), Src::vreg(6));
+        kb.valu(Opcode::VMov, 8, Src::immF(0.0f));
+        for (unsigned ky = 0; ky < s.kernel; ++ky) {
+            for (unsigned kx = 0; kx < s.kernel; ++kx) {
+                kb.valu(Opcode::VAddU32, 9, Src::vreg(5),
+                        Src::imm(4 * c * (ky * pw + kx)));
+                kb.load(Opcode::LoadDword, 10, 9, in_buf);
+                kb.valu(Opcode::VMaxF32, 8, Src::vreg(8), Src::vreg(10));
+            }
+        }
+        kb.valu(Opcode::VShlU32, 11, Src::vreg(0), Src::imm(2));
+        kb.store(Opcode::StoreDword, 11, 8, out_buf);
+        w.kernels.push_back(
+            kb.build(roundUp(mp, 64) * c / wavefrontSize));
+
+        std::vector<float> expect(ld.output.begin(), ld.output.end());
+        w.verify = [out_buf, expect](const GlobalMemory &gm) {
+            return compareF32(gm, out_buf, expect, 1e-3f);
+        };
+    } else { // AvgPool
+        const unsigned pixels = s.hin * s.win;
+        Addr out_buf = mem.alloc(4ull * std::max(c, 64u) + 64);
+        KernelBuilder kb(w.name);
+        kb.threadId(0); // one thread per channel (c >= 64 at stage 5)
+        kb.valu(Opcode::VShlU32, 2, Src::vreg(0), Src::imm(2));
+        // offset of (1,1) in the padded image, channel c0
+        kb.valu(Opcode::VAddU32, 3, Src::vreg(2),
+                Src::imm(4 * c * (pw + 1)));
+        kb.valu(Opcode::VMov, 4, Src::immF(0.0f));
+        for (unsigned y = 0; y < s.hin; ++y) {
+            for (unsigned x = 0; x < s.win; ++x) {
+                kb.valu(Opcode::VAddU32, 5, Src::vreg(3),
+                        Src::imm(4 * c * (y * pw + x)));
+                kb.load(Opcode::LoadDword, 6, 5, in_buf);
+                kb.valu(Opcode::VAddF32, 4, Src::vreg(4), Src::vreg(6));
+            }
+        }
+        kb.valu(Opcode::VMulF32, 4, Src::vreg(4),
+                Src::immF(1.0f / static_cast<float>(pixels)));
+        kb.store(Opcode::StoreDword, 2, 4, out_buf);
+        w.kernels.push_back(kb.build(std::max(c, 64u) / wavefrontSize));
+
+        std::vector<float> expect(ld.output.begin(), ld.output.end());
+        w.verify = [out_buf, expect](const GlobalMemory &gm) {
+            return compareF32(gm, out_buf, expect, 1e-3f);
+        };
+    }
+    return w;
+}
+
+Resnet18::SparsityStats
+Resnet18::layerSparsity(unsigned idx, bool training) const
+{
+    const ResnetLayerSpec &s = specs_[idx];
+    const LayerData &ld = layers_[idx];
+
+    // The buffers the layer's loads touch: im2col activations plus
+    // weights (inference); training additionally reads the deltas.
+    std::vector<const std::vector<float> *> bufs;
+    std::vector<float> cols;
+    if (s.type == LayerType::Conv || s.type == LayerType::FC) {
+        cols = im2col(idx, roundUp(s.cin * s.kernel * s.kernel, 8));
+        bufs.push_back(&cols);
+        bufs.push_back(&ld.weights);
+    } else {
+        bufs.push_back(&layerInput(idx));
+    }
+    if (training && !ld.delta.empty())
+        bufs.push_back(&ld.delta);
+
+    std::uint64_t zero_bytes = 0, bytes = 0;
+    std::uint64_t zero_blocks = 0, blocks = 0;
+    for (const auto *buf : bufs) {
+        const unsigned words_per_block =
+            transactionSize / maskGranularity;
+        for (std::size_t i = 0; i + words_per_block <= buf->size();
+             i += words_per_block) {
+            bool all_zero = true;
+            for (unsigned j = 0; j < words_per_block; ++j) {
+                if ((*buf)[i + j] == 0.0f) {
+                    zero_bytes += 4;
+                } else {
+                    all_zero = false;
+                }
+                bytes += 4;
+            }
+            ++blocks;
+            if (all_zero)
+                ++zero_blocks;
+        }
+    }
+    SparsityStats st;
+    st.byteLevel =
+        bytes ? static_cast<double>(zero_bytes) / bytes : 0.0;
+    st.txLevel =
+        blocks ? static_cast<double>(zero_blocks) / blocks : 0.0;
+    return st;
+}
+
+double
+Resnet18::weightSparsity(unsigned idx) const
+{
+    return measureSparsity(layers_[idx].weights);
+}
+
+} // namespace lazygpu

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * ResNet-18 workload model (Figs 4, 9, 10, 14, 15, 16).
+ *
+ * The model mirrors the paper's methodology as closely as an offline
+ * reproduction can: the network's 23 evaluated layers (Fig 4's x-axis)
+ * with their real shape ratios, magnitude pruning (Han et al.) for
+ * unstructured weight sparsity, and a *functional* host-side forward
+ * pass so that ReLU-induced activation zeros are real data, not
+ * synthetic masks. Each layer lowers to the library's pipelined GEMM
+ * (im2col) or a pooling kernel; training adds the dW and dX GEMMs with
+ * ReLU-masked deltas.
+ *
+ * Scaling: channels /channelDiv and spatial /spatialDiv versus ImageNet
+ * ResNet-18 (default 4/4), so one layer simulates in seconds. Shapes
+ * keep their relative proportions, which is what the per-layer results
+ * depend on.
+ */
+
+#ifndef LAZYGPU_WORKLOADS_RESNET18_HH
+#define LAZYGPU_WORKLOADS_RESNET18_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workloads/common.hh"
+
+namespace lazygpu
+{
+
+enum class LayerType
+{
+    Conv,
+    MaxPool,
+    AvgPool,
+    FC,
+};
+
+struct ResnetLayerSpec
+{
+    std::string name;
+    LayerType type = LayerType::Conv;
+    int inputLayer = -1; //!< index of producing layer; -1 = image
+    unsigned cin = 0, cout = 0;
+    unsigned hin = 0, win = 0;
+    unsigned kernel = 1, stride = 1, pad = 0;
+
+    unsigned hout() const { return (hin + 2 * pad - kernel) / stride + 1; }
+    unsigned wout() const { return (win + 2 * pad - kernel) / stride + 1; }
+};
+
+class Resnet18
+{
+  public:
+    struct Params
+    {
+        double weightSparsity = 0.0;
+        unsigned channelDiv = 4;
+        unsigned spatialDiv = 4;
+        std::uint64_t seed = 42;
+    };
+
+    explicit Resnet18(const Params &p);
+
+    const std::vector<ResnetLayerSpec> &specs() const { return specs_; }
+
+    /**
+     * A simulatable workload for one layer: the forward GEMM/pool
+     * kernel, plus (when training) the dW and dX GEMMs driven by
+     * ReLU-masked deltas.
+     */
+    Workload layerWorkload(unsigned idx, bool training) const;
+
+    /** Fig 4's metric over the data the layer's loads touch. */
+    struct SparsityStats
+    {
+        double byteLevel = 0.0; //!< zero fraction at 1 B granularity
+        double txLevel = 0.0;   //!< all-zero fraction of 32 B blocks
+    };
+    SparsityStats layerSparsity(unsigned idx, bool training) const;
+
+    /** Measured zero fraction of a layer's (pruned) weights. */
+    double weightSparsity(unsigned idx) const;
+
+  private:
+    struct LayerData
+    {
+        std::vector<float> weights; //!< cout x (cin*k*k)
+        std::vector<float> output;  //!< hout*wout x cout, post-ReLU
+        std::vector<float> delta;   //!< training: ReLU-masked
+    };
+
+    const std::vector<float> &layerInput(unsigned idx) const;
+    std::vector<float> im2col(unsigned idx, unsigned k_padded) const;
+    void forward(unsigned idx);
+
+    Params params_;
+    std::vector<ResnetLayerSpec> specs_;
+    std::vector<LayerData> layers_;
+    std::vector<float> image_;
+};
+
+} // namespace lazygpu
+
+#endif // LAZYGPU_WORKLOADS_RESNET18_HH

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * The Table 3 benchmark suite, reimplemented in the simulator's kernel
+ * IR with the same access/compute patterns as the originals.
+ *
+ * Every generator honours WorkloadParams.sparsity by zeroing the inputs
+ * that lack inherent structure (the paper's methodology, Sec 5.1), and
+ * WorkloadParams.scale by shrinking the problem from the original input
+ * size. Workloads whose inputs lack zeros (BFS, NW) ignore sparsity.
+ */
+
+#ifndef LAZYGPU_WORKLOADS_SUITE_HH
+#define LAZYGPU_WORKLOADS_SUITE_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "workloads/common.hh"
+
+namespace lazygpu
+{
+
+/**
+ * Matrix multiplication (AMD APP SDK). Register-heavy tiled kernel
+ * (reserves 85 vregs: 768 concurrent wavefronts on the full machine).
+ *
+ * @param waves_override when non-zero, launch exactly this many
+ *        wavefronts, each processing the same per-wave workload
+ *        (Fig 2 / Fig 3 methodology); output indices wrap.
+ */
+Workload makeMM(const WorkloadParams &p, unsigned waves_override = 0);
+
+Workload makeMT(const WorkloadParams &p);       //!< matrix transpose
+Workload makeBICG(const WorkloadParams &p);     //!< PolyBench BiCG
+Workload makeATAX(const WorkloadParams &p);     //!< PolyBench ATAX
+Workload makeSPMV(const WorkloadParams &p);     //!< SHOC CSR SpMV
+Workload makeReLU(const WorkloadParams &p);     //!< DNNMark ReLU
+Workload makeFIR(const WorkloadParams &p);      //!< Hetero-Mark FIR
+Workload makeSC(const WorkloadParams &p);       //!< APP SDK convolution
+Workload makeStencil2D(const WorkloadParams &p); //!< SHOC stencil
+Workload makeBackprop(const WorkloadParams &p); //!< Rodinia backprop
+Workload makeNBody(const WorkloadParams &p);    //!< APP SDK NBody
+Workload makeKMeans(const WorkloadParams &p);   //!< Hetero-Mark KMeans
+Workload makePR(const WorkloadParams &p);       //!< Hetero-Mark PageRank
+Workload makeFFT(const WorkloadParams &p);      //!< SHOC FFT
+Workload makeBFS(const WorkloadParams &p);      //!< SHOC BFS
+Workload makeNW(const WorkloadParams &p);       //!< Rodinia NW
+Workload makeAES(const WorkloadParams &p);      //!< Hetero-Mark AES
+
+/** Fig 12's benchmark order. */
+const std::vector<std::string> &suiteNames();
+
+/** Instantiate a suite benchmark by its Fig 12 name. */
+Workload makeSuiteWorkload(const std::string &name,
+                           const WorkloadParams &p);
+
+} // namespace lazygpu
+
+#endif // LAZYGPU_WORKLOADS_SUITE_HH

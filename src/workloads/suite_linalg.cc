@@ -1,0 +1,342 @@
+/**
+ * @file
+ * Linear-algebra benchmarks: MM, MT, BICG, ATAX, SPMV.
+ */
+
+#include <vector>
+
+#include "workloads/kernel_util.hh"
+#include "workloads/suite.hh"
+
+namespace lazygpu
+{
+
+namespace
+{
+
+/**
+ * Emit y[row] = sum_c A[row, c] * x[c] as a row-per-thread kernel with
+ * x4 loads. cols must be a multiple of 4.
+ */
+Kernel
+buildMatvec(const std::string &name, Addr a, Addr x, Addr y,
+            unsigned rows, unsigned cols)
+{
+    KernelBuilder kb(name);
+    kb.threadId(0);                                        // v0 = row
+    kb.valu(Opcode::VMulU32, 1, Src::vreg(0),
+            Src::imm(cols * 4));                           // v1 = row off
+    kb.valu(Opcode::VMov, 2, Src::imm(0));                 // v2 = x off
+    kb.valu(Opcode::VMov, 3, Src::immF(0.0f));             // v3 = acc
+    int top = emitLoopBegin(kb, 1, cols / 4);
+    kb.load(Opcode::LoadDwordX4, 8, 1, a);                 // v8..11 = A
+    kb.load(Opcode::LoadDwordX4, 12, 2, x);                // v12..15 = x
+    for (unsigned i = 0; i < 4; ++i)
+        kb.mac(3, Src::vreg(8 + i), Src::vreg(12 + i));
+    kb.valu(Opcode::VAddU32, 1, Src::vreg(1), Src::imm(16));
+    kb.valu(Opcode::VAddU32, 2, Src::vreg(2), Src::imm(16));
+    emitLoopEnd(kb, 1, top);
+    kb.valu(Opcode::VShlU32, 4, Src::vreg(0), Src::imm(2)); // v4 = y off
+    kb.store(Opcode::StoreDword, 4, 3, y);
+    return kb.build(rows / wavefrontSize);
+}
+
+/** Host-side reference matvec. */
+std::vector<float>
+hostMatvec(const GlobalMemory &mem, Addr a, Addr x, unsigned rows,
+           unsigned cols)
+{
+    std::vector<float> out(rows, 0.0f);
+    for (unsigned r = 0; r < rows; ++r) {
+        float acc = 0.0f;
+        for (unsigned c = 0; c < cols; ++c) {
+            acc += mem.readF32(a + 4ull * (r * std::uint64_t(cols) + c)) *
+                   mem.readF32(x + 4ull * c);
+        }
+        out[r] = acc;
+    }
+    return out;
+}
+
+} // namespace
+
+Workload
+makeMM(const WorkloadParams &p, unsigned waves_override)
+{
+    // Paper input: 1024^3 GEMM; scaled to n x n output with depth k.
+    const unsigned n = std::max(64u, 1024u / p.scale);
+    const unsigned k = std::max(32u, 512u / p.scale);
+    panic_if(!isPow2(n) || !isPow2(k), "MM dims must be powers of two");
+
+    Workload w;
+    w.name = "MM";
+    w.mem = std::make_unique<GlobalMemory>();
+    GlobalMemory &mem = *w.mem;
+
+    Addr a = mem.alloc(4ull * n * k + 256);
+    // Depth-major B[k][c]; padded by 8 rows for the trailing prefetch.
+    Addr b = mem.alloc(4ull * n * k + 32ull * n + 64);
+    Addr c = mem.alloc(4ull * n * n + 256);
+
+    Rng rng(p.seed);
+    fillSparseF32(mem, a, std::uint64_t(n) * k, p.sparsity, rng);
+    fillSparseF32(mem, b, std::uint64_t(n) * k, p.sparsity, rng);
+
+    const unsigned waves =
+        waves_override ? waves_override : (n * n) / wavefrontSize;
+
+    // Software-pipelined (double-buffered) inner loop, like the compiled
+    // APP SDK kernel in Fig 1: the next tile's loads are issued a full
+    // mac-block before their first use. On the eager baseline those
+    // prefetches flood the memory system; LazyCore defers them until the
+    // macs actually need the data.
+    KernelBuilder kb("mm");
+    kb.threadId(0);
+    kb.valu(Opcode::VAndB32, 1, Src::vreg(0), Src::imm(n * n - 1));
+    kb.valu(Opcode::VShrU32, 2, Src::vreg(1), Src::imm(log2u(n))); // row
+    kb.valu(Opcode::VAndB32, 3, Src::vreg(1), Src::imm(n - 1));    // col
+    kb.valu(Opcode::VMulU32, 4, Src::vreg(2), Src::imm(k * 4));
+    kb.valu(Opcode::VShlU32, 5, Src::vreg(3), Src::imm(2)); // B col off
+    kb.valu(Opcode::VMov, 6, Src::immF(0.0f)); // acc
+
+    // One tile = 4 depth steps: an x4 load of A (wavefront-uniform row
+    // segment) and four coalesced row loads of depth-major B.
+    auto load_b_tile = [&](unsigned first) {
+        for (unsigned i = 0; i < 4; ++i) {
+            kb.load(Opcode::LoadDword, first + i, 5, b);
+            kb.valu(Opcode::VAddU32, 5, Src::vreg(5), Src::imm(n * 4));
+        }
+    };
+
+    kb.load(Opcode::LoadDwordX4, 10, 4, a); // preload tile 0
+    load_b_tile(14);
+    kb.valu(Opcode::VAddU32, 4, Src::vreg(4), Src::imm(16));
+    int top = emitLoopBegin(kb, 1, k / 8);
+    kb.load(Opcode::LoadDwordX4, 20, 4, a); // prefetch tile 2j+1
+    load_b_tile(24);
+    kb.valu(Opcode::VAddU32, 4, Src::vreg(4), Src::imm(16));
+    for (unsigned i = 0; i < 4; ++i)        // consume tile 2j
+        kb.mac(6, Src::vreg(10 + i), Src::vreg(14 + i));
+    kb.load(Opcode::LoadDwordX4, 10, 4, a); // prefetch tile 2j+2
+    load_b_tile(14);
+    kb.valu(Opcode::VAddU32, 4, Src::vreg(4), Src::imm(16));
+    for (unsigned i = 0; i < 4; ++i)        // consume tile 2j+1
+        kb.mac(6, Src::vreg(20 + i), Src::vreg(24 + i));
+    emitLoopEnd(kb, 1, top);
+    kb.valu(Opcode::VShlU32, 7, Src::vreg(1), Src::imm(2));
+    kb.store(Opcode::StoreDword, 7, 6, c);
+    // The original APP SDK kernel is register-tiled: its register
+    // pressure caps occupancy at 768 wavefronts machine-wide (Sec 3).
+    kb.reserveVregs(85);
+    w.kernels.push_back(kb.build(waves));
+
+    w.verify = [a, b, c, n, k](const GlobalMemory &m) {
+        std::vector<float> expect(std::uint64_t(n) * n, 0.0f);
+        for (unsigned r = 0; r < n; ++r) {
+            for (unsigned cc = 0; cc < n; ++cc) {
+                float acc = 0.0f;
+                for (unsigned kk = 0; kk < k; ++kk) {
+                    acc += m.readF32(a + 4ull * (r * k + kk)) *
+                           m.readF32(b + 4ull * (std::uint64_t(kk) * n +
+                                                 cc));
+                }
+                expect[std::uint64_t(r) * n + cc] = acc;
+            }
+        }
+        return compareF32(m, c, expect);
+    };
+    return w;
+}
+
+Workload
+makeMT(const WorkloadParams &p)
+{
+    const unsigned n = std::max(64u, 2048u / p.scale);
+    panic_if(!isPow2(n), "MT dim must be a power of two");
+
+    Workload w;
+    w.name = "MT";
+    w.mem = std::make_unique<GlobalMemory>();
+    GlobalMemory &mem = *w.mem;
+
+    Addr in = mem.alloc(4ull * n * n + 64);
+    Addr out = mem.alloc(4ull * n * n + 64);
+    Rng rng(p.seed);
+    fillSparseF32(mem, in, std::uint64_t(n) * n, p.sparsity, rng);
+
+    KernelBuilder kb("mt");
+    kb.threadId(0);
+    kb.valu(Opcode::VShlU32, 1, Src::vreg(0), Src::imm(2));
+    kb.load(Opcode::LoadDword, 2, 1, in);
+    kb.valu(Opcode::VShrU32, 3, Src::vreg(0), Src::imm(log2u(n))); // row
+    kb.valu(Opcode::VAndB32, 4, Src::vreg(0), Src::imm(n - 1));    // col
+    kb.valu(Opcode::VMulU32, 5, Src::vreg(4), Src::imm(n * 4));
+    kb.valu(Opcode::VShlU32, 6, Src::vreg(3), Src::imm(2));
+    kb.valu(Opcode::VAddU32, 5, Src::vreg(5), Src::vreg(6));
+    kb.store(Opcode::StoreDword, 5, 2, out);
+    w.kernels.push_back(kb.build((n * n) / wavefrontSize));
+
+    w.verify = [in, out, n](const GlobalMemory &m) {
+        std::vector<float> expect(std::uint64_t(n) * n);
+        for (unsigned r = 0; r < n; ++r) {
+            for (unsigned c = 0; c < n; ++c) {
+                expect[std::uint64_t(c) * n + r] =
+                    m.readF32(in + 4ull * (r * std::uint64_t(n) + c));
+            }
+        }
+        return compareF32(m, out, expect);
+    };
+    return w;
+}
+
+Workload
+makeBICG(const WorkloadParams &p)
+{
+    // q = A p ; s = A^T r (PolyBench bicg).
+    const unsigned n = std::max(256u, 4096u / p.scale);
+    const unsigned m_cols = 128;
+
+    Workload w;
+    w.name = "BICG";
+    w.mem = std::make_unique<GlobalMemory>();
+    GlobalMemory &mem = *w.mem;
+
+    Addr a = mem.alloc(4ull * n * m_cols + 64);
+    Addr at = mem.alloc(4ull * n * m_cols + 64);
+    Addr pv = mem.alloc(4ull * m_cols + 64);
+    Addr rv = mem.alloc(4ull * n + 64);
+    Addr q = mem.alloc(4ull * n + 64);
+    Addr s = mem.alloc(4ull * m_cols * 2 + 64); // padded to wavefronts
+
+    Rng rng(p.seed);
+    fillSparseF32(mem, a, std::uint64_t(n) * m_cols, p.sparsity, rng);
+    fillSparseF32(mem, pv, m_cols, p.sparsity, rng);
+    fillSparseF32(mem, rv, n, p.sparsity, rng);
+    // A^T materialised host-side, as the OpenCL original does.
+    for (unsigned r = 0; r < n; ++r) {
+        for (unsigned c = 0; c < m_cols; ++c) {
+            mem.writeF32(at + 4ull * (std::uint64_t(c) * n + r),
+                         mem.readF32(a + 4ull * (r * m_cols + c)));
+        }
+    }
+
+    w.kernels.push_back(buildMatvec("bicg_q", a, pv, q, n, m_cols));
+    w.kernels.push_back(buildMatvec("bicg_s", at, rv, s, m_cols, n));
+
+    w.verify = [a, at, pv, rv, q, s, n, m_cols](const GlobalMemory &m) {
+        auto eq = hostMatvec(m, a, pv, n, m_cols);
+        std::string err = compareF32(m, q, eq);
+        if (!err.empty())
+            return "q: " + err;
+        auto es = hostMatvec(m, at, rv, m_cols, n);
+        err = compareF32(m, s, es);
+        return err.empty() ? err : "s: " + err;
+    };
+    return w;
+}
+
+Workload
+makeATAX(const WorkloadParams &p)
+{
+    // y = A^T (A x): second matvec consumes the first one's output.
+    const unsigned n = std::max(256u, 4096u / p.scale);
+    const unsigned m_cols = 128;
+
+    Workload w;
+    w.name = "ATAX";
+    w.mem = std::make_unique<GlobalMemory>();
+    GlobalMemory &mem = *w.mem;
+
+    Addr a = mem.alloc(4ull * n * m_cols + 64);
+    Addr at = mem.alloc(4ull * n * m_cols + 64);
+    Addr x = mem.alloc(4ull * m_cols + 64);
+    Addr t = mem.alloc(4ull * n + 64);
+    Addr y = mem.alloc(4ull * m_cols * 2 + 64);
+
+    Rng rng(p.seed);
+    fillSparseF32(mem, a, std::uint64_t(n) * m_cols, p.sparsity, rng);
+    fillSparseF32(mem, x, m_cols, p.sparsity, rng);
+    for (unsigned r = 0; r < n; ++r) {
+        for (unsigned c = 0; c < m_cols; ++c) {
+            mem.writeF32(at + 4ull * (std::uint64_t(c) * n + r),
+                         mem.readF32(a + 4ull * (r * m_cols + c)));
+        }
+    }
+
+    w.kernels.push_back(buildMatvec("atax_t", a, x, t, n, m_cols));
+    w.kernels.push_back(buildMatvec("atax_y", at, t, y, m_cols, n));
+
+    w.verify = [a, at, x, y, n, m_cols](const GlobalMemory &m) {
+        auto et = hostMatvec(m, a, x, n, m_cols);
+        std::vector<float> expect(m_cols, 0.0f);
+        for (unsigned c = 0; c < m_cols; ++c) {
+            float acc = 0.0f;
+            for (unsigned r = 0; r < n; ++r)
+                acc += m.readF32(at + 4ull * (std::uint64_t(c) * n + r)) *
+                       et[r];
+            expect[c] = acc;
+        }
+        return compareF32(m, y, expect);
+    };
+    return w;
+}
+
+Workload
+makeSPMV(const WorkloadParams &p)
+{
+    // Uniform-degree CSR (one row per thread, 16 nnz per row). The
+    // sparsity knob zeroes the dense x vector, the input without
+    // inherent sparsity structure (Sec 5.1).
+    const unsigned rows = std::max(1024u, 16384u / p.scale);
+    const unsigned nnz = 16;
+    const unsigned xdim = 4096;
+
+    Workload w;
+    w.name = "SPMV";
+    w.mem = std::make_unique<GlobalMemory>();
+    GlobalMemory &mem = *w.mem;
+
+    Addr cols = mem.alloc(4ull * rows * nnz + 64);
+    Addr vals = mem.alloc(4ull * rows * nnz + 64);
+    Addr x = mem.alloc(4ull * xdim + 64);
+    Addr y = mem.alloc(4ull * rows + 64);
+
+    Rng rng(p.seed);
+    fillRandU32(mem, cols, std::uint64_t(rows) * nnz, xdim, rng);
+    fillSparseF32(mem, vals, std::uint64_t(rows) * nnz, 0.0, rng);
+    fillSparseF32(mem, x, xdim, p.sparsity, rng);
+
+    KernelBuilder kb("spmv");
+    kb.threadId(0);
+    kb.valu(Opcode::VMulU32, 1, Src::vreg(0), Src::imm(nnz * 4)); // row off
+    kb.valu(Opcode::VMov, 2, Src::immF(0.0f));                    // acc
+    int top = emitLoopBegin(kb, 1, nnz);
+    kb.load(Opcode::LoadDword, 10, 1, cols); // column index
+    kb.load(Opcode::LoadDword, 11, 1, vals); // matrix value
+    kb.valu(Opcode::VShlU32, 12, Src::vreg(10), Src::imm(2));
+    kb.load(Opcode::LoadDword, 13, 12, x);   // gather x[col]
+    kb.mac(2, Src::vreg(11), Src::vreg(13));
+    kb.valu(Opcode::VAddU32, 1, Src::vreg(1), Src::imm(4));
+    emitLoopEnd(kb, 1, top);
+    kb.valu(Opcode::VShlU32, 3, Src::vreg(0), Src::imm(2));
+    kb.store(Opcode::StoreDword, 3, 2, y);
+    w.kernels.push_back(kb.build(rows / wavefrontSize));
+
+    w.verify = [cols, vals, x, y, rows, nnz](const GlobalMemory &m) {
+        std::vector<float> expect(rows, 0.0f);
+        for (unsigned r = 0; r < rows; ++r) {
+            float acc = 0.0f;
+            for (unsigned i = 0; i < nnz; ++i) {
+                std::uint32_t col =
+                    m.readU32(cols + 4ull * (r * nnz + i));
+                acc += m.readF32(vals + 4ull * (r * nnz + i)) *
+                       m.readF32(x + 4ull * col);
+            }
+            expect[r] = acc;
+        }
+        return compareF32(m, y, expect);
+    };
+    return w;
+}
+
+} // namespace lazygpu

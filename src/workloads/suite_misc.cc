@@ -1,0 +1,584 @@
+/**
+ * @file
+ * Remaining suite benchmarks: NBody, KMeans, PR, FFT, BFS, NW, AES.
+ */
+
+#include <cmath>
+#include <vector>
+
+#include "workloads/kernel_util.hh"
+#include "workloads/suite.hh"
+
+namespace lazygpu
+{
+
+Workload
+makeNBody(const WorkloadParams &p)
+{
+    const unsigned bodies = std::max(512u, 4096u / p.scale);
+    const float eps = 0.01f;
+
+    Workload w;
+    w.name = "NBody";
+    w.mem = std::make_unique<GlobalMemory>();
+    GlobalMemory &mem = *w.mem;
+
+    Addr pos = mem.alloc(16ull * bodies + 64);   // x, y, z, m per body
+    Addr force = mem.alloc(16ull * bodies + 64); // fx, fy, fz, pad
+    Rng rng(p.seed);
+    for (unsigned i = 0; i < bodies; ++i) {
+        mem.writeF32(pos + 16ull * i + 0, rng.range(-1.0f, 1.0f));
+        mem.writeF32(pos + 16ull * i + 4, rng.range(-1.0f, 1.0f));
+        mem.writeF32(pos + 16ull * i + 8, rng.range(-1.0f, 1.0f));
+        mem.writeF32(pos + 16ull * i + 12,
+                     p.sparsity > 0 && rng.chance(p.sparsity)
+                         ? 0.0f
+                         : rng.range(0.5f, 1.5f)); // mass
+    }
+
+    KernelBuilder kb("nbody");
+    kb.threadId(0);
+    kb.valu(Opcode::VShlU32, 1, Src::vreg(0), Src::imm(4));
+    kb.load(Opcode::LoadDwordX4, 4, 1, pos); // own x,y,z,m
+    kb.valu(Opcode::VMov, 2, Src::imm(0));   // j offset
+    kb.valu(Opcode::VMov, 20, Src::immF(0.0f));
+    kb.valu(Opcode::VMov, 21, Src::immF(0.0f));
+    kb.valu(Opcode::VMov, 22, Src::immF(0.0f));
+    kb.valu(Opcode::VMov, 23, Src::immF(0.0f));
+    int top = emitLoopBegin(kb, 1, bodies);
+    kb.load(Opcode::LoadDwordX4, 10, 2, pos); // body j
+    kb.valu(Opcode::VSubF32, 14, Src::vreg(10), Src::vreg(4));
+    kb.valu(Opcode::VSubF32, 15, Src::vreg(11), Src::vreg(5));
+    kb.valu(Opcode::VSubF32, 16, Src::vreg(12), Src::vreg(6));
+    kb.valu(Opcode::VMov, 17, Src::immF(eps));
+    kb.mac(17, Src::vreg(14), Src::vreg(14));
+    kb.mac(17, Src::vreg(15), Src::vreg(15));
+    kb.mac(17, Src::vreg(16), Src::vreg(16));
+    kb.valu(Opcode::VSqrtF32, 18, Src::vreg(17));
+    kb.valu(Opcode::VMulF32, 18, Src::vreg(18), Src::vreg(17));
+    kb.valu(Opcode::VRcpF32, 18, Src::vreg(18)); // 1 / r^3
+    kb.valu(Opcode::VMulF32, 19, Src::vreg(18), Src::vreg(13)); // m_j/r^3
+    kb.mac(20, Src::vreg(19), Src::vreg(14));
+    kb.mac(21, Src::vreg(19), Src::vreg(15));
+    kb.mac(22, Src::vreg(19), Src::vreg(16));
+    kb.valu(Opcode::VAddU32, 2, Src::vreg(2), Src::imm(16));
+    emitLoopEnd(kb, 1, top);
+    kb.store(Opcode::StoreDwordX4, 1, 20, force);
+    w.kernels.push_back(kb.build(bodies / wavefrontSize));
+
+    w.verify = [pos, force, bodies, eps](const GlobalMemory &m) {
+        for (unsigned i = 0; i < bodies; i += 97) { // spot-check
+            float xi = m.readF32(pos + 16ull * i);
+            float yi = m.readF32(pos + 16ull * i + 4);
+            float zi = m.readF32(pos + 16ull * i + 8);
+            float fx = 0, fy = 0, fz = 0;
+            for (unsigned j = 0; j < bodies; ++j) {
+                float dx = m.readF32(pos + 16ull * j) - xi;
+                float dy = m.readF32(pos + 16ull * j + 4) - yi;
+                float dz = m.readF32(pos + 16ull * j + 8) - zi;
+                float mj = m.readF32(pos + 16ull * j + 12);
+                float d2 = eps + dx * dx + dy * dy + dz * dz;
+                float inv3 = 1.0f / (std::sqrt(d2) * d2);
+                fx += mj * inv3 * dx;
+                fy += mj * inv3 * dy;
+                fz += mj * inv3 * dz;
+            }
+            float gx = m.readF32(force + 16ull * i);
+            if (std::fabs(gx - fx) > 0.05f * (1.0f + std::fabs(fx)))
+                return std::string("force mismatch at body ") +
+                       std::to_string(i);
+            (void)fy;
+            (void)fz;
+        }
+        return std::string();
+    };
+    return w;
+}
+
+Workload
+makeKMeans(const WorkloadParams &p)
+{
+    const unsigned points = std::max(4096u, 65536u / p.scale);
+    const unsigned clusters = 8; // 4-dim features
+
+    Workload w;
+    w.name = "KMeans";
+    w.mem = std::make_unique<GlobalMemory>();
+    GlobalMemory &mem = *w.mem;
+
+    Addr feat = mem.alloc(16ull * points + 64);
+    Addr cent = mem.alloc(16ull * clusters + 64);
+    Addr best = mem.alloc(4ull * points + 64);
+    Rng rng(p.seed);
+    fillSparseF32(mem, feat, 4ull * points, p.sparsity, rng, -1.0f, 1.0f);
+    fillSparseF32(mem, cent, 4ull * clusters, 0.0, rng, -1.0f, 1.0f);
+
+    KernelBuilder kb("kmeans");
+    kb.threadId(0);
+    kb.valu(Opcode::VShlU32, 1, Src::vreg(0), Src::imm(4));
+    kb.load(Opcode::LoadDwordX4, 4, 1, feat);
+    kb.valu(Opcode::VMov, 2, Src::imm(0));
+    kb.valu(Opcode::VMov, 8, Src::immF(1e30f)); // best distance
+    int top = emitLoopBegin(kb, 1, clusters);
+    kb.load(Opcode::LoadDwordX4, 10, 2, cent);
+    kb.valu(Opcode::VMov, 14, Src::immF(0.0f));
+    for (unsigned d = 0; d < 4; ++d) {
+        kb.valu(Opcode::VSubF32, 15, Src::vreg(10 + d), Src::vreg(4 + d));
+        kb.mac(14, Src::vreg(15), Src::vreg(15));
+    }
+    kb.valu(Opcode::VMinF32, 8, Src::vreg(8), Src::vreg(14));
+    kb.valu(Opcode::VAddU32, 2, Src::vreg(2), Src::imm(16));
+    emitLoopEnd(kb, 1, top);
+    kb.valu(Opcode::VShlU32, 3, Src::vreg(0), Src::imm(2));
+    kb.store(Opcode::StoreDword, 3, 8, best);
+    w.kernels.push_back(kb.build(points / wavefrontSize));
+
+    w.verify = [feat, cent, best, points, clusters](const GlobalMemory &m) {
+        for (unsigned i = 0; i < points; i += 211) {
+            float bd = 1e30f;
+            for (unsigned c = 0; c < clusters; ++c) {
+                float d = 0;
+                for (unsigned k = 0; k < 4; ++k) {
+                    float diff = m.readF32(cent + 16ull * c + 4 * k) -
+                                 m.readF32(feat + 16ull * i + 4 * k);
+                    d += diff * diff;
+                }
+                bd = std::min(bd, d);
+            }
+            float got = m.readF32(best + 4ull * i);
+            if (std::fabs(got - bd) > 1e-3f * (1.0f + bd))
+                return std::string("distance mismatch at point ") +
+                       std::to_string(i);
+        }
+        return std::string();
+    };
+    return w;
+}
+
+Workload
+makePR(const WorkloadParams &p)
+{
+    const unsigned verts = std::max(4096u, 65536u / p.scale);
+    const unsigned deg = 8;
+    const float damp = 0.85f;
+
+    Workload w;
+    w.name = "PR";
+    w.mem = std::make_unique<GlobalMemory>();
+    GlobalMemory &mem = *w.mem;
+
+    Addr edges = mem.alloc(4ull * verts * deg + 64);
+    Addr rank = mem.alloc(4ull * verts + 64);
+    Addr rank_out = mem.alloc(4ull * verts + 64);
+    Rng rng(p.seed);
+    fillRandU32(mem, edges, std::uint64_t(verts) * deg, verts, rng);
+    // Ranks: sparsity knob zeroes a fraction (pruned-GNN scenario).
+    fillSparseF32(mem, rank, verts, p.sparsity, rng, 0.1f, 1.0f);
+
+    const float contrib = damp / deg;
+    const float base = (1.0f - damp) / verts;
+
+    KernelBuilder kb("pagerank");
+    kb.threadId(0);
+    kb.valu(Opcode::VMulU32, 1, Src::vreg(0), Src::imm(deg * 4));
+    kb.valu(Opcode::VMov, 2, Src::immF(base));
+    int top = emitLoopBegin(kb, 1, deg);
+    kb.load(Opcode::LoadDword, 10, 1, edges);
+    kb.valu(Opcode::VShlU32, 11, Src::vreg(10), Src::imm(2));
+    kb.load(Opcode::LoadDword, 12, 11, rank); // gather neighbour rank
+    kb.mac(2, Src::vreg(12), Src::immF(contrib));
+    kb.valu(Opcode::VAddU32, 1, Src::vreg(1), Src::imm(4));
+    emitLoopEnd(kb, 1, top);
+    kb.valu(Opcode::VShlU32, 3, Src::vreg(0), Src::imm(2));
+    kb.store(Opcode::StoreDword, 3, 2, rank_out);
+    w.kernels.push_back(kb.build(verts / wavefrontSize));
+
+    w.verify = [edges, rank, rank_out, verts, contrib,
+                base](const GlobalMemory &m) {
+        std::vector<float> expect(verts, 0.0f);
+        for (unsigned v = 0; v < verts; ++v) {
+            float acc = base;
+            for (unsigned e = 0; e < 8; ++e) {
+                std::uint32_t n = m.readU32(edges + 4ull * (v * 8 + e));
+                acc += contrib * m.readF32(rank + 4ull * n);
+            }
+            expect[v] = acc;
+        }
+        return compareF32(m, rank_out, expect);
+    };
+    return w;
+}
+
+Workload
+makeFFT(const WorkloadParams &p)
+{
+    const unsigned n = std::max(1024u, 8192u / p.scale);
+    const unsigned stages = log2u(n);
+
+    Workload w;
+    w.name = "FFT";
+    w.mem = std::make_unique<GlobalMemory>();
+    GlobalMemory &mem = *w.mem;
+
+    Addr re = mem.alloc(4ull * n + 64);
+    Addr im = mem.alloc(4ull * n + 64);
+    Addr twr = mem.alloc(4ull * n / 2 + 64);
+    Addr twi = mem.alloc(4ull * n / 2 + 64);
+    Rng rng(p.seed);
+    fillSparseF32(mem, re, n, p.sparsity, rng, -1.0f, 1.0f);
+    fillSparseF32(mem, im, n, p.sparsity, rng, -1.0f, 1.0f);
+    for (unsigned k2 = 0; k2 < n / 2; ++k2) {
+        double ang = -2.0 * M_PI * k2 / n;
+        mem.writeF32(twr + 4ull * k2, static_cast<float>(std::cos(ang)));
+        mem.writeF32(twi + 4ull * k2, static_cast<float>(std::sin(ang)));
+    }
+
+    // Reference computed on the *initial* image before the device
+    // overwrites it in place.
+    std::vector<float> ref_re = mem.readF32Array(re, n);
+    std::vector<float> ref_im = mem.readF32Array(im, n);
+    for (unsigned s = 0; s < stages; ++s) {
+        unsigned span = 1u << s;
+        for (unsigned i = 0; i < n / 2; ++i) {
+            unsigned block = (i >> s) << (s + 1);
+            unsigned pos = i & (span - 1);
+            unsigned a = block + pos;
+            unsigned b = a + span;
+            unsigned tk = pos << (stages - 1 - s);
+            float wr = mem.readF32(twr + 4ull * tk);
+            float wi = mem.readF32(twi + 4ull * tk);
+            float tre = wr * ref_re[b] - wi * ref_im[b];
+            float tim = wr * ref_im[b] + wi * ref_re[b];
+            float ar = ref_re[a], ai = ref_im[a];
+            ref_re[a] = ar + tre;
+            ref_im[a] = ai + tim;
+            ref_re[b] = ar - tre;
+            ref_im[b] = ai - tim;
+        }
+    }
+
+    for (unsigned s = 0; s < stages; ++s) {
+        const unsigned span = 1u << s;
+        KernelBuilder kb("fft_stage" + std::to_string(s));
+        kb.threadId(0);
+        kb.valu(Opcode::VShrU32, 1, Src::vreg(0), Src::imm(s));
+        kb.valu(Opcode::VShlU32, 1, Src::vreg(1), Src::imm(s + 1));
+        kb.valu(Opcode::VAndB32, 2, Src::vreg(0), Src::imm(span - 1));
+        kb.valu(Opcode::VAddU32, 3, Src::vreg(1), Src::vreg(2)); // a
+        kb.valu(Opcode::VAddU32, 4, Src::vreg(3), Src::imm(span)); // b
+        kb.valu(Opcode::VShlU32, 5, Src::vreg(2),
+                Src::imm(stages - 1 - s)); // twiddle index
+        kb.valu(Opcode::VShlU32, 6, Src::vreg(3), Src::imm(2)); // a off
+        kb.valu(Opcode::VShlU32, 7, Src::vreg(4), Src::imm(2)); // b off
+        kb.valu(Opcode::VShlU32, 8, Src::vreg(5), Src::imm(2)); // tw off
+        kb.load(Opcode::LoadDword, 10, 6, re);
+        kb.load(Opcode::LoadDword, 11, 6, im);
+        kb.load(Opcode::LoadDword, 12, 7, re);
+        kb.load(Opcode::LoadDword, 13, 7, im);
+        kb.load(Opcode::LoadDword, 14, 8, twr);
+        kb.load(Opcode::LoadDword, 15, 8, twi);
+        kb.valu(Opcode::VMulF32, 16, Src::vreg(14), Src::vreg(12));
+        kb.valu(Opcode::VMulF32, 17, Src::vreg(15), Src::vreg(13));
+        kb.valu(Opcode::VSubF32, 16, Src::vreg(16), Src::vreg(17)); // tre
+        kb.valu(Opcode::VMulF32, 17, Src::vreg(14), Src::vreg(13));
+        kb.mac(17, Src::vreg(15), Src::vreg(12)); // tim
+        kb.valu(Opcode::VAddF32, 18, Src::vreg(10), Src::vreg(16));
+        kb.valu(Opcode::VAddF32, 19, Src::vreg(11), Src::vreg(17));
+        kb.valu(Opcode::VSubF32, 20, Src::vreg(10), Src::vreg(16));
+        kb.valu(Opcode::VSubF32, 21, Src::vreg(11), Src::vreg(17));
+        kb.store(Opcode::StoreDword, 6, 18, re);
+        kb.store(Opcode::StoreDword, 6, 19, im);
+        kb.store(Opcode::StoreDword, 7, 20, re);
+        kb.store(Opcode::StoreDword, 7, 21, im);
+        w.kernels.push_back(kb.build((n / 2) / wavefrontSize));
+    }
+
+    w.verify = [re, im, ref_re, ref_im](const GlobalMemory &m) {
+        std::string err = compareF32(m, re, ref_re, 5e-3f);
+        if (!err.empty())
+            return "re: " + err;
+        err = compareF32(m, im, ref_im, 5e-3f);
+        return err.empty() ? err : "im: " + err;
+    };
+    return w;
+}
+
+Workload
+makeBFS(const WorkloadParams &p)
+{
+    // Jacobi-style level relaxation on a uniform-degree graph; inputs
+    // have no zero values (levels start at a large sentinel), matching
+    // the paper's observation that BFS lacks sparsity to exploit.
+    const unsigned verts = std::max(8192u, 65536u / p.scale);
+    const unsigned deg = 8;
+    const unsigned iters = 6;
+    const std::uint32_t inf = 0x00ffffffu;
+
+    Workload w;
+    w.name = "BFS";
+    w.mem = std::make_unique<GlobalMemory>();
+    GlobalMemory &mem = *w.mem;
+
+    Addr edges = mem.alloc(4ull * verts * deg + 64);
+    Addr lvl_a = mem.alloc(4ull * verts + 64);
+    Addr lvl_b = mem.alloc(4ull * verts + 64);
+    Rng rng(p.seed);
+    fillRandU32(mem, edges, std::uint64_t(verts) * deg, verts, rng);
+    for (unsigned v = 0; v < verts; ++v)
+        mem.writeU32(lvl_a + 4ull * v, v == 0 ? 1 : inf);
+
+    auto build_pass = [&](Addr src, Addr dst, unsigned it) {
+        KernelBuilder kb("bfs_iter" + std::to_string(it));
+        kb.threadId(0);
+        kb.valu(Opcode::VShlU32, 1, Src::vreg(0), Src::imm(2));
+        kb.load(Opcode::LoadDword, 2, 1, src); // own level
+        kb.valu(Opcode::VMulU32, 3, Src::vreg(0), Src::imm(deg * 4));
+        int top = emitLoopBegin(kb, 1, deg);
+        kb.load(Opcode::LoadDword, 10, 3, edges);
+        kb.valu(Opcode::VShlU32, 11, Src::vreg(10), Src::imm(2));
+        kb.load(Opcode::LoadDword, 12, 11, src); // neighbour level
+        kb.valu(Opcode::VAddU32, 13, Src::vreg(12), Src::imm(1));
+        kb.valu(Opcode::VMinU32, 2, Src::vreg(2), Src::vreg(13));
+        kb.valu(Opcode::VAddU32, 3, Src::vreg(3), Src::imm(4));
+        emitLoopEnd(kb, 1, top);
+        kb.store(Opcode::StoreDword, 1, 2, dst);
+        return kb.build(verts / wavefrontSize);
+    };
+
+    for (unsigned it = 0; it < iters; ++it) {
+        w.kernels.push_back(
+            build_pass(it % 2 == 0 ? lvl_a : lvl_b,
+                       it % 2 == 0 ? lvl_b : lvl_a, it));
+    }
+
+    w.verify = [edges, lvl_a, lvl_b, verts, iters,
+                inf](const GlobalMemory &m) {
+        std::vector<std::uint32_t> cur(verts), next(verts);
+        for (unsigned v = 0; v < verts; ++v)
+            cur[v] = v == 0 ? 1 : inf;
+        for (unsigned it = 0; it < iters; ++it) {
+            for (unsigned v = 0; v < verts; ++v) {
+                std::uint32_t best = cur[v];
+                for (unsigned e = 0; e < 8; ++e) {
+                    std::uint32_t nb =
+                        m.readU32(edges + 4ull * (v * 8 + e));
+                    best = std::min(best, cur[nb] + 1);
+                }
+                next[v] = best;
+            }
+            std::swap(cur, next);
+        }
+        Addr final_buf = iters % 2 == 0 ? lvl_a : lvl_b;
+        for (unsigned v = 0; v < verts; ++v) {
+            if (m.readU32(final_buf + 4ull * v) != cur[v])
+                return std::string("level mismatch at vertex ") +
+                       std::to_string(v);
+        }
+        return std::string();
+    };
+    return w;
+}
+
+Workload
+makeNW(const WorkloadParams &p)
+{
+    // Needleman-Wunsch: anti-diagonal dynamic programming, one kernel
+    // launch per diagonal. Scores are floats; gaps cost 2, matches gain
+    // 3, mismatches cost 3. Inputs are sequences (no zero values).
+    const unsigned n = std::max(128u, 1024u / p.scale);
+    const unsigned dim = n + 1;
+
+    Workload w;
+    w.name = "NW";
+    w.mem = std::make_unique<GlobalMemory>();
+    GlobalMemory &mem = *w.mem;
+
+    Addr seq_a = mem.alloc(n + 64);
+    Addr seq_b = mem.alloc(n + 64);
+    Addr h = mem.alloc(4ull * (dim * dim + 64));
+    const std::uint32_t dump_idx = dim * dim; // out-of-range lanes land here
+
+    Rng rng(p.seed);
+    for (unsigned i = 0; i < n; ++i) {
+        mem.writeByte(seq_a + i, static_cast<std::uint8_t>(
+                                     1 + rng.below(4))); // ACGT, non-zero
+        mem.writeByte(seq_b + i, static_cast<std::uint8_t>(
+                                     1 + rng.below(4)));
+    }
+    for (unsigned i = 0; i < dim; ++i) {
+        mem.writeF32(h + 4ull * i, -2.0f * i);          // top row
+        mem.writeF32(h + 4ull * (i * dim), -2.0f * i);  // left column
+    }
+
+    for (unsigned d = 2; d <= 2 * n; ++d) {
+        const unsigned lo = d > n ? d - n : 1;
+        const unsigned hi = std::min(n, d - 1);
+        const unsigned count = hi - lo + 1;
+        const unsigned waves =
+            (count + wavefrontSize - 1) / wavefrontSize;
+
+        KernelBuilder kb("nw_diag" + std::to_string(d));
+        kb.threadId(0);
+        // in-range predicate: min(t, count-1) == t
+        kb.valu(Opcode::VMinU32, 1, Src::vreg(0), Src::imm(count - 1));
+        kb.valu(Opcode::VCmpEqU32, 1, Src::vreg(1), Src::vreg(0));
+        kb.valu(Opcode::VAddU32, 2, Src::vreg(0), Src::imm(lo)); // i
+        kb.valu(Opcode::VSubU32, 3, Src::imm(d), Src::vreg(2));  // j
+        kb.valu(Opcode::VMulU32, 4, Src::vreg(2), Src::imm(dim));
+        kb.valu(Opcode::VAddU32, 4, Src::vreg(4), Src::vreg(3)); // idx
+        // select: idx = in ? idx : dump
+        kb.valu(Opcode::VMulU32, 4, Src::vreg(4), Src::vreg(1));
+        kb.valu(Opcode::VSubU32, 5, Src::imm(1), Src::vreg(1));
+        kb.valu(Opcode::VMulU32, 5, Src::vreg(5), Src::imm(dump_idx));
+        kb.valu(Opcode::VAddU32, 4, Src::vreg(4), Src::vreg(5));
+        // neighbour cells
+        kb.valu(Opcode::VSubU32, 6, Src::vreg(4), Src::imm(dim));  // up
+        kb.valu(Opcode::VSubU32, 7, Src::vreg(4), Src::imm(1));    // left
+        kb.valu(Opcode::VSubU32, 8, Src::vreg(4), Src::imm(dim + 1));
+        for (unsigned r = 6; r <= 8; ++r)
+            kb.valu(Opcode::VShlU32, r, Src::vreg(r), Src::imm(2));
+        kb.load(Opcode::LoadDword, 10, 6, h); // up
+        kb.load(Opcode::LoadDword, 11, 7, h); // left
+        kb.load(Opcode::LoadDword, 12, 8, h); // diag
+        // substitution score: match ? +3 : -3
+        kb.valu(Opcode::VSubU32, 13, Src::vreg(2), Src::imm(1));
+        kb.load(Opcode::LoadByte, 14, 13, seq_a);
+        kb.valu(Opcode::VSubU32, 15, Src::vreg(3), Src::imm(1));
+        kb.load(Opcode::LoadByte, 16, 15, seq_b);
+        kb.valu(Opcode::VCmpEqU32, 17, Src::vreg(14), Src::vreg(16));
+        kb.valu(Opcode::VCvtF32U32, 17, Src::vreg(17));
+        kb.valu(Opcode::VMov, 18, Src::immF(-3.0f));
+        kb.mac(18, Src::vreg(17), Src::immF(6.0f));
+        kb.valu(Opcode::VAddF32, 19, Src::vreg(12), Src::vreg(18));
+        kb.valu(Opcode::VAddF32, 20, Src::vreg(10), Src::immF(-2.0f));
+        kb.valu(Opcode::VAddF32, 21, Src::vreg(11), Src::immF(-2.0f));
+        kb.valu(Opcode::VMaxF32, 19, Src::vreg(19), Src::vreg(20));
+        kb.valu(Opcode::VMaxF32, 19, Src::vreg(19), Src::vreg(21));
+        kb.valu(Opcode::VShlU32, 9, Src::vreg(4), Src::imm(2));
+        kb.store(Opcode::StoreDword, 9, 19, h);
+        w.kernels.push_back(kb.build(waves));
+    }
+
+    w.verify = [seq_a, seq_b, h, n, dim](const GlobalMemory &m) {
+        std::vector<float> dp(std::uint64_t(dim) * dim, 0.0f);
+        for (unsigned i = 0; i < dim; ++i) {
+            dp[i] = -2.0f * i;
+            dp[std::uint64_t(i) * dim] = -2.0f * i;
+        }
+        for (unsigned i = 1; i <= n; ++i) {
+            for (unsigned j = 1; j <= n; ++j) {
+                float s = m.readByte(seq_a + i - 1) ==
+                                  m.readByte(seq_b + j - 1)
+                              ? 3.0f
+                              : -3.0f;
+                float best = dp[(i - 1ull) * dim + j - 1] + s;
+                best = std::max(best, dp[(i - 1ull) * dim + j] - 2.0f);
+                best = std::max(best, dp[std::uint64_t(i) * dim + j - 1] -
+                                          2.0f);
+                dp[std::uint64_t(i) * dim + j] = best;
+            }
+        }
+        for (unsigned i = 1; i <= n; i += 37) {
+            for (unsigned j = 1; j <= n; j += 41) {
+                float got =
+                    m.readF32(h + 4ull * (std::uint64_t(i) * dim + j));
+                if (std::fabs(got - dp[std::uint64_t(i) * dim + j]) >
+                    1e-3f) {
+                    return std::string("H mismatch at (") +
+                           std::to_string(i) + "," + std::to_string(j) +
+                           ")";
+                }
+            }
+        }
+        return std::string();
+    };
+    return w;
+}
+
+Workload
+makeAES(const WorkloadParams &p)
+{
+    // T-table-style rounds: per 16 B block, ten rounds of table gathers
+    // and XOR mixing (VAndB32 masking is the otimes instruction here).
+    const unsigned blocks = std::max(4096u, 32768u / p.scale);
+    const unsigned rounds = 10;
+
+    Workload w;
+    w.name = "AES";
+    w.mem = std::make_unique<GlobalMemory>();
+    GlobalMemory &mem = *w.mem;
+
+    Addr ttab = mem.alloc(4ull * 256 + 64);
+    Addr state_in = mem.alloc(16ull * blocks + 64);
+    Addr state_out = mem.alloc(16ull * blocks + 64);
+    Rng rng(p.seed);
+    for (unsigned i = 0; i < 256; ++i)
+        mem.writeU32(ttab + 4ull * i,
+                     static_cast<std::uint32_t>(rng.next()) | 1u);
+    // Plaintext: sparsity is honoured for comparability with Fig 12
+    // (AES inputs are bytes; zero bytes yield zero words only rarely).
+    for (unsigned i = 0; i < blocks * 4; ++i) {
+        std::uint32_t v = rng.chance(p.sparsity)
+                              ? 0u
+                              : static_cast<std::uint32_t>(rng.next());
+        mem.writeU32(state_in + 4ull * i, v);
+    }
+    std::vector<std::uint32_t> round_key(rounds);
+    for (unsigned r = 0; r < rounds; ++r)
+        round_key[r] = static_cast<std::uint32_t>(rng.next());
+
+    KernelBuilder kb("aes");
+    kb.threadId(0);
+    kb.valu(Opcode::VShlU32, 1, Src::vreg(0), Src::imm(4));
+    kb.load(Opcode::LoadDwordX4, 4, 1, state_in); // v4..7 = state
+    for (unsigned r = 0; r < rounds; ++r) {
+        for (unsigned wd = 0; wd < 4; ++wd) {
+            const unsigned cur = 4 + wd;
+            const unsigned nxt = 4 + ((wd + 1) & 3);
+            kb.valu(Opcode::VAndB32, 10, Src::vreg(cur), Src::imm(0xff));
+            kb.valu(Opcode::VShlU32, 10, Src::vreg(10), Src::imm(2));
+            kb.load(Opcode::LoadDword, 11, 10, ttab);
+            kb.valu(Opcode::VShrU32, 12, Src::vreg(nxt), Src::imm(8));
+            kb.valu(Opcode::VAndB32, 12, Src::vreg(12), Src::imm(0xff));
+            kb.valu(Opcode::VShlU32, 12, Src::vreg(12), Src::imm(2));
+            kb.load(Opcode::LoadDword, 13, 12, ttab);
+            kb.valu(Opcode::VXorB32, 11, Src::vreg(11), Src::vreg(13));
+            kb.valu(Opcode::VXorB32, 20 + wd, Src::vreg(11),
+                    Src::imm(round_key[r]));
+        }
+        for (unsigned wd = 0; wd < 4; ++wd)
+            kb.valu(Opcode::VMov, 4 + wd, Src::vreg(20 + wd));
+    }
+    kb.store(Opcode::StoreDwordX4, 1, 4, state_out);
+    w.kernels.push_back(kb.build(blocks / wavefrontSize));
+
+    w.verify = [ttab, state_in, state_out, blocks, rounds,
+                round_key](const GlobalMemory &m) {
+        for (unsigned b = 0; b < blocks; b += 503) {
+            std::uint32_t st[4];
+            for (unsigned i = 0; i < 4; ++i)
+                st[i] = m.readU32(state_in + 16ull * b + 4 * i);
+            for (unsigned r = 0; r < rounds; ++r) {
+                std::uint32_t nx[4];
+                for (unsigned wd = 0; wd < 4; ++wd) {
+                    std::uint32_t t0 =
+                        m.readU32(ttab + 4ull * (st[wd] & 0xff));
+                    std::uint32_t t1 = m.readU32(
+                        ttab + 4ull * ((st[(wd + 1) & 3] >> 8) & 0xff));
+                    nx[wd] = t0 ^ t1 ^ round_key[r];
+                }
+                for (unsigned wd = 0; wd < 4; ++wd)
+                    st[wd] = nx[wd];
+            }
+            for (unsigned i = 0; i < 4; ++i) {
+                if (m.readU32(state_out + 16ull * b + 4 * i) != st[i])
+                    return std::string("state mismatch at block ") +
+                           std::to_string(b);
+            }
+        }
+        return std::string();
+    };
+    return w;
+}
+
+} // namespace lazygpu

@@ -1,0 +1,60 @@
+#include "workloads/suite.hh"
+
+#include "sim/logging.hh"
+
+namespace lazygpu
+{
+
+const std::vector<std::string> &
+suiteNames()
+{
+    // Fig 12's x-axis order.
+    static const std::vector<std::string> names = {
+        "ReLU", "SC",     "MM",       "NBody", "FIR",      "SPMV",
+        "PR",   "BICG",   "ATAX",     "KMeans", "FFT",     "Backprop",
+        "MT",   "AES",    "Stencil2D", "BFS",   "NW",
+    };
+    return names;
+}
+
+Workload
+makeSuiteWorkload(const std::string &name, const WorkloadParams &p)
+{
+    if (name == "ReLU")
+        return makeReLU(p);
+    if (name == "SC")
+        return makeSC(p);
+    if (name == "MM")
+        return makeMM(p);
+    if (name == "NBody")
+        return makeNBody(p);
+    if (name == "FIR")
+        return makeFIR(p);
+    if (name == "SPMV")
+        return makeSPMV(p);
+    if (name == "PR")
+        return makePR(p);
+    if (name == "BICG")
+        return makeBICG(p);
+    if (name == "ATAX")
+        return makeATAX(p);
+    if (name == "KMeans")
+        return makeKMeans(p);
+    if (name == "FFT")
+        return makeFFT(p);
+    if (name == "Backprop")
+        return makeBackprop(p);
+    if (name == "MT")
+        return makeMT(p);
+    if (name == "AES")
+        return makeAES(p);
+    if (name == "Stencil2D")
+        return makeStencil2D(p);
+    if (name == "BFS")
+        return makeBFS(p);
+    if (name == "NW")
+        return makeNW(p);
+    fatal("unknown suite workload '%s'", name.c_str());
+}
+
+} // namespace lazygpu

@@ -1,0 +1,302 @@
+/**
+ * @file
+ * Streaming / stencil benchmarks: ReLU, FIR, SC, Stencil2D, Backprop.
+ */
+
+#include <cmath>
+#include <vector>
+
+#include "workloads/kernel_util.hh"
+#include "workloads/suite.hh"
+
+namespace lazygpu
+{
+
+Workload
+makeReLU(const WorkloadParams &p)
+{
+    const unsigned n = std::max(65536u, (1u << 22) / p.scale);
+
+    Workload w;
+    w.name = "ReLU";
+    w.mem = std::make_unique<GlobalMemory>();
+    GlobalMemory &mem = *w.mem;
+
+    Addr in = mem.alloc(4ull * n + 64);
+    Addr out = mem.alloc(4ull * n + 64);
+    Rng rng(p.seed);
+    // Pre-activations span negative and positive values; the sparsity
+    // knob additionally zeroes inputs.
+    for (unsigned i = 0; i < n; ++i) {
+        float v = rng.chance(p.sparsity) ? 0.0f : rng.range(-1.0f, 1.0f);
+        mem.writeF32(in + 4ull * i, v);
+    }
+
+    KernelBuilder kb("relu");
+    kb.threadId(0);
+    kb.valu(Opcode::VShlU32, 1, Src::vreg(0), Src::imm(2));
+    kb.load(Opcode::LoadDword, 2, 1, in);
+    kb.valu(Opcode::VMaxF32, 3, Src::vreg(2), Src::immF(0.0f));
+    kb.store(Opcode::StoreDword, 1, 3, out);
+    w.kernels.push_back(kb.build(n / wavefrontSize));
+
+    w.verify = [in, out, n](const GlobalMemory &m) {
+        std::vector<float> expect(n);
+        for (unsigned i = 0; i < n; ++i)
+            expect[i] = std::max(0.0f, m.readF32(in + 4ull * i));
+        return compareF32(m, out, expect);
+    };
+    return w;
+}
+
+Workload
+makeFIR(const WorkloadParams &p)
+{
+    const unsigned n = std::max(32768u, (1u << 20) / p.scale);
+    const unsigned taps = 16;
+
+    Workload w;
+    w.name = "FIR";
+    w.mem = std::make_unique<GlobalMemory>();
+    GlobalMemory &mem = *w.mem;
+
+    Addr in = mem.alloc(4ull * (n + taps) + 64);
+    Addr coef = mem.alloc(4ull * taps + 64);
+    Addr out = mem.alloc(4ull * n + 64);
+    Rng rng(p.seed);
+    fillSparseF32(mem, in, n + taps, p.sparsity, rng);
+    fillSparseF32(mem, coef, taps, 0.0, rng, -0.5f, 0.5f);
+
+    KernelBuilder kb("fir");
+    kb.threadId(0);
+    kb.valu(Opcode::VShlU32, 1, Src::vreg(0), Src::imm(2)); // input off
+    kb.valu(Opcode::VMov, 2, Src::imm(0));                  // coef off
+    kb.valu(Opcode::VMov, 3, Src::immF(0.0f));              // acc
+    int top = emitLoopBegin(kb, 1, taps);
+    kb.load(Opcode::LoadDword, 10, 1, in);
+    kb.load(Opcode::LoadDword, 11, 2, coef);
+    kb.mac(3, Src::vreg(10), Src::vreg(11));
+    kb.valu(Opcode::VAddU32, 1, Src::vreg(1), Src::imm(4));
+    kb.valu(Opcode::VAddU32, 2, Src::vreg(2), Src::imm(4));
+    emitLoopEnd(kb, 1, top);
+    kb.valu(Opcode::VShlU32, 4, Src::vreg(0), Src::imm(2));
+    kb.store(Opcode::StoreDword, 4, 3, out);
+    w.kernels.push_back(kb.build(n / wavefrontSize));
+
+    w.verify = [in, coef, out, n](const GlobalMemory &m) {
+        std::vector<float> expect(n, 0.0f);
+        for (unsigned i = 0; i < n; ++i) {
+            float acc = 0.0f;
+            for (unsigned t = 0; t < 16; ++t) {
+                acc += m.readF32(in + 4ull * (i + t)) *
+                       m.readF32(coef + 4ull * t);
+            }
+            expect[i] = acc;
+        }
+        return compareF32(m, out, expect);
+    };
+    return w;
+}
+
+namespace
+{
+
+/**
+ * Shared generator for dense 2D stencils (SC's 3x3 convolution and
+ * SHOC's 5-point Stencil2D): out(y,x) = sum_i w_i * in(y+dy_i, x+dx_i)
+ * over a padded (w+2) x (h+2) input.
+ */
+Workload
+makeStencil(const std::string &name, const WorkloadParams &p,
+            const std::vector<std::pair<int, int>> &offsets,
+            const std::vector<float> &weights)
+{
+    const unsigned width = std::max(256u, 2048u / p.scale);
+    const unsigned height = 256;
+    const unsigned pw = width + 2;
+
+    Workload w;
+    w.name = name;
+    w.mem = std::make_unique<GlobalMemory>();
+    GlobalMemory &mem = *w.mem;
+
+    Addr in = mem.alloc(4ull * pw * (height + 2) + 64);
+    Addr out = mem.alloc(4ull * width * height + 64);
+    Rng rng(p.seed);
+    fillSparseF32(mem, in, std::uint64_t(pw) * (height + 2), p.sparsity,
+                  rng);
+
+    KernelBuilder kb(name);
+    kb.threadId(0);
+    kb.valu(Opcode::VShrU32, 1, Src::vreg(0), Src::imm(log2u(width)));
+    kb.valu(Opcode::VAndB32, 2, Src::vreg(0), Src::imm(width - 1));
+    // padded centre offset = ((y + 1) * pw + (x + 1)) * 4
+    kb.valu(Opcode::VAddU32, 3, Src::vreg(1), Src::imm(1));
+    kb.valu(Opcode::VMulU32, 3, Src::vreg(3), Src::imm(pw));
+    kb.valu(Opcode::VAddU32, 3, Src::vreg(3), Src::vreg(2));
+    kb.valu(Opcode::VAddU32, 3, Src::vreg(3), Src::imm(1));
+    kb.valu(Opcode::VShlU32, 3, Src::vreg(3), Src::imm(2));
+    kb.valu(Opcode::VMov, 4, Src::immF(0.0f));
+    for (size_t i = 0; i < offsets.size(); ++i) {
+        const int d = offsets[i].first * static_cast<int>(pw) +
+                      offsets[i].second;
+        kb.valu(Opcode::VAddU32, 5, Src::vreg(3),
+                Src::imm(static_cast<std::uint32_t>(d * 4)));
+        kb.load(Opcode::LoadDword, 6, 5, in);
+        kb.mac(4, Src::vreg(6), Src::immF(weights[i]));
+    }
+    kb.valu(Opcode::VShlU32, 7, Src::vreg(0), Src::imm(2));
+    kb.store(Opcode::StoreDword, 7, 4, out);
+    w.kernels.push_back(kb.build((width * height) / wavefrontSize));
+
+    w.verify = [in, out, width, height, pw, offsets,
+                weights](const GlobalMemory &m) {
+        std::vector<float> expect(std::uint64_t(width) * height, 0.0f);
+        for (unsigned y = 0; y < height; ++y) {
+            for (unsigned x = 0; x < width; ++x) {
+                float acc = 0.0f;
+                for (size_t i = 0; i < offsets.size(); ++i) {
+                    unsigned yy = y + 1 + offsets[i].first;
+                    unsigned xx = x + 1 + offsets[i].second;
+                    acc += weights[i] *
+                           m.readF32(in + 4ull * (yy * std::uint64_t(pw) +
+                                                  xx));
+                }
+                expect[std::uint64_t(y) * width + x] = acc;
+            }
+        }
+        return compareF32(m, out, expect);
+    };
+    return w;
+}
+
+} // namespace
+
+Workload
+makeSC(const WorkloadParams &p)
+{
+    std::vector<std::pair<int, int>> off;
+    std::vector<float> wgt;
+    Rng rng(p.seed + 1);
+    for (int dy = -1; dy <= 1; ++dy) {
+        for (int dx = -1; dx <= 1; ++dx) {
+            off.emplace_back(dy, dx);
+            wgt.push_back(rng.range(-0.3f, 0.3f));
+        }
+    }
+    Workload w = makeStencil("SC", p, off, wgt);
+    return w;
+}
+
+Workload
+makeStencil2D(const WorkloadParams &p)
+{
+    std::vector<std::pair<int, int>> off = {
+        {0, 0}, {-1, 0}, {1, 0}, {0, -1}, {0, 1}};
+    std::vector<float> wgt = {0.5f, 0.125f, 0.125f, 0.125f, 0.125f};
+    return makeStencil("Stencil2D", p, off, wgt);
+}
+
+Workload
+makeBackprop(const WorkloadParams &p)
+{
+    // Rodinia backprop: forward pass through one hidden layer plus the
+    // weight-update pass (the otimes-heavy kernel).
+    const unsigned in_dim = 128;
+    const unsigned hid = std::max(1024u, 8192u / p.scale);
+    const float lr = 0.1f;
+
+    Workload w;
+    w.name = "Backprop";
+    w.mem = std::make_unique<GlobalMemory>();
+    GlobalMemory &mem = *w.mem;
+
+    Addr x = mem.alloc(4ull * in_dim + 64);
+    Addr wts = mem.alloc(4ull * hid * in_dim + 64);
+    Addr h = mem.alloc(4ull * hid + 64);
+    Addr delta = mem.alloc(4ull * hid + 64);
+    Addr wts_out = mem.alloc(4ull * hid * in_dim + 64);
+
+    Rng rng(p.seed);
+    fillSparseF32(mem, x, in_dim, p.sparsity, rng);
+    fillSparseF32(mem, wts, std::uint64_t(hid) * in_dim, p.sparsity, rng,
+                  -0.5f, 0.5f);
+    fillSparseF32(mem, delta, hid, p.sparsity, rng, -0.25f, 0.25f);
+
+    // Kernel 1: h[j] = squash(sum_i w[j,i] x[i]), squash(v)=v/(1+|v|).
+    {
+        KernelBuilder kb("backprop_fwd");
+        kb.threadId(0);
+        kb.valu(Opcode::VMulU32, 1, Src::vreg(0), Src::imm(in_dim * 4));
+        kb.valu(Opcode::VMov, 2, Src::imm(0));
+        kb.valu(Opcode::VMov, 3, Src::immF(0.0f));
+        int top = emitLoopBegin(kb, 1, in_dim / 4);
+        kb.load(Opcode::LoadDwordX4, 8, 1, wts);
+        kb.load(Opcode::LoadDwordX4, 12, 2, x);
+        for (unsigned i = 0; i < 4; ++i)
+            kb.mac(3, Src::vreg(8 + i), Src::vreg(12 + i));
+        kb.valu(Opcode::VAddU32, 1, Src::vreg(1), Src::imm(16));
+        kb.valu(Opcode::VAddU32, 2, Src::vreg(2), Src::imm(16));
+        emitLoopEnd(kb, 1, top);
+        // squash: |v| via max(v, -v) = max(v, 0-v)
+        kb.valu(Opcode::VSubF32, 4, Src::immF(0.0f), Src::vreg(3));
+        kb.valu(Opcode::VMaxF32, 4, Src::vreg(3), Src::vreg(4));
+        kb.valu(Opcode::VAddF32, 4, Src::vreg(4), Src::immF(1.0f));
+        kb.valu(Opcode::VRcpF32, 4, Src::vreg(4));
+        kb.valu(Opcode::VMulF32, 5, Src::vreg(3), Src::vreg(4));
+        kb.valu(Opcode::VShlU32, 6, Src::vreg(0), Src::imm(2));
+        kb.store(Opcode::StoreDword, 6, 5, h);
+        w.kernels.push_back(kb.build(hid / wavefrontSize));
+    }
+
+    // Kernel 2: w'[j,i] = w[j,i] + lr * delta[j] * x[i] (otimes-rich).
+    {
+        KernelBuilder kb("backprop_wupd");
+        kb.threadId(0); // flat weight index
+        kb.valu(Opcode::VShlU32, 1, Src::vreg(0), Src::imm(2));
+        kb.load(Opcode::LoadDword, 2, 1, wts);
+        kb.valu(Opcode::VShrU32, 3, Src::vreg(0),
+                Src::imm(log2u(in_dim))); // j
+        kb.valu(Opcode::VAndB32, 4, Src::vreg(0), Src::imm(in_dim - 1));
+        kb.valu(Opcode::VShlU32, 5, Src::vreg(3), Src::imm(2));
+        kb.load(Opcode::LoadDword, 6, 5, delta);
+        kb.valu(Opcode::VShlU32, 7, Src::vreg(4), Src::imm(2));
+        kb.load(Opcode::LoadDword, 8, 7, x);
+        kb.valu(Opcode::VMulF32, 9, Src::vreg(6), Src::immF(lr));
+        kb.valu(Opcode::VMulF32, 9, Src::vreg(9), Src::vreg(8));
+        kb.valu(Opcode::VAddF32, 9, Src::vreg(9), Src::vreg(2));
+        kb.store(Opcode::StoreDword, 1, 9, wts_out);
+        w.kernels.push_back(kb.build((hid * in_dim) / wavefrontSize));
+    }
+
+    w.verify = [x, wts, delta, wts_out, h, hid, in_dim,
+                lr](const GlobalMemory &m) {
+        std::vector<float> eh(hid, 0.0f);
+        for (unsigned j = 0; j < hid; ++j) {
+            float acc = 0.0f;
+            for (unsigned i = 0; i < in_dim; ++i) {
+                acc += m.readF32(wts + 4ull * (std::uint64_t(j) * in_dim +
+                                               i)) *
+                       m.readF32(x + 4ull * i);
+            }
+            eh[j] = acc / (1.0f + std::fabs(acc));
+        }
+        std::string err = compareF32(m, h, eh);
+        if (!err.empty())
+            return "h: " + err;
+        std::vector<float> ew(std::uint64_t(hid) * in_dim, 0.0f);
+        for (unsigned j = 0; j < hid; ++j) {
+            for (unsigned i = 0; i < in_dim; ++i) {
+                std::uint64_t idx = std::uint64_t(j) * in_dim + i;
+                ew[idx] = m.readF32(wts + 4 * idx) +
+                          lr * m.readF32(delta + 4ull * j) *
+                              m.readF32(x + 4ull * i);
+            }
+        }
+        err = compareF32(m, wts_out, ew);
+        return err.empty() ? err : "w: " + err;
+    };
+    return w;
+}
+
+} // namespace lazygpu

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Integration tests for the DNN workload models: ResNet-18 layers must
+ * simulate functionally correctly on baseline and LazyGPU, pruning must
+ * hit its target sparsity, and the LLaMA decoder must run and benefit
+ * from weight sparsity.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/harness.hh"
+#include "workloads/llama.hh"
+#include "workloads/pruning.hh"
+#include "workloads/resnet18.hh"
+
+namespace lazygpu
+{
+namespace
+{
+
+Resnet18::Params
+smallResnet(double weight_sparsity)
+{
+    Resnet18::Params p;
+    p.weightSparsity = weight_sparsity;
+    p.channelDiv = 8;
+    p.spatialDiv = 8;
+    return p;
+}
+
+TEST(Resnet18Model, HasTheTwentyThreeEvaluatedLayers)
+{
+    Resnet18 net(smallResnet(0.0));
+    ASSERT_EQ(23u, net.specs().size());
+    EXPECT_EQ("conv1", net.specs().front().name);
+    EXPECT_EQ("fc", net.specs().back().name);
+    EXPECT_EQ("conv3_DS", net.specs()[6].name);
+}
+
+TEST(Resnet18Model, PruningHitsTargetWeightSparsity)
+{
+    Resnet18 net(smallResnet(0.5));
+    // conv layers should be pruned to ~50%.
+    EXPECT_NEAR(0.5, net.weightSparsity(2), 0.02);
+    EXPECT_NEAR(0.5, net.weightSparsity(19), 0.02);
+}
+
+TEST(Resnet18Model, ActivationSparsityExceedsTxSparsity)
+{
+    // Fig 4's key observation: byte-level sparsity is much higher than
+    // 32 B-transaction-level sparsity because zeros are scattered.
+    Resnet18 net(smallResnet(0.5));
+    auto st = net.layerSparsity(10, false); // a mid-network conv
+    EXPECT_GT(st.byteLevel, 0.2);
+    EXPECT_GT(st.byteLevel, st.txLevel);
+}
+
+TEST(Resnet18Model, LayerWorkloadsRunCorrectlyOnAllModes)
+{
+    Resnet18 net(smallResnet(0.5));
+    // One conv, one pool, the fc, and a DS layer.
+    for (unsigned idx : {0u, 1u, 6u, 9u, 21u, 22u}) {
+        for (ExecMode mode : {ExecMode::Baseline, ExecMode::LazyGPU}) {
+            Workload w = net.layerWorkload(idx, false);
+            GpuConfig cfg = mode == ExecMode::Baseline
+                                ? GpuConfig::r9Nano()
+                                : GpuConfig::lazyGpu();
+            RunResult r = runWorkload(cfg.scaled(8), w);
+            EXPECT_EQ("", r.verifyError)
+                << net.specs()[idx].name << " " << toString(mode);
+        }
+    }
+}
+
+TEST(Resnet18Model, TrainingWorkloadHasBackwardGemms)
+{
+    Resnet18 net(smallResnet(0.5));
+    Workload inf = net.layerWorkload(9, false);
+    Workload trn = net.layerWorkload(9, true);
+    EXPECT_EQ(1u, inf.kernels.size());
+    EXPECT_EQ(3u, trn.kernels.size()); // fwd, dW, dX
+
+    RunResult r = runWorkload(GpuConfig::lazyGpu().scaled(8), trn);
+    EXPECT_EQ("", r.verifyError);
+    EXPECT_GT(r.cycles, 0u);
+}
+
+TEST(LlamaModel, DecoderRunsAndSparsityCutsTraffic)
+{
+    Llama::Params lp;
+    lp.dimDiv = 16;
+    lp.seqLen = 128;
+
+    lp.sparsity = 0.0;
+    Llama dense(lp);
+    Workload wd = dense.decoderWorkload();
+    RunResult dense_r =
+        runWorkload(GpuConfig::lazyGpu().scaled(8), wd, false);
+
+    lp.sparsity = 0.6;
+    Llama sparse(lp);
+    Workload ws = sparse.decoderWorkload();
+    RunResult sparse_r =
+        runWorkload(GpuConfig::lazyGpu().scaled(8), ws, false);
+
+    EXPECT_GT(dense_r.cycles, 0u);
+    // 60% weight sparsity must eliminate a substantial share of loads.
+    EXPECT_GT(sparse_r.txsElimZero + sparse_r.txsElimOtimes,
+              (sparse_r.txsIssued + 9) / 10);
+    EXPECT_LT(sparse_r.cycles, dense_r.cycles);
+}
+
+TEST(LlamaModel, PerplexityCurveMatchesWandaAnchors)
+{
+    EXPECT_NEAR(5.68, Llama::perplexityAt(0.0), 1e-6);
+    EXPECT_NEAR(7.26, Llama::perplexityAt(0.5), 1e-6);
+    EXPECT_GT(Llama::perplexityAt(0.6), Llama::perplexityAt(0.5));
+}
+
+TEST(Pruning, MagnitudePruneZeroesTheSmallestWeights)
+{
+    std::vector<float> w = {0.9f, -0.1f, 0.5f, -0.05f, 0.7f, 0.2f,
+                            -0.8f, 0.01f};
+    magnitudePrune(w, 0.5);
+    EXPECT_NEAR(0.5, measureSparsity(w), 1e-6);
+    EXPECT_EQ(0.0f, w[1]);
+    EXPECT_EQ(0.0f, w[3]);
+    EXPECT_EQ(0.0f, w[7]);
+    EXPECT_EQ(0.9f, w[0]);
+}
+
+TEST(Pruning, WandaPrunesPerRowUsingActivationNorms)
+{
+    // Two rows, four cols; norms make column 0 precious even when its
+    // weight magnitude is small.
+    std::vector<float> w = {0.1f, 0.2f, 0.3f, 0.4f,
+                            0.4f, 0.3f, 0.2f, 0.1f};
+    std::vector<float> norms = {10.0f, 1.0f, 1.0f, 1.0f};
+    wandaPrune(w, 2, 4, norms, 0.5);
+    EXPECT_NEAR(0.5, measureSparsity(w), 1e-6);
+    EXPECT_NE(0.0f, w[0]); // saved by its activation norm
+    EXPECT_NE(0.0f, w[4]);
+}
+
+} // namespace
+} // namespace lazygpu

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Unit tests for the simulation engine: event ordering, tick semantics,
+ * fast-forward, and clocked-component interaction.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.hh"
+
+namespace lazygpu
+{
+namespace
+{
+
+TEST(Engine, RunsEventsInTimeOrder)
+{
+    Engine e;
+    std::vector<int> order;
+    e.schedule(30, [&]() { order.push_back(3); });
+    e.schedule(10, [&]() { order.push_back(1); });
+    e.schedule(20, [&]() { order.push_back(2); });
+    e.run();
+    EXPECT_EQ((std::vector<int>{1, 2, 3}), order);
+}
+
+TEST(Engine, SameTickEventsRunInSchedulingOrder)
+{
+    Engine e;
+    std::vector<int> order;
+    for (int i = 0; i < 8; ++i)
+        e.schedule(5, [&order, i]() { order.push_back(i); });
+    e.run();
+    ASSERT_EQ(8u, order.size());
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(i, order[i]);
+}
+
+TEST(Engine, EventsMayScheduleFurtherEvents)
+{
+    Engine e;
+    int fired = 0;
+    e.schedule(1, [&]() {
+        ++fired;
+        e.schedule(2, [&]() {
+            ++fired;
+            e.scheduleIn(5, [&]() { ++fired; });
+        });
+    });
+    Tick end = e.run();
+    EXPECT_EQ(3, fired);
+    EXPECT_EQ(7u, end);
+}
+
+TEST(Engine, SameTickChainingRunsImmediately)
+{
+    Engine e;
+    int fired = 0;
+    e.schedule(4, [&]() {
+        e.schedule(4, [&]() { ++fired; }); // now == 4, allowed
+    });
+    e.run();
+    EXPECT_EQ(1, fired);
+}
+
+TEST(Engine, FastForwardsAcrossIdleGaps)
+{
+    Engine e;
+    Tick seen = 0;
+    e.schedule(1'000'000, [&]() { seen = e.now(); });
+    Tick end = e.run();
+    EXPECT_EQ(1'000'000u, seen);
+    EXPECT_EQ(1'000'000u, end);
+}
+
+TEST(Engine, ResetDiscardsPendingEvents)
+{
+    Engine e;
+    int fired = 0;
+    e.schedule(10, [&]() { ++fired; });
+    e.reset();
+    e.run();
+    EXPECT_EQ(0, fired);
+    EXPECT_EQ(0u, e.now());
+}
+
+TEST(EngineDeath, SchedulingInThePastPanics)
+{
+    Engine e;
+    e.schedule(10, []() {});
+    e.run();
+    ASSERT_EQ(10u, e.now());
+    EXPECT_DEATH(e.schedule(5, []() {}), "past");
+}
+
+/** A clocked component that counts down and then goes quiescent. */
+class Countdown : public Clocked
+{
+  public:
+    explicit Countdown(int n) : remaining_(n) {}
+
+    void
+    tick() override
+    {
+        if (remaining_ > 0)
+            --remaining_;
+    }
+
+    bool quiescent() const override { return remaining_ == 0; }
+
+    int remaining_;
+};
+
+TEST(Engine, TicksClockedComponentsUntilQuiescent)
+{
+    Engine e;
+    Countdown c(17);
+    e.addClocked(&c);
+    Tick end = e.run();
+    EXPECT_EQ(0, c.remaining_);
+    EXPECT_EQ(17u, end);
+}
+
+TEST(Engine, MixesTickingWithEvents)
+{
+    // A quiescent component woken by an event must resume ticking.
+    Engine e;
+    Countdown c(0);
+    e.addClocked(&c);
+    e.schedule(50, [&]() { c.remaining_ = 3; });
+    Tick end = e.run();
+    EXPECT_EQ(0, c.remaining_);
+    EXPECT_EQ(53u, end);
+}
+
+TEST(EngineDeath, LivelockGuardFires)
+{
+    Engine e;
+    Countdown c(1 << 30);
+    e.addClocked(&c);
+    EXPECT_DEATH(e.run(1000), "livelock");
+}
+
+} // namespace
+} // namespace lazygpu

@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Unit tests for the foundation modules: statistics, RNG, global
+ * memory, configuration, and the overhead model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/overhead.hh"
+#include "mem/memory.hh"
+#include "sim/config.hh"
+#include "sim/rng.hh"
+#include "sim/stats.hh"
+
+namespace lazygpu
+{
+namespace
+{
+
+// --- Stats ---------------------------------------------------------------
+
+TEST(Stats, CountersAccumulate)
+{
+    StatSet st;
+    st.counter("a.x") += 5;
+    ++st.counter("a.x");
+    st.counter("b.x") += 2;
+    EXPECT_EQ(6u, st.counter("a.x").value());
+    EXPECT_EQ(2u, st.counter("b.x").value());
+}
+
+TEST(Stats, SumCountersMatchesPrefixAndSuffix)
+{
+    StatSet st;
+    st.counter("l1.0.hits") += 3;
+    st.counter("l1.1.hits") += 4;
+    st.counter("l1.0.misses") += 10;
+    st.counter("zl1.0.hits") += 100; // different prefix
+    EXPECT_EQ(7u, st.sumCounters("l1.", ".hits"));
+    EXPECT_EQ(10u, st.sumCounters("l1.", ".misses"));
+    EXPECT_EQ(100u, st.sumCounters("zl1.", ".hits"));
+    EXPECT_EQ(17u, st.sumCounters("l1."));
+}
+
+TEST(Stats, DistributionTracksMoments)
+{
+    Distribution d;
+    d.sample(2.0);
+    d.sample(6.0);
+    d.sample(4.0);
+    EXPECT_EQ(3u, d.count());
+    EXPECT_DOUBLE_EQ(4.0, d.mean());
+    EXPECT_DOUBLE_EQ(2.0, d.min());
+    EXPECT_DOUBLE_EQ(6.0, d.max());
+    d.reset();
+    EXPECT_EQ(0u, d.count());
+    EXPECT_DOUBLE_EQ(0.0, d.mean());
+}
+
+TEST(Stats, TimeSeriesKeepsSamples)
+{
+    StatSet st;
+    st.series("t").sample(10, 1.5);
+    st.series("t").sample(20, 2.5);
+    ASSERT_EQ(2u, st.series("t").points().size());
+    EXPECT_EQ(10u, st.series("t").points()[0].tick);
+    EXPECT_DOUBLE_EQ(2.5, st.series("t").points()[1].value);
+}
+
+// --- RNG -----------------------------------------------------------------
+
+TEST(Rng, IsDeterministicPerSeed)
+{
+    Rng a(123), b(123), c(124);
+    for (int i = 0; i < 100; ++i) {
+        std::uint64_t va = a.next();
+        EXPECT_EQ(va, b.next());
+        (void)c.next();
+    }
+    Rng a2(123), c2(124);
+    EXPECT_NE(a2.next(), c2.next());
+}
+
+TEST(Rng, UniformStaysInRange)
+{
+    Rng r(9);
+    for (int i = 0; i < 1000; ++i) {
+        double u = r.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        float f = r.range(-2.0f, 3.0f);
+        EXPECT_GE(f, -2.0f);
+        EXPECT_LT(f, 3.0f);
+    }
+}
+
+TEST(Rng, ChanceApproximatesProbability)
+{
+    Rng r(77);
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i)
+        hits += r.chance(0.3) ? 1 : 0;
+    EXPECT_NEAR(3000, hits, 200);
+}
+
+// --- GlobalMemory ----------------------------------------------------------
+
+TEST(GlobalMemory, ReadsBackWhatWasWritten)
+{
+    GlobalMemory mem;
+    Addr a = mem.alloc(256);
+    mem.writeU32(a, 0xdeadbeef);
+    mem.writeF32(a + 4, 3.5f);
+    EXPECT_EQ(0xdeadbeefu, mem.readU32(a));
+    EXPECT_FLOAT_EQ(3.5f, mem.readF32(a + 4));
+}
+
+TEST(GlobalMemory, UntouchedMemoryReadsZero)
+{
+    GlobalMemory mem;
+    EXPECT_EQ(0u, mem.readU32(0x123456789abcull));
+    EXPECT_TRUE(mem.isZeroWord(0x123456789abcull));
+}
+
+TEST(GlobalMemory, HandlesPageBoundaryStraddles)
+{
+    GlobalMemory mem;
+    Addr a = GlobalMemory::pageSize - 2;
+    mem.writeU32(a, 0x11223344);
+    EXPECT_EQ(0x11223344u, mem.readU32(a));
+}
+
+TEST(GlobalMemory, AllocRespectsAlignment)
+{
+    GlobalMemory mem;
+    mem.alloc(3);
+    Addr b = mem.alloc(100, 1024);
+    EXPECT_EQ(0u, b % 1024);
+}
+
+TEST(GlobalMemory, ZeroMaskByteReflectsWordContents)
+{
+    GlobalMemory mem;
+    Addr a = mem.alloc(64, 32);
+    // Words 0..7 of the 32 B block; make words 2 and 5 non-zero.
+    mem.writeU32(a + 8, 7);
+    mem.writeU32(a + 20, 9);
+    std::uint8_t mask = mem.zeroMaskByte(a);
+    EXPECT_EQ(0xffu & ~((1u << 2) | (1u << 5)), mask);
+}
+
+TEST(GlobalMemory, MaskAddressMappingRoundTrips)
+{
+    Addr data = 0x4000;
+    Addr ma = GlobalMemory::maskAddr(data);
+    EXPECT_TRUE(GlobalMemory::isMaskAddr(ma));
+    EXPECT_FALSE(GlobalMemory::isMaskAddr(data));
+    EXPECT_EQ(data, GlobalMemory::maskedDataAddr(ma));
+    // One mask byte covers one 32 B transaction.
+    EXPECT_EQ(ma, GlobalMemory::maskAddr(data + transactionSize - 1));
+    EXPECT_EQ(ma + 1, GlobalMemory::maskAddr(data + transactionSize));
+}
+
+// --- GpuConfig ---------------------------------------------------------------
+
+TEST(GpuConfig, R9NanoMatchesTable2)
+{
+    GpuConfig c = GpuConfig::r9Nano();
+    EXPECT_EQ(16u, c.numShaderArrays);
+    EXPECT_EQ(4u, c.cusPerSa);
+    EXPECT_EQ(64u, c.numCus());
+    EXPECT_EQ(64u * 1024, c.l1.size);
+    EXPECT_EQ(4u, c.l1.assoc);
+    EXPECT_EQ(8u, c.l2Banks);
+    EXPECT_EQ(256u * 1024, c.l2.size);
+    EXPECT_EQ(16u, c.l2.assoc);
+    EXPECT_EQ(0u, c.l1Zero.size);
+}
+
+TEST(GpuConfig, LazyGpuSplitsOneEighthOfEachLevel)
+{
+    GpuConfig c = GpuConfig::lazyGpu();
+    EXPECT_EQ(56u * 1024, c.l1.size);
+    EXPECT_EQ(8u * 1024, c.l1Zero.size);
+    EXPECT_EQ(224u * 1024, c.l2.size);
+    EXPECT_EQ(32u * 1024, c.l2Zero.size);
+    // Capacity is conserved against the baseline.
+    GpuConfig base = GpuConfig::r9Nano();
+    EXPECT_EQ(base.l1.size, c.l1.size + c.l1Zero.size);
+    EXPECT_EQ(base.l2.size, c.l2.size + c.l2Zero.size);
+}
+
+TEST(GpuConfig, OccupancyIsRegisterLimited)
+{
+    GpuConfig c = GpuConfig::r9Nano();
+    // 256 vregs per SIMD: an 85-vreg kernel fits 3 waves per SIMD (the
+    // Sec 3 observation: tiled MM caps at 768 waves = 12 per CU)...
+    EXPECT_EQ(3u * 4, c.wavesPerCuForKernel(85));
+    // ...a 25-vreg kernel is capped by the architectural limit of 10.
+    EXPECT_EQ(10u * 4, c.wavesPerCuForKernel(25));
+    EXPECT_EQ(1u * 4, c.wavesPerCuForKernel(256));
+}
+
+TEST(GpuConfig, ScalingShrinksSasAndBanks)
+{
+    GpuConfig c = GpuConfig::r9Nano().scaled(4);
+    EXPECT_EQ(4u, c.numShaderArrays);
+    EXPECT_EQ(2u, c.l2Banks);
+    GpuConfig tiny = GpuConfig::r9Nano().scaled(64);
+    EXPECT_EQ(1u, tiny.numShaderArrays);
+    EXPECT_EQ(1u, tiny.l2Banks);
+}
+
+// --- Overhead (Sec 5.5) -----------------------------------------------------
+
+TEST(Overhead, MatchesThePaperArithmetic)
+{
+    OverheadResult o = computeOverhead(OverheadInputs{});
+    EXPECT_DOUBLE_EQ(8.0, o.busyBitsKiBPerCu);
+    EXPECT_DOUBLE_EQ(4.375, o.upperBitsKiBPerCu);
+    EXPECT_DOUBLE_EQ((8.0 + 4.375) * 64, o.totalKiB);
+    // The paper's "0.009% of the die" reading.
+    EXPECT_NEAR(0.00009, o.perCuFractionOfDie, 0.00003);
+}
+
+} // namespace
+} // namespace lazygpu

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Tests for the analysis harness and the workload registry.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/harness.hh"
+#include "workloads/suite.hh"
+
+namespace lazygpu
+{
+namespace
+{
+
+TEST(Registry, HasTheSeventeenFig12Benchmarks)
+{
+    EXPECT_EQ(17u, suiteNames().size());
+    EXPECT_EQ("ReLU", suiteNames().front());
+    EXPECT_EQ("NW", suiteNames().back());
+}
+
+TEST(Registry, EveryNameInstantiatesWithItsOwnMemory)
+{
+    WorkloadParams p;
+    p.scale = 64; // smallest instances; this is a wiring test
+    for (const std::string &name : suiteNames()) {
+        Workload w = makeSuiteWorkload(name, p);
+        EXPECT_EQ(name, w.name);
+        ASSERT_NE(nullptr, w.mem) << name;
+        ASSERT_FALSE(w.kernels.empty()) << name;
+        for (const Kernel &k : w.kernels) {
+            EXPECT_GT(k.numWavefronts, 0u) << name;
+            EXPECT_GT(k.numVregs, 0u) << name;
+            EXPECT_FALSE(k.code.empty()) << name;
+        }
+    }
+}
+
+TEST(RegistryDeath, UnknownNameIsFatal)
+{
+    WorkloadParams p;
+    EXPECT_EXIT(makeSuiteWorkload("NoSuchBench", p),
+                ::testing::ExitedWithCode(1), "unknown");
+}
+
+TEST(RunResultStats, EliminationRateCountsAllKinds)
+{
+    RunResult r;
+    r.txsIssued = 70;
+    r.txsElimZero = 10;
+    r.txsElimOtimes = 15;
+    r.txsElimDead = 5;
+    EXPECT_DOUBLE_EQ(0.3, r.eliminationRate());
+    RunResult empty;
+    EXPECT_DOUBLE_EQ(0.0, empty.eliminationRate());
+}
+
+TEST(RunResultStats, AccumulateSumsAndKeepsFirstError)
+{
+    RunResult a, b;
+    a.cycles = 100;
+    a.txsIssued = 10;
+    a.l1Hits = 6;
+    a.l1Misses = 4;
+    b.cycles = 50;
+    b.txsIssued = 5;
+    b.l1Hits = 2;
+    b.l1Misses = 8;
+    b.verifyError = "boom";
+    a.accumulate(b);
+    EXPECT_EQ(150u, a.cycles);
+    EXPECT_EQ(15u, a.txsIssued);
+    EXPECT_DOUBLE_EQ(0.4, a.l1HitRate());
+    EXPECT_EQ("boom", a.verifyError);
+}
+
+TEST(RunResultStats, HitRatesHandleEmptyCaches)
+{
+    RunResult r;
+    EXPECT_DOUBLE_EQ(0.0, r.zl1HitRate());
+    r.zl1Hits = 99;
+    r.zl1Misses = 1;
+    EXPECT_DOUBLE_EQ(0.99, r.zl1HitRate());
+}
+
+TEST(Formatting, FormatRowPadsCells)
+{
+    std::string row = formatRow({"ab", "c"}, 4);
+    EXPECT_EQ("ab  c   ", row);
+    // Over-long cells still get separated.
+    std::string wide = formatRow({"abcdef", "g"}, 4);
+    EXPECT_EQ("abcdef  g   ", wide);
+}
+
+} // namespace
+} // namespace lazygpu

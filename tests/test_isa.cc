@@ -1,0 +1,256 @@
+/**
+ * @file
+ * Unit tests for the ISA layer: opcode traits, the Table 1 encoding,
+ * the kernel builder, and the coalescer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gpu/coalescer.hh"
+#include "isa/encoding.hh"
+#include "isa/kernel.hh"
+#include "workloads/kernel_util.hh"
+
+namespace lazygpu
+{
+namespace
+{
+
+// --- Opcode traits -------------------------------------------------------
+
+TEST(Opcode, LoadTraits)
+{
+    EXPECT_EQ(1u, loadDstRegs(Opcode::LoadDword));
+    EXPECT_EQ(2u, loadDstRegs(Opcode::LoadDwordX2));
+    EXPECT_EQ(4u, loadDstRegs(Opcode::LoadDwordX4));
+    EXPECT_EQ(0u, loadDstRegs(Opcode::VMulF32));
+    EXPECT_EQ(1u, loadBytes(Opcode::LoadByte));
+    EXPECT_EQ(16u, loadBytes(Opcode::LoadDwordX4));
+    EXPECT_EQ(4u, storeBytes(Opcode::StoreDword));
+    EXPECT_TRUE(isMemory(Opcode::StoreDwordX4));
+    EXPECT_FALSE(isMemory(Opcode::VMacF32));
+}
+
+TEST(Opcode, OtimesSetMatchesThePaper)
+{
+    // "multiply, multiply-add, and and instructions" (Sec 1).
+    EXPECT_TRUE(isOtimes(Opcode::VMulF32));
+    EXPECT_TRUE(isOtimes(Opcode::VMacF32));
+    EXPECT_TRUE(isOtimes(Opcode::VAndB32));
+    EXPECT_FALSE(isOtimes(Opcode::VAddF32));
+    EXPECT_FALSE(isOtimes(Opcode::VOrB32));
+    EXPECT_FALSE(isOtimes(Opcode::VXorB32));
+}
+
+TEST(Opcode, ScalarAndBranchClassification)
+{
+    EXPECT_TRUE(isScalar(Opcode::SMov));
+    EXPECT_TRUE(isScalar(Opcode::SEndpgm));
+    EXPECT_TRUE(isBranch(Opcode::SBranch));
+    EXPECT_TRUE(isBranch(Opcode::SCBranch0));
+    EXPECT_FALSE(isBranch(Opcode::SEndpgm));
+    EXPECT_FALSE(isScalar(Opcode::VMov));
+}
+
+TEST(Opcode, EveryOpcodeHasAName)
+{
+    for (int op = 0; op <= static_cast<int>(Opcode::SEndpgm); ++op) {
+        EXPECT_NE("???", opcodeName(static_cast<Opcode>(op)))
+            << "opcode " << op;
+    }
+}
+
+// --- Table 1 encoding ------------------------------------------------------
+
+TEST(Encoding, Table1BitPatterns)
+{
+    EXPECT_EQ(0b100u, static_cast<unsigned>(InstType::Ld1B));
+    EXPECT_EQ(0b101u, static_cast<unsigned>(InstType::Ld2B));
+    EXPECT_EQ(0b110u, static_cast<unsigned>(InstType::Ld4B));
+    EXPECT_EQ(0b111u, static_cast<unsigned>(InstType::Ld8B));
+    EXPECT_EQ(0b000u, static_cast<unsigned>(InstType::Ld16B));
+    EXPECT_EQ(0b011u, static_cast<unsigned>(InstType::RegMinus3));
+    EXPECT_EQ(0b010u, static_cast<unsigned>(InstType::RegMinus2));
+    EXPECT_EQ(0b001u, static_cast<unsigned>(InstType::RegMinus1));
+}
+
+TEST(Encoding, InstTypeForEveryLoadWidth)
+{
+    EXPECT_EQ(InstType::Ld1B, instTypeForLoad(Opcode::LoadByte));
+    EXPECT_EQ(InstType::Ld2B, instTypeForLoad(Opcode::LoadShort));
+    EXPECT_EQ(InstType::Ld4B, instTypeForLoad(Opcode::LoadDword));
+    EXPECT_EQ(InstType::Ld8B, instTypeForLoad(Opcode::LoadDwordX2));
+    EXPECT_EQ(InstType::Ld16B, instTypeForLoad(Opcode::LoadDwordX4));
+}
+
+TEST(Encoding, TrailingRegistersPointBack)
+{
+    EXPECT_EQ(1u, trailingDistance(instTypeForTrailing(1)));
+    EXPECT_EQ(2u, trailingDistance(instTypeForTrailing(2)));
+    EXPECT_EQ(3u, trailingDistance(instTypeForTrailing(3)));
+    EXPECT_EQ(0u, trailingDistance(InstType::Ld4B));
+    EXPECT_TRUE(isTrailing(InstType::RegMinus2));
+    EXPECT_FALSE(isTrailing(InstType::Ld16B));
+}
+
+/** Property: pack/unpack round-trips the low 29 bits of any address. */
+class EncodingRoundTrip : public ::testing::TestWithParam<Addr>
+{
+};
+
+TEST_P(EncodingRoundTrip, PackUnpackPreservesTheAddress)
+{
+    const Addr addr = GetParam();
+    std::uint32_t packed = packPending(InstType::Ld4B, addr);
+    EXPECT_EQ(addr, unpackAddr(packed, upperBits(addr)));
+    EXPECT_EQ(InstType::Ld4B, unpackInstType(packed));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Addresses, EncodingRoundTrip,
+    ::testing::Values(0ull, 31ull, 32ull, 0x10000000ull, 0x12345678ull,
+                      0x1fffffffull, 0x123456789abull,
+                      (Addr(1) << 63) | 0x1234567ull,
+                      ~Addr(0)));
+
+TEST(Encoding, UpperBitsDistinguishFarApartAddresses)
+{
+    // Two addresses 2^29 apart cannot share the packed register form.
+    Addr a = 0x10000000;
+    Addr b = a + (Addr(1) << 29);
+    EXPECT_NE(upperBits(a), upperBits(b));
+    EXPECT_EQ(upperBits(a), upperBits(a + 0x0fffffff));
+}
+
+// --- KernelBuilder -----------------------------------------------------------
+
+TEST(KernelBuilder, CountsRegistersFromUsage)
+{
+    KernelBuilder kb("t");
+    kb.threadId(3);
+    kb.load(Opcode::LoadDwordX4, 8, 3, 0x1000); // touches v8..v11
+    kb.valu(Opcode::VAddF32, 12, Src::vreg(8), Src::sreg(2));
+    Kernel k = kb.build(1);
+    EXPECT_EQ(13u, k.numVregs);
+    EXPECT_EQ(3u, k.numSregs);
+    EXPECT_EQ(Opcode::SEndpgm, k.code.back().op); // auto-terminated
+}
+
+TEST(KernelBuilder, ReserveVregsModelsRegisterPressure)
+{
+    KernelBuilder kb("t");
+    kb.threadId(0);
+    kb.reserveVregs(85);
+    Kernel k = kb.build(1);
+    EXPECT_EQ(85u, k.numVregs);
+}
+
+TEST(KernelBuilder, BranchTargetsResolveToLabels)
+{
+    KernelBuilder kb("t");
+    int top = kb.label();
+    kb.place(top);
+    kb.salu(Opcode::SAddU32, 1, Src::sreg(1), Src::imm(1));
+    kb.scmpLt(1, Src::imm(10));
+    kb.cbranch1(top);
+    Kernel k = kb.build(1);
+    EXPECT_EQ(0, k.code[2].target);
+}
+
+TEST(KernelBuilderDeath, UnplacedLabelPanics)
+{
+    KernelBuilder kb("t");
+    int l = kb.label();
+    kb.branch(l);
+    EXPECT_DEATH(kb.build(1), "never placed");
+}
+
+TEST(KernelBuilderDeath, DoublePlacementPanics)
+{
+    KernelBuilder kb("t");
+    int l = kb.label();
+    kb.place(l);
+    EXPECT_DEATH(kb.place(l), "twice");
+}
+
+TEST(KernelBuilder, InstructionToStringIsReadable)
+{
+    KernelBuilder kb("t");
+    kb.load(Opcode::LoadDwordX4, 41, 40, 0x2000);
+    Kernel k = kb.build(1);
+    std::string s = k.code[0].toString();
+    EXPECT_NE(std::string::npos, s.find("flat_load_dwordx4"));
+    EXPECT_NE(std::string::npos, s.find("v41:44"));
+}
+
+// --- Coalescer -----------------------------------------------------------------
+
+TEST(Coalescer, UnitStrideDwordsCoalescePerfectly)
+{
+    std::vector<Addr> addrs;
+    for (unsigned lane = 0; lane < wavefrontSize; ++lane)
+        addrs.push_back(0x1000 + 4 * lane);
+    // 64 lanes x 4 B = 256 B = 8 transactions.
+    EXPECT_EQ(8u, coalesce(addrs, 4).size());
+}
+
+TEST(Coalescer, BroadcastCollapsesToOneTransaction)
+{
+    std::vector<Addr> addrs(wavefrontSize, 0x2010);
+    EXPECT_EQ(1u, coalesce(addrs, 4).size());
+}
+
+TEST(Coalescer, PreservesFirstTouchOrder)
+{
+    std::vector<Addr> addrs = {0x100, 0x40, 0x100, 0x80};
+    auto txs = coalesce(addrs, 4);
+    ASSERT_EQ(3u, txs.size());
+    EXPECT_EQ(0x100u, txs[0]);
+    EXPECT_EQ(0x40u, txs[1]);
+    EXPECT_EQ(0x80u, txs[2]);
+}
+
+TEST(Coalescer, WideAccessesSpanTransactions)
+{
+    // A 16 B access starting mid-transaction touches two.
+    std::vector<Addr> addrs = {0x1018};
+    EXPECT_EQ(2u, coalesce(addrs, 16).size());
+}
+
+/** Property: transaction count for strided dword access. */
+class CoalescerStride : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(CoalescerStride, TransactionCountMatchesFootprint)
+{
+    const unsigned stride = GetParam();
+    std::vector<Addr> addrs;
+    for (unsigned lane = 0; lane < wavefrontSize; ++lane)
+        addrs.push_back(0x8000 + static_cast<Addr>(lane) * stride);
+    auto txs = coalesce(addrs, 4);
+    const unsigned expected =
+        stride >= transactionSize
+            ? wavefrontSize
+            : (wavefrontSize * stride + transactionSize - 1) /
+                  transactionSize;
+    EXPECT_EQ(expected, txs.size()) << "stride " << stride;
+}
+
+INSTANTIATE_TEST_SUITE_P(Strides, CoalescerStride,
+                         ::testing::Values(4u, 8u, 16u, 32u, 64u, 256u));
+
+// --- kernel_util loop idiom ------------------------------------------------
+
+TEST(KernelUtil, Pow2Helpers)
+{
+    EXPECT_TRUE(isPow2(1));
+    EXPECT_TRUE(isPow2(64));
+    EXPECT_FALSE(isPow2(0));
+    EXPECT_FALSE(isPow2(48));
+    EXPECT_EQ(6u, log2u(64));
+    EXPECT_EQ(0u, log2u(1));
+}
+
+} // namespace
+} // namespace lazygpu

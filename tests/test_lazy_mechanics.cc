@@ -1,0 +1,351 @@
+/**
+ * @file
+ * Focused tests of the paper's core mechanisms on hand-written
+ * micro-kernels: busy-bit stalling, lazy deferral, optimization (1)
+ * zero elimination, optimization (2) suspension / requalification /
+ * overwrite & retire elimination, the upper-bit encoding fallback, and
+ * zero-store absorption.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/harness.hh"
+#include "gpu/gpu.hh"
+#include "isa/kernel.hh"
+
+namespace lazygpu
+{
+namespace
+{
+
+/** A one-CU machine so per-kernel stats are easy to reason about. */
+GpuConfig
+oneCu(ExecMode mode)
+{
+    GpuConfig cfg = mode == ExecMode::Baseline
+                        ? GpuConfig::r9Nano()
+                        : GpuConfig::lazyGpu(mode);
+    cfg.numShaderArrays = 1;
+    cfg.cusPerSa = 1;
+    cfg.l2Banks = 1;
+    return cfg;
+}
+
+std::uint64_t
+ctr(const Gpu &gpu, const char *name)
+{
+    auto &st = const_cast<Gpu &>(gpu).stats();
+    auto it = st.counters().find(name);
+    return it == st.counters().end() ? 0 : it->second.value();
+}
+
+TEST(LazyMechanics, UnusedLoadIsNeverIssuedOnLazyCore)
+{
+    // Load into v2 and retire without reading it: a dead load. The
+    // baseline fetches it; LazyCore eliminates it at retirement.
+    for (ExecMode mode : {ExecMode::Baseline, ExecMode::LazyCore}) {
+        GlobalMemory mem;
+        Addr buf = mem.alloc(4096);
+        KernelBuilder kb("dead_load");
+        kb.threadId(0);
+        kb.valu(Opcode::VShlU32, 1, Src::vreg(0), Src::imm(2));
+        kb.load(Opcode::LoadDword, 2, 1, buf);
+        Kernel k = kb.build(1);
+
+        Gpu gpu(oneCu(mode), mem);
+        gpu.run(k);
+        if (mode == ExecMode::Baseline) {
+            EXPECT_EQ(8u, ctr(gpu, "cu.txs_issued"));
+        } else {
+            EXPECT_EQ(0u, ctr(gpu, "cu.txs_issued"));
+            EXPECT_EQ(8u, ctr(gpu, "cu.txs_elim_dead"));
+        }
+    }
+}
+
+TEST(LazyMechanics, OverwrittenPendingLoadIsEliminated)
+{
+    GlobalMemory mem;
+    Addr buf = mem.alloc(4096);
+    KernelBuilder kb("overwrite");
+    kb.threadId(0);
+    kb.valu(Opcode::VShlU32, 1, Src::vreg(0), Src::imm(2));
+    kb.load(Opcode::LoadDword, 2, 1, buf);
+    kb.valu(Opcode::VMov, 2, Src::immF(1.0f)); // overwrite before use
+    kb.valu(Opcode::VAddF32, 3, Src::vreg(2), Src::immF(1.0f));
+    kb.store(Opcode::StoreDword, 1, 3, buf + 2048);
+    Kernel k = kb.build(1);
+
+    Gpu gpu(oneCu(ExecMode::LazyCore), mem);
+    gpu.run(k);
+    EXPECT_EQ(0u, ctr(gpu, "cu.txs_issued"));
+    EXPECT_EQ(8u, ctr(gpu, "cu.txs_elim_dead"));
+    // The overwrite's value flows through correctly.
+    EXPECT_FLOAT_EQ(2.0f, mem.readF32(buf + 2048));
+}
+
+TEST(LazyMechanics, ZeroCacheEliminatesAllZeroLoads)
+{
+    // Buffer contents are entirely zero: optimization (1) must remove
+    // every data transaction and still produce correct (zero) results.
+    GlobalMemory mem;
+    Addr in = mem.alloc(4096);
+    Addr out = mem.alloc(4096);
+    // Touch the buffer so it exists but stays zero.
+    mem.writeU32(in, 0);
+
+    KernelBuilder kb("all_zero");
+    kb.threadId(0);
+    kb.valu(Opcode::VShlU32, 1, Src::vreg(0), Src::imm(2));
+    kb.load(Opcode::LoadDword, 2, 1, in);
+    kb.valu(Opcode::VAddF32, 3, Src::vreg(2), Src::immF(5.0f));
+    kb.store(Opcode::StoreDword, 1, 3, out);
+    Kernel k = kb.build(1);
+
+    Gpu gpu(oneCu(ExecMode::LazyZC), mem);
+    gpu.run(k);
+    EXPECT_EQ(0u, ctr(gpu, "cu.txs_issued"));
+    EXPECT_EQ(8u, ctr(gpu, "cu.txs_elim_zero"));
+    EXPECT_EQ(64u, ctr(gpu, "cu.lanes_zeroed"));
+    EXPECT_GT(ctr(gpu, "cu.mask_reads"), 0u);
+    for (unsigned i = 0; i < wavefrontSize; ++i)
+        EXPECT_FLOAT_EQ(5.0f, mem.readF32(out + 4ull * i));
+}
+
+TEST(LazyMechanics, PartialZeroLanesAreZeroedButTxStillIssues)
+{
+    // Half the words in each transaction are non-zero: the transaction
+    // must be fetched, but zero lanes are materialised from the mask.
+    GlobalMemory mem;
+    Addr in = mem.alloc(4096);
+    Addr out = mem.alloc(4096);
+    for (unsigned i = 0; i < wavefrontSize; ++i)
+        mem.writeF32(in + 4ull * i, i % 2 ? 3.0f : 0.0f);
+
+    KernelBuilder kb("half_zero");
+    kb.threadId(0);
+    kb.valu(Opcode::VShlU32, 1, Src::vreg(0), Src::imm(2));
+    kb.load(Opcode::LoadDword, 2, 1, in);
+    kb.valu(Opcode::VAddF32, 3, Src::vreg(2), Src::immF(1.0f));
+    kb.store(Opcode::StoreDword, 1, 3, out);
+    Kernel k = kb.build(1);
+
+    Gpu gpu(oneCu(ExecMode::LazyZC), mem);
+    gpu.run(k);
+    EXPECT_EQ(8u, ctr(gpu, "cu.txs_issued"));
+    EXPECT_EQ(0u, ctr(gpu, "cu.txs_elim_zero"));
+    EXPECT_EQ(32u, ctr(gpu, "cu.lanes_zeroed"));
+    for (unsigned i = 0; i < wavefrontSize; ++i) {
+        EXPECT_FLOAT_EQ(i % 2 ? 4.0f : 1.0f,
+                        mem.readF32(out + 4ull * i));
+    }
+}
+
+TEST(LazyMechanics, OtimesSuspendsLoadsWithZeroCounterpart)
+{
+    // v2 holds zero (an immediate), v3 is a pending load multiplied by
+    // v2: the load is dead under optimization (2) and must never issue.
+    GlobalMemory mem;
+    Addr in = mem.alloc(4096);
+    Addr out = mem.alloc(4096);
+    for (unsigned i = 0; i < wavefrontSize; ++i)
+        mem.writeF32(in + 4ull * i, 7.0f); // decidedly non-zero data
+
+    KernelBuilder kb("otimes_dead");
+    kb.threadId(0);
+    kb.valu(Opcode::VShlU32, 1, Src::vreg(0), Src::imm(2));
+    kb.valu(Opcode::VMov, 2, Src::immF(0.0f));
+    kb.load(Opcode::LoadDword, 3, 1, in);
+    kb.valu(Opcode::VMulF32, 4, Src::vreg(2), Src::vreg(3));
+    kb.store(Opcode::StoreDword, 1, 4, out);
+    Kernel k = kb.build(1);
+
+    Gpu gpu(oneCu(ExecMode::LazyGPU), mem);
+    gpu.run(k);
+    EXPECT_EQ(0u, ctr(gpu, "cu.txs_issued"));
+    EXPECT_EQ(8u, ctr(gpu, "cu.txs_elim_otimes"));
+    EXPECT_EQ(64u, ctr(gpu, "cu.lanes_suspended"));
+    for (unsigned i = 0; i < wavefrontSize; ++i)
+        EXPECT_FLOAT_EQ(0.0f, mem.readF32(out + 4ull * i));
+}
+
+TEST(LazyMechanics, SuspendedLoadRequalifiesWhenValueIsNeeded)
+{
+    // The mul suspends the load, but a later add genuinely reads it:
+    // the request must be issued after all, with the correct value.
+    GlobalMemory mem;
+    Addr in = mem.alloc(4096);
+    Addr out = mem.alloc(4096);
+    for (unsigned i = 0; i < wavefrontSize; ++i)
+        mem.writeF32(in + 4ull * i, 2.5f);
+
+    KernelBuilder kb("requalify");
+    kb.threadId(0);
+    kb.valu(Opcode::VShlU32, 1, Src::vreg(0), Src::imm(2));
+    kb.valu(Opcode::VMov, 2, Src::immF(0.0f));
+    kb.load(Opcode::LoadDword, 3, 1, in);
+    kb.valu(Opcode::VMulF32, 4, Src::vreg(2), Src::vreg(3)); // suspend
+    kb.valu(Opcode::VAddF32, 5, Src::vreg(3), Src::immF(1.0f)); // need!
+    kb.store(Opcode::StoreDword, 1, 5, out);
+    Kernel k = kb.build(1);
+
+    Gpu gpu(oneCu(ExecMode::LazyGPU), mem);
+    gpu.run(k);
+    EXPECT_EQ(8u, ctr(gpu, "cu.txs_issued"));
+    EXPECT_EQ(0u, ctr(gpu, "cu.txs_elim_otimes"));
+    for (unsigned i = 0; i < wavefrontSize; ++i)
+        EXPECT_FLOAT_EQ(3.5f, mem.readF32(out + 4ull * i));
+}
+
+TEST(LazyMechanics, MacUsesMaskZeroedCounterpartToKillWeightLoads)
+{
+    // The Fig 8 flow end to end: activations (a) are all zero and come
+    // from memory; weights (w) are non-zero. The mask zeroes a's
+    // registers, then mac a*w suspends and ultimately eliminates the
+    // weight fetch.
+    GlobalMemory mem;
+    Addr a = mem.alloc(4096);
+    Addr w = mem.alloc(4096);
+    Addr out = mem.alloc(4096);
+    mem.writeU32(a, 0); // materialise, all zero
+    for (unsigned i = 0; i < wavefrontSize; ++i)
+        mem.writeF32(w + 4ull * i, 4.0f);
+
+    KernelBuilder kb("fig8");
+    kb.threadId(0);
+    kb.valu(Opcode::VShlU32, 1, Src::vreg(0), Src::imm(2));
+    kb.load(Opcode::LoadDword, 2, 1, a);
+    kb.load(Opcode::LoadDword, 3, 1, w);
+    kb.valu(Opcode::VMov, 4, Src::immF(9.0f));
+    kb.mac(4, Src::vreg(2), Src::vreg(3));
+    kb.store(Opcode::StoreDword, 1, 4, out);
+    Kernel k = kb.build(1);
+
+    Gpu gpu(oneCu(ExecMode::LazyGPU), mem);
+    gpu.run(k);
+    // a's 8 transactions eliminated by (1); w's by (2).
+    EXPECT_EQ(8u, ctr(gpu, "cu.txs_elim_zero"));
+    EXPECT_EQ(8u, ctr(gpu, "cu.txs_elim_otimes"));
+    EXPECT_EQ(0u, ctr(gpu, "cu.txs_issued"));
+    for (unsigned i = 0; i < wavefrontSize; ++i)
+        EXPECT_FLOAT_EQ(9.0f, mem.readF32(out + 4ull * i));
+}
+
+TEST(LazyMechanics, MixedUpperBitsFallBackToEagerIssue)
+{
+    // Lane 0 reads near address 0, lane 1 reads 2^29 bytes away: the
+    // in-register encoding cannot hold both, so the load must be
+    // issued promptly without lazy execution (Sec 4.1).
+    GlobalMemory mem;
+    Addr lo = mem.alloc(4096);
+    KernelBuilder kb("split_upper");
+    kb.threadId(0);
+    kb.valu(Opcode::VShlU32, 1, Src::vreg(0), Src::imm(2));
+    // offset += lane0 ? 0 : 2^30 (register offsets are 32-bit).
+    kb.valu(Opcode::VCmpEqU32, 2, Src::vreg(0), Src::imm(0));
+    kb.valu(Opcode::VShlU32, 2, Src::vreg(2), Src::imm(30));
+    kb.valu(Opcode::VAddU32, 1, Src::vreg(1), Src::vreg(2));
+    kb.load(Opcode::LoadDword, 3, 1, lo);
+    kb.valu(Opcode::VAddF32, 4, Src::vreg(3), Src::immF(1.0f));
+    kb.store(Opcode::StoreDword, 1, 4, lo + 2048);
+    Kernel k = kb.build(1);
+
+    Gpu gpu(oneCu(ExecMode::LazyGPU), mem);
+    gpu.run(k);
+    EXPECT_GT(ctr(gpu, "cu.txs_eager_fallback"), 0u);
+}
+
+TEST(LazyMechanics, AllZeroStoresOnlyTouchTheZeroCache)
+{
+    GlobalMemory mem;
+    Addr out = mem.alloc(4096);
+    KernelBuilder kb("zero_store");
+    kb.threadId(0);
+    kb.valu(Opcode::VShlU32, 1, Src::vreg(0), Src::imm(2));
+    kb.valu(Opcode::VMov, 2, Src::immF(0.0f));
+    kb.store(Opcode::StoreDword, 1, 2, out);
+    Kernel k = kb.build(1);
+
+    Gpu gpu(oneCu(ExecMode::LazyGPU), mem);
+    gpu.run(k);
+    EXPECT_EQ(0u, ctr(gpu, "cu.store_txs"));
+    EXPECT_EQ(8u, ctr(gpu, "cu.store_txs_zero_skipped"));
+    EXPECT_GT(ctr(gpu, "cu.mask_writes"), 0u);
+}
+
+TEST(LazyMechanics, NonZeroStoresWriteBothPaths)
+{
+    GlobalMemory mem;
+    Addr out = mem.alloc(4096);
+    KernelBuilder kb("store");
+    kb.threadId(0);
+    kb.valu(Opcode::VShlU32, 1, Src::vreg(0), Src::imm(2));
+    kb.valu(Opcode::VMov, 2, Src::immF(1.0f));
+    kb.store(Opcode::StoreDword, 1, 2, out);
+    Kernel k = kb.build(1);
+
+    Gpu gpu(oneCu(ExecMode::LazyGPU), mem);
+    gpu.run(k);
+    EXPECT_EQ(8u, ctr(gpu, "cu.store_txs"));
+    EXPECT_EQ(0u, ctr(gpu, "cu.store_txs_zero_skipped"));
+    EXPECT_GT(ctr(gpu, "cu.mask_writes"), 0u);
+}
+
+TEST(LazyMechanics, BaselineIssuesEverythingAtExecute)
+{
+    GlobalMemory mem;
+    Addr in = mem.alloc(4096);
+    mem.writeU32(in, 0);
+    KernelBuilder kb("base");
+    kb.threadId(0);
+    kb.valu(Opcode::VShlU32, 1, Src::vreg(0), Src::imm(2));
+    kb.load(Opcode::LoadDword, 2, 1, in);
+    kb.valu(Opcode::VMulF32, 3, Src::vreg(2), Src::immF(0.0f));
+    kb.store(Opcode::StoreDword, 1, 3, in + 2048);
+    Kernel k = kb.build(1);
+
+    Gpu gpu(oneCu(ExecMode::Baseline), mem);
+    gpu.run(k);
+    EXPECT_EQ(8u, ctr(gpu, "cu.txs_issued"));
+    EXPECT_EQ(0u, ctr(gpu, "cu.txs_elim_zero") +
+                      ctr(gpu, "cu.txs_elim_otimes") +
+                      ctr(gpu, "cu.txs_elim_dead"));
+}
+
+TEST(LazyMechanics, MultiRegisterLoadsTrackPerRegisterBusyBits)
+{
+    // An x4 load whose registers are consumed one by one; each use must
+    // see correct data (per-register busy bits, Sec 4.1).
+    GlobalMemory mem;
+    Addr in = mem.alloc(8192);
+    Addr out = mem.alloc(8192);
+    for (unsigned i = 0; i < wavefrontSize * 4; ++i)
+        mem.writeF32(in + 4ull * i, static_cast<float>(i));
+
+    KernelBuilder kb("x4");
+    kb.threadId(0);
+    kb.valu(Opcode::VShlU32, 1, Src::vreg(0), Src::imm(4)); // 16 B/lane
+    kb.load(Opcode::LoadDwordX4, 4, 1, in);
+    kb.valu(Opcode::VMov, 8, Src::immF(0.0f));
+    for (unsigned r = 0; r < 4; ++r)
+        kb.valu(Opcode::VAddF32, 8, Src::vreg(8), Src::vreg(4 + r));
+    kb.valu(Opcode::VShlU32, 2, Src::vreg(0), Src::imm(2));
+    kb.store(Opcode::StoreDword, 2, 8, out);
+    Kernel k = kb.build(1);
+
+    for (ExecMode mode : {ExecMode::Baseline, ExecMode::LazyGPU}) {
+        GlobalMemory m2 = mem; // fresh copy of the functional image
+        Gpu gpu(oneCu(mode), m2);
+        gpu.run(k);
+        for (unsigned lane = 0; lane < wavefrontSize; ++lane) {
+            float expect = static_cast<float>(4 * lane) +
+                           (4 * lane + 1) + (4 * lane + 2) +
+                           (4 * lane + 3);
+            EXPECT_FLOAT_EQ(expect, m2.readF32(out + 4ull * lane))
+                << toString(mode) << " lane " << lane;
+        }
+    }
+}
+
+} // namespace
+} // namespace lazygpu

@@ -1,0 +1,273 @@
+/**
+ * @file
+ * Unit tests for the timing memory system: caches (hits, LRU, MSHRs,
+ * write policies), DRAM channels (bandwidth occupancy), the bank
+ * router, and the end-to-end latencies of Table 2's hierarchy.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/cache.hh"
+#include "mem/dram.hh"
+#include "mem/hierarchy.hh"
+#include "sim/config.hh"
+
+namespace lazygpu
+{
+namespace
+{
+
+struct Fixture
+{
+    Engine engine;
+    StatSet stats;
+};
+
+/** Run an access and return its completion tick. */
+Tick
+timedAccess(Engine &engine, MemDevice &dev, Addr addr, bool write = false)
+{
+    Tick done = maxTick;
+    dev.access(MemAccess{addr, transactionSize, write},
+               [&]() { done = engine.now(); });
+    engine.run();
+    return done;
+}
+
+TEST(DramChannel, AddsAccessLatency)
+{
+    Fixture f;
+    DramChannel dram(f.engine, f.stats, "d", 32, 100);
+    EXPECT_EQ(101u, timedAccess(f.engine, dram, 0)); // 1 occupancy + 100
+}
+
+TEST(DramChannel, BandwidthOccupancySerialisesBursts)
+{
+    Fixture f;
+    // 8 B/cycle: each 32 B transaction occupies 4 cycles.
+    DramChannel dram(f.engine, f.stats, "d", 8, 100);
+    std::vector<Tick> done;
+    for (int i = 0; i < 4; ++i) {
+        dram.access(MemAccess{Addr(i) * 32, 32, false},
+                    [&, i]() { done.push_back(f.engine.now()); });
+    }
+    f.engine.run();
+    ASSERT_EQ(4u, done.size());
+    EXPECT_EQ(104u, done[0]);
+    EXPECT_EQ(108u, done[1]);
+    EXPECT_EQ(116u, done[3]); // queuing latency is emergent
+    EXPECT_GT(f.stats.dist("d.queue_delay").max(), 0.0);
+}
+
+TEST(DramChannel, CountsReadsAndWrites)
+{
+    Fixture f;
+    DramChannel dram(f.engine, f.stats, "d", 32, 10);
+    dram.access(MemAccess{0, 32, false}, nullptr);
+    dram.access(MemAccess{64, 32, true}, nullptr);
+    dram.access(MemAccess{128, 32, true}, nullptr);
+    f.engine.run();
+    EXPECT_EQ(1u, f.stats.counter("d.reads").value());
+    EXPECT_EQ(2u, f.stats.counter("d.writes").value());
+}
+
+class CacheFixture : public ::testing::Test
+{
+  public:
+    CacheFixture()
+        : dram_(f_.engine, f_.stats, "d", 32, 100),
+          params_(makeParams()),
+          cache_(f_.engine, f_.stats, "c", params_,
+                 Cache::WritePolicy::WriteBack, dram_)
+    {
+    }
+
+    static CacheParams
+    makeParams()
+    {
+        CacheParams p;
+        p.size = 4 * 1024; // 4 KiB, 4-way, 64 B lines -> 16 sets
+        p.assoc = 4;
+        p.lineSize = 64;
+        p.mshrs = 2;
+        p.bytesPerCycle = 64;
+        p.latency = 10;
+        return p;
+    }
+
+    Fixture f_;
+    DramChannel dram_;
+    CacheParams params_;
+    Cache cache_;
+};
+
+TEST_F(CacheFixture, MissThenHit)
+{
+    Tick first = timedAccess(f_.engine, cache_, 0x1000);
+    EXPECT_EQ(1u, f_.stats.counter("c.misses").value());
+    EXPECT_GT(first, 100u); // went to DRAM
+
+    Tick t0 = f_.engine.now();
+    Tick second = timedAccess(f_.engine, cache_, 0x1000);
+    EXPECT_EQ(1u, f_.stats.counter("c.hits").value());
+    EXPECT_EQ(t0 + 10, second); // hit latency only
+}
+
+TEST_F(CacheFixture, SameLineDifferentTransactionHits)
+{
+    timedAccess(f_.engine, cache_, 0x1000);
+    timedAccess(f_.engine, cache_, 0x1020); // other half of the line
+    EXPECT_EQ(1u, f_.stats.counter("c.misses").value());
+    EXPECT_EQ(1u, f_.stats.counter("c.hits").value());
+}
+
+TEST_F(CacheFixture, SecondaryMissCoalescesIntoMshr)
+{
+    int completions = 0;
+    cache_.access(MemAccess{0x2000, 32, false}, [&]() { ++completions; });
+    cache_.access(MemAccess{0x2020, 32, false}, [&]() { ++completions; });
+    f_.engine.run();
+    EXPECT_EQ(2, completions);
+    EXPECT_EQ(2u, f_.stats.counter("c.misses").value());
+    // Only one fill travelled to DRAM.
+    EXPECT_EQ(1u, f_.stats.counter("d.reads").value());
+}
+
+TEST_F(CacheFixture, MshrExhaustionQueuesRequests)
+{
+    int completions = 0;
+    // 4 distinct lines with only 2 MSHRs.
+    for (Addr a = 0; a < 4; ++a) {
+        cache_.access(MemAccess{0x4000 + a * 64, 32, false},
+                      [&]() { ++completions; });
+    }
+    f_.engine.run();
+    EXPECT_EQ(4, completions);
+    EXPECT_GT(f_.stats.dist("c.mshr_wait").count(), 0u);
+    EXPECT_GT(f_.stats.dist("c.mshr_wait").max(), 0.0);
+}
+
+TEST_F(CacheFixture, LruEvictsTheColdestWay)
+{
+    // Fill one set (16 sets: addresses 0x1000 apart share set 0).
+    for (Addr w = 0; w < 4; ++w)
+        timedAccess(f_.engine, cache_, 0x10000 + w * 0x400);
+    // Touch the first three again, then bring in a fifth line.
+    for (Addr w = 0; w < 3; ++w)
+        timedAccess(f_.engine, cache_, 0x10000 + w * 0x400);
+    timedAccess(f_.engine, cache_, 0x10000 + 4 * 0x400);
+    // Way 3 (0x10C00) was LRU and must be gone; way 0 must survive.
+    EXPECT_TRUE(cache_.contains(0x10000));
+    EXPECT_FALSE(cache_.contains(0x10000 + 3 * 0x400));
+}
+
+TEST_F(CacheFixture, WriteBackMarksDirtyAndWritesBackOnEviction)
+{
+    timedAccess(f_.engine, cache_, 0x20000, true); // write-allocate
+    EXPECT_EQ(0u, f_.stats.counter("d.writes").value());
+    // Evict it by filling the set with reads.
+    for (Addr w = 1; w <= 4; ++w)
+        timedAccess(f_.engine, cache_, 0x20000 + w * 0x400);
+    f_.engine.run();
+    EXPECT_EQ(1u, f_.stats.counter("c.evictions").value());
+    EXPECT_EQ(1u, f_.stats.counter("d.writes").value());
+}
+
+TEST(CacheWriteAround, WritesBypassAndInvalidate)
+{
+    Fixture f;
+    DramChannel dram(f.engine, f.stats, "d", 32, 50);
+    CacheParams p = CacheFixture::makeParams();
+    Cache cache(f.engine, f.stats, "c", p,
+                Cache::WritePolicy::WriteAround, dram);
+
+    timedAccess(f.engine, cache, 0x3000); // fill
+    EXPECT_TRUE(cache.contains(0x3000));
+    timedAccess(f.engine, cache, 0x3000, true); // write around
+    EXPECT_FALSE(cache.contains(0x3000));
+    EXPECT_EQ(1u, f.stats.counter("c.write_throughs").value());
+    EXPECT_EQ(1u, f.stats.counter("d.writes").value());
+}
+
+TEST(BankRouter, RoutesByInterleaving)
+{
+    Fixture f;
+    DramChannel d0(f.engine, f.stats, "d0", 32, 10);
+    DramChannel d1(f.engine, f.stats, "d1", 32, 10);
+    BankRouter router(f.engine, 128, 256);
+    router.addBank(&d0);
+    router.addBank(&d1);
+
+    EXPECT_EQ(0u, router.bankFor(0));
+    EXPECT_EQ(0u, router.bankFor(127));
+    EXPECT_EQ(1u, router.bankFor(128));
+    EXPECT_EQ(0u, router.bankFor(256));
+
+    router.access(MemAccess{0, 32, false}, nullptr);
+    router.access(MemAccess{128, 32, false}, nullptr);
+    router.access(MemAccess{160, 32, false}, nullptr);
+    f.engine.run();
+    EXPECT_EQ(1u, f.stats.counter("d0.reads").value());
+    EXPECT_EQ(2u, f.stats.counter("d1.reads").value());
+}
+
+TEST(Hierarchy, RoundTripLatenciesMatchTable2)
+{
+    // L1 hit 60, L2 hit 112, DRAM 146 (MGPUSim defaults).
+    Fixture f;
+    GlobalMemory mem;
+    GpuConfig cfg = GpuConfig::r9Nano();
+    MemoryHierarchy hier(f.engine, f.stats, cfg, mem);
+
+    Tick done = maxTick;
+    hier.accessData(0, 0x100000, 32, false,
+                    [&]() { done = f.engine.now(); });
+    f.engine.run();
+    Tick dram_trip = done;
+    EXPECT_NEAR(146.0, static_cast<double>(dram_trip), 4.0);
+
+    Tick start = f.engine.now();
+    hier.accessData(0, 0x100000, 32, false,
+                    [&]() { done = f.engine.now(); });
+    f.engine.run();
+    EXPECT_NEAR(60.0, static_cast<double>(done - start), 2.0);
+
+    // A different SA misses its own L1 but hits the shared L2.
+    start = f.engine.now();
+    hier.accessData(1, 0x100000, 32, false,
+                    [&]() { done = f.engine.now(); });
+    f.engine.run();
+    EXPECT_NEAR(112.0, static_cast<double>(done - start), 3.0);
+}
+
+TEST(Hierarchy, MaskPathUsesTheZeroCaches)
+{
+    Fixture f;
+    GlobalMemory mem;
+    GpuConfig cfg = GpuConfig::lazyGpu();
+    MemoryHierarchy hier(f.engine, f.stats, cfg, mem);
+    ASSERT_TRUE(hier.hasZeroCaches());
+
+    Addr ma = GlobalMemory::maskAddr(0x200000);
+    EXPECT_FALSE(hier.maskResidentInL1(0, ma));
+    hier.accessMask(0, ma & ~Addr(31), false, nullptr);
+    f.engine.run();
+    EXPECT_TRUE(hier.maskResidentInL1(0, ma));
+    EXPECT_FALSE(hier.maskResidentInL1(1, ma)); // per-SA L1 Zero Caches
+    EXPECT_EQ(1u, f.stats.sumCounters("zl1.", ".misses"));
+    EXPECT_EQ(0u, f.stats.sumCounters("l1.", ".misses"));
+}
+
+TEST(HierarchyDeath, MaskAccessWithoutZeroCachesPanics)
+{
+    Fixture f;
+    GlobalMemory mem;
+    GpuConfig cfg = GpuConfig::r9Nano();
+    MemoryHierarchy hier(f.engine, f.stats, cfg, mem);
+    EXPECT_DEATH(hier.accessMask(0, GlobalMemory::maskBase, false,
+                                 nullptr),
+                 "Zero Caches");
+}
+
+} // namespace
+} // namespace lazygpu

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Integration tests: every Table 3 benchmark must produce functionally
+ * correct results on both the baseline and the full LazyGPU, at dense
+ * and sparse inputs. This is the strongest end-to-end check in the
+ * repository: elimination must never change program output.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/harness.hh"
+#include "workloads/suite.hh"
+
+namespace lazygpu
+{
+namespace
+{
+
+struct SuiteCase
+{
+    std::string name;
+    ExecMode mode;
+    double sparsity;
+};
+
+std::string
+caseName(const ::testing::TestParamInfo<SuiteCase> &info)
+{
+    std::string s = info.param.name + "_" + toString(info.param.mode) +
+                    "_s" +
+                    std::to_string(static_cast<int>(
+                        info.param.sparsity * 100));
+    for (char &c : s) {
+        if (!isalnum(static_cast<unsigned char>(c)))
+            c = '_';
+    }
+    return s;
+}
+
+class SuiteFunctional : public ::testing::TestWithParam<SuiteCase>
+{
+};
+
+TEST_P(SuiteFunctional, ProducesCorrectResults)
+{
+    const SuiteCase &c = GetParam();
+    WorkloadParams p;
+    p.sparsity = c.sparsity;
+    p.scale = 16; // small instances: this test is about correctness
+    Workload w = makeSuiteWorkload(c.name, p);
+
+    GpuConfig cfg = c.mode == ExecMode::Baseline
+                        ? GpuConfig::r9Nano()
+                        : GpuConfig::lazyGpu(c.mode);
+    cfg = cfg.scaled(4);
+
+    RunResult r = runWorkload(cfg, w);
+    EXPECT_GT(r.cycles, 0u) << c.name;
+    EXPECT_EQ("", r.verifyError) << c.name << " on " << toString(c.mode);
+}
+
+std::vector<SuiteCase>
+allCases()
+{
+    std::vector<SuiteCase> cases;
+    for (const std::string &n : suiteNames()) {
+        cases.push_back({n, ExecMode::Baseline, 0.0});
+        cases.push_back({n, ExecMode::LazyGPU, 0.0});
+        cases.push_back({n, ExecMode::LazyGPU, 0.5});
+    }
+    return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, SuiteFunctional,
+                         ::testing::ValuesIn(allCases()), caseName);
+
+} // namespace
+} // namespace lazygpu
