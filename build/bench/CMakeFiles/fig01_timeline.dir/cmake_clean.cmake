@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_timeline.dir/fig01_timeline.cc.o"
+  "CMakeFiles/fig01_timeline.dir/fig01_timeline.cc.o.d"
+  "fig01_timeline"
+  "fig01_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_mm_trace.dir/fig02_mm_trace.cc.o"
+  "CMakeFiles/fig02_mm_trace.dir/fig02_mm_trace.cc.o.d"
+  "fig02_mm_trace"
+  "fig02_mm_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_mm_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_mm_sweep.dir/fig03_mm_sweep.cc.o"
+  "CMakeFiles/fig03_mm_sweep.dir/fig03_mm_sweep.cc.o.d"
+  "fig03_mm_sweep"
+  "fig03_mm_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_mm_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

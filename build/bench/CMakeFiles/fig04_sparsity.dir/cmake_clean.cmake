@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_sparsity.dir/fig04_sparsity.cc.o"
+  "CMakeFiles/fig04_sparsity.dir/fig04_sparsity.cc.o.d"
+  "fig04_sparsity"
+  "fig04_sparsity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_sparsity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

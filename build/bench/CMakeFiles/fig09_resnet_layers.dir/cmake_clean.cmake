@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_resnet_layers.dir/fig09_resnet_layers.cc.o"
+  "CMakeFiles/fig09_resnet_layers.dir/fig09_resnet_layers.cc.o.d"
+  "fig09_resnet_layers"
+  "fig09_resnet_layers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_resnet_layers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_resnet_sweep.dir/fig10_resnet_sweep.cc.o"
+  "CMakeFiles/fig10_resnet_sweep.dir/fig10_resnet_sweep.cc.o.d"
+  "fig10_resnet_sweep"
+  "fig10_resnet_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_resnet_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_llama.dir/fig11_llama.cc.o"
+  "CMakeFiles/fig11_llama.dir/fig11_llama.cc.o.d"
+  "fig11_llama"
+  "fig11_llama.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_llama.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

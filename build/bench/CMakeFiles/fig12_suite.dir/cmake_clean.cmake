@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_suite.dir/fig12_suite.cc.o"
+  "CMakeFiles/fig12_suite.dir/fig12_suite.cc.o.d"
+  "fig12_suite"
+  "fig12_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_elimination.dir/fig14_elimination.cc.o"
+  "CMakeFiles/fig14_elimination.dir/fig14_elimination.cc.o.d"
+  "fig14_elimination"
+  "fig14_elimination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_elimination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

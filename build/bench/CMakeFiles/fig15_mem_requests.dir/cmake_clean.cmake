@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_mem_requests.dir/fig15_mem_requests.cc.o"
+  "CMakeFiles/fig15_mem_requests.dir/fig15_mem_requests.cc.o.d"
+  "fig15_mem_requests"
+  "fig15_mem_requests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_mem_requests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbl05_overhead.dir/tbl05_overhead.cc.o"
+  "CMakeFiles/tbl05_overhead.dir/tbl05_overhead.cc.o.d"
+  "tbl05_overhead"
+  "tbl05_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbl05_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lazygpu_sim.dir/lazygpu_sim.cc.o"
+  "CMakeFiles/lazygpu_sim.dir/lazygpu_sim.cc.o.d"
+  "lazygpu_sim"
+  "lazygpu_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lazygpu_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

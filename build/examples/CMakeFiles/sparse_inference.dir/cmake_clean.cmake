@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparse_inference.dir/sparse_inference.cc.o"
+  "CMakeFiles/sparse_inference.dir/sparse_inference.cc.o.d"
+  "sparse_inference"
+  "sparse_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparse_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

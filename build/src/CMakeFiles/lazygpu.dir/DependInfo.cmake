@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/harness.cc" "src/CMakeFiles/lazygpu.dir/analysis/harness.cc.o" "gcc" "src/CMakeFiles/lazygpu.dir/analysis/harness.cc.o.d"
+  "/root/repo/src/analysis/resnet_runner.cc" "src/CMakeFiles/lazygpu.dir/analysis/resnet_runner.cc.o" "gcc" "src/CMakeFiles/lazygpu.dir/analysis/resnet_runner.cc.o.d"
+  "/root/repo/src/core/overhead.cc" "src/CMakeFiles/lazygpu.dir/core/overhead.cc.o" "gcc" "src/CMakeFiles/lazygpu.dir/core/overhead.cc.o.d"
+  "/root/repo/src/gpu/coalescer.cc" "src/CMakeFiles/lazygpu.dir/gpu/coalescer.cc.o" "gcc" "src/CMakeFiles/lazygpu.dir/gpu/coalescer.cc.o.d"
+  "/root/repo/src/gpu/compute_unit.cc" "src/CMakeFiles/lazygpu.dir/gpu/compute_unit.cc.o" "gcc" "src/CMakeFiles/lazygpu.dir/gpu/compute_unit.cc.o.d"
+  "/root/repo/src/gpu/gpu.cc" "src/CMakeFiles/lazygpu.dir/gpu/gpu.cc.o" "gcc" "src/CMakeFiles/lazygpu.dir/gpu/gpu.cc.o.d"
+  "/root/repo/src/gpu/wavefront.cc" "src/CMakeFiles/lazygpu.dir/gpu/wavefront.cc.o" "gcc" "src/CMakeFiles/lazygpu.dir/gpu/wavefront.cc.o.d"
+  "/root/repo/src/isa/encoding.cc" "src/CMakeFiles/lazygpu.dir/isa/encoding.cc.o" "gcc" "src/CMakeFiles/lazygpu.dir/isa/encoding.cc.o.d"
+  "/root/repo/src/isa/instruction.cc" "src/CMakeFiles/lazygpu.dir/isa/instruction.cc.o" "gcc" "src/CMakeFiles/lazygpu.dir/isa/instruction.cc.o.d"
+  "/root/repo/src/isa/kernel.cc" "src/CMakeFiles/lazygpu.dir/isa/kernel.cc.o" "gcc" "src/CMakeFiles/lazygpu.dir/isa/kernel.cc.o.d"
+  "/root/repo/src/isa/opcode.cc" "src/CMakeFiles/lazygpu.dir/isa/opcode.cc.o" "gcc" "src/CMakeFiles/lazygpu.dir/isa/opcode.cc.o.d"
+  "/root/repo/src/mem/cache.cc" "src/CMakeFiles/lazygpu.dir/mem/cache.cc.o" "gcc" "src/CMakeFiles/lazygpu.dir/mem/cache.cc.o.d"
+  "/root/repo/src/mem/dram.cc" "src/CMakeFiles/lazygpu.dir/mem/dram.cc.o" "gcc" "src/CMakeFiles/lazygpu.dir/mem/dram.cc.o.d"
+  "/root/repo/src/mem/hierarchy.cc" "src/CMakeFiles/lazygpu.dir/mem/hierarchy.cc.o" "gcc" "src/CMakeFiles/lazygpu.dir/mem/hierarchy.cc.o.d"
+  "/root/repo/src/mem/memory.cc" "src/CMakeFiles/lazygpu.dir/mem/memory.cc.o" "gcc" "src/CMakeFiles/lazygpu.dir/mem/memory.cc.o.d"
+  "/root/repo/src/sim/config.cc" "src/CMakeFiles/lazygpu.dir/sim/config.cc.o" "gcc" "src/CMakeFiles/lazygpu.dir/sim/config.cc.o.d"
+  "/root/repo/src/sim/engine.cc" "src/CMakeFiles/lazygpu.dir/sim/engine.cc.o" "gcc" "src/CMakeFiles/lazygpu.dir/sim/engine.cc.o.d"
+  "/root/repo/src/sim/logging.cc" "src/CMakeFiles/lazygpu.dir/sim/logging.cc.o" "gcc" "src/CMakeFiles/lazygpu.dir/sim/logging.cc.o.d"
+  "/root/repo/src/sim/stats.cc" "src/CMakeFiles/lazygpu.dir/sim/stats.cc.o" "gcc" "src/CMakeFiles/lazygpu.dir/sim/stats.cc.o.d"
+  "/root/repo/src/workloads/common.cc" "src/CMakeFiles/lazygpu.dir/workloads/common.cc.o" "gcc" "src/CMakeFiles/lazygpu.dir/workloads/common.cc.o.d"
+  "/root/repo/src/workloads/gemm.cc" "src/CMakeFiles/lazygpu.dir/workloads/gemm.cc.o" "gcc" "src/CMakeFiles/lazygpu.dir/workloads/gemm.cc.o.d"
+  "/root/repo/src/workloads/llama.cc" "src/CMakeFiles/lazygpu.dir/workloads/llama.cc.o" "gcc" "src/CMakeFiles/lazygpu.dir/workloads/llama.cc.o.d"
+  "/root/repo/src/workloads/pruning.cc" "src/CMakeFiles/lazygpu.dir/workloads/pruning.cc.o" "gcc" "src/CMakeFiles/lazygpu.dir/workloads/pruning.cc.o.d"
+  "/root/repo/src/workloads/resnet18.cc" "src/CMakeFiles/lazygpu.dir/workloads/resnet18.cc.o" "gcc" "src/CMakeFiles/lazygpu.dir/workloads/resnet18.cc.o.d"
+  "/root/repo/src/workloads/suite_linalg.cc" "src/CMakeFiles/lazygpu.dir/workloads/suite_linalg.cc.o" "gcc" "src/CMakeFiles/lazygpu.dir/workloads/suite_linalg.cc.o.d"
+  "/root/repo/src/workloads/suite_misc.cc" "src/CMakeFiles/lazygpu.dir/workloads/suite_misc.cc.o" "gcc" "src/CMakeFiles/lazygpu.dir/workloads/suite_misc.cc.o.d"
+  "/root/repo/src/workloads/suite_registry.cc" "src/CMakeFiles/lazygpu.dir/workloads/suite_registry.cc.o" "gcc" "src/CMakeFiles/lazygpu.dir/workloads/suite_registry.cc.o.d"
+  "/root/repo/src/workloads/suite_stream.cc" "src/CMakeFiles/lazygpu.dir/workloads/suite_stream.cc.o" "gcc" "src/CMakeFiles/lazygpu.dir/workloads/suite_stream.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

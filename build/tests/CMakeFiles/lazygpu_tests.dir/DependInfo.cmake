@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_dnn_workloads.cc" "tests/CMakeFiles/lazygpu_tests.dir/test_dnn_workloads.cc.o" "gcc" "tests/CMakeFiles/lazygpu_tests.dir/test_dnn_workloads.cc.o.d"
+  "/root/repo/tests/test_engine.cc" "tests/CMakeFiles/lazygpu_tests.dir/test_engine.cc.o" "gcc" "tests/CMakeFiles/lazygpu_tests.dir/test_engine.cc.o.d"
+  "/root/repo/tests/test_exec_semantics.cc" "tests/CMakeFiles/lazygpu_tests.dir/test_exec_semantics.cc.o" "gcc" "tests/CMakeFiles/lazygpu_tests.dir/test_exec_semantics.cc.o.d"
+  "/root/repo/tests/test_foundation.cc" "tests/CMakeFiles/lazygpu_tests.dir/test_foundation.cc.o" "gcc" "tests/CMakeFiles/lazygpu_tests.dir/test_foundation.cc.o.d"
+  "/root/repo/tests/test_gemm.cc" "tests/CMakeFiles/lazygpu_tests.dir/test_gemm.cc.o" "gcc" "tests/CMakeFiles/lazygpu_tests.dir/test_gemm.cc.o.d"
+  "/root/repo/tests/test_harness.cc" "tests/CMakeFiles/lazygpu_tests.dir/test_harness.cc.o" "gcc" "tests/CMakeFiles/lazygpu_tests.dir/test_harness.cc.o.d"
+  "/root/repo/tests/test_isa.cc" "tests/CMakeFiles/lazygpu_tests.dir/test_isa.cc.o" "gcc" "tests/CMakeFiles/lazygpu_tests.dir/test_isa.cc.o.d"
+  "/root/repo/tests/test_lazy_mechanics.cc" "tests/CMakeFiles/lazygpu_tests.dir/test_lazy_mechanics.cc.o" "gcc" "tests/CMakeFiles/lazygpu_tests.dir/test_lazy_mechanics.cc.o.d"
+  "/root/repo/tests/test_mem_timing.cc" "tests/CMakeFiles/lazygpu_tests.dir/test_mem_timing.cc.o" "gcc" "tests/CMakeFiles/lazygpu_tests.dir/test_mem_timing.cc.o.d"
+  "/root/repo/tests/test_smoke.cc" "tests/CMakeFiles/lazygpu_tests.dir/test_smoke.cc.o" "gcc" "tests/CMakeFiles/lazygpu_tests.dir/test_smoke.cc.o.d"
+  "/root/repo/tests/test_suite_workloads.cc" "tests/CMakeFiles/lazygpu_tests.dir/test_suite_workloads.cc.o" "gcc" "tests/CMakeFiles/lazygpu_tests.dir/test_suite_workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lazygpu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lazygpu_tests.dir/test_dnn_workloads.cc.o"
+  "CMakeFiles/lazygpu_tests.dir/test_dnn_workloads.cc.o.d"
+  "CMakeFiles/lazygpu_tests.dir/test_engine.cc.o"
+  "CMakeFiles/lazygpu_tests.dir/test_engine.cc.o.d"
+  "CMakeFiles/lazygpu_tests.dir/test_exec_semantics.cc.o"
+  "CMakeFiles/lazygpu_tests.dir/test_exec_semantics.cc.o.d"
+  "CMakeFiles/lazygpu_tests.dir/test_foundation.cc.o"
+  "CMakeFiles/lazygpu_tests.dir/test_foundation.cc.o.d"
+  "CMakeFiles/lazygpu_tests.dir/test_gemm.cc.o"
+  "CMakeFiles/lazygpu_tests.dir/test_gemm.cc.o.d"
+  "CMakeFiles/lazygpu_tests.dir/test_harness.cc.o"
+  "CMakeFiles/lazygpu_tests.dir/test_harness.cc.o.d"
+  "CMakeFiles/lazygpu_tests.dir/test_isa.cc.o"
+  "CMakeFiles/lazygpu_tests.dir/test_isa.cc.o.d"
+  "CMakeFiles/lazygpu_tests.dir/test_lazy_mechanics.cc.o"
+  "CMakeFiles/lazygpu_tests.dir/test_lazy_mechanics.cc.o.d"
+  "CMakeFiles/lazygpu_tests.dir/test_mem_timing.cc.o"
+  "CMakeFiles/lazygpu_tests.dir/test_mem_timing.cc.o.d"
+  "CMakeFiles/lazygpu_tests.dir/test_smoke.cc.o"
+  "CMakeFiles/lazygpu_tests.dir/test_smoke.cc.o.d"
+  "CMakeFiles/lazygpu_tests.dir/test_suite_workloads.cc.o"
+  "CMakeFiles/lazygpu_tests.dir/test_suite_workloads.cc.o.d"
+  "lazygpu_tests"
+  "lazygpu_tests.pdb"
+  "lazygpu_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lazygpu_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
