@@ -1,0 +1,44 @@
+#include "bench/bench_main.hh"
+
+#include <cstdlib>
+
+#include "sim/logging.hh"
+
+namespace lazygpu
+{
+
+namespace
+{
+
+unsigned
+parseJobs(const std::string &value)
+{
+    char *end = nullptr;
+    const unsigned long v = std::strtoul(value.c_str(), &end, 10);
+    fatal_if(end == value.c_str() || *end != '\0' || v > 4096,
+             "--jobs expects a small non-negative integer, got '%s'",
+             value.c_str());
+    return static_cast<unsigned>(v);
+}
+
+} // namespace
+
+BenchOptions
+parseBenchOptions(int argc, char **argv)
+{
+    BenchOptions opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--jobs") {
+            fatal_if(i + 1 >= argc, "--jobs requires a value");
+            opt.jobs = parseJobs(argv[++i]);
+        } else if (a.rfind("--jobs=", 0) == 0) {
+            opt.jobs = parseJobs(a.substr(7));
+        } else {
+            opt.args.push_back(a);
+        }
+    }
+    return opt;
+}
+
+} // namespace lazygpu

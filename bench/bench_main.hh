@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Shared command-line handling for the figure bench binaries.
+ *
+ * Every bench accepts `--jobs N` (worker threads for its simulation
+ * grid; `--jobs 0` or omitting the flag defers to the LAZYGPU_JOBS env
+ * var, then to hardware concurrency). Remaining arguments are returned
+ * positionally for bench-specific knobs (`--quick`, wave counts, ...).
+ * Printed tables and JSON artifacts are byte-identical for any job
+ * count.
+ */
+
+#ifndef LAZYGPU_BENCH_BENCH_MAIN_HH
+#define LAZYGPU_BENCH_BENCH_MAIN_HH
+
+#include <string>
+#include <vector>
+
+namespace lazygpu
+{
+
+struct BenchOptions
+{
+    /** Worker threads; 0 means auto (LAZYGPU_JOBS, else hardware). */
+    unsigned jobs = 0;
+    /** Arguments other than --jobs, in order. */
+    std::vector<std::string> args;
+
+    /** The bench-specific argument at index i, or fallback. */
+    std::string arg(std::size_t i, const std::string &fallback = "") const
+    {
+        return i < args.size() ? args[i] : fallback;
+    }
+
+    bool
+    hasFlag(const std::string &flag) const
+    {
+        for (const std::string &a : args) {
+            if (a == flag)
+                return true;
+        }
+        return false;
+    }
+};
+
+/** Parse argv, consuming --jobs N / --jobs=N; fatal on malformed N. */
+BenchOptions parseBenchOptions(int argc, char **argv);
+
+} // namespace lazygpu
+
+#endif // LAZYGPU_BENCH_BENCH_MAIN_HH

@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "bench/bench_main.hh"
 #include "bench/bench_util.hh"
 #include "gpu/gpu.hh"
 #include "workloads/suite.hh"
@@ -79,8 +80,11 @@ bucketize(const std::vector<TimeSeries::Point> &pts, Tick horizon,
 int
 main(int argc, char **argv)
 {
+    // Two traced runs only; --jobs is accepted (for run_benches.sh
+    // uniformity) but there is no grid to spread.
+    const BenchOptions opt = parseBenchOptions(argc, argv);
     const unsigned waves =
-        argc > 1 ? static_cast<unsigned>(std::atoi(argv[1])) : 1024;
+        static_cast<unsigned>(std::atoi(opt.arg(0, "1024").c_str()));
     const unsigned bins = 16;
 
     std::printf("Figure 2: MM with %u wavefronts, baseline vs LazyCore\n",

@@ -14,7 +14,9 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "analysis/harness.hh"
+#include "analysis/json_writer.hh"
+#include "analysis/parallel_runner.hh"
+#include "bench/bench_main.hh"
 #include "workloads/suite.hh"
 
 using namespace lazygpu;
@@ -22,8 +24,9 @@ using namespace lazygpu;
 int
 main(int argc, char **argv)
 {
+    const BenchOptions opt = parseBenchOptions(argc, argv);
     const unsigned max_waves =
-        argc > 1 ? static_cast<unsigned>(std::atoi(argv[1])) : 4096;
+        static_cast<unsigned>(std::atoi(opt.arg(0, "4096").c_str()));
 
     std::printf("Figure 3: MM wavefront sweep (dense inputs)\n");
     std::printf("machine: r9nano scaled 1/4 (16 CUs); paper runs 64 CUs "
@@ -33,22 +36,35 @@ main(int argc, char **argv)
                            "base lat", "lazy lat"})
                     .c_str());
 
-    for (unsigned waves = 32; waves <= max_waves; waves *= 2) {
+    std::vector<unsigned> wave_counts;
+    for (unsigned waves = 32; waves <= max_waves; waves *= 2)
+        wave_counts.push_back(waves);
+
+    // One (base, lazy) job pair per wave count; p.scale = 16 keeps the
+    // matrix small while the sweep duplicates work per wave.
+    std::vector<RunJob> jobs;
+    for (unsigned waves : wave_counts) {
         WorkloadParams p;
         p.sparsity = 0.0;
-        p.scale = 16; // small matrix; the sweep duplicates work per wave
+        p.scale = 16;
 
-        Workload wb = makeMM(p, waves);
-        RunResult base =
-            runWorkload(GpuConfig::r9Nano().scaled(4), wb, false);
+        jobs.push_back(RunJob{GpuConfig::r9Nano().scaled(4),
+                              [p, waves]() { return makeMM(p, waves); }});
 
-        Workload wl = makeMM(p, waves);
         GpuConfig lazy = GpuConfig::r9Nano().scaled(4);
         lazy.mode = ExecMode::LazyCore;
-        RunResult test = runWorkload(lazy, wl, false);
+        jobs.push_back(RunJob{lazy,
+                              [p, waves]() { return makeMM(p, waves); }});
+    }
 
+    const std::vector<RunResult> res = ParallelRunner(opt.jobs).run(jobs);
+
+    Json rows = Json::array();
+    for (std::size_t i = 0; i < wave_counts.size(); ++i) {
+        const RunResult &base = res[2 * i];
+        const RunResult &test = res[2 * i + 1];
         std::printf("%s\n",
-                    formatRow({std::to_string(waves),
+                    formatRow({std::to_string(wave_counts[i]),
                                std::to_string(base.cycles),
                                std::to_string(test.cycles),
                                std::to_string(speedup(base, test)),
@@ -57,6 +73,16 @@ main(int argc, char **argv)
                                std::to_string(static_cast<int>(
                                    test.avgMemLatency))})
                         .c_str());
+        Json row = Json::object();
+        row.set("waves", wave_counts[i])
+            .set("speedup", speedup(base, test))
+            .set("base", toJson(base))
+            .set("lazycore", toJson(test));
+        rows.push(std::move(row));
     }
+
+    Json data = Json::object();
+    data.set("rows", std::move(rows));
+    writeBenchJson("fig03_mm_sweep", data);
     return 0;
 }

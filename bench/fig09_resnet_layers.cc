@@ -11,13 +11,16 @@
 #include <cstdio>
 
 #include "analysis/resnet_runner.hh"
+#include "bench/bench_main.hh"
 #include "bench/bench_util.hh"
 
 using namespace lazygpu;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const BenchOptions opt = parseBenchOptions(argc, argv);
+    const ParallelRunner runner(opt.jobs);
     Resnet18 net(resnetParams(0.5));
 
     for (bool training : {false, true}) {
@@ -25,12 +28,15 @@ main()
                     training ? "b" : "a",
                     training ? "training" : "inference");
 
-        ResnetOutcome base =
-            runResnet(net, resnetConfig(ExecMode::Baseline), training);
+        ResnetOutcome base = runResnet(
+            net, resnetConfig(ExecMode::Baseline), training, false,
+            &runner);
 
         std::vector<ResnetOutcome> outs;
-        for (ExecMode mode : modeLadder())
-            outs.push_back(runResnet(net, resnetConfig(mode), training));
+        for (ExecMode mode : modeLadder()) {
+            outs.push_back(runResnet(net, resnetConfig(mode), training,
+                                     false, &runner));
+        }
 
         printRow({"layer", "LazyCore", "LazyCore+1", "LazyGPU"});
         for (unsigned i = 0; i < net.specs().size(); ++i) {
@@ -50,8 +56,9 @@ main()
         }
         printRow(total);
 
-        ResnetOutcome eager =
-            runResnet(net, resnetConfig(ExecMode::EagerZC), training);
+        ResnetOutcome eager = runResnet(
+            net, resnetConfig(ExecMode::EagerZC), training, false,
+            &runner);
         std::printf("EagerZC (zero caches with eager execution): "
                     "%.3fx (paper: %.2fx)\n\n",
                     static_cast<double>(base.total.cycles) /

@@ -9,14 +9,19 @@
 
 #include <cstdio>
 
+#include "analysis/json_writer.hh"
 #include "analysis/resnet_runner.hh"
+#include "bench/bench_main.hh"
 #include "bench/bench_util.hh"
 
 using namespace lazygpu;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const BenchOptions opt = parseBenchOptions(argc, argv);
+    const ParallelRunner runner(opt.jobs);
+
     std::printf("Figure 10: ResNet-18 speedup vs weight sparsity\n");
     printRow({"sparsity", "inference", "training"});
 
@@ -28,23 +33,39 @@ main()
         for (bool training : {false, true}) {
             base_cycles[training] =
                 runResnet(net, resnetConfig(ExecMode::Baseline),
-                          training)
+                          training, false, &runner)
                     .total.cycles;
         }
     }
 
+    Json rows = Json::array();
     for (int s = 0; s <= 90; s += 30) {
         Resnet18 net(resnetParams(s / 100.0));
 
         std::vector<std::string> row{std::to_string(s) + "%"};
+        Json jrow = Json::object();
+        jrow.set("weight_sparsity", s / 100.0);
         for (bool training : {false, true}) {
-            ResnetOutcome lazy = runResnet(
-                net, resnetConfig(ExecMode::LazyGPU), training);
-            row.push_back(
-                cell(static_cast<double>(base_cycles[training]) /
-                     static_cast<double>(lazy.total.cycles)));
+            ResnetOutcome lazy =
+                runResnet(net, resnetConfig(ExecMode::LazyGPU), training,
+                          false, &runner);
+            const double sp =
+                static_cast<double>(base_cycles[training]) /
+                static_cast<double>(lazy.total.cycles);
+            row.push_back(cell(sp));
+            jrow.set(training ? "training_speedup" : "inference_speedup",
+                     sp);
+            jrow.set(training ? "training" : "inference",
+                     toJson(lazy.total));
         }
         printRow(row);
+        rows.push(std::move(jrow));
     }
+
+    Json data = Json::object();
+    data.set("baseline_inference_cycles", base_cycles[0])
+        .set("baseline_training_cycles", base_cycles[1])
+        .set("rows", std::move(rows));
+    writeBenchJson("fig10_resnet_sweep", data);
     return 0;
 }

@@ -9,6 +9,9 @@
 
 #include <cstdio>
 
+#include "analysis/json_writer.hh"
+#include "analysis/parallel_runner.hh"
+#include "bench/bench_main.hh"
 #include "bench/bench_util.hh"
 #include "workloads/llama.hh"
 
@@ -17,47 +20,76 @@ using namespace lazygpu;
 namespace
 {
 
-double
-llamaSpeedup(double sparsity, std::uint64_t l2_total_bytes)
+GpuConfig
+llamaConfig(ExecMode mode, std::uint64_t l2_total_bytes)
+{
+    GpuConfig cfg = mode == ExecMode::Baseline
+                        ? GpuConfig::r9Nano()
+                        : GpuConfig::lazyGpu(mode);
+    // Batch-1 decode has few wavefronts; shrink the machine so the
+    // wavefront:CU ratio matches the full model on 64 CUs.
+    cfg = cfg.scaled(16);
+    if (l2_total_bytes) {
+        cfg.l2.size = l2_total_bytes / cfg.l2Banks;
+        if (hasZeroCaches(mode)) {
+            cfg.l2Zero.size = cfg.l2.size / 8;
+            cfg.l2.size -= cfg.l2Zero.size;
+        }
+    }
+    return cfg;
+}
+
+RunJob
+llamaJob(ExecMode mode, double sparsity, std::uint64_t l2_total_bytes)
 {
     Llama::Params lp;
     lp.sparsity = sparsity;
-
-    auto run = [&](ExecMode mode) {
-        Llama model(lp);
-        Workload w = model.decoderWorkload();
-        GpuConfig cfg = mode == ExecMode::Baseline
-                            ? GpuConfig::r9Nano()
-                            : GpuConfig::lazyGpu(mode);
-        // Batch-1 decode has few wavefronts; shrink the machine so the
-        // wavefront:CU ratio matches the full model on 64 CUs.
-        cfg = cfg.scaled(16);
-        if (l2_total_bytes) {
-            cfg.l2.size = l2_total_bytes / cfg.l2Banks;
-            if (hasZeroCaches(mode)) {
-                cfg.l2Zero.size = cfg.l2.size / 8;
-                cfg.l2.size -= cfg.l2Zero.size;
-            }
-        }
-        return runWorkload(cfg, w, false).cycles;
-    };
-
-    return static_cast<double>(run(ExecMode::Baseline)) /
-           static_cast<double>(run(ExecMode::LazyGPU));
+    return RunJob{llamaConfig(mode, l2_total_bytes), [lp]() {
+                      Llama model(lp);
+                      return model.decoderWorkload();
+                  }};
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const BenchOptions opt = parseBenchOptions(argc, argv);
+
+    // Grid (a): sparsity sweep; grid (b): L2 size sweep at 50%. Each
+    // point is a (baseline, LazyGPU) pair.
+    const std::vector<std::uint64_t> l2_mib = {1, 2, 4, 8, 16};
+    std::vector<RunJob> jobs;
+    for (int s = 0; s <= 60; s += 10) {
+        jobs.push_back(llamaJob(ExecMode::Baseline, s / 100.0, 0));
+        jobs.push_back(llamaJob(ExecMode::LazyGPU, s / 100.0, 0));
+    }
+    for (std::uint64_t mib : l2_mib) {
+        jobs.push_back(llamaJob(ExecMode::Baseline, 0.5, mib << 20));
+        jobs.push_back(llamaJob(ExecMode::LazyGPU, 0.5, mib << 20));
+    }
+    const std::vector<RunResult> res = ParallelRunner(opt.jobs).run(jobs);
+
     std::printf("Figure 11a: LLaMA-7B speedup and perplexity vs "
                 "sparsity (paper: 1.52x dense, 2.18x at 60%%)\n");
     printRow({"sparsity", "speedup", "perplexity*"});
+    std::size_t idx = 0;
+    Json sweep = Json::array();
     for (int s = 0; s <= 60; s += 10) {
-        printRow({std::to_string(s) + "%",
-                  cell(llamaSpeedup(s / 100.0, 0)),
+        const RunResult &base = res[idx++];
+        const RunResult &lazy = res[idx++];
+        const double sp = speedup(base, lazy);
+        printRow({std::to_string(s) + "%", cell(sp),
                   cell(Llama::perplexityAt(s / 100.0), 2)});
+        Json row = Json::object();
+        row.set("sparsity", s / 100.0)
+            .set("speedup", sp)
+            .set("fitted_perplexity", Llama::perplexityAt(s / 100.0))
+            .set("base_cycles", base.cycles)
+            .set("lazy_cycles", lazy.cycles)
+            .set("lazy_elimination_rate", lazy.eliminationRate());
+        sweep.push(std::move(row));
     }
     std::printf("* perplexity is a curve fitted to Wanda's published "
                 "LLaMA-7B numbers, not measured (see DESIGN.md)\n\n");
@@ -65,9 +97,20 @@ main()
     std::printf("Figure 11b: speedup at 50%% sparsity vs total L2 size "
                 "(scaled machine: paper sweeps 2M..64M on 8 banks)\n");
     printRow({"L2 total", "speedup"});
-    for (std::uint64_t mib : {1ull, 2ull, 4ull, 8ull, 16ull}) {
-        printRow({std::to_string(mib) + "MiB",
-                  cell(llamaSpeedup(0.5, mib << 20))});
+    Json l2sweep = Json::array();
+    for (std::uint64_t mib : l2_mib) {
+        const RunResult &base = res[idx++];
+        const RunResult &lazy = res[idx++];
+        const double sp = speedup(base, lazy);
+        printRow({std::to_string(mib) + "MiB", cell(sp)});
+        Json row = Json::object();
+        row.set("l2_total_mib", mib).set("speedup", sp);
+        l2sweep.push(std::move(row));
     }
+
+    Json data = Json::object();
+    data.set("sparsity_sweep", std::move(sweep))
+        .set("l2_sweep_at_50pct", std::move(l2sweep));
+    writeBenchJson("fig11_llama", data);
     return 0;
 }

@@ -11,6 +11,9 @@
 
 #include <cstdio>
 
+#include "analysis/json_writer.hh"
+#include "analysis/parallel_runner.hh"
+#include "bench/bench_main.hh"
 #include "bench/bench_util.hh"
 #include "workloads/suite.hh"
 
@@ -19,10 +22,11 @@ using namespace lazygpu;
 int
 main(int argc, char **argv)
 {
+    const BenchOptions opt = parseBenchOptions(argc, argv);
     // Default to three sparsity points; --full adds the paper's 5 % and
     // 10 % columns, --quick drops to two.
-    const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
-    const bool full = argc > 1 && std::string(argv[1]) == "--full";
+    const bool quick = opt.hasFlag("--quick");
+    const bool full = opt.hasFlag("--full");
     const std::vector<double> sparsities =
         quick ? std::vector<double>{0.0, 0.5}
         : full ? std::vector<double>{0.0, 0.05, 0.1, 0.2, 0.5}
@@ -34,32 +38,70 @@ main(int argc, char **argv)
         header.push_back(pct(s, 0));
     printRow(header);
 
+    // The full (benchmark x sparsity x mode) grid as independent jobs,
+    // in deterministic submission order.
+    std::vector<RunJob> jobs;
+    for (const std::string &name : suiteNames()) {
+        for (double s : sparsities) {
+            WorkloadParams p;
+            p.sparsity = s;
+            jobs.push_back(RunJob{
+                configFor(ExecMode::Baseline),
+                [name, p]() { return makeSuiteWorkload(name, p); }});
+            jobs.push_back(RunJob{
+                configFor(ExecMode::LazyGPU),
+                [name, p]() { return makeSuiteWorkload(name, p); }});
+        }
+    }
+    const std::vector<RunResult> res = ParallelRunner(opt.jobs).run(jobs);
+
+    Json benchmarks = Json::array();
     std::vector<std::vector<double>> columns(sparsities.size());
+    std::size_t idx = 0;
     for (const std::string &name : suiteNames()) {
         std::vector<std::string> row{name};
+        Json speedups = Json::array();
+        Json base_cycles = Json::array();
+        Json lazy_cycles = Json::array();
+        Json elim = Json::array();
         for (unsigned si = 0; si < sparsities.size(); ++si) {
-            WorkloadParams p;
-            p.sparsity = sparsities[si];
-
-            Workload wb = makeSuiteWorkload(name, p);
-            RunResult base =
-                runWorkload(configFor(ExecMode::Baseline), wb, false);
-            Workload wl = makeSuiteWorkload(name, p);
-            RunResult lazy =
-                runWorkload(configFor(ExecMode::LazyGPU), wl, false);
-
+            const RunResult &base = res[idx++];
+            const RunResult &lazy = res[idx++];
             const double sp = speedup(base, lazy);
             columns[si].push_back(sp);
             row.push_back(cell(sp));
+            speedups.push(sp);
+            base_cycles.push(base.cycles);
+            lazy_cycles.push(lazy.cycles);
+            elim.push(lazy.eliminationRate());
         }
         printRow(row);
+        Json b = Json::object();
+        b.set("name", name)
+            .set("speedups", std::move(speedups))
+            .set("base_cycles", std::move(base_cycles))
+            .set("lazy_cycles", std::move(lazy_cycles))
+            .set("lazy_elimination_rate", std::move(elim));
+        benchmarks.push(std::move(b));
     }
 
     std::vector<std::string> gm{"Geo.Mean"};
-    for (const auto &col : columns)
+    Json geomeans = Json::array();
+    for (const auto &col : columns) {
         gm.push_back(cell(geomean(col)));
+        geomeans.push(geomean(col));
+    }
     printRow(gm);
     std::printf("\npaper: geomean 1.08x at 0%% sparsity, 1.28x at "
                 "50%%\n");
+
+    Json spars = Json::array();
+    for (double s : sparsities)
+        spars.push(s);
+    Json data = Json::object();
+    data.set("sparsities", std::move(spars))
+        .set("benchmarks", std::move(benchmarks))
+        .set("geomean_speedups", std::move(geomeans));
+    writeBenchJson("fig12_suite", data);
     return 0;
 }

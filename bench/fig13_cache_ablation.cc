@@ -8,14 +8,19 @@
 
 #include <cstdio>
 
+#include "analysis/json_writer.hh"
 #include "analysis/resnet_runner.hh"
+#include "bench/bench_main.hh"
 #include "bench/bench_util.hh"
 
 using namespace lazygpu;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const BenchOptions opt = parseBenchOptions(argc, argv);
+    const ParallelRunner runner(opt.jobs);
+
     // Fig 13 uses the unpruned network.
     Resnet18 net(resnetParams(0.0));
 
@@ -23,24 +28,39 @@ main()
                 "(ResNet-18, no pruning)\n");
     printRow({"config", "inference"}, 16);
 
-    ResnetOutcome base_inf =
-        runResnet(net, resnetConfig(ExecMode::Baseline), false);
+    ResnetOutcome base_inf = runResnet(
+        net, resnetConfig(ExecMode::Baseline), false, false, &runner);
 
+    Json rows = Json::array();
     const unsigned l1_fracs[] = {2, 8, 16};
     const unsigned l2_fracs[] = {2, 8, 32};
     for (unsigned l1f : l1_fracs) {
         for (unsigned l2f : l2_fracs) {
             GpuConfig cfg =
                 GpuConfig::withZeroCacheSplit(l1f, l2f).scaled(8);
-            ResnetOutcome inf = runResnet(net, cfg, false);
+            ResnetOutcome inf =
+                runResnet(net, cfg, false, false, &runner);
+            const double sp =
+                static_cast<double>(base_inf.total.cycles) /
+                static_cast<double>(inf.total.cycles);
             printRow({"1/" + std::to_string(l1f) + "L1+1/" +
                           std::to_string(l2f) + "L2",
-                      cell(static_cast<double>(base_inf.total.cycles) /
-                           static_cast<double>(inf.total.cycles))},
+                      cell(sp)},
                      16);
+            Json row = Json::object();
+            row.set("l1_frac", l1f)
+                .set("l2_frac", l2f)
+                .set("inference_speedup", sp)
+                .set("cycles", inf.total.cycles);
+            rows.push(std::move(row));
         }
     }
     std::printf("\npaper picks 1/8L1+1/8L2; extreme splits lose "
                 "performance in both directions\n");
+
+    Json data = Json::object();
+    data.set("baseline_cycles", base_inf.total.cycles)
+        .set("rows", std::move(rows));
+    writeBenchJson("fig13_cache_ablation", data);
     return 0;
 }

@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "analysis/resnet_runner.hh"
+#include "bench/bench_main.hh"
 #include "bench/bench_util.hh"
 
 using namespace lazygpu;
@@ -29,18 +30,20 @@ share(std::uint64_t part, const RunResult &r)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const BenchOptions opt = parseBenchOptions(argc, argv);
+    const ParallelRunner runner(opt.jobs);
     Resnet18 net(resnetParams(0.5));
 
     std::printf("Figure 14: load requests eliminated by (1) and (2), "
                 "ResNet-18 @50%% weight sparsity\n\n");
     printRow({"layer", "opt1-inf", "opt2-inf", "opt1-trn", "opt2-trn"});
 
-    ResnetOutcome inf =
-        runResnet(net, resnetConfig(ExecMode::LazyGPU), false);
-    ResnetOutcome trn =
-        runResnet(net, resnetConfig(ExecMode::LazyGPU), true);
+    ResnetOutcome inf = runResnet(net, resnetConfig(ExecMode::LazyGPU),
+                                  false, false, &runner);
+    ResnetOutcome trn = runResnet(net, resnetConfig(ExecMode::LazyGPU),
+                                  true, false, &runner);
 
     for (unsigned i = 0; i < net.specs().size(); ++i) {
         printRow({net.specs()[i].name,

@@ -12,6 +12,7 @@
 #include <cstdio>
 
 #include "analysis/resnet_runner.hh"
+#include "bench/bench_main.hh"
 #include "bench/bench_util.hh"
 
 using namespace lazygpu;
@@ -32,8 +33,10 @@ reduction(std::uint64_t base, std::uint64_t lazy)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const BenchOptions opt = parseBenchOptions(argc, argv);
+    const ParallelRunner runner(opt.jobs);
     for (double ws : {0.0, 0.5}) {
         Resnet18 net(resnetParams(ws));
 
@@ -42,10 +45,12 @@ main()
                     ws == 0.0 ? "a" : "b", ws * 100);
         printRow({"phase", "L1", "L2", "DRAM"});
         for (bool training : {false, true}) {
-            ResnetOutcome base = runResnet(
-                net, resnetConfig(ExecMode::Baseline), training);
-            ResnetOutcome lazy = runResnet(
-                net, resnetConfig(ExecMode::LazyGPU), training);
+            ResnetOutcome base =
+                runResnet(net, resnetConfig(ExecMode::Baseline),
+                          training, false, &runner);
+            ResnetOutcome lazy =
+                runResnet(net, resnetConfig(ExecMode::LazyGPU),
+                          training, false, &runner);
             printRow({training ? "training" : "inference",
                       reduction(base.total.l1Requests,
                                 lazy.total.l1Requests),

@@ -12,13 +12,16 @@
 #include <cstdio>
 
 #include "analysis/resnet_runner.hh"
+#include "bench/bench_main.hh"
 #include "bench/bench_util.hh"
 
 using namespace lazygpu;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const BenchOptions opt = parseBenchOptions(argc, argv);
+    const ParallelRunner runner(opt.jobs);
     for (double ws : {0.5}) {
         Resnet18 net(resnetParams(ws));
 
@@ -27,10 +30,12 @@ main()
                     ws * 100);
         printRow({"phase", "cfg", "L1", "L2", "Z-L1", "Z-L2"});
         for (bool training : {false, true}) {
-            ResnetOutcome base = runResnet(
-                net, resnetConfig(ExecMode::Baseline), training);
-            ResnetOutcome lazy = runResnet(
-                net, resnetConfig(ExecMode::LazyGPU), training);
+            ResnetOutcome base =
+                runResnet(net, resnetConfig(ExecMode::Baseline),
+                          training, false, &runner);
+            ResnetOutcome lazy =
+                runResnet(net, resnetConfig(ExecMode::LazyGPU),
+                          training, false, &runner);
             const char *phase = training ? "training" : "inference";
             printRow({phase, "Baseline", pct(base.total.l1HitRate()),
                       pct(base.total.l2HitRate()), "-", "-"});

@@ -1,7 +1,22 @@
 #!/bin/sh
 # Regenerate every paper figure/table; see EXPERIMENTS.md.
+#
+# Usage: ./run_benches.sh [--jobs N]
+# The job count is forwarded to every figure binary (they spread their
+# experiment grids over N worker threads; output is byte-identical for
+# any N). Defaults to LAZYGPU_JOBS or the host core count.
+jobs_flag=""
+if [ "$1" = "--jobs" ] && [ -n "$2" ]; then
+    jobs_flag="--jobs $2"
+fi
 for b in build/bench/*; do
+    [ -f "$b" ] && [ -x "$b" ] || continue
     echo "===== $b ====="
-    "$b"
+    case "$b" in
+        # micro_components is a google-benchmark binary: no --jobs, and
+        # its per-call timings should not share the machine anyway.
+        *micro_components*) "$b" ;;
+        *) "$b" $jobs_flag ;;
+    esac
     echo
 done

@@ -1,0 +1,205 @@
+#include "analysis/json_writer.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <utility>
+
+#include "analysis/harness.hh"
+#include "sim/logging.hh"
+
+namespace lazygpu
+{
+
+Json::Json(bool b) : kind_(Kind::Bool), b_(b) {}
+Json::Json(int v) : kind_(Kind::Int), i_(v) {}
+Json::Json(unsigned v) : kind_(Kind::Uint), u_(v) {}
+Json::Json(std::uint64_t v) : kind_(Kind::Uint), u_(v) {}
+Json::Json(double v) : kind_(Kind::Num), d_(v) {}
+Json::Json(const char *s) : kind_(Kind::Str), s_(s) {}
+Json::Json(std::string s) : kind_(Kind::Str), s_(std::move(s)) {}
+
+Json
+Json::object()
+{
+    Json j;
+    j.kind_ = Kind::Obj;
+    return j;
+}
+
+Json
+Json::array()
+{
+    Json j;
+    j.kind_ = Kind::Arr;
+    return j;
+}
+
+Json &
+Json::set(const std::string &key, Json value)
+{
+    panic_if(kind_ != Kind::Obj, "Json::set on a non-object");
+    members_.emplace_back(key, std::move(value));
+    return *this;
+}
+
+Json &
+Json::push(Json value)
+{
+    panic_if(kind_ != Kind::Arr, "Json::push on a non-array");
+    elems_.push_back(std::move(value));
+    return *this;
+}
+
+namespace
+{
+
+void
+escapeInto(std::string &out, const std::string &s)
+{
+    out += '"';
+    for (char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        case '\r': out += "\\r"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+}
+
+void
+newlineIndent(std::string &out, unsigned indent, unsigned depth)
+{
+    if (indent == 0)
+        return;
+    out += '\n';
+    out.append(static_cast<std::size_t>(indent) * depth, ' ');
+}
+
+} // namespace
+
+void
+Json::write(std::string &out, unsigned indent, unsigned depth) const
+{
+    char buf[40];
+    switch (kind_) {
+    case Kind::Null:
+        out += "null";
+        break;
+    case Kind::Bool:
+        out += b_ ? "true" : "false";
+        break;
+    case Kind::Int:
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(i_));
+        out += buf;
+        break;
+    case Kind::Uint:
+        std::snprintf(buf, sizeof(buf), "%llu",
+                      static_cast<unsigned long long>(u_));
+        out += buf;
+        break;
+    case Kind::Num:
+        if (!std::isfinite(d_)) {
+            out += "null";
+        } else {
+            std::snprintf(buf, sizeof(buf), "%.10g", d_);
+            out += buf;
+        }
+        break;
+    case Kind::Str:
+        escapeInto(out, s_);
+        break;
+    case Kind::Arr:
+        if (elems_.empty()) {
+            out += "[]";
+            break;
+        }
+        out += '[';
+        for (std::size_t i = 0; i < elems_.size(); ++i) {
+            if (i)
+                out += ',';
+            newlineIndent(out, indent, depth + 1);
+            elems_[i].write(out, indent, depth + 1);
+        }
+        newlineIndent(out, indent, depth);
+        out += ']';
+        break;
+    case Kind::Obj:
+        if (members_.empty()) {
+            out += "{}";
+            break;
+        }
+        out += '{';
+        for (std::size_t i = 0; i < members_.size(); ++i) {
+            if (i)
+                out += ',';
+            newlineIndent(out, indent, depth + 1);
+            escapeInto(out, members_[i].first);
+            out += indent ? ": " : ":";
+            members_[i].second.write(out, indent, depth + 1);
+        }
+        newlineIndent(out, indent, depth);
+        out += '}';
+        break;
+    }
+}
+
+std::string
+Json::dump(unsigned indent) const
+{
+    std::string out;
+    write(out, indent, 0);
+    return out;
+}
+
+Json
+toJson(const RunResult &r)
+{
+    Json j = Json::object();
+    j.set("cycles", r.cycles)
+        .set("txs_issued", r.txsIssued)
+        .set("txs_elim_zero", r.txsElimZero)
+        .set("txs_elim_otimes", r.txsElimOtimes)
+        .set("txs_elim_dead", r.txsElimDead)
+        .set("elimination_rate", r.eliminationRate())
+        .set("l1_requests", r.l1Requests)
+        .set("l2_requests", r.l2Requests)
+        .set("dram_requests", r.dramRequests)
+        .set("l1_hit_rate", r.l1HitRate())
+        .set("l2_hit_rate", r.l2HitRate())
+        .set("avg_mem_latency", r.avgMemLatency)
+        .set("alu_utilization", r.aluUtilization);
+    return j;
+}
+
+void
+writeBenchJson(const std::string &bench, const Json &root)
+{
+    Json doc = Json::object();
+    doc.set("bench", bench);
+    doc.set("data", root);
+
+    const std::string path = "BENCH_" + bench + ".json";
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        warn("cannot write %s; skipping JSON artifact", path.c_str());
+        return;
+    }
+    const std::string text = doc.dump() + "\n";
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+}
+
+} // namespace lazygpu

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Minimal deterministic JSON writer for the bench binaries.
+ *
+ * Each figure binary emits a machine-readable BENCH_<name>.json next to
+ * its printed table so perf trajectories can be tracked across commits.
+ * Objects preserve insertion order and numbers are formatted with a
+ * fixed printf recipe, so the serialized bytes depend only on the values
+ * — never on hash order or thread count.
+ */
+
+#ifndef LAZYGPU_ANALYSIS_JSON_WRITER_HH
+#define LAZYGPU_ANALYSIS_JSON_WRITER_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace lazygpu
+{
+
+struct RunResult;
+
+/** An order-preserving JSON value tree. */
+class Json
+{
+  public:
+    Json() = default;                       //!< null
+    Json(bool b);
+    Json(int v);
+    Json(unsigned v);
+    Json(std::uint64_t v);
+    Json(double v);
+    Json(const char *s);
+    Json(std::string s);
+
+    static Json object();
+    static Json array();
+
+    /** Append/replace-nothing: keys are emitted in set() order. */
+    Json &set(const std::string &key, Json value);
+
+    /** Append an element to an array. */
+    Json &push(Json value);
+
+    /** Serialize; indent=0 is compact, otherwise pretty-printed. */
+    std::string dump(unsigned indent = 2) const;
+
+  private:
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Int,
+        Uint,
+        Num,
+        Str,
+        Arr,
+        Obj,
+    };
+
+    void write(std::string &out, unsigned indent, unsigned depth) const;
+
+    Kind kind_ = Kind::Null;
+    bool b_ = false;
+    std::int64_t i_ = 0;
+    std::uint64_t u_ = 0;
+    double d_ = 0.0;
+    std::string s_;
+    std::vector<Json> elems_;
+    std::vector<std::pair<std::string, Json>> members_;
+};
+
+/** The headline metrics of one run as a JSON object. */
+Json toJson(const RunResult &r);
+
+/**
+ * Write root (plus a "bench" name field injected at the front) to
+ * BENCH_<bench>.json in the current directory. Failures warn and
+ * continue: JSON artifacts must never break a bench run.
+ */
+void writeBenchJson(const std::string &bench, const Json &root);
+
+} // namespace lazygpu
+
+#endif // LAZYGPU_ANALYSIS_JSON_WRITER_HH

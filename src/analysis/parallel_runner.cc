@@ -1,0 +1,73 @@
+#include "analysis/parallel_runner.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+
+#include "sim/logging.hh"
+
+namespace lazygpu
+{
+
+unsigned
+ParallelRunner::defaultJobs()
+{
+    if (const char *env = std::getenv("LAZYGPU_JOBS")) {
+        char *end = nullptr;
+        const unsigned long v = std::strtoul(env, &end, 10);
+        fatal_if(end == env || *end != '\0' || v == 0 || v > 4096,
+                 "LAZYGPU_JOBS must be a positive integer, got '%s'",
+                 env);
+        return static_cast<unsigned>(v);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+ParallelRunner::ParallelRunner(unsigned jobs)
+    : jobs_(jobs ? jobs : defaultJobs())
+{
+}
+
+std::vector<RunResult>
+ParallelRunner::run(const std::vector<RunJob> &batch) const
+{
+    std::vector<RunResult> results(batch.size());
+
+    auto runOne = [&](std::size_t i) {
+        Workload w = batch[i].make();
+        results[i] = runWorkload(batch[i].cfg, w, batch[i].verify);
+    };
+
+    const unsigned workers = static_cast<unsigned>(
+        std::min<std::size_t>(jobs_, batch.size()));
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < batch.size(); ++i)
+            runOne(i);
+        return results;
+    }
+
+    // Dynamic work stealing off a shared index: grid points vary wildly
+    // in cost (waves x sparsity), so static striping would leave threads
+    // idle. Each worker writes only results[i] for the indices it claims.
+    std::atomic<std::size_t> next{0};
+    auto worker = [&]() {
+        while (true) {
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= batch.size())
+                return;
+            runOne(i);
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned t = 0; t < workers; ++t)
+        pool.emplace_back(worker);
+    for (std::thread &t : pool)
+        t.join();
+    return results;
+}
+
+} // namespace lazygpu

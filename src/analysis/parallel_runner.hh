@@ -1,0 +1,65 @@
+/**
+ * @file
+ * ParallelRunner: execute a grid of independent simulations across a
+ * thread pool, preserving submission order.
+ *
+ * Every figure bench sweeps a (workload x mode x config) grid whose
+ * points are embarrassingly parallel: each run builds a fresh Engine /
+ * StatSet / GlobalMemory via runWorkload, and all workload generation is
+ * seeded through the per-instance Rng, so runs share no mutable state.
+ * Because a Workload may only be run once (in-place kernels mutate their
+ * inputs), jobs carry a *factory* and each worker materialises its own
+ * instance.
+ *
+ * Results are returned indexed by submission order regardless of thread
+ * count, so tables and JSON artifacts are byte-identical between
+ * --jobs 1 and --jobs N.
+ */
+
+#ifndef LAZYGPU_ANALYSIS_PARALLEL_RUNNER_HH
+#define LAZYGPU_ANALYSIS_PARALLEL_RUNNER_HH
+
+#include <functional>
+#include <vector>
+
+#include "analysis/harness.hh"
+
+namespace lazygpu
+{
+
+/** One grid point: a configuration plus a fresh-workload factory. */
+struct RunJob
+{
+    GpuConfig cfg;
+    std::function<Workload()> make;
+    bool verify = false;
+};
+
+class ParallelRunner
+{
+  public:
+    /**
+     * @param jobs worker threads; 0 resolves via defaultJobs()
+     *        (LAZYGPU_JOBS env var, else hardware concurrency).
+     */
+    explicit ParallelRunner(unsigned jobs = 0);
+
+    unsigned jobs() const { return jobs_; }
+
+    /**
+     * Run every job and return its RunResult at the job's submission
+     * index. With one worker (or one job) everything runs inline on the
+     * calling thread.
+     */
+    std::vector<RunResult> run(const std::vector<RunJob> &batch) const;
+
+    /** LAZYGPU_JOBS env var if set, else std::thread::hardware_concurrency. */
+    static unsigned defaultJobs();
+
+  private:
+    unsigned jobs_;
+};
+
+} // namespace lazygpu
+
+#endif // LAZYGPU_ANALYSIS_PARALLEL_RUNNER_HH

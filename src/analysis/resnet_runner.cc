@@ -5,12 +5,26 @@ namespace lazygpu
 
 ResnetOutcome
 runResnet(const Resnet18 &net, const GpuConfig &cfg, bool training,
-          bool verify)
+          bool verify, const ParallelRunner *runner)
 {
-    ResnetOutcome out;
+    std::vector<RunJob> jobs;
+    jobs.reserve(net.specs().size());
     for (unsigned idx = 0; idx < net.specs().size(); ++idx) {
-        Workload w = net.layerWorkload(idx, training);
-        RunResult r = runWorkload(cfg, w, verify);
+        jobs.push_back(RunJob{
+            cfg,
+            [&net, idx, training]() {
+                return net.layerWorkload(idx, training);
+            },
+            verify});
+    }
+
+    const ParallelRunner serial(1);
+    std::vector<RunResult> layers =
+        (runner ? *runner : serial).run(jobs);
+
+    ResnetOutcome out;
+    out.perLayer.reserve(layers.size());
+    for (RunResult &r : layers) {
         out.total.accumulate(r);
         out.perLayer.push_back(std::move(r));
     }

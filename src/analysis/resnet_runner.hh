@@ -3,7 +3,9 @@
  * Shared ResNet-18 experiment runner used by the Fig 9/10/13/14/15/16
  * bench binaries: simulate every evaluated layer under one
  * configuration (kernel-level sampling, as the paper does with Photon)
- * and aggregate.
+ * and aggregate. Layers are independent simulations, so a
+ * ParallelRunner can spread them across worker threads; per-layer and
+ * aggregate results are identical for any thread count.
  */
 
 #ifndef LAZYGPU_ANALYSIS_RESNET_RUNNER_HH
@@ -12,6 +14,7 @@
 #include <vector>
 
 #include "analysis/harness.hh"
+#include "analysis/parallel_runner.hh"
 #include "workloads/resnet18.hh"
 
 namespace lazygpu
@@ -28,9 +31,11 @@ struct ResnetOutcome
  *
  * @param training add the dW/dX GEMMs per conv layer.
  * @param verify   functionally check each layer (slower).
+ * @param runner   spread layers over this pool; nullptr runs serially.
  */
 ResnetOutcome runResnet(const Resnet18 &net, const GpuConfig &cfg,
-                        bool training, bool verify = false);
+                        bool training, bool verify = false,
+                        const ParallelRunner *runner = nullptr);
 
 } // namespace lazygpu
 

@@ -64,6 +64,11 @@ Gpu::run(const Kernel &kernel, Tick limit_cycles)
     res.cycles = res.endTick - res.startTick;
     current_ = nullptr;
 
+    fatal_if(engine_.hasPendingEvents(),
+             "kernel '%s' reached the %llu-cycle limit before completion",
+             kernel.name.c_str(),
+             static_cast<unsigned long long>(limit_cycles));
+
     for (const auto &cu : cus_) {
         panic_if(cu->residentWaves() != 0,
                  "kernel '%s' drained with resident wavefronts",

@@ -72,17 +72,14 @@ Cache::contains(Addr addr) const
     return findLine(lineAddr(addr)) != nullptr;
 }
 
-void
-Cache::touchLine(Addr addr)
+bool
+Cache::probe(Addr addr)
 {
-    Addr la = lineAddr(addr);
-    if (findLine(la))
-        return;
-    Line &line = victimLine(la);
-    line.tag = la;
-    line.valid = true;
-    line.dirty = false;
-    line.lruStamp = ++lru_clock_;
+    if (Line *line = findLine(lineAddr(addr))) {
+        line->lruStamp = ++lru_clock_;
+        return true;
+    }
+    return false;
 }
 
 void
@@ -192,8 +189,16 @@ Cache::handleWrite(const MemAccess &acc, Completion done)
         return;
     }
     if (mshrs_.size() >= mshr_limit_) {
-        pending_.emplace_back(MemAccess{acc.addr, acc.size, true},
-                              std::move(mark_dirty));
+        // Structural stall: record the wait exactly like the read path so
+        // the congestion distribution covers both request kinds.
+        const Tick enq = engine_.now();
+        pending_.emplace_back(
+            MemAccess{acc.addr, acc.size, true},
+            [this, enq, cb = std::move(mark_dirty)]() mutable {
+                mshr_wait_.sample(
+                    static_cast<double>(engine_.now() - enq));
+                cb();
+            });
         return;
     }
     Mshr &mshr = mshrs_[la];

@@ -43,13 +43,17 @@ class Cache : public MemDevice
     void access(const MemAccess &acc, Completion done) override;
 
     /**
-     * Probe the tags without any timing side effects. Used by the
-     * EagerZC model to ask "would this mask be on hand right now?".
+     * Probe the tags without any side effects at all (testing and
+     * introspection only; does not count as a use of the line).
      */
     bool contains(Addr addr) const;
 
-    /** Pre-load a line into the tags (testing and warm-start only). */
-    void touchLine(Addr addr);
+    /**
+     * Tag probe that counts as a use: when the line is present its LRU
+     * recency is refreshed so actively probed lines are not evicted.
+     * Used by the EagerZC model's concurrent L1 Zero Cache check.
+     */
+    bool probe(Addr addr);
 
     const std::string &name() const { return name_; }
 

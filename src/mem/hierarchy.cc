@@ -119,11 +119,13 @@ MemoryHierarchy::accessMask(unsigned sa, Addr mask_addr, bool write,
 }
 
 bool
-MemoryHierarchy::maskResidentInL1(unsigned sa, Addr mask_addr) const
+MemoryHierarchy::maskResidentInL1(unsigned sa, Addr mask_addr)
 {
     if (l1_zero_.empty())
         return false;
-    return l1_zero_[sa]->contains(mask_addr);
+    // A successful probe is a real use of the mask line: refresh its LRU
+    // recency so hot masks are not evicted while under active reuse.
+    return l1_zero_[sa]->probe(mask_addr);
 }
 
 } // namespace lazygpu

@@ -64,8 +64,11 @@ class MemoryHierarchy
     void accessMask(unsigned sa, Addr mask_addr, bool write,
                     Completion done);
 
-    /** Tag probe of the SA's L1 Zero Cache (EagerZC's concurrent check). */
-    bool maskResidentInL1(unsigned sa, Addr mask_addr) const;
+    /**
+     * Tag probe of the SA's L1 Zero Cache (EagerZC's concurrent check).
+     * A hit refreshes the line's LRU recency.
+     */
+    bool maskResidentInL1(unsigned sa, Addr mask_addr);
 
     bool hasZeroCaches() const { return !l1_zero_.empty(); }
 

@@ -48,20 +48,32 @@ Engine::run(Tick limit)
         if (quiet) {
             if (events_.empty())
                 return now_;
+            const Tick next = events_.top().when;
+            if (next > limit) {
+                // A legitimate long-latency event lies beyond the guard:
+                // that is the cycle limit being reached, not a livelock.
+                // Return with the event still queued so the caller can
+                // detect the truncation via hasPendingEvents().
+                warn("cycle limit %llu reached while idle until the next "
+                     "event at %llu; returning early",
+                     static_cast<unsigned long long>(limit),
+                     static_cast<unsigned long long>(next));
+                return now_;
+            }
             // Fast-forward to the next event; every clocked component is
             // stalled waiting on the memory system.
-            now_ = events_.top().when;
+            now_ = next;
         } else {
             for (Clocked *c : clocked_) {
                 if (!c->quiescent())
                     c->tick();
             }
             ++now_;
+            panic_if(now_ > limit,
+                     "clocked components still ticking past %llu cycles; "
+                     "livelock suspected",
+                     static_cast<unsigned long long>(limit));
         }
-
-        panic_if(now_ > limit,
-                 "simulation exceeded %llu cycles; livelock suspected",
-                 static_cast<unsigned long long>(limit));
     }
 }
 

@@ -62,9 +62,14 @@ class Engine
     /**
      * Run until completion.
      *
-     * @param limit Abort (panic) if simulated time exceeds this many
-     *              cycles; guards against livelock bugs.
-     * @return The tick at which the simulation went idle.
+     * @param limit Stop once simulated time would exceed this many
+     *              cycles. Clocked components still ticking at the limit
+     *              panic (livelock guard); if the system is merely idle
+     *              until an event past the limit, run() returns early
+     *              with the event still queued (check hasPendingEvents()
+     *              to distinguish this from normal completion).
+     * @return The tick at which the simulation went idle or hit the
+     *         limit.
      */
     Tick run(Tick limit = maxTick);
 

@@ -143,5 +143,31 @@ TEST(EngineDeath, LivelockGuardFires)
     EXPECT_DEATH(e.run(1000), "livelock");
 }
 
+TEST(Engine, ReturnsAtLimitWithFarFutureEventQueued)
+{
+    // A quiescent system whose next event lies beyond the limit is a
+    // cycle-limit stop, not a livelock: run() must return, leaving the
+    // far event queued so callers can tell the two apart.
+    Engine e;
+    int fired = 0;
+    e.schedule(10, [&]() { ++fired; });
+    e.schedule(1'000'000, [&]() { ++fired; });
+    Tick end = e.run(1000);
+    EXPECT_EQ(1, fired);
+    EXPECT_EQ(10u, end);
+    EXPECT_TRUE(e.hasPendingEvents());
+}
+
+TEST(Engine, EventExactlyAtLimitStillRuns)
+{
+    Engine e;
+    int fired = 0;
+    e.schedule(1000, [&]() { ++fired; });
+    Tick end = e.run(1000);
+    EXPECT_EQ(1, fired);
+    EXPECT_EQ(1000u, end);
+    EXPECT_FALSE(e.hasPendingEvents());
+}
+
 } // namespace
 } // namespace lazygpu

@@ -147,6 +147,24 @@ TEST_F(CacheFixture, MshrExhaustionQueuesRequests)
     EXPECT_GT(f_.stats.dist("c.mshr_wait").max(), 0.0);
 }
 
+TEST_F(CacheFixture, MshrOverflowSamplesWaitOnBothPaths)
+{
+    int completions = 0;
+    // Two read misses claim both MSHRs; then one read and one write to
+    // further lines overflow into the pending FIFO. Both overflowed
+    // requests must contribute an mshr_wait sample (the write path used
+    // to be dropped, skewing the Table 5 congestion stats).
+    for (Addr a = 0; a < 2; ++a) {
+        cache_.access(MemAccess{0x5000 + a * 64, 32, false},
+                      [&]() { ++completions; });
+    }
+    cache_.access(MemAccess{0x5080, 32, false}, [&]() { ++completions; });
+    cache_.access(MemAccess{0x50C0, 32, true}, [&]() { ++completions; });
+    f_.engine.run();
+    EXPECT_EQ(4, completions);
+    EXPECT_EQ(2u, f_.stats.dist("c.mshr_wait").count());
+}
+
 TEST_F(CacheFixture, LruEvictsTheColdestWay)
 {
     // Fill one set (16 sets: addresses 0x1000 apart share set 0).
@@ -159,6 +177,41 @@ TEST_F(CacheFixture, LruEvictsTheColdestWay)
     // Way 3 (0x10C00) was LRU and must be gone; way 0 must survive.
     EXPECT_TRUE(cache_.contains(0x10000));
     EXPECT_FALSE(cache_.contains(0x10000 + 3 * 0x400));
+}
+
+TEST_F(CacheFixture, ProbeRefreshesRecencyAndKeepsHotLinesResident)
+{
+    // Fill all four ways of one set (set-conflicting addresses are
+    // 0x400 apart), oldest first.
+    for (Addr w = 0; w < 4; ++w)
+        timedAccess(f_.engine, cache_, 0x10000 + w * 0x400);
+    // A successful probe counts as a use: way 0 becomes most recent.
+    EXPECT_TRUE(cache_.probe(0x10000));
+    EXPECT_FALSE(cache_.probe(0x90000));
+    // Bringing in a fifth line must now evict way 1 (the true LRU),
+    // not the probed way 0.
+    timedAccess(f_.engine, cache_, 0x10000 + 4 * 0x400);
+    EXPECT_TRUE(cache_.contains(0x10000));
+    EXPECT_FALSE(cache_.contains(0x10000 + 0x400));
+}
+
+TEST(HierarchyProbe, MaskProbeRefreshesL1ZeroCacheRecency)
+{
+    // The EagerZC short-circuit probes the L1 Zero Cache; the probe must
+    // protect hot mask lines from eviction (they are under active reuse).
+    Fixture f;
+    GlobalMemory mem;
+    GpuConfig cfg = GpuConfig::lazyGpu();
+    MemoryHierarchy hier(f.engine, f.stats, cfg, mem);
+    ASSERT_TRUE(hier.hasZeroCaches());
+
+    Addr ma = GlobalMemory::maskAddr(0x200000);
+    hier.accessMask(0, ma & ~Addr(31), false, nullptr);
+    f.engine.run();
+    EXPECT_TRUE(hier.maskResidentInL1(0, ma));
+    // (recency effects under pressure are covered at the Cache level;
+    // here we assert the probe still reports residency correctly)
+    EXPECT_FALSE(hier.maskResidentInL1(1, ma));
 }
 
 TEST_F(CacheFixture, WriteBackMarksDirtyAndWritesBackOnEviction)
