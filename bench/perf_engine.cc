@@ -1,0 +1,235 @@
+/**
+ * @file
+ * Engine performance tracking: BENCH_perf.json records wall-clock
+ * throughput so scheduler regressions show up in the artifact history.
+ *
+ * Two measurements:
+ *  1. A scheduler microbenchmark driving an identical synthetic event
+ *     mix (latency deltas shaped like the simulator's cache/DRAM
+ *     round trips, capture sizes shaped like its completion lambdas)
+ *     through (a) the legacy std::function + std::priority_queue
+ *     scheduler the engine used before the pooled timing wheel, and
+ *     (b) the production Engine. Their ratio is the scheduler speedup.
+ *  2. The Figure 3 MM sweep, single-threaded, timed end to end:
+ *     simulated cycles per wall second on the full simulator.
+ *
+ * Unlike the figure artifacts, BENCH_perf.json is machine- and
+ * run-dependent by design: it reports wall-clock throughput, not
+ * simulated results.
+ */
+
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "analysis/json_writer.hh"
+#include "analysis/parallel_runner.hh"
+#include "bench/bench_main.hh"
+#include "sim/engine.hh"
+#include "workloads/suite.hh"
+
+using namespace lazygpu;
+
+namespace
+{
+
+/**
+ * The event scheduler the engine used before the pooled timing wheel:
+ * one heap-allocated std::function per event, ordered by a (when, seq)
+ * binary heap. Kept here as the fixed reference point the speedup in
+ * BENCH_perf.json is measured against.
+ */
+class LegacyScheduler
+{
+  public:
+    Tick now() const { return now_; }
+
+    void
+    schedule(Tick when, std::function<void()> fn)
+    {
+        q_.push(Ev{when, seq_++, std::move(fn)});
+    }
+
+    void
+    run()
+    {
+        while (!q_.empty()) {
+            Ev ev = std::move(const_cast<Ev &>(q_.top()));
+            q_.pop();
+            now_ = ev.when;
+            ev.fn();
+        }
+    }
+
+  private:
+    struct Ev
+    {
+        Tick when;
+        std::uint64_t seq;
+        std::function<void()> fn;
+    };
+    struct Order
+    {
+        bool
+        operator()(const Ev &a, const Ev &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Ev, std::vector<Ev>, Order> q_;
+    Tick now_ = 0;
+    std::uint64_t seq_ = 0;
+};
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0)
+        .count();
+}
+
+/**
+ * Drive the synthetic mix through any scheduler with schedule()/run().
+ * 64 independent self-rescheduling chains; deltas cycle pseudo-randomly
+ * over the simulator's typical latencies (L1 hit .. queued DRAM). The
+ * callbacks capture ~40 bytes, like the simulator's transaction
+ * completions, so the legacy scheduler pays its real allocation cost.
+ */
+template <typename Sched>
+double
+eventsPerSecond(Sched &sched, std::uint64_t total_events)
+{
+    constexpr unsigned kChains = 64;
+    static constexpr Tick kDeltas[] = {1,   2,   4,   8,    16,  40,
+                                       120, 300, 700, 1500, 2600};
+    constexpr unsigned kNumDeltas = sizeof(kDeltas) / sizeof(kDeltas[0]);
+
+    std::uint64_t remaining = total_events;
+    std::vector<std::uint32_t> lcg(kChains, 12345);
+    std::uint64_t checksum = 0;
+
+    std::function<void(unsigned, Addr, Tick)> fire =
+        [&](unsigned c, Addr addr, Tick issued) {
+            checksum += addr + issued;
+            if (remaining == 0)
+                return;
+            --remaining;
+            lcg[c] = lcg[c] * 1664525u + 1013904223u;
+            const Tick d = kDeltas[lcg[c] % kNumDeltas];
+            const Addr next_addr = addr + 32;
+            const Tick now = sched.now();
+            sched.schedule(now + d, [&fire, c, next_addr, now]() {
+                fire(c, next_addr, now);
+            });
+        };
+
+    const auto t0 = std::chrono::steady_clock::now();
+    for (unsigned c = 0; c < kChains; ++c) {
+        sched.schedule(c + 1, [&fire, c]() { fire(c, 0x1000 * c, 0); });
+    }
+    sched.run();
+    const double secs = secondsSince(t0);
+
+    // The checksum depends on every callback having run; printing it
+    // pins the work against dead-code elimination.
+    std::printf("  checksum %llx, %.2fs\n",
+                static_cast<unsigned long long>(checksum), secs);
+    return static_cast<double>(total_events) / secs;
+}
+
+std::uint64_t
+peakRssKib()
+{
+    struct rusage ru = {};
+    getrusage(RUSAGE_SELF, &ru);
+    return static_cast<std::uint64_t>(ru.ru_maxrss);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const BenchOptions opt = parseBenchOptions(argc, argv);
+    (void)opt; // --jobs accepted for runner compatibility; timing below
+               // is deliberately single-threaded.
+
+    constexpr std::uint64_t kMicroEvents = 4'000'000;
+
+    std::printf("Engine performance tracking\n\n");
+
+    std::printf("scheduler micro (%llu events, 64 chains):\n",
+                static_cast<unsigned long long>(kMicroEvents));
+    std::printf("legacy std::function priority queue:\n");
+    LegacyScheduler legacy;
+    const double legacy_eps = eventsPerSecond(legacy, kMicroEvents);
+
+    std::printf("pooled timing-wheel engine:\n");
+    Engine engine;
+    const double engine_eps = eventsPerSecond(engine, kMicroEvents);
+
+    const double micro_speedup = engine_eps / legacy_eps;
+    std::printf("  legacy: %.0f events/s\n  engine: %.0f events/s\n"
+                "  speedup: %.2fx\n\n",
+                legacy_eps, engine_eps, micro_speedup);
+
+    // Figure 3 sweep, same grid as fig03_mm_sweep, jobs pinned to 1 so
+    // the wall-clock number means one core's simulation throughput.
+    std::printf("fig03 MM sweep (dense, 32..4096 waves, jobs=1):\n");
+    std::vector<RunJob> jobs;
+    for (unsigned waves = 32; waves <= 4096; waves *= 2) {
+        WorkloadParams p;
+        p.sparsity = 0.0;
+        p.scale = 16;
+        jobs.push_back(RunJob{GpuConfig::r9Nano().scaled(4),
+                              [p, waves]() { return makeMM(p, waves); }});
+        GpuConfig lazy = GpuConfig::r9Nano().scaled(4);
+        lazy.mode = ExecMode::LazyCore;
+        jobs.push_back(
+            RunJob{lazy, [p, waves]() { return makeMM(p, waves); }});
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::vector<RunResult> res = ParallelRunner(1).run(jobs);
+    const double sweep_secs = secondsSince(t0);
+
+    std::uint64_t sim_cycles = 0;
+    for (const RunResult &r : res)
+        sim_cycles += r.cycles;
+    const double cycles_per_sec =
+        static_cast<double>(sim_cycles) / sweep_secs;
+
+    std::printf("  wall: %.2fs, %llu simulated cycles, %.0f cycles/s\n",
+                sweep_secs, static_cast<unsigned long long>(sim_cycles),
+                cycles_per_sec);
+    std::printf("peak RSS: %llu KiB\n",
+                static_cast<unsigned long long>(peakRssKib()));
+
+    Json micro = Json::object();
+    micro.set("events", kMicroEvents)
+        .set("legacy_events_per_sec", legacy_eps)
+        .set("engine_events_per_sec", engine_eps)
+        .set("speedup", micro_speedup)
+        .set("engine_pool_chunks", engine.poolChunks())
+        .set("engine_oversized_events", engine.oversizedEvents());
+
+    Json sweep = Json::object();
+    sweep.set("wall_ms", sweep_secs * 1e3)
+        .set("sim_cycles", sim_cycles)
+        .set("cycles_per_sec", cycles_per_sec)
+        .set("jobs", 1u);
+
+    Json data = Json::object();
+    data.set("scheduler_micro", std::move(micro))
+        .set("fig03_sweep", std::move(sweep))
+        .set("peak_rss_kib", peakRssKib());
+    writeBenchJson("perf", data);
+    return 0;
+}

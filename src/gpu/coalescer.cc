@@ -1,23 +1,36 @@
 #include "gpu/coalescer.hh"
 
-#include <unordered_set>
+#include <algorithm>
 
 namespace lazygpu
 {
 
+void
+Coalescer::coalesce(const Addr *addrs, std::size_t n, unsigned bytes,
+                    std::vector<Addr> &out)
+{
+    out.clear();
+    sorted_.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+        const Addr a = addrs[i];
+        for (Addr t = txAlign(a); t <= txAlign(a + bytes - 1);
+             t += transactionSize) {
+            auto it = std::lower_bound(sorted_.begin(), sorted_.end(), t);
+            if (it != sorted_.end() && *it == t)
+                continue;
+            sorted_.insert(it, t);
+            out.push_back(t);
+        }
+    }
+}
+
 std::vector<Addr>
 coalesce(const std::vector<Addr> &addrs, unsigned bytes)
 {
-    std::vector<Addr> txs;
-    std::unordered_set<Addr> seen;
-    for (Addr a : addrs) {
-        for (Addr t = txAlign(a); t <= txAlign(a + bytes - 1);
-             t += transactionSize) {
-            if (seen.insert(t).second)
-                txs.push_back(t);
-        }
-    }
-    return txs;
+    Coalescer c;
+    std::vector<Addr> out;
+    c.coalesce(addrs.data(), addrs.size(), bytes, out);
+    return out;
 }
 
 } // namespace lazygpu

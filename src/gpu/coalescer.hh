@@ -6,6 +6,7 @@
 #ifndef LAZYGPU_GPU_COALESCER_HH
 #define LAZYGPU_GPU_COALESCER_HH
 
+#include <cstddef>
 #include <vector>
 
 #include "sim/types.hh"
@@ -21,11 +22,38 @@ txAlign(Addr a)
 }
 
 /**
- * Coalesce a set of byte ranges into the unique transactions covering
- * them, preserving first-touch order (the order requests enter the LSU).
+ * Reusable coalescing scratch: per-lane byte ranges -> the unique
+ * transactions covering them, preserving first-touch order (the order
+ * requests enter the LSU).
  *
- * @param addrs  starting byte address of each access
- * @param bytes  access width in bytes (same for all)
+ * Deduplication uses a small sorted buffer (binary search + ordered
+ * insert) instead of a hash set: a wavefront touches at most a few dozen
+ * distinct transactions, and the buffer's capacity — like the output
+ * vector's — is retained across calls, so the steady state allocates
+ * nothing.
+ */
+class Coalescer
+{
+  public:
+    /**
+     * Replace out with the unique transactions covering [a, a+bytes)
+     * for every a in addrs[0..n), in first-touch order.
+     *
+     * @param addrs  starting byte address of each access
+     * @param n      number of accesses
+     * @param bytes  access width in bytes (same for all, >= 1)
+     * @param out    result vector (cleared first; capacity reused)
+     */
+    void coalesce(const Addr *addrs, std::size_t n, unsigned bytes,
+                  std::vector<Addr> &out);
+
+  private:
+    std::vector<Addr> sorted_; //!< dedup index, kept sorted
+};
+
+/**
+ * Convenience wrapper allocating a fresh result vector; tests and tools
+ * only — the simulation hot path uses a reusable Coalescer.
  */
 std::vector<Addr> coalesce(const std::vector<Addr> &addrs, unsigned bytes);
 

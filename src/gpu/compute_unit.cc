@@ -38,7 +38,7 @@ ComputeUnit::ComputeUnit(Engine &engine, StatSet &stats,
                          unsigned sa_id)
     : engine_(engine), stats_(stats), cfg_(cfg), mem_(mem), hier_(hier),
       cu_id_(cu_id), sa_id_(sa_id), mode_(cfg.mode),
-      simd_busy_(cfg.simdPerCu, 0),
+      simd_busy_(cfg.simdPerCu, 0), ready_per_simd_(cfg.simdPerCu, 0),
       valu_insts_(stats.counter("cu.valu_insts")),
       salu_insts_(stats.counter("cu.salu_insts")),
       simd_busy_cycles_(stats.counter("cu.simd_busy_cycles")),
@@ -82,16 +82,44 @@ ComputeUnit::addWavefront(std::unique_ptr<Wavefront> wave)
     wave->simdId = best;
     wave->dispatchTick = engine_.now();
     waves_.push_back(std::move(wave));
+    // Fresh wavefronts arrive Ready; account for them in the quiescence
+    // protocol (the engine no longer polls every component).
+    ++ready_per_simd_[best];
+    noteReadyDelta(1);
 }
 
 bool
 ComputeUnit::quiescent() const
 {
-    for (const auto &w : waves_) {
-        if (w->status == WaveStatus::Ready)
-            return false;
+    return ready_waves_ == 0;
+}
+
+void
+ComputeUnit::setStatus(Wavefront &wave, WaveStatus s)
+{
+    const bool was_ready = wave.status == WaveStatus::Ready;
+    const bool is_ready = s == WaveStatus::Ready;
+    wave.status = s;
+    if (was_ready != is_ready) {
+        ready_per_simd_[wave.simdId] += is_ready ? 1 : -1u;
+        noteReadyDelta(is_ready ? 1 : -1);
     }
-    return true;
+}
+
+void
+ComputeUnit::noteReadyDelta(int delta)
+{
+    if (delta > 0) {
+        if (ready_waves_ == 0)
+            engine_.noteActivated();
+        ready_waves_ += static_cast<unsigned>(delta);
+    } else if (delta < 0) {
+        panic_if(ready_waves_ < static_cast<unsigned>(-delta),
+                 "cu.%u: ready-wave count underflow", cu_id_);
+        ready_waves_ -= static_cast<unsigned>(-delta);
+        if (ready_waves_ == 0)
+            engine_.noteDeactivated();
+    }
 }
 
 Wavefront *
@@ -115,7 +143,7 @@ ComputeUnit::tick()
 {
     const Tick now = engine_.now();
     for (unsigned s = 0; s < cfg_.simdPerCu; ++s) {
-        if (simd_busy_[s] > now)
+        if (simd_busy_[s] > now || ready_per_simd_[s] == 0)
             continue;
         Wavefront *wave = pickWave(s);
         if (wave)
@@ -247,7 +275,7 @@ ComputeUnit::trySuspend(Wavefront &wave, const Instruction &inst,
                         unsigned reg)
 {
     PendingLoad *pl = wave.pendingFor(reg);
-    if (!pl)
+    if (!pl || wave.busyLanes(reg) == 0)
         return;
     for (unsigned lane = 0; lane < wavefrontSize; ++lane) {
         if (wave.regState(reg, lane) != RegState::Pending)
@@ -275,21 +303,32 @@ ComputeUnit::issueSoonNeeded(Wavefront &wave)
     constexpr unsigned look_ahead = 12;
     const auto &code = wave.kernel().code;
 
-    std::vector<unsigned> issue_ids;
-    std::vector<bool> seen(wave.kernel().numVregs, false);
+    // Reused scratch: issue ids plus an epoch-stamped per-vreg "seen"
+    // set, so neither is reallocated (or even cleared) per issue.
+    const unsigned nvregs = wave.kernel().numVregs;
+    std::vector<unsigned> &issue_ids = scratch_issue_ids_;
+    issue_ids.clear();
+    if (seen_stamp_.size() < nvregs)
+        seen_stamp_.resize(nvregs, 0);
+    if (++seen_epoch_ == 0) {
+        std::fill(seen_stamp_.begin(), seen_stamp_.end(), 0);
+        seen_epoch_ = 1;
+    }
 
     auto consider = [&](unsigned reg, const Instruction &inst,
                         bool otimes_src) {
-        if (reg >= seen.size() || seen[reg])
+        if (reg >= nvregs || seen_stamp_[reg] == seen_epoch_)
             return;
-        seen[reg] = true;
+        seen_stamp_[reg] = seen_epoch_;
         PendingLoad *pl = wave.pendingFor(reg);
         if (!pl)
             return;
         if (otimes_src)
             trySuspend(wave, inst, reg);
         bool has_pending = false;
-        for (unsigned lane = 0; lane < wavefrontSize && !has_pending;
+        for (unsigned lane = 0;
+             wave.busyLanes(reg) != 0 && lane < wavefrontSize &&
+             !has_pending;
              ++lane) {
             has_pending =
                 wave.regState(reg, lane) == RegState::Pending;
@@ -341,6 +380,8 @@ ComputeUnit::ensureReady(Wavefront &wave, const Instruction &inst,
 {
     bool any_busy = false;
     for (unsigned reg : regs) {
+        if (wave.busyLanes(reg) == 0)
+            continue; // every lane Ready: skip the per-lane scan
         for (unsigned lane = 0; lane < wavefrontSize; ++lane) {
             switch (wave.regState(reg, lane)) {
               case RegState::Ready:
@@ -369,6 +410,8 @@ ComputeUnit::ensureReady(Wavefront &wave, const Instruction &inst,
 
     bool must_wait = false;
     for (unsigned reg : regs) {
+        if (wave.busyLanes(reg) == 0)
+            continue;
         for (unsigned lane = 0; lane < wavefrontSize; ++lane) {
             RegState st = wave.regState(reg, lane);
             if (st == RegState::InFlight || st == RegState::Pending) {
@@ -380,7 +423,7 @@ ComputeUnit::ensureReady(Wavefront &wave, const Instruction &inst,
             break;
     }
     if (must_wait)
-        wave.status = WaveStatus::Waiting;
+        setStatus(wave, WaveStatus::Waiting);
     return !must_wait;
 }
 
@@ -391,7 +434,7 @@ ComputeUnit::prepareOverwrite(Wavefront &wave, unsigned first,
     // WAW: an in-flight fill may not race the overwrite.
     for (unsigned r = first; r < first + nregs; ++r) {
         if (wave.anyInFlight(r)) {
-            wave.status = WaveStatus::Waiting;
+            setStatus(wave, WaveStatus::Waiting);
             return false;
         }
     }
@@ -404,7 +447,8 @@ ComputeUnit::prepareOverwrite(Wavefront &wave, unsigned first,
 void
 ComputeUnit::executeValu(Wavefront &wave, const Instruction &inst)
 {
-    std::vector<unsigned> srcs;
+    std::vector<unsigned> &srcs = scratch_srcs_;
+    srcs.clear();
     if (inst.src0.kind == SrcKind::VReg)
         srcs.push_back(inst.src0.value);
     if (inst.src1.kind == SrcKind::VReg)
@@ -534,7 +578,9 @@ ComputeUnit::executeLoad(Wavefront &wave, const Instruction &inst)
 {
     // The address register is a source; reading it may trigger lazy
     // issue of an earlier load.
-    std::vector<unsigned> srcs{inst.src0.value};
+    std::vector<unsigned> &srcs = scratch_srcs_;
+    srcs.clear();
+    srcs.push_back(inst.src0.value);
     if (!ensureReady(wave, inst, srcs))
         return;
     const unsigned nregs = loadDstRegs(inst.op);
@@ -543,7 +589,7 @@ ComputeUnit::executeLoad(Wavefront &wave, const Instruction &inst)
 
     ++load_insts_;
 
-    std::vector<Addr> lane_addr(wavefrontSize);
+    std::array<Addr, wavefrontSize> &lane_addr = scratch_lane_addr_;
     for (unsigned lane = 0; lane < wavefrontSize; ++lane) {
         lane_addr[lane] =
             inst.base + wave.vreg(inst.src0.value, lane);
@@ -555,7 +601,7 @@ ComputeUnit::executeLoad(Wavefront &wave, const Instruction &inst)
 
 void
 ComputeUnit::recordLazyLoad(Wavefront &wave, const Instruction &inst,
-                            const std::vector<Addr> &lane_addr)
+                            const std::array<Addr, wavefrontSize> &lane_addr)
 {
     const unsigned nregs = loadDstRegs(inst.op);
     const unsigned bytes_per_lane = loadBytes(inst.op);
@@ -564,12 +610,18 @@ ComputeUnit::recordLazyLoad(Wavefront &wave, const Instruction &inst,
     pl.op = inst.op;
     pl.firstDst = inst.dst;
     pl.numRegs = nregs;
-    std::copy(lane_addr.begin(), lane_addr.end(), pl.laneAddr.begin());
+    pl.laneAddr = lane_addr;
 
     // Group every (reg, lane) word into its covering transaction,
-    // preserving lane order.
+    // preserving lane order. Consecutive lanes almost always hit the
+    // same transaction (unit-stride loads), so remember the last one and
+    // only fall back to the linear lookup on an address change; new
+    // transactions are appended with their word capacity pre-reserved.
     const unsigned bytes_per_word =
         std::min(bytes_per_lane, maskGranularity);
+    pl.txs.reserve(nregs * wavefrontSize * std::size_t(bytes_per_word) /
+                   transactionSize);
+    PendingLoad::Tx *last = nullptr;
     for (unsigned lane = 0; lane < wavefrontSize; ++lane) {
         for (unsigned r = 0; r < nregs; ++r) {
             Addr wa = pl.wordAddr(r, lane);
@@ -577,12 +629,15 @@ ComputeUnit::recordLazyLoad(Wavefront &wave, const Instruction &inst,
             panic_if(txAlign(wa + bytes_per_word - 1) != ta,
                      "load word straddles a transaction; kernels must "
                      "use naturally aligned accesses");
-            PendingLoad::Tx *tx = pl.txFor(wa);
+            PendingLoad::Tx *tx =
+                last && last->addr == ta ? last : pl.txFor(wa);
             if (!tx) {
                 pl.txs.emplace_back();
                 tx = &pl.txs.back();
                 tx->addr = ta;
+                tx->words.reserve(transactionSize / 4);
             }
+            last = tx;
             tx->words.emplace_back(static_cast<std::uint8_t>(r),
                                    static_cast<std::uint8_t>(lane));
             ++tx->unresolved;
@@ -677,7 +732,7 @@ ComputeUnit::issuePendingLoad(Wavefront &wave, PendingLoad &pl)
                         PendingLoad &p = it->second;
                         if (auto *t = p.txFor(tx_addr)) {
                             for (const auto &[r2, l2] : t->words) {
-                                resolveWord(w, p, r2, l2, 0);
+                                resolveWord(w, p, *t, r2, l2, 0);
                             }
                         }
                         finishPendingIfResolved(w, p);
@@ -731,7 +786,7 @@ ComputeUnit::issuePendingLoad(Wavefront &wave, PendingLoad &pl)
                     for (const auto &[r2, l2] : t->words) {
                         if (w.regState(p.firstDst + r2, l2) ==
                             RegState::InFlight) {
-                            resolveWord(w, p, r2, l2,
+                            resolveWord(w, p, *t, r2, l2,
                                         loadWord(p.op,
                                                  p.laneAddr[l2], r2));
                         }
@@ -757,10 +812,12 @@ ComputeUnit::requestMasks(Wavefront &wave, PendingLoad &pl)
 
     // One mask transaction covers transactionSize * 8 * maskGranularity
     // bytes of data (1 KiB); a load's footprint usually needs one or two.
-    std::vector<Addr> mask_words;
+    std::vector<Addr> &mask_words = scratch_mask_bytes_;
+    mask_words.clear();
     for (const auto &tx : pl.txs)
         mask_words.push_back(GlobalMemory::maskAddr(tx.addr));
-    std::vector<Addr> mask_txs = coalesce(mask_words, 1);
+    std::vector<Addr> &mask_txs = scratch_mask_txs_;
+    coalescer_.coalesce(mask_words.data(), mask_words.size(), 1, mask_txs);
 
     Wavefront *wp = &wave;
     const unsigned pl_id = pl.id;
@@ -831,7 +888,7 @@ ComputeUnit::onMaskResponse(Wavefront &wave, unsigned pl_id,
                 // traffic (busy bit cleared, register initialised to 0).
                 ++lanes_zeroed_;
                 ++tx.zeroedWords;
-                resolveWord(wave, pl, r, lane, 0);
+                resolveWord(wave, pl, tx, r, lane, 0);
             }
         }
     }
@@ -840,8 +897,8 @@ ComputeUnit::onMaskResponse(Wavefront &wave, unsigned pl_id,
 
 void
 ComputeUnit::resolveWord(Wavefront &wave, PendingLoad &pl,
-                         unsigned reg_off, unsigned lane,
-                         std::uint32_t value)
+                         PendingLoad::Tx &tx_ref, unsigned reg_off,
+                         unsigned lane, std::uint32_t value)
 {
     const unsigned reg = pl.firstDst + reg_off;
     if (wave.regState(reg, lane) == RegState::Ready)
@@ -849,8 +906,10 @@ ComputeUnit::resolveWord(Wavefront &wave, PendingLoad &pl,
     wave.setVreg(reg, lane, value);
     wave.setRegState(reg, lane, RegState::Ready);
 
-    PendingLoad::Tx *tx = pl.txFor(pl.wordAddr(reg_off, lane));
-    panic_if(!tx, "resolved word outside its load's footprint");
+    // The caller names the covering transaction directly: every resolve
+    // site already iterates a transaction's word list (or looked it up),
+    // so re-finding it here would be a redundant linear scan.
+    PendingLoad::Tx *tx = &tx_ref;
     panic_if(tx->unresolved == 0, "transaction resolved twice");
     --tx->unresolved;
     --pl.wordsLeft;
@@ -883,13 +942,17 @@ ComputeUnit::eliminateForRegs(Wavefront &wave, unsigned first,
 {
     for (unsigned r = first; r < first + nregs; ++r) {
         PendingLoad *pl = wave.pendingFor(r);
-        if (!pl)
+        if (!pl || wave.busyLanes(r) == 0)
             continue;
         const unsigned reg_off = r - pl->firstDst;
         for (unsigned lane = 0; lane < wavefrontSize; ++lane) {
             RegState st = wave.regState(r, lane);
-            if (st == RegState::Pending || st == RegState::Suspended)
-                resolveWord(wave, *pl, reg_off, lane, 0);
+            if (st == RegState::Pending || st == RegState::Suspended) {
+                PendingLoad::Tx *tx =
+                    pl->txFor(pl->wordAddr(reg_off, lane));
+                panic_if(!tx, "word outside its load's footprint");
+                resolveWord(wave, *pl, *tx, reg_off, lane, 0);
+            }
         }
         finishPendingIfResolved(wave, *pl);
     }
@@ -899,7 +962,9 @@ void
 ComputeUnit::executeStore(Wavefront &wave, const Instruction &inst)
 {
     const unsigned nregs = storeBytes(inst.op) / 4;
-    std::vector<unsigned> srcs{inst.src0.value};
+    std::vector<unsigned> &srcs = scratch_srcs_;
+    srcs.clear();
+    srcs.push_back(inst.src0.value);
     for (unsigned r = 0; r < nregs; ++r)
         srcs.push_back(inst.src2.value + r);
     if (!ensureReady(wave, inst, srcs))
@@ -908,7 +973,7 @@ ComputeUnit::executeStore(Wavefront &wave, const Instruction &inst)
     ++store_insts_;
 
     // Functional write, immediately (timing below is fire-and-forget).
-    std::vector<Addr> lane_addr(wavefrontSize);
+    std::array<Addr, wavefrontSize> &lane_addr = scratch_lane_addr_;
     for (unsigned lane = 0; lane < wavefrontSize; ++lane) {
         lane_addr[lane] = inst.base + wave.vreg(inst.src0.value, lane);
         for (unsigned r = 0; r < nregs; ++r) {
@@ -917,17 +982,21 @@ ComputeUnit::executeStore(Wavefront &wave, const Instruction &inst)
         }
     }
 
-    std::vector<Addr> txs = coalesce(lane_addr, storeBytes(inst.op));
+    std::vector<Addr> &txs = scratch_txs_;
+    coalescer_.coalesce(lane_addr.data(), lane_addr.size(),
+                        storeBytes(inst.op), txs);
     const bool zc = hier_.hasZeroCaches();
     if (zc) {
         // Fig 7 write path: the zero masks are always updated to keep
         // the Zero Caches coherent with the data. Mask bytes of all the
         // store's transactions coalesce into aligned mask transactions.
-        std::vector<Addr> mask_bytes;
-        mask_bytes.reserve(txs.size());
+        std::vector<Addr> &mask_bytes = scratch_mask_bytes_;
+        mask_bytes.clear();
         for (Addr ta : txs)
             mask_bytes.push_back(GlobalMemory::maskAddr(ta));
-        for (Addr ma : coalesce(mask_bytes, 1)) {
+        coalescer_.coalesce(mask_bytes.data(), mask_bytes.size(), 1,
+                            scratch_mask_txs_);
+        for (Addr ma : scratch_mask_txs_) {
             ++mask_writes_;
             issueMaskTx(ma, true, nullptr);
         }
@@ -970,7 +1039,7 @@ void
 ComputeUnit::wake(Wavefront &wave)
 {
     if (wave.status == WaveStatus::Waiting)
-        wave.status = WaveStatus::Ready;
+        setStatus(wave, WaveStatus::Ready);
 }
 
 void
@@ -978,7 +1047,8 @@ ComputeUnit::retire(Wavefront &wave)
 {
     // Permanently eliminate every still-parked request: the wavefront is
     // complete, so their values can never be observed (Sec 4.3).
-    std::vector<unsigned> ids;
+    std::vector<unsigned> &ids = scratch_retire_ids_;
+    ids.clear();
     for (const auto &[id, pl] : wave.pendings())
         ids.push_back(id);
     for (unsigned id : ids) {
@@ -987,7 +1057,7 @@ ComputeUnit::retire(Wavefront &wave)
             continue;
         eliminateForRegs(wave, it->second.firstDst, it->second.numRegs);
     }
-    wave.status = WaveStatus::Done;
+    setStatus(wave, WaveStatus::Done);
     maybeFinalize(&wave);
 }
 

@@ -23,10 +23,12 @@
 #ifndef LAZYGPU_GPU_COMPUTE_UNIT_HH
 #define LAZYGPU_GPU_COMPUTE_UNIT_HH
 
+#include <array>
 #include <functional>
 #include <memory>
 #include <vector>
 
+#include "gpu/coalescer.hh"
 #include "gpu/wavefront.hh"
 #include "mem/hierarchy.hh"
 #include "mem/memory.hh"
@@ -76,6 +78,14 @@ class ComputeUnit : public Clocked
     void executeStore(Wavefront &wave, const Instruction &inst);
     void retire(Wavefront &wave);
 
+    /**
+     * Every wavefront status change goes through here: it maintains the
+     * CU's ready-wave count and reports 0 <-> nonzero transitions to the
+     * engine's active-clocked count (the quiescence protocol).
+     */
+    void setStatus(Wavefront &wave, WaveStatus s);
+    void noteReadyDelta(int delta);
+
     // --- Operand access ---------------------------------------------------
     std::uint32_t readSrc(const Wavefront &wave, const Src &s,
                           unsigned lane) const;
@@ -98,7 +108,7 @@ class ComputeUnit : public Clocked
 
     // --- Lazy Unit ---------------------------------------------------------
     void recordLazyLoad(Wavefront &wave, const Instruction &inst,
-                        const std::vector<Addr> &lane_addr);
+                        const std::array<Addr, wavefrontSize> &lane_addr);
     void issuePendingLoad(Wavefront &wave, PendingLoad &pl);
 
     /**
@@ -126,13 +136,10 @@ class ComputeUnit : public Clocked
     void requestMasks(Wavefront &wave, PendingLoad &pl);
     void onMaskResponse(Wavefront &wave, unsigned pl_id, Addr mask_addr);
     void eliminateForRegs(Wavefront &wave, unsigned first, unsigned nregs);
-    void resolveWord(Wavefront &wave, PendingLoad &pl, unsigned reg_off,
-                     unsigned lane, std::uint32_t value);
+    void resolveWord(Wavefront &wave, PendingLoad &pl,
+                     PendingLoad::Tx &tx, unsigned reg_off, unsigned lane,
+                     std::uint32_t value);
     void finishPendingIfResolved(Wavefront &wave, PendingLoad &pl);
-
-    // --- Eager path ---------------------------------------------------------
-    void issueEagerLoad(Wavefront &wave, const Instruction &inst,
-                        const std::vector<Addr> &lane_addr);
 
     // --- Transaction plumbing -----------------------------------------------
     /** Issue one data transaction through the LSU pipe; cb on response. */
@@ -159,6 +166,25 @@ class ComputeUnit : public Clocked
     std::vector<std::unique_ptr<Wavefront>> waves_;
     std::vector<Tick> simd_busy_;
     std::function<void()> retire_cb_;
+
+    /** Waves with status Ready; quiescent() is this count being zero. */
+    unsigned ready_waves_ = 0;
+    /** Ready waves per SIMD, so tick() skips SIMDs with nothing to pick. */
+    std::vector<unsigned> ready_per_simd_;
+
+    // Per-issue scratch buffers, hoisted out of the execute paths so the
+    // steady state allocates nothing (capacities are retained across
+    // instructions; only the first few issues grow them).
+    std::vector<unsigned> scratch_srcs_;
+    std::vector<unsigned> scratch_issue_ids_;
+    std::vector<std::uint32_t> seen_stamp_; //!< per-vreg epoch tag
+    std::uint32_t seen_epoch_ = 0;
+    std::array<Addr, wavefrontSize> scratch_lane_addr_{};
+    std::vector<Addr> scratch_txs_;
+    std::vector<Addr> scratch_mask_bytes_;
+    std::vector<Addr> scratch_mask_txs_;
+    std::vector<unsigned> scratch_retire_ids_;
+    Coalescer coalescer_;
 
     // Shared GPU-wide stats (one StatSet per Gpu).
     Counter &valu_insts_;

@@ -7,12 +7,13 @@ namespace lazygpu
 
 Wavefront::Wavefront(const Kernel &kernel, unsigned wid)
     : kernel_(&kernel), wid_(wid), values_(kernel.numVregs),
-      state_(kernel.numVregs), owner_(kernel.numVregs, -1)
+      state_(kernel.numVregs), busy_lanes_(kernel.numVregs, 0),
+      owner_(kernel.numVregs, -1)
 {
-    for (auto &regs : values_)
-        regs.fill(0);
-    for (auto &regs : state_)
-        regs.fill(RegState::Ready);
+    // values_ and state_ are value-initialised by the vector fill
+    // constructor: every word reads 0 and every reg state reads Ready
+    // (== 0) without a second zeroing pass.
+    static_assert(static_cast<std::uint8_t>(RegState::Ready) == 0);
 
     sregs.assign(kernel.numSregs, 0);
     sregs[0] = wid;
@@ -20,30 +21,11 @@ Wavefront::Wavefront(const Kernel &kernel, unsigned wid)
         kernel.initSregs(wid, sregs);
 }
 
-PendingLoad::Tx *
-PendingLoad::txFor(Addr word_addr)
-{
-    Addr aligned = word_addr & ~Addr(transactionSize - 1);
-    for (Tx &tx : txs) {
-        if (tx.addr == aligned)
-            return &tx;
-    }
-    return nullptr;
-}
-
-bool
-Wavefront::anyNotReady(unsigned r) const
-{
-    for (unsigned lane = 0; lane < wavefrontSize; ++lane) {
-        if (state_[r][lane] != RegState::Ready)
-            return true;
-    }
-    return false;
-}
-
 bool
 Wavefront::anyInFlight(unsigned r) const
 {
+    if (busy_lanes_[r] == 0)
+        return false;
     for (unsigned lane = 0; lane < wavefrontSize; ++lane) {
         if (state_[r][lane] == RegState::InFlight)
             return true;

@@ -87,7 +87,16 @@ struct PendingLoad
     unsigned wordsLeft = 0; //!< unresolved words across all txs
 
     /** The transaction covering the given word, or nullptr. */
-    Tx *txFor(Addr word_addr);
+    Tx *
+    txFor(Addr word_addr)
+    {
+        const Addr aligned = word_addr & ~Addr(transactionSize - 1);
+        for (Tx &tx : txs) {
+            if (tx.addr == aligned)
+                return &tx;
+        }
+        return nullptr;
+    }
 
     /** Per-lane word address for destination register first+reg_off. */
     Addr
@@ -143,11 +152,20 @@ class Wavefront
     void
     setRegState(unsigned r, unsigned lane, RegState s)
     {
+        const RegState old = state_[r][lane];
         state_[r][lane] = s;
+        // Maintain the per-register busy-lane count so the scoreboard's
+        // common case -- every source lane Ready -- is answered without
+        // scanning 64 lanes (the execute path checks it per operand).
+        busy_lanes_[r] += unsigned(s != RegState::Ready) -
+                          unsigned(old != RegState::Ready);
     }
 
+    /** Lanes of register r in Pending/InFlight/Suspended state. */
+    unsigned busyLanes(unsigned r) const { return busy_lanes_[r]; }
+
     /** True if any lane of register r is Pending/InFlight/Suspended. */
-    bool anyNotReady(unsigned r) const;
+    bool anyNotReady(unsigned r) const { return busy_lanes_[r] != 0; }
 
     /** True if any lane of register r is InFlight. */
     bool anyInFlight(unsigned r) const;
@@ -189,6 +207,7 @@ class Wavefront
     unsigned wid_;
     std::vector<std::array<std::uint32_t, wavefrontSize>> values_;
     std::vector<std::array<RegState, wavefrontSize>> state_;
+    std::vector<unsigned> busy_lanes_; //!< non-Ready lanes per vreg
     std::unordered_map<unsigned, PendingLoad> pendings_; //!< by id
     unsigned next_pending_id_ = 0;
     /** reg -> id of the pending load that owns it, or -1. */

@@ -19,36 +19,31 @@ GlobalMemory::alloc(std::uint64_t size, std::uint64_t align)
 }
 
 const std::uint8_t *
-GlobalMemory::pageFor(Addr a) const
+GlobalMemory::pageForMiss(Addr key) const
 {
-    auto it = pages_.find(a >> pageShift);
-    return it == pages_.end() ? nullptr : it->second.data();
+    auto it = pages_.find(key);
+    const std::uint8_t *page =
+        it == pages_.end() ? nullptr : it->second.data();
+    cached_key_ = key;
+    cached_page_ = page;
+    return page;
 }
 
 std::uint8_t *
 GlobalMemory::pageForWrite(Addr a)
 {
-    auto &page = pages_[a >> pageShift];
+    const Addr key = a >> pageShift;
+    auto &page = pages_[key];
     if (page.empty())
         page.assign(pageSize, 0);
+    // Refresh the read cache: this page may have been cached as absent.
+    cached_key_ = key;
+    cached_page_ = page.data();
     return page.data();
 }
 
-std::uint8_t
-GlobalMemory::readByte(Addr a) const
-{
-    const std::uint8_t *page = pageFor(a);
-    return page ? page[a & (pageSize - 1)] : 0;
-}
-
-void
-GlobalMemory::writeByte(Addr a, std::uint8_t v)
-{
-    pageForWrite(a)[a & (pageSize - 1)] = v;
-}
-
 std::uint32_t
-GlobalMemory::readU32(Addr a) const
+GlobalMemory::readU32Straddle(Addr a) const
 {
     // Words may straddle pages; the byte path is the simple, correct one.
     std::uint32_t v = 0;
@@ -58,7 +53,7 @@ GlobalMemory::readU32(Addr a) const
 }
 
 void
-GlobalMemory::writeU32(Addr a, std::uint32_t v)
+GlobalMemory::writeU32Straddle(Addr a, std::uint32_t v)
 {
     for (unsigned i = 0; i < 4; ++i)
         writeByte(a + i, static_cast<std::uint8_t>(v >> (8 * i)));
@@ -102,22 +97,6 @@ GlobalMemory::readF32Array(Addr a, std::uint64_t count) const
     for (std::uint64_t i = 0; i < count; ++i)
         out[i] = readF32(a + 4 * i);
     return out;
-}
-
-bool
-GlobalMemory::isZeroWord(Addr a) const
-{
-    Addr base = a & ~Addr(maskGranularity - 1);
-    const std::uint8_t *page = pageFor(base);
-    if (!page)
-        return true;
-    Addr off = base & (pageSize - 1);
-    if (off + maskGranularity <= pageSize) {
-        std::uint32_t word;
-        std::memcpy(&word, page + off, sizeof(word));
-        return word == 0;
-    }
-    return readU32(base) == 0;
 }
 
 std::uint8_t

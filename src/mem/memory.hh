@@ -31,11 +31,50 @@ class GlobalMemory
     /** Allocate size bytes, aligned to align (power of two). */
     Addr alloc(std::uint64_t size, std::uint64_t align = 256);
 
-    std::uint8_t readByte(Addr a) const;
-    void writeByte(Addr a, std::uint8_t v);
+    // The byte/word accessors sit on the simulator's hottest path (every
+    // functional register fill and zero-mask probe lands here), so they
+    // are inline fast paths over a one-entry page cache: consecutive
+    // accesses to the same 4 KiB page skip the hash lookup entirely.
+    // Little-endian word layout, matching the byte-at-a-time definition
+    // (all supported hosts are little-endian, so memcpy is equivalent).
 
-    std::uint32_t readU32(Addr a) const;
-    void writeU32(Addr a, std::uint32_t v);
+    std::uint8_t
+    readByte(Addr a) const
+    {
+        const std::uint8_t *page = pageFor(a);
+        return page ? page[a & (pageSize - 1)] : 0;
+    }
+
+    void writeByte(Addr a, std::uint8_t v)
+    {
+        pageForWrite(a)[a & (pageSize - 1)] = v;
+    }
+
+    std::uint32_t
+    readU32(Addr a) const
+    {
+        const Addr off = a & (pageSize - 1);
+        if (off + 4 <= pageSize) {
+            const std::uint8_t *page = pageFor(a);
+            if (!page)
+                return 0; // untouched pages read as zero
+            std::uint32_t v;
+            std::memcpy(&v, page + off, sizeof(v));
+            return v;
+        }
+        return readU32Straddle(a);
+    }
+
+    void
+    writeU32(Addr a, std::uint32_t v)
+    {
+        const Addr off = a & (pageSize - 1);
+        if (off + 4 <= pageSize) {
+            std::memcpy(pageForWrite(a) + off, &v, sizeof(v));
+            return;
+        }
+        writeU32Straddle(a, v);
+    }
 
     float readF32(Addr a) const;
     void writeF32(Addr a, float v);
@@ -46,7 +85,11 @@ class GlobalMemory
     std::vector<float> readF32Array(Addr a, std::uint64_t count) const;
 
     /** True iff the aligned 4-byte word containing a is all zero. */
-    bool isZeroWord(Addr a) const;
+    bool
+    isZeroWord(Addr a) const
+    {
+        return readU32(a & ~Addr(maskGranularity - 1)) == 0;
+    }
 
     /**
      * The zero mask byte for the 32 B block containing a: bit i set iff
@@ -82,12 +125,36 @@ class GlobalMemory
     }
 
   private:
-    const std::uint8_t *pageFor(Addr a) const;
+    /**
+     * One-entry page cache in front of the page table. Page buffers are
+     * never freed or reallocated once materialised (pages_ values are
+     * only ever assigned once, and a rehash moves the vector objects,
+     * not their heap buffers), so a cached data() pointer stays valid;
+     * pageForWrite refreshes the entry when it materialises a page that
+     * may have been cached as absent. NOT thread-safe for concurrent
+     * readers of one GlobalMemory -- fine here because every parallel
+     * job owns its own instance.
+     */
+    const std::uint8_t *
+    pageFor(Addr a) const
+    {
+        const Addr key = a >> pageShift;
+        if (key == cached_key_)
+            return cached_page_;
+        return pageForMiss(key);
+    }
+
+    const std::uint8_t *pageForMiss(Addr key) const;
     std::uint8_t *pageForWrite(Addr a);
+    std::uint32_t readU32Straddle(Addr a) const;
+    void writeU32Straddle(Addr a, std::uint32_t v);
 
     // Untouched pages read as zero without being materialised.
     std::unordered_map<Addr, std::vector<std::uint8_t>> pages_;
     Addr next_alloc_ = allocBase;
+
+    mutable Addr cached_key_ = ~Addr(0);
+    mutable const std::uint8_t *cached_page_ = nullptr;
 };
 
 } // namespace lazygpu

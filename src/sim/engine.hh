@@ -7,22 +7,48 @@
  * (latencies and bandwidth occupancy are modelled by scheduling callback
  * events). When every clocked component is quiescent (all wavefronts
  * stalled on memory), the engine fast-forwards to the next pending event.
+ *
+ * Event storage is allocation-free on the steady state: each scheduled
+ * callable is moved into a pooled, fixed-inline-storage EventRecord
+ * (free-listed; the pool grows in chunks and is only ever extended, never
+ * shrunk). Records are drained from a two-level bucketed timing wheel: a
+ * near-future ring of power-of-two size indexed by tick, plus an overflow
+ * min-heap for events beyond the ring horizon, migrated into the ring as
+ * simulated time advances. Events scheduled for the same tick execute in
+ * scheduling order (FIFO within a bucket; overflow entries carry a
+ * sequence number and always migrate before any same-tick event can be
+ * scheduled directly into the ring, so the global order is exactly
+ * (when, schedule order) — identical to a (when, seq) priority queue).
  */
 
 #ifndef LAZYGPU_SIM_ENGINE_HH
 #define LAZYGPU_SIM_ENGINE_HH
 
+#include <array>
+#include <cstddef>
 #include <cstdint>
-#include <functional>
+#include <memory>
+#include <new>
 #include <queue>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
+#include "sim/logging.hh"
 #include "sim/types.hh"
 
 namespace lazygpu
 {
 
-/** A component driven once per core clock cycle. */
+/**
+ * A component driven once per core clock cycle.
+ *
+ * Quiescence protocol: the engine samples quiescent() once when the
+ * component is registered (addClocked). Afterwards the component must
+ * report every quiescent-state transition via Engine::noteActivated() /
+ * noteDeactivated(); the engine maintains an active count instead of
+ * polling every component every cycle.
+ */
 class Clocked
 {
   public:
@@ -45,19 +71,84 @@ class Clocked
 class Engine
 {
   public:
-    using Callback = std::function<void()>;
+    Engine() = default;
+    ~Engine() { clearEvents(); }
+
+    Engine(const Engine &) = delete;
+    Engine &operator=(const Engine &) = delete;
 
     /** Current simulated time in cycles. */
     Tick now() const { return now_; }
 
-    /** Schedule cb to run at absolute tick when (>= now). */
-    void schedule(Tick when, Callback cb);
+    /**
+     * Schedule f to run at absolute tick when (>= now).
+     *
+     * The callable is moved into a pooled event record. Callables up to
+     * inlineEventBytes live inline in the record (no heap allocation);
+     * larger ones fall back to a boxed heap copy (counted by
+     * oversizedEvents() so regressions are visible).
+     */
+    template <typename F>
+    void
+    schedule(Tick when, F &&f)
+    {
+        panic_if(when < now_, "scheduling event in the past (%llu < %llu)",
+                 static_cast<unsigned long long>(when),
+                 static_cast<unsigned long long>(now_));
+        using Fn = std::decay_t<F>;
+        EventRecord *r = allocRecord();
+        if constexpr (sizeof(Fn) <= inlineEventBytes &&
+                      alignof(Fn) <= alignof(std::max_align_t)) {
+            ::new (static_cast<void *>(r->storage))
+                Fn(std::forward<F>(f));
+            r->invoke = &invokeInline<Fn>;
+            r->destroy = &destroyInline<Fn>;
+        } else {
+            using Box = std::unique_ptr<Fn>;
+            ::new (static_cast<void *>(r->storage))
+                Box(new Fn(std::forward<F>(f)));
+            r->invoke = &invokeBoxed<Fn>;
+            r->destroy = &destroyBoxed<Fn>;
+            ++oversized_events_;
+        }
+        r->when = when;
+        r->seq = next_seq_++;
+        enqueue(r);
+    }
 
-    /** Schedule cb to run delay cycles from now. */
-    void scheduleIn(Tick delay, Callback cb) { schedule(now_ + delay, cb); }
+    /** Schedule f to run delay cycles from now. */
+    template <typename F>
+    void
+    scheduleIn(Tick delay, F &&f)
+    {
+        schedule(now_ + delay, std::forward<F>(f));
+    }
 
-    /** Register a component to be ticked every cycle. */
-    void addClocked(Clocked *c) { clocked_.push_back(c); }
+    /**
+     * Register a component to be ticked every cycle. Its current
+     * quiescent() state seeds the engine's active count; from then on the
+     * component must report transitions via noteActivated() /
+     * noteDeactivated().
+     */
+    void
+    addClocked(Clocked *c)
+    {
+        clocked_.push_back(c);
+        if (!c->quiescent())
+            ++active_clocked_;
+    }
+
+    /** A registered component transitioned quiescent -> active. */
+    void noteActivated() { ++active_clocked_; }
+
+    /** A registered component transitioned active -> quiescent. */
+    void
+    noteDeactivated()
+    {
+        panic_if(active_clocked_ == 0,
+                 "clocked component deactivated below zero");
+        --active_clocked_;
+    }
 
     /**
      * Run until completion.
@@ -73,41 +164,153 @@ class Engine
      */
     Tick run(Tick limit = maxTick);
 
-    /** Discard all pending events and reset time to zero. */
+    /**
+     * Discard all pending events, deregister every clocked component,
+     * and reset time to zero. The engine is as freshly constructed;
+     * components of a new simulation must be re-registered via
+     * addClocked().
+     */
     void reset();
 
-    bool hasPendingEvents() const { return !events_.empty(); }
+    bool hasPendingEvents() const { return num_events_ != 0; }
+
+    // --- Instrumentation (perf tracking and allocation tests) -----------
+    /** Total events executed since construction/reset. */
+    std::uint64_t eventsExecuted() const { return events_executed_; }
+    /** Fixed-size record chunks ever allocated by the event pool. */
+    std::uint64_t poolChunks() const { return chunks_.size(); }
+    /** Events whose callable did not fit inline (heap fallback). */
+    std::uint64_t oversizedEvents() const { return oversized_events_; }
+    /** Registered clocked components currently non-quiescent. */
+    unsigned activeClocked() const { return active_clocked_; }
+
+    /** Inline payload capacity of one pooled event record, in bytes. */
+    static constexpr std::size_t inlineEventBytes = 64;
 
   private:
-    struct Event
+    struct EventRecord
     {
-        Tick when;
-        std::uint64_t seq;
-        Callback cb;
+        EventRecord *next = nullptr; //!< bucket FIFO / free-list link
+        void (*invoke)(Engine &, EventRecord *) = nullptr;
+        void (*destroy)(EventRecord *) = nullptr; //!< payload dtor only
+        Tick when = 0;
+        std::uint64_t seq = 0; //!< global scheduling order (overflow tie-break)
+        alignas(std::max_align_t) unsigned char storage[inlineEventBytes];
     };
 
-    struct EventOrder
+    // invoke() contract: move the callable out, destroy the payload,
+    // return the record to the free list, then run the callable — so a
+    // callback may schedule (and thus immediately reuse the record)
+    // without touching freed payload storage.
+    template <typename Fn>
+    static void
+    invokeInline(Engine &e, EventRecord *r)
+    {
+        Fn *p = std::launder(reinterpret_cast<Fn *>(r->storage));
+        Fn fn(std::move(*p));
+        p->~Fn();
+        e.freeRecord(r);
+        fn();
+    }
+
+    template <typename Fn>
+    static void
+    destroyInline(EventRecord *r)
+    {
+        std::launder(reinterpret_cast<Fn *>(r->storage))->~Fn();
+    }
+
+    template <typename Fn>
+    static void
+    invokeBoxed(Engine &e, EventRecord *r)
+    {
+        using Box = std::unique_ptr<Fn>;
+        Box *p = std::launder(reinterpret_cast<Box *>(r->storage));
+        Box box(std::move(*p));
+        p->~Box();
+        e.freeRecord(r);
+        (*box)();
+    }
+
+    template <typename Fn>
+    static void
+    destroyBoxed(EventRecord *r)
+    {
+        using Box = std::unique_ptr<Fn>;
+        std::launder(reinterpret_cast<Box *>(r->storage))->~Box();
+    }
+
+    struct OverflowOrder
     {
         bool
-        operator()(const Event &a, const Event &b) const
+        operator()(const EventRecord *a, const EventRecord *b) const
         {
-            // std::priority_queue is a max-heap; invert for earliest-first
-            // and break ties by insertion order for determinism.
-            if (a.when != b.when)
-                return a.when > b.when;
-            return a.seq > b.seq;
+            if (a->when != b->when)
+                return a->when > b->when;
+            return a->seq > b->seq;
         }
     };
+
+    /**
+     * Near-future ring size in ticks (power of two). Sized to cover the
+     * simulator's long-latency events -- queued DRAM round trips run to
+     * a few thousand ticks -- so steady-state scheduling stays in the
+     * ring and the overflow heap only sees rare far-future timers.
+     */
+    static constexpr unsigned wheelSize = 8192;
+    static constexpr unsigned wheelMask = wheelSize - 1;
+    static constexpr unsigned bitmapWords = wheelSize / 64;
+    static constexpr unsigned recordsPerChunk = 256;
+
+    struct Bucket
+    {
+        EventRecord *head = nullptr;
+        EventRecord *tail = nullptr;
+    };
+
+    EventRecord *allocRecord();
+    void
+    freeRecord(EventRecord *r)
+    {
+        r->next = free_;
+        free_ = r;
+    }
+    void growPool();
+
+    /** File r under its tick (ring if within the horizon, else heap). */
+    void enqueue(EventRecord *r);
+    /** Append r to its ring bucket (r->when within [now, now+wheelSize)). */
+    void pushBucket(EventRecord *r);
+    /** Advance time and migrate overflow events entering the horizon. */
+    void advanceTo(Tick t);
+    /** Earliest pending event's tick; requires num_events_ > 0. */
+    Tick nextEventTick() const;
 
     /** Run every event scheduled at the current tick. */
     void drainEventsAtNow();
 
-    bool allQuiescent() const;
+    /** Destroy every pending event's payload and recycle its record. */
+    void clearEvents();
 
     Tick now_ = 0;
     std::uint64_t next_seq_ = 0;
-    std::priority_queue<Event, std::vector<Event>, EventOrder> events_;
+    std::size_t num_events_ = 0;
+    std::size_t ring_count_ = 0;
+
+    std::array<Bucket, wheelSize> ring_{};
+    std::array<std::uint64_t, bitmapWords> occupied_{};
+    std::priority_queue<EventRecord *, std::vector<EventRecord *>,
+                        OverflowOrder>
+        overflow_;
+
+    EventRecord *free_ = nullptr;
+    std::vector<std::unique_ptr<EventRecord[]>> chunks_;
+
     std::vector<Clocked *> clocked_;
+    unsigned active_clocked_ = 0;
+
+    std::uint64_t events_executed_ = 0;
+    std::uint64_t oversized_events_ = 0;
 };
 
 } // namespace lazygpu

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Edge cases for the sorted-small-buffer coalescer: unaligned accesses
+ * spanning transaction boundaries, accesses wider than a transaction,
+ * first-touch output ordering, and scratch reuse across calls.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "gpu/coalescer.hh"
+
+namespace lazygpu
+{
+namespace
+{
+
+TEST(Coalescer, UnalignedAccessSpansTwoTransactions)
+{
+    // 4 bytes starting 2 bytes before a transaction boundary touch both
+    // sides of it.
+    const std::vector<Addr> addrs{transactionSize - 2};
+    EXPECT_EQ((std::vector<Addr>{0, transactionSize}),
+              coalesce(addrs, 4));
+}
+
+TEST(Coalescer, UnalignedSingleByteStaysInOneTransaction)
+{
+    const std::vector<Addr> addrs{transactionSize - 1};
+    EXPECT_EQ((std::vector<Addr>{0}), coalesce(addrs, 1));
+}
+
+TEST(Coalescer, AccessWiderThanATransaction)
+{
+    // bytes > transactionSize must cover every transaction in between,
+    // not just the two endpoints.
+    const std::vector<Addr> addrs{0};
+    EXPECT_EQ((std::vector<Addr>{0, transactionSize,
+                                 2 * transactionSize}),
+              coalesce(addrs, 2 * transactionSize + 1));
+}
+
+TEST(Coalescer, WideUnalignedAccess)
+{
+    // 3 * transactionSize bytes starting mid-transaction span four.
+    const Addr base = 10 * transactionSize + 4;
+    const std::vector<Addr> addrs{base};
+    EXPECT_EQ((std::vector<Addr>{10 * transactionSize,
+                                 11 * transactionSize,
+                                 12 * transactionSize,
+                                 13 * transactionSize}),
+              coalesce(addrs, 3 * transactionSize));
+}
+
+TEST(Coalescer, OutputPreservesFirstTouchOrder)
+{
+    // Deduplicated, but ordered by first touch -- NOT sorted by address.
+    const std::vector<Addr> addrs{
+        5 * transactionSize, // first
+        1 * transactionSize, // second
+        5 * transactionSize, // dup of first
+        3 * transactionSize, // third
+        1 * transactionSize, // dup of second
+    };
+    EXPECT_EQ((std::vector<Addr>{5 * transactionSize,
+                                 1 * transactionSize,
+                                 3 * transactionSize}),
+              coalesce(addrs, 4));
+}
+
+TEST(Coalescer, DescendingLanesPreserveLaneOrder)
+{
+    const std::vector<Addr> addrs{3 * transactionSize,
+                                  2 * transactionSize,
+                                  1 * transactionSize, 0};
+    EXPECT_EQ((std::vector<Addr>{3 * transactionSize,
+                                 2 * transactionSize,
+                                 1 * transactionSize, 0}),
+              coalesce(addrs, 4));
+}
+
+TEST(Coalescer, ReusedScratchDoesNotLeakStateAcrossCalls)
+{
+    Coalescer c;
+    std::vector<Addr> out;
+
+    const Addr first[] = {0, transactionSize};
+    c.coalesce(first, 2, 4, out);
+    EXPECT_EQ((std::vector<Addr>{0, transactionSize}), out);
+
+    // A second call must see none of the first call's transactions.
+    const Addr second[] = {7 * transactionSize};
+    c.coalesce(second, 1, 4, out);
+    EXPECT_EQ((std::vector<Addr>{7 * transactionSize}), out);
+
+    const Addr third[] = {0};
+    c.coalesce(third, 1, 4, out);
+    EXPECT_EQ((std::vector<Addr>{0}), out);
+}
+
+TEST(Coalescer, EmptyInputYieldsEmptyOutput)
+{
+    Coalescer c;
+    std::vector<Addr> out{0xdead};
+    c.coalesce(nullptr, 0, 4, out);
+    EXPECT_TRUE(out.empty());
+}
+
+} // namespace
+} // namespace lazygpu

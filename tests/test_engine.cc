@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cstdint>
 #include <vector>
 
 #include "sim/engine.hh"
@@ -95,28 +97,41 @@ TEST(EngineDeath, SchedulingInThePastPanics)
     EXPECT_DEATH(e.schedule(5, []() {}), "past");
 }
 
-/** A clocked component that counts down and then goes quiescent. */
+/**
+ * A clocked component that counts down and then goes quiescent,
+ * reporting its transitions per the engine's quiescence protocol.
+ */
 class Countdown : public Clocked
 {
   public:
-    explicit Countdown(int n) : remaining_(n) {}
+    Countdown(Engine &e, int n) : engine_(e), remaining_(n) {}
 
     void
     tick() override
     {
-        if (remaining_ > 0)
-            --remaining_;
+        if (remaining_ > 0 && --remaining_ == 0)
+            engine_.noteDeactivated();
     }
 
     bool quiescent() const override { return remaining_ == 0; }
 
+    /** Refill work, reporting a quiescent -> active transition. */
+    void
+    setRemaining(int n)
+    {
+        if (remaining_ == 0 && n > 0)
+            engine_.noteActivated();
+        remaining_ = n;
+    }
+
+    Engine &engine_;
     int remaining_;
 };
 
 TEST(Engine, TicksClockedComponentsUntilQuiescent)
 {
     Engine e;
-    Countdown c(17);
+    Countdown c(e, 17);
     e.addClocked(&c);
     Tick end = e.run();
     EXPECT_EQ(0, c.remaining_);
@@ -127,9 +142,9 @@ TEST(Engine, MixesTickingWithEvents)
 {
     // A quiescent component woken by an event must resume ticking.
     Engine e;
-    Countdown c(0);
+    Countdown c(e, 0);
     e.addClocked(&c);
-    e.schedule(50, [&]() { c.remaining_ = 3; });
+    e.schedule(50, [&]() { c.setRemaining(3); });
     Tick end = e.run();
     EXPECT_EQ(0, c.remaining_);
     EXPECT_EQ(53u, end);
@@ -138,9 +153,90 @@ TEST(Engine, MixesTickingWithEvents)
 TEST(EngineDeath, LivelockGuardFires)
 {
     Engine e;
-    Countdown c(1 << 30);
+    Countdown c(e, 1 << 30);
     e.addClocked(&c);
     EXPECT_DEATH(e.run(1000), "livelock");
+}
+
+TEST(Engine, ResetDeregistersClockedComponents)
+{
+    // Reusing one Engine across simulations: reset() must drop the
+    // previous simulation's clocked components, or they would keep
+    // being ticked (and their stale activity corrupt the count).
+    Engine e;
+    Countdown stale(e, 5);
+    e.addClocked(&stale);
+    e.reset();
+    EXPECT_EQ(0u, e.activeClocked());
+
+    // The stale component must no longer be ticked.
+    Countdown fresh(e, 3);
+    e.addClocked(&fresh);
+    Tick end = e.run();
+    EXPECT_EQ(3u, end);
+    EXPECT_EQ(5, stale.remaining_);
+    EXPECT_EQ(0, fresh.remaining_);
+}
+
+TEST(Engine, FarFutureEventsPreserveFifoWithinTick)
+{
+    // Events parked in the overflow heap (beyond the timing wheel's
+    // near-future ring) must still interleave with directly-scheduled
+    // ring events in global scheduling order within their tick.
+    Engine e;
+    std::vector<int> order;
+    const Tick far = 1 << 20;
+    e.schedule(far, [&]() { order.push_back(0); });     // overflow
+    e.schedule(far + 1, [&]() { order.push_back(3); }); // overflow
+    e.schedule(1, [&]() {
+        // By now `far` is still beyond the horizon: also overflow.
+        e.schedule(far, [&]() { order.push_back(1); });
+    });
+    e.schedule(far - 2, [&]() {
+        // Within the ring horizon of `far` by the time it runs.
+        e.schedule(far, [&]() { order.push_back(2); });
+        e.schedule(far + 1, [&]() { order.push_back(4); });
+    });
+    e.run();
+    EXPECT_EQ((std::vector<int>{0, 1, 2, 3, 4}), order);
+}
+
+TEST(Engine, SteadyStateSchedulingDoesNotGrowThePool)
+{
+    // The allocation-free claim: after warm-up, scheduling and running
+    // events must not grow the record pool, and small callables must
+    // never take the boxed heap fallback.
+    Engine e;
+    int fired = 0;
+    auto wave = [&](Tick base) {
+        for (int i = 0; i < 100; ++i)
+            e.schedule(base + i % 7, [&fired]() { ++fired; });
+        e.run();
+    };
+    wave(e.now());
+    const std::uint64_t warm_chunks = e.poolChunks();
+    for (int round = 0; round < 50; ++round)
+        wave(e.now() + 1);
+    EXPECT_EQ(warm_chunks, e.poolChunks());
+    EXPECT_EQ(0u, e.oversizedEvents());
+    EXPECT_EQ(51 * 100, fired);
+}
+
+TEST(Engine, OversizedCallablesStillRun)
+{
+    // Payloads beyond the inline capacity fall back to a boxed heap
+    // copy; they must execute correctly and be counted.
+    Engine e;
+    std::array<std::uint64_t, 32> big{};
+    big.fill(7);
+    std::uint64_t sum = 0;
+    e.schedule(5, [big, &sum]() {
+        for (std::uint64_t v : big)
+            sum += v;
+    });
+    e.run();
+    EXPECT_EQ(7u * 32, sum);
+    EXPECT_EQ(1u, e.oversizedEvents());
 }
 
 TEST(Engine, ReturnsAtLimitWithFarFutureEventQueued)
