@@ -1,0 +1,332 @@
+/**
+ * @file
+ * Differential fuzz driver: generate seeded random kernels, run them
+ * through every execution mode, and compare against the untimed
+ * reference executor (src/verif).
+ *
+ * Usage:
+ *   verif_fuzz [--seed-range A:B] [--seeds s1,s2,...]
+ *              [--modes Baseline,LazyGPU,...]
+ *              [--waves N] [--sparsity X] [--body-ops N]
+ *              [--corpus DIR] [--corpus-only] [--minimize]
+ *              [--inject-bug] [--verbose]
+ *
+ * Default sweep: seeds [0, 100) through all five modes; exit 0 iff every
+ * seed matched. On a divergence the full report is printed, and with
+ * --minimize a greedy action-mask minimization shrinks the kernel and
+ * prints a ready-to-commit tests/corpus entry.
+ *
+ * --corpus DIR replays every *.case file (minimized regressions from
+ * fixed bugs) before the sweep.
+ *
+ * --inject-bug is the self-test demanded by the PR acceptance criteria:
+ * it arms GpuConfig::injectSkipSuspendRequalify (optimization (2)
+ * wrongly keeps a suspended lane at zero when a non-otimes instruction
+ * consumes it) and exits 0 iff the sweep CATCHES the fault on LazyGPU
+ * within the seed range.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/exec_mode.hh"
+#include "sim/logging.hh"
+#include "verif/differential.hh"
+#include "verif/kernel_gen.hh"
+
+using namespace lazygpu;
+using namespace lazygpu::verif;
+
+namespace
+{
+
+struct Args
+{
+    std::uint64_t seedBegin = 0;
+    std::uint64_t seedEnd = 100;
+    std::vector<std::uint64_t> seeds; //!< explicit list; overrides range
+    std::vector<ExecMode> modes;      //!< empty = all
+    unsigned waves = 0;
+    double sparsity = -1.0;
+    unsigned bodyOps = 0;
+    std::string corpusDir;
+    bool corpusOnly = false;
+    bool minimize = false;
+    bool injectBug = false;
+    bool verbose = false;
+};
+
+ExecMode
+parseMode(const std::string &name)
+{
+    for (ExecMode m : allModes()) {
+        if (toString(m) == name)
+            return m;
+    }
+    if (name == "LazyZC") // accept the source-level name too
+        return ExecMode::LazyZC;
+    fatal("unknown mode '%s' (expected Baseline, LazyCore, LazyCore+1/"
+          "LazyZC, LazyGPU or EagerZC)", name.c_str());
+}
+
+std::vector<std::string>
+splitCsv(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::size_t pos = 0;
+    while (pos <= s.size()) {
+        const std::size_t comma = s.find(',', pos);
+        const std::size_t end = comma == std::string::npos ? s.size()
+                                                           : comma;
+        if (end > pos)
+            out.push_back(s.substr(pos, end - pos));
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
+    }
+    return out;
+}
+
+Args
+parseArgs(int argc, char **argv)
+{
+    Args a;
+    auto value = [&](int &i) -> const char * {
+        fatal_if(i + 1 >= argc, "%s needs a value", argv[i]);
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--seed-range") {
+            const std::string v = value(i);
+            const auto colon = v.find(':');
+            fatal_if(colon == std::string::npos,
+                     "--seed-range wants A:B, got '%s'", v.c_str());
+            a.seedBegin = std::stoull(v.substr(0, colon));
+            a.seedEnd = std::stoull(v.substr(colon + 1));
+            fatal_if(a.seedEnd <= a.seedBegin,
+                     "empty seed range %llu:%llu",
+                     static_cast<unsigned long long>(a.seedBegin),
+                     static_cast<unsigned long long>(a.seedEnd));
+        } else if (arg == "--seeds") {
+            for (const std::string &s : splitCsv(value(i)))
+                a.seeds.push_back(std::stoull(s));
+        } else if (arg == "--modes") {
+            for (const std::string &s : splitCsv(value(i)))
+                a.modes.push_back(parseMode(s));
+        } else if (arg == "--waves") {
+            a.waves = static_cast<unsigned>(std::stoul(value(i)));
+        } else if (arg == "--sparsity") {
+            a.sparsity = std::stod(value(i));
+        } else if (arg == "--body-ops") {
+            a.bodyOps = static_cast<unsigned>(std::stoul(value(i)));
+        } else if (arg == "--corpus") {
+            a.corpusDir = value(i);
+        } else if (arg == "--corpus-only") {
+            a.corpusOnly = true;
+        } else if (arg == "--minimize") {
+            a.minimize = true;
+        } else if (arg == "--inject-bug") {
+            a.injectBug = true;
+        } else if (arg == "--verbose") {
+            a.verbose = true;
+        } else {
+            fatal("unknown argument '%s'", arg.c_str());
+        }
+    }
+    return a;
+}
+
+GenOptions
+genOptions(const Args &a, std::uint64_t seed)
+{
+    GenOptions g;
+    g.seed = seed;
+    g.waves = a.waves;
+    g.sparsity = a.sparsity;
+    g.bodyOps = a.bodyOps;
+    return g;
+}
+
+/**
+ * Greedy action-mask minimization: repeatedly drop body actions while
+ * the first diverging mode still diverges. Quadratic in the body size,
+ * fine for <=43 actions.
+ */
+CorpusCase
+minimizeCase(const GenOptions &gen, const DiffOptions &base,
+             ExecMode failing_mode)
+{
+    DiffOptions dopt = base;
+    dopt.modes = {failing_mode};
+
+    const GeneratedCase full = generateCase(gen);
+    std::vector<bool> enabled(full.numActions, true);
+
+    bool improved = true;
+    while (improved) {
+        improved = false;
+        for (unsigned i = 0; i < full.numActions; ++i) {
+            if (!enabled[i])
+                continue;
+            enabled[i] = false;
+            const GeneratedCase c = generateCase(gen, enabled);
+            if (runDifferential(c, dopt).ok())
+                enabled[i] = true; // action is load-bearing: keep it
+            else
+                improved = true;
+        }
+    }
+
+    CorpusCase cc;
+    cc.opt = gen;
+    for (unsigned i = 0; i < full.numActions; ++i) {
+        if (!enabled[i])
+            cc.disabled.push_back(i);
+    }
+    return cc;
+}
+
+/** Print the divergence and (optionally) a minimized corpus entry. */
+void
+reportFailure(const Args &a, const GenOptions &gen,
+              const GeneratedCase &c, const DiffReport &rep,
+              const DiffOptions &dopt)
+{
+    std::fprintf(stderr, "FAIL %s\n  %s\n", c.summary.c_str(),
+                 rep.firstDivergence().c_str());
+    if (!a.minimize || rep.modes.empty())
+        return;
+    ExecMode failing = rep.modes.front().mode;
+    for (const ModeReport &m : rep.modes) {
+        if (m.diverged) {
+            failing = m.mode;
+            break;
+        }
+    }
+    const CorpusCase cc = minimizeCase(gen, dopt, failing);
+    const GeneratedCase min =
+        generateCase(cc.opt, enabledMask(cc, c.numActions));
+    std::fprintf(stderr,
+                 "minimized to %zu of %u actions; corpus entry:\n%s",
+                 static_cast<std::size_t>(c.numActions -
+                                          cc.disabled.size()),
+                 c.numActions, formatCorpusCase(cc).c_str());
+    std::fprintf(stderr, "minimized case: %s\n", min.summary.c_str());
+}
+
+int
+runCorpus(const Args &a, const DiffOptions &dopt)
+{
+    const auto files = listCorpusFiles(a.corpusDir);
+    if (files.empty()) {
+        std::fprintf(stderr, "no *.case files under %s\n",
+                     a.corpusDir.c_str());
+        return 0;
+    }
+    int failures = 0;
+    for (const std::string &path : files) {
+        const CorpusCase cc = loadCorpusFile(path);
+        const GeneratedCase probe = generateCase(cc.opt);
+        const GeneratedCase c =
+            generateCase(cc.opt, enabledMask(cc, probe.numActions));
+        const DiffReport rep = runDifferential(c, dopt);
+        if (rep.ok()) {
+            if (a.verbose)
+                std::printf("corpus ok   %s (%s)\n", path.c_str(),
+                            c.summary.c_str());
+        } else {
+            ++failures;
+            std::fprintf(stderr, "corpus FAIL %s\n  %s\n", path.c_str(),
+                         rep.firstDivergence().c_str());
+        }
+    }
+    std::printf("corpus: %zu cases, %d failing\n", files.size(),
+                failures);
+    return failures == 0 ? 0 : 1;
+}
+
+std::vector<std::uint64_t>
+sweepSeeds(const Args &a)
+{
+    if (!a.seeds.empty())
+        return a.seeds;
+    std::vector<std::uint64_t> seeds;
+    for (std::uint64_t s = a.seedBegin; s < a.seedEnd; ++s)
+        seeds.push_back(s);
+    return seeds;
+}
+
+/** Self-test: the armed fault must be caught inside the seed range. */
+int
+runInjectBug(const Args &a)
+{
+    DiffOptions dopt;
+    dopt.injectSuspendBug = true;
+    // The fault lives in optimization (2); only LazyGPU exercises it.
+    dopt.modes = {ExecMode::LazyGPU};
+
+    for (std::uint64_t seed : sweepSeeds(a)) {
+        const GeneratedCase c = generateCase(genOptions(a, seed));
+        const DiffReport rep = runDifferential(c, dopt);
+        if (!rep.ok()) {
+            std::printf("inject-bug: caught at seed %llu\n  %s\n",
+                        static_cast<unsigned long long>(seed),
+                        rep.firstDivergence().c_str());
+            return 0;
+        }
+        if (a.verbose)
+            std::printf("inject-bug: seed %llu silent\n",
+                        static_cast<unsigned long long>(seed));
+    }
+    std::fprintf(stderr,
+                 "inject-bug: fault NOT caught in %zu seeds -- the "
+                 "differential checker is blind\n", sweepSeeds(a).size());
+    return 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Args a = parseArgs(argc, argv);
+
+    if (a.injectBug)
+        return runInjectBug(a);
+
+    DiffOptions dopt;
+    dopt.modes = a.modes;
+
+    if (!a.corpusDir.empty()) {
+        const int rc = runCorpus(a, dopt);
+        if (rc != 0 || a.corpusOnly)
+            return rc;
+    }
+
+    const std::vector<std::uint64_t> seeds = sweepSeeds(a);
+    std::uint64_t checked = 0;
+    for (std::uint64_t seed : seeds) {
+        const GenOptions gen = genOptions(a, seed);
+        const GeneratedCase c = generateCase(gen);
+        const DiffReport rep = runDifferential(c, dopt);
+        if (!rep.ok()) {
+            reportFailure(a, gen, c, rep, dopt);
+            return 1;
+        }
+        ++checked;
+        if (a.verbose)
+            std::printf("ok %s\n", c.summary.c_str());
+        else if (checked % 50 == 0)
+            std::printf("... %llu/%zu seeds ok\n",
+                        static_cast<unsigned long long>(checked),
+                        seeds.size());
+    }
+    std::printf("verif_fuzz: %llu seeds x %zu modes ok\n",
+                static_cast<unsigned long long>(checked),
+                (a.modes.empty() ? allModes() : a.modes).size());
+    return 0;
+}

@@ -8,6 +8,10 @@
 #include "isa/encoding.hh"
 #include "sim/logging.hh"
 
+#ifdef LAZYGPU_CHECK
+#include "verif/invariants.hh"
+#endif
+
 namespace lazygpu
 {
 
@@ -173,6 +177,10 @@ ComputeUnit::executeOne(Wavefront &wave, unsigned simd)
 {
     const Instruction &inst = wave.kernel().code[wave.pc];
     const Tick now = engine_.now();
+
+#ifdef LAZYGPU_CHECK
+    verif::checkWavefront(wave, mode_);
+#endif
 
     if (isScalar(inst.op)) {
         executeScalar(wave, inst);
@@ -392,6 +400,8 @@ ComputeUnit::ensureReady(Wavefront &wave, const Instruction &inst,
                 break;
               case RegState::Suspended:
                 if (!counterpartZero(wave, inst, reg, lane)) {
+                    if (cfg_.injectSkipSuspendRequalify)
+                        break; // injected fault: lane wrongly reads as 0
                     // Requalify: the data is needed after all.
                     wave.setRegState(reg, lane, RegState::Pending);
                     any_busy = true;
@@ -942,7 +952,7 @@ ComputeUnit::eliminateForRegs(Wavefront &wave, unsigned first,
 {
     for (unsigned r = first; r < first + nregs; ++r) {
         PendingLoad *pl = wave.pendingFor(r);
-        if (!pl || wave.busyLanes(r) == 0)
+        if (!pl)
             continue;
         const unsigned reg_off = r - pl->firstDst;
         for (unsigned lane = 0; lane < wavefrontSize; ++lane) {
@@ -954,7 +964,34 @@ ComputeUnit::eliminateForRegs(Wavefront &wave, unsigned first,
                 resolveWord(wave, *pl, *tx, reg_off, lane, 0);
             }
         }
-        finishPendingIfResolved(wave, *pl);
+        if (pl->wordsLeft == 0) {
+            // Fully resolved: the load is removed outright, so no stale
+            // word can outlive it. This is the common case (a
+            // single-register load overwritten whole).
+            finishPendingIfResolved(wave, *pl);
+            continue;
+        }
+        // The load survives for its other registers (multi-register
+        // loads overlap partially), and this register may be re-owned
+        // by a newer writer the moment we return, while the old load's
+        // mask/data responses are still in flight. Drop the dead words
+        // from the transaction lists so no response can reinterpret
+        // scoreboard state it no longer owns. In-flight words are kept:
+        // prepareOverwrite stalls on them, so they only appear here via
+        // retire-time elimination, where the data callback still needs
+        // them.
+        for (PendingLoad::Tx &tx : pl->txs) {
+            auto &ws = tx.words;
+            ws.erase(std::remove_if(
+                         ws.begin(), ws.end(),
+                         [&](const std::pair<std::uint8_t,
+                                             std::uint8_t> &w) {
+                             return w.first == reg_off &&
+                                    wave.regState(r, w.second) ==
+                                        RegState::Ready;
+                         }),
+                     ws.end());
+        }
     }
 }
 
@@ -985,6 +1022,10 @@ ComputeUnit::executeStore(Wavefront &wave, const Instruction &inst)
     std::vector<Addr> &txs = scratch_txs_;
     coalescer_.coalesce(lane_addr.data(), lane_addr.size(),
                         storeBytes(inst.op), txs);
+#ifdef LAZYGPU_CHECK
+    for (Addr ta : txs)
+        verif::checkMaskCoherence(mem_, ta);
+#endif
     const bool zc = hier_.hasZeroCaches();
     if (zc) {
         // Fig 7 write path: the zero masks are always updated to keep
@@ -1045,6 +1086,8 @@ ComputeUnit::wake(Wavefront &wave)
 void
 ComputeUnit::retire(Wavefront &wave)
 {
+    if (retire_obs_)
+        retire_obs_(wave);
     // Permanently eliminate every still-parked request: the wavefront is
     // complete, so their values can never be observed (Sec 4.3).
     std::vector<unsigned> &ids = scratch_retire_ids_;

@@ -64,6 +64,17 @@ class ComputeUnit : public Clocked
         retire_cb_ = std::move(cb);
     }
 
+    /**
+     * Verification hook: invoked at retire() entry, before the Lazy
+     * Unit eliminates still-parked loads, so the observer sees which
+     * register lanes were architecturally live (Ready) at retirement.
+     */
+    using RetireObserver = std::function<void(const Wavefront &)>;
+    void setRetireObserver(RetireObserver obs)
+    {
+        retire_obs_ = std::move(obs);
+    }
+
     // Clocked interface.
     void tick() override;
     bool quiescent() const override;
@@ -166,6 +177,7 @@ class ComputeUnit : public Clocked
     std::vector<std::unique_ptr<Wavefront>> waves_;
     std::vector<Tick> simd_busy_;
     std::function<void()> retire_cb_;
+    RetireObserver retire_obs_;
 
     /** Waves with status Ready; quiescent() is this count being zero. */
     unsigned ready_waves_ = 0;

@@ -21,6 +21,13 @@ Gpu::Gpu(const GpuConfig &cfg, GlobalMemory &mem)
 }
 
 void
+Gpu::setRetireObserver(ComputeUnit::RetireObserver obs)
+{
+    for (auto &cu : cus_)
+        cu->setRetireObserver(obs);
+}
+
+void
 Gpu::refill(ComputeUnit &cu)
 {
     while (current_ && cu.hasFreeSlot() &&

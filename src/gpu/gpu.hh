@@ -46,6 +46,9 @@ class Gpu
     KernelResult run(const Kernel &kernel,
                      Tick limit_cycles = 4'000'000'000ull);
 
+    /** Install a verification retire observer on every compute unit. */
+    void setRetireObserver(ComputeUnit::RetireObserver obs);
+
     StatSet &stats() { return stats_; }
     Engine &engine() { return engine_; }
     MemoryHierarchy &hierarchy() { return hier_; }

@@ -42,6 +42,15 @@ Wavefront::pendingFor(unsigned r)
     return it == pendings_.end() ? nullptr : &it->second;
 }
 
+const PendingLoad *
+Wavefront::pendingFor(unsigned r) const
+{
+    if (r >= owner_.size() || owner_[r] < 0)
+        return nullptr;
+    auto it = pendings_.find(static_cast<unsigned>(owner_[r]));
+    return it == pendings_.end() ? nullptr : &it->second;
+}
+
 PendingLoad &
 Wavefront::addPending(PendingLoad &&pl)
 {

@@ -173,6 +173,7 @@ class Wavefront
     // --- Pending (lazy) loads -------------------------------------------
     /** The pending load owning register r, or nullptr. */
     PendingLoad *pendingFor(unsigned r);
+    const PendingLoad *pendingFor(unsigned r) const;
 
     /** Record a new pending load; assigns it a unique id. */
     PendingLoad &addPending(PendingLoad &&pl);
@@ -181,6 +182,11 @@ class Wavefront
     void removePending(unsigned id);
 
     std::unordered_map<unsigned, PendingLoad> &pendings()
+    {
+        return pendings_;
+    }
+
+    const std::unordered_map<unsigned, PendingLoad> &pendings() const
     {
         return pendings_;
     }

@@ -74,6 +74,15 @@ struct GpuConfig
     /** Record Fig 2-style latency / in-flight time series. */
     bool enableTraces = false;
 
+    /**
+     * Fault injection for the differential checker's self-test: a
+     * (2)-suspended lane is NOT requalified to Pending when a non-otimes
+     * consumer reads it, so the consumer wrongly observes zero instead of
+     * triggering the deferred load. src/verif must flag this in LazyGPU
+     * mode; never set outside verification.
+     */
+    bool injectSkipSuspendRequalify = false;
+
     unsigned numCus() const { return numShaderArrays * cusPerSa; }
     unsigned maxWavesPerCu() const { return simdPerCu * maxWavesPerSimd; }
 

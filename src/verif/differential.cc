@@ -1,0 +1,217 @@
+#include "verif/differential.hh"
+
+#include <array>
+#include <sstream>
+#include <unordered_map>
+
+#include "gpu/gpu.hh"
+#include "sim/config.hh"
+#include "sim/logging.hh"
+#include "verif/invariants.hh"
+#include "verif/reference.hh"
+
+namespace lazygpu
+{
+namespace verif
+{
+
+namespace
+{
+
+/** Fold -0.0f onto +0.0f; every other bit pattern compares exactly. */
+std::uint32_t
+normZero(std::uint32_t v)
+{
+    return v == 0x80000000u ? 0u : v;
+}
+
+/** Architectural state of one wavefront at retire() entry. */
+struct WaveSnapshot
+{
+    std::vector<std::uint32_t> sregs;
+    std::vector<std::array<std::uint32_t, wavefrontSize>> vregs;
+    /** Lane is architecturally live (scoreboard Ready) at retirement. */
+    std::vector<std::array<bool, wavefrontSize>> live;
+};
+
+WaveSnapshot
+snapshot(const Wavefront &wave)
+{
+    WaveSnapshot s;
+    s.sregs = wave.sregs;
+    const unsigned nvregs = wave.kernel().numVregs;
+    s.vregs.resize(nvregs);
+    s.live.resize(nvregs);
+    for (unsigned r = 0; r < nvregs; ++r) {
+        for (unsigned lane = 0; lane < wavefrontSize; ++lane) {
+            s.vregs[r][lane] = wave.vreg(r, lane);
+            s.live[r][lane] =
+                wave.regState(r, lane) == RegState::Ready;
+        }
+    }
+    return s;
+}
+
+std::string
+describeStore(const Kernel &kernel, const RefResult &ref, Addr addr)
+{
+    const auto it = ref.writeLog.find(addr);
+    if (it == ref.writeLog.end())
+        return "never stored by the reference (initial image data)";
+    const StoreOrigin &o = it->second;
+    std::ostringstream os;
+    os << "last stored by wid " << o.wid << " lane "
+       << unsigned(o.lane) << " at pc " << o.pc << ": "
+       << kernel.code[o.pc].toString();
+    return os.str();
+}
+
+/** First memory divergence in the checked regions, or "". */
+std::string
+compareMemory(
+    const Kernel &kernel, const RefResult &ref, const GlobalMemory &want,
+    const GlobalMemory &got,
+    const std::vector<std::pair<Addr, std::uint64_t>> &regions)
+{
+    for (const auto &[base, bytes] : regions) {
+        for (std::uint64_t off = 0; off + 4 <= bytes; off += 4) {
+            const Addr a = base + off;
+            const std::uint32_t w = want.readU32(a);
+            const std::uint32_t g = got.readU32(a);
+            if (normZero(w) == normZero(g))
+                continue;
+            std::ostringstream os;
+            os << "memory diverges at 0x" << std::hex << a << std::dec
+               << " (region base 0x" << std::hex << base << std::dec
+               << " + " << off << "): reference 0x" << std::hex << w
+               << ", simulator 0x" << g << std::dec << "; " <<
+                describeStore(kernel, ref, a);
+            return os.str();
+        }
+    }
+    return {};
+}
+
+/** First register divergence against the reference, or "". */
+std::string
+compareRegisters(
+    const RefResult &ref,
+    const std::unordered_map<unsigned, WaveSnapshot> &snaps)
+{
+    for (unsigned wid = 0; wid < ref.waves.size(); ++wid) {
+        const auto it = snaps.find(wid);
+        if (it == snaps.end()) {
+            return detail::formatString(
+                "wid %u never reached retirement in the simulator", wid);
+        }
+        const WaveSnapshot &s = it->second;
+        const RefWaveState &r = ref.waves[wid];
+        for (unsigned i = 0; i < r.sregs.size() && i < s.sregs.size();
+             ++i) {
+            if (r.sregs[i] != s.sregs[i]) {
+                return detail::formatString(
+                    "wid %u sreg %u: reference 0x%x, simulator 0x%x", wid,
+                    i, r.sregs[i], s.sregs[i]);
+            }
+        }
+        for (unsigned v = 0; v < r.vregs.size() && v < s.vregs.size();
+             ++v) {
+            for (unsigned lane = 0; lane < wavefrontSize; ++lane) {
+                if (!s.live[v][lane])
+                    continue; // dead at retire: value never architected
+                if (normZero(r.vregs[v][lane]) ==
+                    normZero(s.vregs[v][lane])) {
+                    continue;
+                }
+                return detail::formatString(
+                    "wid %u vreg %u lane %u at retirement: reference "
+                    "0x%x, simulator 0x%x",
+                    wid, v, lane, r.vregs[v][lane], s.vregs[v][lane]);
+            }
+        }
+    }
+    return {};
+}
+
+} // namespace
+
+const std::vector<ExecMode> &
+allModes()
+{
+    static const std::vector<ExecMode> modes = {
+        ExecMode::Baseline, ExecMode::LazyCore, ExecMode::LazyZC,
+        ExecMode::LazyGPU, ExecMode::EagerZC};
+    return modes;
+}
+
+std::string
+DiffReport::firstDivergence() const
+{
+    if (!refError.empty())
+        return "reference: " + refError;
+    for (const ModeReport &m : modes) {
+        if (m.diverged)
+            return toString(m.mode) + ": " + m.detail;
+    }
+    return {};
+}
+
+DiffReport
+runDifferential(
+    const Kernel &kernel, const GlobalMemory &image,
+    const std::vector<std::pair<Addr, std::uint64_t>> &check_regions,
+    const DiffOptions &opt)
+{
+    DiffReport report;
+
+    GlobalMemory ref_mem = image;
+    const RefResult ref = runReference(kernel, ref_mem);
+    if (!ref.ok()) {
+        report.refError = ref.error;
+        return report;
+    }
+
+    const std::vector<ExecMode> &modes =
+        opt.modes.empty() ? allModes() : opt.modes;
+    for (ExecMode mode : modes) {
+        ModeReport mr;
+        mr.mode = mode;
+
+        GpuConfig cfg = hasZeroCaches(mode)
+                            ? GpuConfig::lazyGpu(mode)
+                            : GpuConfig::r9Nano();
+        if (opt.scale > 1)
+            cfg = cfg.scaled(opt.scale);
+        cfg.mode = mode;
+        cfg.injectSkipSuspendRequalify = opt.injectSuspendBug;
+
+        GlobalMemory mem = image;
+        Gpu gpu(cfg, mem);
+        std::unordered_map<unsigned, WaveSnapshot> snaps;
+        const bool invariants = opt.checkInvariants;
+        gpu.setRetireObserver([&snaps, invariants, mode](
+                                  const Wavefront &wave) {
+            if (invariants)
+                checkWavefront(wave, mode);
+            snaps.emplace(wave.wid(), snapshot(wave));
+        });
+        gpu.run(kernel, opt.limitCycles);
+
+        mr.detail =
+            compareMemory(kernel, ref, ref_mem, mem, check_regions);
+        if (mr.detail.empty())
+            mr.detail = compareRegisters(ref, snaps);
+        mr.diverged = !mr.detail.empty();
+        report.modes.push_back(std::move(mr));
+    }
+    return report;
+}
+
+DiffReport
+runDifferential(const GeneratedCase &c, const DiffOptions &opt)
+{
+    return runDifferential(c.kernel, c.image, c.checkRegions, opt);
+}
+
+} // namespace verif
+} // namespace lazygpu

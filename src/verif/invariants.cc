@@ -1,0 +1,130 @@
+#include "verif/invariants.hh"
+
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace lazygpu
+{
+namespace verif
+{
+
+void
+checkWavefront(const Wavefront &wave, ExecMode mode)
+{
+    const unsigned nvregs = wave.kernel().numVregs;
+    const unsigned wid = wave.wid();
+
+    // A load's destination range may be partially re-owned by a newer
+    // load (multi-register loads overlap); ownership is therefore
+    // per-register, from the wavefront's owner map. A register with any
+    // unresolved word in some load's transaction list must be owned by
+    // exactly that load -- a stale word surviving past eliminateForRegs
+    // is how responses corrupt a newer writer's scoreboard state.
+    std::vector<const PendingLoad *> holder(nvregs, nullptr);
+    for (const auto &[id, pl] : wave.pendings()) {
+        panic_if(pl.firstDst + pl.numRegs > nvregs,
+                 "wid %u: pending load %u claims vreg %u of %u", wid, id,
+                 pl.firstDst + pl.numRegs - 1, nvregs);
+        for (const auto &tx : pl.txs) {
+            for (const auto &[r, lane] : tx.words) {
+                const unsigned reg = pl.firstDst + r;
+                if (wave.regState(reg, lane) == RegState::Ready)
+                    continue;
+                panic_if(holder[reg] != nullptr && holder[reg] != &pl,
+                         "wid %u: vreg %u has unresolved words in two "
+                         "pending loads", wid, reg);
+                holder[reg] = &pl;
+                panic_if(wave.pendingFor(reg) != &pl,
+                         "wid %u: load %u holds an unresolved word of "
+                         "vreg %u lane %u it no longer owns", wid, id,
+                         reg, lane);
+            }
+        }
+    }
+
+    unsigned suspended_lanes = 0;
+    for (unsigned r = 0; r < nvregs; ++r) {
+        unsigned busy = 0;
+        for (unsigned lane = 0; lane < wavefrontSize; ++lane) {
+            const RegState st = wave.regState(r, lane);
+            busy += st != RegState::Ready;
+            suspended_lanes += st == RegState::Suspended;
+        }
+        panic_if(busy != wave.busyLanes(r),
+                 "wid %u: vreg %u busy-lane count %u, recount %u", wid, r,
+                 wave.busyLanes(r), busy);
+        panic_if(busy != 0 && wave.pendingFor(r) == nullptr,
+                 "wid %u: vreg %u has %u busy lanes but no pending load",
+                 wid, r, busy);
+    }
+    panic_if(suspended_lanes != 0 && !hasOtimesElimination(mode),
+             "wid %u: %u Suspended lanes in mode %s", wid, suspended_lanes,
+             toString(mode).c_str());
+
+    unsigned inflight_txs = 0;
+    for (const auto &[id, pl] : wave.pendings()) {
+        inflight_txs += pl.inflightTxs;
+        unsigned words_left = 0;
+        for (const auto &tx : pl.txs) {
+            unsigned not_ready = 0;
+            for (const auto &[r, lane] : tx.words) {
+                const RegState st =
+                    wave.regState(pl.firstDst + r, lane);
+                if (st == RegState::Ready)
+                    continue;
+                ++not_ready;
+                if (st == RegState::InFlight) {
+                    panic_if(tx.outcome != TxOutcome::Issued,
+                             "wid %u: InFlight word of vreg %u lane %u "
+                             "in a transaction never issued", wid,
+                             pl.firstDst + r, lane);
+                } else {
+                    panic_if(tx.outcome != TxOutcome::Unissued,
+                             "wid %u: %s word of vreg %u lane %u in a "
+                             "resolved transaction", wid,
+                             st == RegState::Pending ? "Pending"
+                                                     : "Suspended",
+                             pl.firstDst + r, lane);
+                }
+                if (st == RegState::Suspended) {
+                    panic_if(!tx.hadSuspended,
+                             "wid %u: Suspended word of vreg %u lane %u "
+                             "in a transaction not flagged hadSuspended",
+                             wid, pl.firstDst + r, lane);
+                }
+            }
+            panic_if(not_ready != tx.unresolved,
+                     "wid %u: load %u tx 0x%llx unresolved %u, "
+                     "recount %u", wid, id,
+                     static_cast<unsigned long long>(tx.addr),
+                     tx.unresolved, not_ready);
+            words_left += tx.unresolved;
+        }
+        panic_if(words_left != pl.wordsLeft,
+                 "wid %u: load %u wordsLeft %u, recount %u", wid, id,
+                 pl.wordsLeft, words_left);
+    }
+    panic_if(wave.outstanding_txs_ < inflight_txs,
+             "wid %u: %u outstanding data txs < %u pending-load in-flight "
+             "txs", wid, wave.outstanding_txs_, inflight_txs);
+}
+
+void
+checkMaskCoherence(const GlobalMemory &mem, Addr tx_addr)
+{
+    const Addr block = tx_addr & ~Addr(transactionSize - 1);
+    const std::uint8_t mask = mem.zeroMaskByte(block);
+    for (unsigned i = 0; i < transactionSize / maskGranularity; ++i) {
+        const bool bit = (mask >> i) & 1;
+        const bool zero = mem.isZeroWord(block + Addr(i) * maskGranularity);
+        panic_if(bit != zero,
+                 "zero mask of block 0x%llx bit %u says %s but the word "
+                 "is %s",
+                 static_cast<unsigned long long>(block), i,
+                 bit ? "zero" : "nonzero", zero ? "zero" : "nonzero");
+    }
+}
+
+} // namespace verif
+} // namespace lazygpu

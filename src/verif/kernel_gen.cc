@@ -1,0 +1,382 @@
+#include "verif/kernel_gen.hh"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+namespace lazygpu
+{
+namespace verif
+{
+
+namespace
+{
+
+// Register map of every generated kernel.
+constexpr unsigned rTid = 0;    //!< global thread id
+constexpr unsigned rCoal = 1;   //!< tid * 4 (unit-stride offsets)
+constexpr unsigned rStride = 2; //!< tid * stride * 4
+constexpr unsigned rFar = 3;    //!< upper-bit-divergent offsets
+constexpr unsigned rOut = 4;    //!< tid * 16 (per-thread output slot)
+constexpr unsigned bank0 = 5;   //!< float data bank v5..v12
+constexpr unsigned bankSize = 8;
+
+/** Low address bits not shared across the wavefront (Sec 4.1: 5-bit
+ *  transaction offset + 24 lower address bits). */
+constexpr unsigned farShift = 29;
+/** Span separating the two mirrors of the divergent buffer: exactly one
+ *  step in the upper 35 address bits. */
+constexpr Addr farSpan = Addr(1) << farShift;
+
+struct Action
+{
+    enum class Kind { Valu, Load, Store };
+    Kind kind = Kind::Valu;
+    Opcode op = Opcode::VMov;
+    unsigned dst = 0;     //!< bank reg (valu/load) or first data reg (store)
+    Src a, b;             //!< valu sources
+    unsigned addrReg = 0; //!< offset register for load/store
+    Addr base = 0;        //!< buffer base for load/store
+};
+
+/** Everything drawn from the seed before any emission happens. */
+struct Plan
+{
+    unsigned waves = 1;
+    double sparsity = 0.0;
+    bool useStride = false;
+    unsigned stride = 2;
+    bool useFar = false;
+    bool useLoop = false;
+    unsigned loopTrips = 2;
+    unsigned loopBegin = 0, loopEnd = 0; //!< [begin, end) action range
+    std::vector<Addr> inputs;            //!< input buffer bases
+    Addr far = 0;                        //!< divergent buffer base (0 = none)
+    Addr out = 0;
+    std::vector<Action> actions;
+};
+
+void
+fillSparse(GlobalMemory &mem, Addr base, std::uint64_t words,
+           double sparsity, Rng &rng)
+{
+    for (std::uint64_t i = 0; i < words; ++i) {
+        const float v =
+            rng.chance(sparsity) ? 0.0f : rng.range(-2.0f, 2.0f);
+        mem.writeF32(base + 4 * i, v);
+    }
+}
+
+Plan
+drawPlan(const GenOptions &opt, GlobalMemory &image)
+{
+    Rng rng(opt.seed * 0x9e3779b97f4a7c15ull + 0x632be59bd9b4e019ull);
+    Plan p;
+    p.waves = opt.waves ? opt.waves
+                        : 1 + static_cast<unsigned>(rng.below(4));
+    if (opt.sparsity >= 0) {
+        p.sparsity = opt.sparsity;
+    } else {
+        const double levels[] = {0.0, 0.3, 0.5, 0.7, 0.95};
+        p.sparsity = levels[rng.below(5)];
+    }
+    const unsigned body =
+        opt.bodyOps ? opt.bodyOps
+                    : 12 + static_cast<unsigned>(rng.below(32));
+    p.useStride = rng.chance(0.5);
+    p.stride = 2 + 2 * static_cast<unsigned>(rng.below(2)); // 2 or 4
+    p.useFar = rng.chance(0.35);
+    p.useLoop = rng.chance(0.5);
+    p.loopTrips = 2 + static_cast<unsigned>(rng.below(3));
+    if (p.useLoop) {
+        p.loopBegin = static_cast<unsigned>(rng.below(body));
+        p.loopEnd = p.loopBegin + 1 +
+                    static_cast<unsigned>(rng.below(body - p.loopBegin));
+    }
+
+    const std::uint64_t n = std::uint64_t(p.waves) * wavefrontSize;
+    const std::uint64_t buf_bytes = n * 16 + 64;
+    const unsigned num_inputs = 1 + static_cast<unsigned>(rng.below(2));
+    for (unsigned i = 0; i < num_inputs; ++i) {
+        Addr b = image.alloc(buf_bytes);
+        fillSparse(image, b, n * 4, p.sparsity, rng);
+        p.inputs.push_back(b);
+    }
+    if (p.useFar) {
+        p.far = image.alloc(farSpan + buf_bytes);
+        fillSparse(image, p.far, n * 4, p.sparsity, rng);
+        fillSparse(image, p.far + farSpan, n * 4, p.sparsity, rng);
+    }
+    // One n*16-byte output region per body action (stable bases under
+    // minimization masks) plus two for the structural bank-dump stores.
+    p.out = image.alloc(std::uint64_t(body + 2) * n * 16 + 64);
+
+    // The float pool is closed under the +/-0 equivalence; VRcpF32 would
+    // turn a sign-of-zero difference into +/-Inf and is excluded.
+    const Opcode pool[] = {Opcode::VAddF32,   Opcode::VSubF32,
+                           Opcode::VMaxF32,   Opcode::VMinF32,
+                           Opcode::VMov,      Opcode::VSqrtF32,
+                           Opcode::VCmpGtF32, Opcode::VCmpLtF32};
+    const Opcode otimes_pool[] = {Opcode::VMulF32, Opcode::VMacF32,
+                                  Opcode::VAndB32};
+
+    for (unsigned i = 0; i < body; ++i) {
+        Action act;
+        const double roll = rng.uniform();
+        if (roll < 0.30) {
+            act.kind = Action::Kind::Load;
+            const double w = rng.uniform();
+            act.op = w < 0.10   ? Opcode::LoadByte
+                     : w < 0.20 ? Opcode::LoadShort
+                     : w < 0.60 ? Opcode::LoadDword
+                     : w < 0.80 ? Opcode::LoadDwordX2
+                                : Opcode::LoadDwordX4;
+            const unsigned nregs = loadDstRegs(act.op);
+            act.dst = bank0 + static_cast<unsigned>(
+                                  rng.below(bankSize - nregs + 1));
+            if (p.useFar && rng.chance(0.3)) {
+                act.base = p.far;
+                act.addrReg = rFar;
+            } else {
+                act.base = p.inputs[rng.below(p.inputs.size())];
+                act.addrReg = p.useStride && rng.chance(0.4) ? rStride
+                                                             : rCoal;
+            }
+        } else if (roll < 0.45) {
+            act.kind = Action::Kind::Store;
+            const double w = rng.uniform();
+            act.op = w < 0.50   ? Opcode::StoreDword
+                     : w < 0.75 ? Opcode::StoreDwordX2
+                                : Opcode::StoreDwordX4;
+            const unsigned nregs = storeBytes(act.op) / 4;
+            act.dst = bank0 + static_cast<unsigned>(
+                                  rng.below(bankSize - nregs + 1));
+            act.addrReg = rOut;
+            act.base = p.out + Addr(i) * n * 16;
+        } else {
+            act.kind = Action::Kind::Valu;
+            const bool ot = rng.chance(0.4);
+            act.op = ot ? otimes_pool[rng.below(3)] : pool[rng.below(8)];
+            act.dst = bank0 + static_cast<unsigned>(rng.below(bankSize));
+            auto src = [&]() -> Src {
+                if (rng.chance(0.75)) {
+                    return Src::vreg(bank0 + static_cast<unsigned>(
+                                                 rng.below(bankSize)));
+                }
+                return Src::immF(rng.chance(0.35)
+                                     ? 0.0f
+                                     : rng.range(-1.0f, 1.0f));
+            };
+            act.a = src();
+            act.b = (act.op == Opcode::VMov || act.op == Opcode::VSqrtF32)
+                        ? Src::none()
+                        : src();
+        }
+        p.actions.push_back(act);
+    }
+    return p;
+}
+
+void
+emitAction(KernelBuilder &kb, const Action &act)
+{
+    switch (act.kind) {
+      case Action::Kind::Load:
+        kb.load(act.op, act.dst, act.addrReg, act.base);
+        break;
+      case Action::Kind::Store:
+        kb.store(act.op, act.addrReg, act.dst, act.base);
+        break;
+      case Action::Kind::Valu:
+        kb.valu(act.op, act.dst, act.a, act.b);
+        break;
+    }
+}
+
+} // namespace
+
+GeneratedCase
+generateCase(const GenOptions &opt, const std::vector<bool> &enabled)
+{
+    GeneratedCase c;
+    Plan p = drawPlan(opt, c.image);
+    const std::uint64_t n = std::uint64_t(p.waves) * wavefrontSize;
+    const unsigned body = static_cast<unsigned>(p.actions.size());
+    panic_if(!enabled.empty() && enabled.size() != body,
+             "enabled mask has %zu bits; case has %u actions",
+             enabled.size(), body);
+
+    KernelBuilder kb("fuzz_seed" + std::to_string(opt.seed));
+    kb.threadId(rTid);
+    kb.valu(Opcode::VShlU32, rCoal, Src::vreg(rTid), Src::imm(2));
+    if (p.useStride) {
+        kb.valu(Opcode::VMulU32, rStride, Src::vreg(rTid),
+                Src::imm(p.stride * 4));
+    }
+    if (p.useFar) {
+        // Odd lanes read farSpan above even lanes: one step apart in the
+        // upper 35 address bits, forcing the eager encodability fallback.
+        kb.valu(Opcode::VLaneId, rFar, Src::none());
+        kb.valu(Opcode::VAndB32, rFar, Src::vreg(rFar), Src::imm(1));
+        kb.valu(Opcode::VShlU32, rFar, Src::vreg(rFar),
+                Src::imm(farShift));
+        kb.valu(Opcode::VAddU32, rFar, Src::vreg(rFar), Src::vreg(rCoal));
+    }
+    kb.valu(Opcode::VShlU32, rOut, Src::vreg(rTid), Src::imm(4));
+    // Touch every bank register so disabled-action masks cannot shrink
+    // the register file (occupancy, and so timing, stays comparable).
+    kb.reserveVregs(bank0 + bankSize);
+
+    int loop_top = -1;
+    for (unsigned i = 0; i < body; ++i) {
+        if (p.useLoop && i == p.loopBegin) {
+            kb.salu(Opcode::SMov, 1, Src::imm(p.loopTrips));
+            loop_top = kb.label();
+            kb.place(loop_top);
+        }
+        if (enabled.empty() || enabled[i])
+            emitAction(kb, p.actions[i]);
+        if (p.useLoop && i + 1 == p.loopEnd) {
+            kb.salu(Opcode::SAddU32, 1, Src::sreg(1),
+                    Src::imm(0xffffffffu));
+            kb.scmpLt(1, Src::imm(1));
+            kb.cbranch0(loop_top);
+        }
+    }
+
+    // Structural epilogue: dump the whole float bank so any corrupted
+    // register value becomes visible in memory in every mode.
+    kb.store(Opcode::StoreDwordX4, rOut, bank0,
+             p.out + Addr(body) * n * 16);
+    kb.store(Opcode::StoreDwordX4, rOut, bank0 + 4,
+             p.out + Addr(body + 1) * n * 16);
+
+    c.kernel = kb.build(p.waves);
+    c.numActions = body;
+    for (Addr in : p.inputs)
+        c.checkRegions.emplace_back(in, n * 16);
+    if (p.useFar) {
+        c.checkRegions.emplace_back(p.far, n * 16);
+        c.checkRegions.emplace_back(p.far + farSpan, n * 16);
+    }
+    c.checkRegions.emplace_back(p.out, std::uint64_t(body + 2) * n * 16);
+
+    std::ostringstream os;
+    os << "seed=" << opt.seed << " waves=" << p.waves
+       << " sparsity=" << p.sparsity << " body=" << body
+       << (p.useStride ? " stride" : "") << (p.useFar ? " far" : "")
+       << (p.useLoop ? " loop" : "");
+    c.summary = os.str();
+    return c;
+}
+
+// --- Corpus ------------------------------------------------------------
+
+std::vector<bool>
+enabledMask(const CorpusCase &c, unsigned num_actions)
+{
+    std::vector<bool> mask(num_actions, true);
+    for (unsigned idx : c.disabled) {
+        fatal_if(idx >= num_actions,
+                 "corpus disables action %u of a %u-action case", idx,
+                 num_actions);
+        mask[idx] = false;
+    }
+    return mask;
+}
+
+CorpusCase
+parseCorpusText(const std::string &text, const std::string &origin)
+{
+    CorpusCase c;
+    bool have_seed = false;
+    std::istringstream is(text);
+    std::string line;
+    while (std::getline(is, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        const auto eq = line.find('=');
+        fatal_if(eq == std::string::npos, "%s: malformed corpus line '%s'",
+                 origin.c_str(), line.c_str());
+        const std::string key = line.substr(0, eq);
+        const std::string val = line.substr(eq + 1);
+        if (key == "seed") {
+            c.opt.seed = std::stoull(val);
+            have_seed = true;
+        } else if (key == "waves") {
+            c.opt.waves = static_cast<unsigned>(std::stoul(val));
+        } else if (key == "sparsity") {
+            c.opt.sparsity = std::stod(val);
+        } else if (key == "body_ops") {
+            c.opt.bodyOps = static_cast<unsigned>(std::stoul(val));
+        } else if (key == "disabled") {
+            std::istringstream vs(val);
+            std::string tok;
+            while (std::getline(vs, tok, ',')) {
+                if (!tok.empty())
+                    c.disabled.push_back(
+                        static_cast<unsigned>(std::stoul(tok)));
+            }
+        } else if (key == "note") {
+            c.note = val;
+        } else {
+            fatal("%s: unknown corpus key '%s'", origin.c_str(),
+                  key.c_str());
+        }
+    }
+    fatal_if(!have_seed, "%s: corpus entry lacks a seed", origin.c_str());
+    return c;
+}
+
+CorpusCase
+loadCorpusFile(const std::string &path)
+{
+    std::ifstream f(path);
+    fatal_if(!f, "cannot open corpus file %s", path.c_str());
+    std::ostringstream os;
+    os << f.rdbuf();
+    return parseCorpusText(os.str(), path);
+}
+
+std::string
+formatCorpusCase(const CorpusCase &c)
+{
+    std::ostringstream os;
+    if (!c.note.empty())
+        os << "note=" << c.note << "\n";
+    os << "seed=" << c.opt.seed << "\n";
+    if (c.opt.waves)
+        os << "waves=" << c.opt.waves << "\n";
+    if (c.opt.sparsity >= 0)
+        os << "sparsity=" << c.opt.sparsity << "\n";
+    if (c.opt.bodyOps)
+        os << "body_ops=" << c.opt.bodyOps << "\n";
+    if (!c.disabled.empty()) {
+        os << "disabled=";
+        for (std::size_t i = 0; i < c.disabled.size(); ++i)
+            os << (i ? "," : "") << c.disabled[i];
+        os << "\n";
+    }
+    return os.str();
+}
+
+std::vector<std::string>
+listCorpusFiles(const std::string &dir)
+{
+    std::vector<std::string> files;
+    std::error_code ec;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(dir, ec)) {
+        if (entry.path().extension() == ".case")
+            files.push_back(entry.path().string());
+    }
+    std::sort(files.begin(), files.end());
+    return files;
+}
+
+} // namespace verif
+} // namespace lazygpu

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Seeded random kernel generator for the differential checker.
+ *
+ * Each seed deterministically produces a kernel plus its launch image,
+ * exercising the mechanisms the paper's optimizations hinge on: loads of
+ * every width (x1/x2/x4, byte, short), otimes and non-otimes VALU ops,
+ * scalar loops, stores, and address patterns spanning coalesced, strided
+ * and upper-bit-divergent (the Sec 4.1 encodability fallback), over
+ * inputs of tunable value sparsity.
+ *
+ * Generation is two-phase: a pure *action list* is drawn from the seed
+ * first, then emitted into a Kernel under an enabled mask. The mask lets
+ * the fuzz driver minimize a failing case (actions are dropped without
+ * perturbing any other action's registers, bases or the RNG stream), and
+ * lets tests/corpus/ entries replay a minimized kernel from just the
+ * generator options plus the disabled indices.
+ *
+ * Generated kernels are race-free by construction: loads only touch the
+ * read-only input buffers and every store lands in a per-thread 16-byte
+ * slot of a per-action output region. The float register bank is closed
+ * under the +/-0 equivalence (no VRcpF32), so an optimization-(2)
+ * suspended lane read as +0 can perturb results by at most the sign of
+ * zero -- exactly the slack the differential checker grants.
+ */
+
+#ifndef LAZYGPU_VERIF_KERNEL_GEN_HH
+#define LAZYGPU_VERIF_KERNEL_GEN_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "isa/kernel.hh"
+#include "mem/memory.hh"
+
+namespace lazygpu
+{
+namespace verif
+{
+
+/** Generator knobs; everything left at its default is seed-derived. */
+struct GenOptions
+{
+    std::uint64_t seed = 0;
+    unsigned waves = 0;     //!< 0 = derive from seed (1..4)
+    double sparsity = -1.0; //!< < 0 = derive from seed
+    unsigned bodyOps = 0;   //!< 0 = derive from seed (12..43)
+};
+
+/** One generated kernel plus everything needed to check it. */
+struct GeneratedCase
+{
+    Kernel kernel;
+    GlobalMemory image; //!< launch image (copy per simulated mode)
+    /** Memory regions the differential checker must compare. */
+    std::vector<std::pair<Addr, std::uint64_t>> checkRegions;
+    unsigned numActions = 0; //!< maskable body actions (minimization)
+    std::string summary;     //!< feature description for reports
+};
+
+/**
+ * Generate the case for opt; enabled masks body action i off when
+ * enabled[i] is false (empty mask = everything enabled).
+ */
+GeneratedCase generateCase(const GenOptions &opt,
+                           const std::vector<bool> &enabled = {});
+
+// --- Regression corpus (tests/corpus/*.case) ---------------------------
+
+/** A corpus entry: generator options plus the minimized action mask. */
+struct CorpusCase
+{
+    GenOptions opt;
+    std::vector<unsigned> disabled; //!< masked-off body action indices
+    std::string note;
+};
+
+/** Expand the disabled list into an enabled mask of num_actions bits. */
+std::vector<bool> enabledMask(const CorpusCase &c, unsigned num_actions);
+
+/** Parse key=value corpus text; fatal() on malformed input. */
+CorpusCase parseCorpusText(const std::string &text,
+                           const std::string &origin = "<corpus>");
+
+/** Read and parse one corpus file. */
+CorpusCase loadCorpusFile(const std::string &path);
+
+/** Serialize a corpus entry into the committed file format. */
+std::string formatCorpusCase(const CorpusCase &c);
+
+/** Sorted list of *.case files under dir (empty if dir is absent). */
+std::vector<std::string> listCorpusFiles(const std::string &dir);
+
+} // namespace verif
+} // namespace lazygpu
+
+#endif // LAZYGPU_VERIF_KERNEL_GEN_HH

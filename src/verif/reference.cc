@@ -1,0 +1,249 @@
+#include "verif/reference.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "sim/logging.hh"
+
+namespace lazygpu
+{
+namespace verif
+{
+
+namespace
+{
+
+float
+asF(std::uint32_t bits)
+{
+    float f;
+    std::memcpy(&f, &bits, sizeof(f));
+    return f;
+}
+
+std::uint32_t
+asU(float f)
+{
+    std::uint32_t bits;
+    std::memcpy(&bits, &f, sizeof(bits));
+    return bits;
+}
+
+std::uint32_t
+readSrc(const RefWaveState &w, const Src &s, unsigned lane)
+{
+    switch (s.kind) {
+      case SrcKind::VReg:
+        return w.vregs[s.value][lane];
+      case SrcKind::SReg:
+        return w.sregs[s.value];
+      case SrcKind::Imm:
+        return s.value;
+      case SrcKind::None:
+        return 0;
+    }
+    return 0;
+}
+
+std::uint32_t
+evalValu(Opcode op, std::uint32_t a, std::uint32_t b, std::uint32_t acc,
+         unsigned wid, unsigned lane, bool &known)
+{
+    switch (op) {
+      case Opcode::VMov:
+        return a;
+      case Opcode::VAddF32:
+        return asU(asF(a) + asF(b));
+      case Opcode::VSubF32:
+        return asU(asF(a) - asF(b));
+      case Opcode::VMulF32:
+        return asU(asF(a) * asF(b));
+      case Opcode::VMacF32:
+        return asU(asF(acc) + asF(a) * asF(b));
+      case Opcode::VMaxF32:
+        return asU(std::max(asF(a), asF(b)));
+      case Opcode::VMinF32:
+        return asU(std::min(asF(a), asF(b)));
+      case Opcode::VRcpF32:
+        return asU(1.0f / asF(a));
+      case Opcode::VSqrtF32:
+        return asU(std::sqrt(asF(a)));
+      case Opcode::VCmpGtF32:
+        return asU(asF(a) > asF(b) ? 1.0f : 0.0f);
+      case Opcode::VCmpLtF32:
+        return asU(asF(a) < asF(b) ? 1.0f : 0.0f);
+      case Opcode::VAddU32:
+        return a + b;
+      case Opcode::VSubU32:
+        return a - b;
+      case Opcode::VMulU32:
+        return a * b;
+      case Opcode::VShlU32:
+        return a << (b & 31);
+      case Opcode::VShrU32:
+        return a >> (b & 31);
+      case Opcode::VAndB32:
+        return a & b;
+      case Opcode::VOrB32:
+        return a | b;
+      case Opcode::VXorB32:
+        return a ^ b;
+      case Opcode::VCmpEqU32:
+        return (a == b) ? 1u : 0u;
+      case Opcode::VMinU32:
+        return std::min(a, b);
+      case Opcode::VCvtF32U32:
+        return asU(static_cast<float>(a));
+      case Opcode::VThreadId:
+        return wid * wavefrontSize + lane;
+      case Opcode::VLaneId:
+        return lane;
+      default:
+        known = false;
+        return 0;
+    }
+}
+
+std::uint32_t
+loadWord(const GlobalMemory &mem, Opcode op, Addr addr, unsigned reg_off)
+{
+    switch (op) {
+      case Opcode::LoadByte:
+        return mem.readByte(addr);
+      case Opcode::LoadShort:
+        return mem.readByte(addr) |
+               (static_cast<std::uint32_t>(mem.readByte(addr + 1)) << 8);
+      default:
+        return mem.readU32(addr + 4ull * reg_off);
+    }
+}
+
+} // namespace
+
+RefResult
+runReference(const Kernel &kernel, GlobalMemory &mem,
+             std::uint64_t max_insts_per_wave)
+{
+    RefResult res;
+    if (kernel.code.empty()) {
+        res.error = "kernel '" + kernel.name + "' has no instructions";
+        return res;
+    }
+    res.waves.reserve(kernel.numWavefronts);
+
+    for (unsigned wid = 0; wid < kernel.numWavefronts; ++wid) {
+        RefWaveState w;
+        w.sregs.assign(std::max(kernel.numSregs, 1u), 0);
+        w.sregs[0] = wid;
+        if (kernel.initSregs)
+            kernel.initSregs(wid, w.sregs);
+        w.vregs.assign(kernel.numVregs, {});
+
+        bool scc = false;
+        unsigned pc = 0;
+        std::uint64_t insts = 0;
+        bool done = false;
+
+        while (!done) {
+            if (pc >= kernel.code.size()) {
+                res.error = detail::formatString(
+                    "wid %u ran past the end of '%s' (pc %u)", wid,
+                    kernel.name.c_str(), pc);
+                return res;
+            }
+            if (++insts > max_insts_per_wave) {
+                res.error = detail::formatString(
+                    "wid %u exceeded %llu instructions in '%s'; "
+                    "livelocked kernel", wid,
+                    static_cast<unsigned long long>(max_insts_per_wave),
+                    kernel.name.c_str());
+                return res;
+            }
+
+            const Instruction &inst = kernel.code[pc];
+            if (isScalar(inst.op)) {
+                const std::uint32_t a = readSrc(w, inst.src0, 0);
+                const std::uint32_t b = readSrc(w, inst.src1, 0);
+                switch (inst.op) {
+                  case Opcode::SMov:
+                    w.sregs[inst.dst] = a;
+                    break;
+                  case Opcode::SAddU32:
+                    w.sregs[inst.dst] = a + b;
+                    break;
+                  case Opcode::SMulU32:
+                    w.sregs[inst.dst] = a * b;
+                    break;
+                  case Opcode::SCmpLtU32:
+                    scc = a < b;
+                    break;
+                  case Opcode::SCBranch1:
+                    pc = scc ? static_cast<unsigned>(inst.target) : pc + 1;
+                    continue;
+                  case Opcode::SCBranch0:
+                    pc = !scc ? static_cast<unsigned>(inst.target) : pc + 1;
+                    continue;
+                  case Opcode::SBranch:
+                    pc = static_cast<unsigned>(inst.target);
+                    continue;
+                  case Opcode::SEndpgm:
+                    done = true;
+                    continue;
+                  default:
+                    res.error = "unhandled scalar opcode " +
+                                opcodeName(inst.op);
+                    return res;
+                }
+                ++pc;
+            } else if (isLoad(inst.op)) {
+                const unsigned nregs = loadDstRegs(inst.op);
+                for (unsigned lane = 0; lane < wavefrontSize; ++lane) {
+                    const Addr addr =
+                        inst.base + w.vregs[inst.src0.value][lane];
+                    for (unsigned r = 0; r < nregs; ++r) {
+                        w.vregs[inst.dst + r][lane] =
+                            loadWord(mem, inst.op, addr, r);
+                    }
+                }
+                ++pc;
+            } else if (isStore(inst.op)) {
+                const unsigned nregs = storeBytes(inst.op) / 4;
+                for (unsigned lane = 0; lane < wavefrontSize; ++lane) {
+                    const Addr addr =
+                        inst.base + w.vregs[inst.src0.value][lane];
+                    for (unsigned r = 0; r < nregs; ++r) {
+                        mem.writeU32(addr + 4ull * r,
+                                     w.vregs[inst.src2.value + r][lane]);
+                        res.writeLog[addr + 4ull * r] = StoreOrigin{
+                            wid, pc, static_cast<std::uint8_t>(lane)};
+                    }
+                }
+                ++pc;
+            } else {
+                for (unsigned lane = 0; lane < wavefrontSize; ++lane) {
+                    const std::uint32_t a = readSrc(w, inst.src0, lane);
+                    const std::uint32_t b = readSrc(w, inst.src1, lane);
+                    const std::uint32_t acc = w.vregs[inst.dst][lane];
+                    bool known = true;
+                    const std::uint32_t out =
+                        evalValu(inst.op, a, b, acc, wid, lane, known);
+                    if (!known) {
+                        res.error = "unhandled VALU opcode " +
+                                    opcodeName(inst.op);
+                        return res;
+                    }
+                    w.vregs[inst.dst][lane] = out;
+                }
+                ++pc;
+            }
+        }
+
+        res.instsExecuted += insts;
+        res.waves.push_back(std::move(w));
+    }
+    return res;
+}
+
+} // namespace verif
+} // namespace lazygpu

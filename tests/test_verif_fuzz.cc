@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Tier-2 differential fuzz sweeps: a wider band of generated kernels
+ * through all five execution modes against the reference executor, and
+ * the injected-fault detection sweep. The standalone driver
+ * (bench/verif_fuzz) runs the same machinery over arbitrary seed
+ * ranges; this pins a fixed slice of it into ctest.
+ */
+
+#include <gtest/gtest.h>
+
+#include "verif/differential.hh"
+#include "verif/kernel_gen.hh"
+
+namespace lazygpu
+{
+namespace
+{
+
+using verif::DiffOptions;
+using verif::DiffReport;
+using verif::GenOptions;
+
+class FuzzSweep : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(FuzzSweep, AllModesMatchReference)
+{
+    GenOptions gen;
+    gen.seed = GetParam();
+    const verif::GeneratedCase c = verif::generateCase(gen);
+    const DiffReport rep = verif::runDifferential(c);
+    EXPECT_TRUE(rep.ok()) << c.summary << "\n  " << rep.firstDivergence();
+}
+
+// The tier-1 suite covers [0, 6); continue the band here.
+INSTANTIATE_TEST_SUITE_P(Band, FuzzSweep,
+                         ::testing::Range<std::uint64_t>(6, 40));
+
+class FuzzSweepDense : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(FuzzSweepDense, HighSparsityAllModesMatchReference)
+{
+    // Force the sparsity extreme where whole transactions are zero and
+    // optimization (2) suspensions persist to retirement.
+    GenOptions gen;
+    gen.seed = GetParam();
+    gen.sparsity = 0.95;
+    const verif::GeneratedCase c = verif::generateCase(gen);
+    const DiffReport rep = verif::runDifferential(c);
+    EXPECT_TRUE(rep.ok()) << c.summary << "\n  " << rep.firstDivergence();
+}
+
+INSTANTIATE_TEST_SUITE_P(Band, FuzzSweepDense,
+                         ::testing::Range<std::uint64_t>(100, 112));
+
+TEST(FuzzInjectedBug, CaughtWithinDefaultSeedRange)
+{
+    DiffOptions opt;
+    opt.injectSuspendBug = true;
+    opt.modes = {ExecMode::LazyGPU};
+    std::uint64_t caught_at = ~0ull;
+    for (std::uint64_t seed = 0; seed < 100; ++seed) {
+        GenOptions gen;
+        gen.seed = seed;
+        if (!verif::runDifferential(verif::generateCase(gen), opt).ok()) {
+            caught_at = seed;
+            break;
+        }
+    }
+    EXPECT_NE(~0ull, caught_at)
+        << "injected (2)-elimination fault survived seeds [0,100)";
+}
+
+} // namespace
+} // namespace lazygpu
