@@ -21,24 +21,84 @@ parseJobs(const std::string &value)
     return static_cast<unsigned>(v);
 }
 
+double
+parseSeconds(const char *flag, const std::string &value)
+{
+    char *end = nullptr;
+    const double v = std::strtod(value.c_str(), &end);
+    fatal_if(end == value.c_str() || *end != '\0' || v < 0.0,
+             "%s expects a non-negative number of seconds, got '%s'",
+             flag, value.c_str());
+    return v;
+}
+
 } // namespace
 
 BenchOptions
 parseBenchOptions(int argc, char **argv)
 {
     BenchOptions opt;
+
+    // Shared flags taking a value; accepts --flag V and --flag=V.
+    auto valueFor = [&](int &i, const std::string &a,
+                        const char *flag, std::string &out) {
+        const std::string eq = std::string(flag) + "=";
+        if (a == flag) {
+            fatal_if(i + 1 >= argc, "%s requires a value", flag);
+            out = argv[++i];
+            return true;
+        }
+        if (a.rfind(eq, 0) == 0) {
+            out = a.substr(eq.size());
+            return true;
+        }
+        return false;
+    };
+
     for (int i = 1; i < argc; ++i) {
         const std::string a = argv[i];
-        if (a == "--jobs") {
-            fatal_if(i + 1 >= argc, "--jobs requires a value");
-            opt.jobs = parseJobs(argv[++i]);
-        } else if (a.rfind("--jobs=", 0) == 0) {
-            opt.jobs = parseJobs(a.substr(7));
+        std::string v;
+        if (valueFor(i, a, "--jobs", v)) {
+            opt.jobs = parseJobs(v);
+        } else if (valueFor(i, a, "--timeout", v)) {
+            opt.timeoutSec = parseSeconds("--timeout", v);
+        } else if (valueFor(i, a, "--stall", v)) {
+            opt.stallSec = parseSeconds("--stall", v);
+        } else if (a == "--keep-going") {
+            opt.keepGoing = true;
+        } else if (a == "--resume") {
+            opt.resume = true;
+        } else if (valueFor(i, a, "--journal", v)) {
+            opt.journalPath = v;
+        } else if (valueFor(i, a, "--crash-dir", v)) {
+            opt.crashDir = v;
+        } else if (valueFor(i, a, "--inject-panic", v)) {
+            opt.injectPanicKey = v;
+        } else if (valueFor(i, a, "--inject-livelock", v)) {
+            opt.injectLivelockKey = v;
         } else {
             opt.args.push_back(a);
         }
     }
     return opt;
+}
+
+SweepOptions
+BenchOptions::sweepOptions(const std::string &bench) const
+{
+    SweepOptions s;
+    s.keepGoing = keepGoing;
+    s.timeoutSec = timeoutSec;
+    s.stallSec = stallSec;
+    s.journalPath = journalPath.empty()
+                        ? "BENCH_" + bench + ".journal.jsonl"
+                        : journalPath;
+    s.resume = resume;
+    s.crashDir = crashDir;
+    s.benchName = bench;
+    s.injectPanicKey = injectPanicKey;
+    s.injectLivelockKey = injectLivelockKey;
+    return s;
 }
 
 } // namespace lazygpu

@@ -4,10 +4,27 @@
  *
  * Every bench accepts `--jobs N` (worker threads for its simulation
  * grid; `--jobs 0` or omitting the flag defers to the LAZYGPU_JOBS env
- * var, then to hardware concurrency). Remaining arguments are returned
- * positionally for bench-specific knobs (`--quick`, wave counts, ...).
- * Printed tables and JSON artifacts are byte-identical for any job
- * count.
+ * var, then to hardware concurrency) plus the fault-tolerance flags
+ * below, which map onto ParallelRunner's SweepOptions:
+ *
+ *   --timeout S      cancel any grid cell running longer than S seconds
+ *                    (wall clock); reported as status "timeout"
+ *   --stall S        cancel a cell whose engine makes no progress for
+ *                    S seconds
+ *   --keep-going     record failed cells and finish the sweep instead
+ *                    of exiting on the first failure
+ *   --resume         replay Ok cells from the sweep journal and re-run
+ *                    only missing/failed ones
+ *   --journal PATH   journal location (default
+ *                    BENCH_<name>.journal.jsonl)
+ *   --crash-dir DIR  crash-report directory (default crash-reports)
+ *   --inject-panic KEY / --inject-livelock KEY
+ *                    fault injection for the CI smoke job: force the
+ *                    named cell to panic / spin forever
+ *
+ * Remaining arguments are returned positionally for bench-specific
+ * knobs (`--quick`, wave counts, ...). Printed tables and JSON
+ * artifacts are byte-identical for any job count.
  */
 
 #ifndef LAZYGPU_BENCH_BENCH_MAIN_HH
@@ -16,6 +33,8 @@
 #include <string>
 #include <vector>
 
+#include "analysis/parallel_runner.hh"
+
 namespace lazygpu
 {
 
@@ -23,7 +42,18 @@ struct BenchOptions
 {
     /** Worker threads; 0 means auto (LAZYGPU_JOBS, else hardware). */
     unsigned jobs = 0;
-    /** Arguments other than --jobs, in order. */
+
+    // Fault-tolerance knobs (see file comment).
+    double timeoutSec = 0.0;
+    double stallSec = 0.0;
+    bool keepGoing = false;
+    bool resume = false;
+    std::string journalPath;
+    std::string crashDir = "crash-reports";
+    std::string injectPanicKey;
+    std::string injectLivelockKey;
+
+    /** Arguments other than the shared flags, in order. */
     std::vector<std::string> args;
 
     /** The bench-specific argument at index i, or fallback. */
@@ -41,9 +71,18 @@ struct BenchOptions
         }
         return false;
     }
+
+    /**
+     * The SweepOptions these flags describe for the named bench: the
+     * journal defaults to BENCH_<bench>.journal.jsonl, crash reports to
+     * crash-reports/<bench>-<cell>.json.
+     */
+    SweepOptions sweepOptions(const std::string &bench) const;
 };
 
-/** Parse argv, consuming --jobs N / --jobs=N; fatal on malformed N. */
+/**
+ * Parse argv, consuming the shared flags; fatal on a malformed value.
+ */
 BenchOptions parseBenchOptions(int argc, char **argv);
 
 } // namespace lazygpu

@@ -41,23 +41,34 @@ main(int argc, char **argv)
         wave_counts.push_back(waves);
 
     // One (base, lazy) job pair per wave count; p.scale = 16 keeps the
-    // matrix small while the sweep duplicates work per wave.
+    // matrix small while the sweep duplicates work per wave. Keys name
+    // the cell for the journal / crash reports / fault injection.
     std::vector<RunJob> jobs;
     for (unsigned waves : wave_counts) {
         WorkloadParams p;
         p.sparsity = 0.0;
         p.scale = 16;
+        const std::string note =
+            "MM dense, scale 16, seed " + std::to_string(p.seed);
 
         jobs.push_back(RunJob{GpuConfig::r9Nano().scaled(4),
-                              [p, waves]() { return makeMM(p, waves); }});
+                              [p, waves]() { return makeMM(p, waves); },
+                              false,
+                              "waves-" + std::to_string(waves) + "/base",
+                              note});
 
         GpuConfig lazy = GpuConfig::r9Nano().scaled(4);
         lazy.mode = ExecMode::LazyCore;
         jobs.push_back(RunJob{lazy,
-                              [p, waves]() { return makeMM(p, waves); }});
+                              [p, waves]() { return makeMM(p, waves); },
+                              false,
+                              "waves-" + std::to_string(waves) +
+                                  "/lazycore",
+                              note});
     }
 
-    const std::vector<RunResult> res = ParallelRunner(opt.jobs).run(jobs);
+    ParallelRunner runner(opt.jobs, opt.sweepOptions("fig03_mm_sweep"));
+    const std::vector<RunResult> res = runner.run(jobs);
 
     Json rows = Json::array();
     for (std::size_t i = 0; i < wave_counts.size(); ++i) {
@@ -65,8 +76,10 @@ main(int argc, char **argv)
         const RunResult &test = res[2 * i + 1];
         std::printf("%s\n",
                     formatRow({std::to_string(wave_counts[i]),
-                               std::to_string(base.cycles),
-                               std::to_string(test.cycles),
+                               base.ok() ? std::to_string(base.cycles)
+                                         : toString(base.status),
+                               test.ok() ? std::to_string(test.cycles)
+                                         : toString(test.status),
                                std::to_string(speedup(base, test)),
                                std::to_string(static_cast<int>(
                                    base.avgMemLatency)),
@@ -84,5 +97,5 @@ main(int argc, char **argv)
     Json data = Json::object();
     data.set("rows", std::move(rows));
     writeBenchJson("fig03_mm_sweep", data);
-    return 0;
+    return runner.exitCode();
 }

@@ -20,22 +20,25 @@ int
 main(int argc, char **argv)
 {
     const BenchOptions opt = parseBenchOptions(argc, argv);
-    const ParallelRunner runner(opt.jobs);
+    ParallelRunner runner(opt.jobs,
+                          opt.sweepOptions("fig09_resnet_layers"));
     Resnet18 net(resnetParams(0.5));
 
     for (bool training : {false, true}) {
         std::printf("Figure 9%s: ResNet-18 %s, 50%% weight sparsity\n",
                     training ? "b" : "a",
                     training ? "training" : "inference");
+        const std::string phase = training ? "train" : "infer";
 
         ResnetOutcome base = runResnet(
             net, resnetConfig(ExecMode::Baseline), training, false,
-            &runner);
+            &runner, phase + "/Baseline");
 
         std::vector<ResnetOutcome> outs;
         for (ExecMode mode : modeLadder()) {
             outs.push_back(runResnet(net, resnetConfig(mode), training,
-                                     false, &runner));
+                                     false, &runner,
+                                     phase + "/" + toString(mode)));
         }
 
         printRow({"layer", "LazyCore", "LazyCore+1", "LazyGPU"});
@@ -58,12 +61,12 @@ main(int argc, char **argv)
 
         ResnetOutcome eager = runResnet(
             net, resnetConfig(ExecMode::EagerZC), training, false,
-            &runner);
+            &runner, phase + "/EagerZC");
         std::printf("EagerZC (zero caches with eager execution): "
                     "%.3fx (paper: %.2fx)\n\n",
                     static_cast<double>(base.total.cycles) /
                         static_cast<double>(eager.total.cycles),
                     training ? 1.02 : 1.26);
     }
-    return 0;
+    return runner.exitCode();
 }

@@ -20,7 +20,8 @@ int
 main(int argc, char **argv)
 {
     const BenchOptions opt = parseBenchOptions(argc, argv);
-    const ParallelRunner runner(opt.jobs);
+    ParallelRunner runner(opt.jobs,
+                          opt.sweepOptions("fig10_resnet_sweep"));
 
     std::printf("Figure 10: ResNet-18 speedup vs weight sparsity\n");
     printRow({"sparsity", "inference", "training"});
@@ -33,7 +34,8 @@ main(int argc, char **argv)
         for (bool training : {false, true}) {
             base_cycles[training] =
                 runResnet(net, resnetConfig(ExecMode::Baseline),
-                          training, false, &runner)
+                          training, false, &runner,
+                          training ? "base/train" : "base/infer")
                     .total.cycles;
         }
     }
@@ -48,7 +50,9 @@ main(int argc, char **argv)
         for (bool training : {false, true}) {
             ResnetOutcome lazy =
                 runResnet(net, resnetConfig(ExecMode::LazyGPU), training,
-                          false, &runner);
+                          false, &runner,
+                          "sparsity-" + std::to_string(s) +
+                              (training ? "/train" : "/infer"));
             const double sp =
                 static_cast<double>(base_cycles[training]) /
                 static_cast<double>(lazy.total.cycles);
@@ -67,5 +71,5 @@ main(int argc, char **argv)
         .set("baseline_training_cycles", base_cycles[1])
         .set("rows", std::move(rows));
     writeBenchJson("fig10_resnet_sweep", data);
-    return 0;
+    return runner.exitCode();
 }

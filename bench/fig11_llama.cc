@@ -13,6 +13,7 @@
 #include "analysis/parallel_runner.hh"
 #include "bench/bench_main.hh"
 #include "bench/bench_util.hh"
+#include "sim/logging.hh"
 #include "workloads/llama.hh"
 
 using namespace lazygpu;
@@ -44,10 +45,17 @@ llamaJob(ExecMode mode, double sparsity, std::uint64_t l2_total_bytes)
 {
     Llama::Params lp;
     lp.sparsity = sparsity;
-    return RunJob{llamaConfig(mode, l2_total_bytes), [lp]() {
-                      Llama model(lp);
-                      return model.decoderWorkload();
-                  }};
+    RunJob job{llamaConfig(mode, l2_total_bytes), [lp]() {
+                   Llama model(lp);
+                   return model.decoderWorkload();
+               }};
+    job.key = detail::formatString(
+        "s%02d-l2-%lluMiB/%s", static_cast<int>(sparsity * 100.0),
+        static_cast<unsigned long long>(l2_total_bytes >> 20),
+        toString(mode).c_str());
+    job.note = detail::formatString("LLaMA-7B decode, sparsity %.2f",
+                                    sparsity);
+    return job;
 }
 
 } // namespace
@@ -69,7 +77,8 @@ main(int argc, char **argv)
         jobs.push_back(llamaJob(ExecMode::Baseline, 0.5, mib << 20));
         jobs.push_back(llamaJob(ExecMode::LazyGPU, 0.5, mib << 20));
     }
-    const std::vector<RunResult> res = ParallelRunner(opt.jobs).run(jobs);
+    ParallelRunner runner(opt.jobs, opt.sweepOptions("fig11_llama"));
+    const std::vector<RunResult> res = runner.run(jobs);
 
     std::printf("Figure 11a: LLaMA-7B speedup and perplexity vs "
                 "sparsity (paper: 1.52x dense, 2.18x at 60%%)\n");
@@ -112,5 +121,5 @@ main(int argc, char **argv)
     data.set("sparsity_sweep", std::move(sweep))
         .set("l2_sweep_at_50pct", std::move(l2sweep));
     writeBenchJson("fig11_llama", data);
-    return 0;
+    return runner.exitCode();
 }

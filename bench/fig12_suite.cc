@@ -45,15 +45,23 @@ main(int argc, char **argv)
         for (double s : sparsities) {
             WorkloadParams p;
             p.sparsity = s;
+            const std::string cell_base =
+                name + "/s" + std::to_string(static_cast<int>(s * 100));
+            const std::string note =
+                name + ", sparsity " + std::to_string(s) + ", seed " +
+                std::to_string(p.seed);
             jobs.push_back(RunJob{
                 configFor(ExecMode::Baseline),
-                [name, p]() { return makeSuiteWorkload(name, p); }});
+                [name, p]() { return makeSuiteWorkload(name, p); },
+                false, cell_base + "/base", note});
             jobs.push_back(RunJob{
                 configFor(ExecMode::LazyGPU),
-                [name, p]() { return makeSuiteWorkload(name, p); }});
+                [name, p]() { return makeSuiteWorkload(name, p); },
+                false, cell_base + "/lazygpu", note});
         }
     }
-    const std::vector<RunResult> res = ParallelRunner(opt.jobs).run(jobs);
+    ParallelRunner runner(opt.jobs, opt.sweepOptions("fig12_suite"));
+    const std::vector<RunResult> res = runner.run(jobs);
 
     Json benchmarks = Json::array();
     std::vector<std::vector<double>> columns(sparsities.size());
@@ -103,5 +111,5 @@ main(int argc, char **argv)
         .set("benchmarks", std::move(benchmarks))
         .set("geomean_speedups", std::move(geomeans));
     writeBenchJson("fig12_suite", data);
-    return 0;
+    return runner.exitCode();
 }

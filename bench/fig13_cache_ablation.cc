@@ -19,7 +19,8 @@ int
 main(int argc, char **argv)
 {
     const BenchOptions opt = parseBenchOptions(argc, argv);
-    const ParallelRunner runner(opt.jobs);
+    ParallelRunner runner(opt.jobs,
+                          opt.sweepOptions("fig13_cache_ablation"));
 
     // Fig 13 uses the unpruned network.
     Resnet18 net(resnetParams(0.0));
@@ -29,7 +30,8 @@ main(int argc, char **argv)
     printRow({"config", "inference"}, 16);
 
     ResnetOutcome base_inf = runResnet(
-        net, resnetConfig(ExecMode::Baseline), false, false, &runner);
+        net, resnetConfig(ExecMode::Baseline), false, false, &runner,
+        "baseline");
 
     Json rows = Json::array();
     const unsigned l1_fracs[] = {2, 8, 16};
@@ -39,7 +41,9 @@ main(int argc, char **argv)
             GpuConfig cfg =
                 GpuConfig::withZeroCacheSplit(l1f, l2f).scaled(8);
             ResnetOutcome inf =
-                runResnet(net, cfg, false, false, &runner);
+                runResnet(net, cfg, false, false, &runner,
+                          "l1-" + std::to_string(l1f) + "-l2-" +
+                              std::to_string(l2f));
             const double sp =
                 static_cast<double>(base_inf.total.cycles) /
                 static_cast<double>(inf.total.cycles);
@@ -62,5 +66,5 @@ main(int argc, char **argv)
     data.set("baseline_cycles", base_inf.total.cycles)
         .set("rows", std::move(rows));
     writeBenchJson("fig13_cache_ablation", data);
-    return 0;
+    return runner.exitCode();
 }

@@ -33,7 +33,8 @@ int
 main(int argc, char **argv)
 {
     const BenchOptions opt = parseBenchOptions(argc, argv);
-    const ParallelRunner runner(opt.jobs);
+    ParallelRunner runner(opt.jobs,
+                          opt.sweepOptions("fig14_elimination"));
     Resnet18 net(resnetParams(0.5));
 
     std::printf("Figure 14: load requests eliminated by (1) and (2), "
@@ -41,9 +42,9 @@ main(int argc, char **argv)
     printRow({"layer", "opt1-inf", "opt2-inf", "opt1-trn", "opt2-trn"});
 
     ResnetOutcome inf = runResnet(net, resnetConfig(ExecMode::LazyGPU),
-                                  false, false, &runner);
+                                  false, false, &runner, "infer");
     ResnetOutcome trn = runResnet(net, resnetConfig(ExecMode::LazyGPU),
-                                  true, false, &runner);
+                                  true, false, &runner, "train");
 
     for (unsigned i = 0; i < net.specs().size(); ++i) {
         printRow({net.specs()[i].name,
@@ -69,5 +70,5 @@ main(int argc, char **argv)
                     inf.total.txsEagerFallback),
                 static_cast<unsigned long long>(
                     trn.total.txsEagerFallback));
-    return 0;
+    return runner.exitCode();
 }

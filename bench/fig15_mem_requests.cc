@@ -36,21 +36,26 @@ int
 main(int argc, char **argv)
 {
     const BenchOptions opt = parseBenchOptions(argc, argv);
-    const ParallelRunner runner(opt.jobs);
+    ParallelRunner runner(opt.jobs,
+                          opt.sweepOptions("fig15_mem_requests"));
     for (double ws : {0.0, 0.5}) {
         Resnet18 net(resnetParams(ws));
+        const std::string wtag = "ws-" + std::to_string(
+                                             static_cast<int>(ws * 100));
 
         std::printf("Figure 15%s: requests mitigated, weight sparsity "
                     "%.0f%%\n",
                     ws == 0.0 ? "a" : "b", ws * 100);
         printRow({"phase", "L1", "L2", "DRAM"});
         for (bool training : {false, true}) {
+            const std::string ptag =
+                wtag + (training ? "/train" : "/infer");
             ResnetOutcome base =
                 runResnet(net, resnetConfig(ExecMode::Baseline),
-                          training, false, &runner);
+                          training, false, &runner, ptag + "/base");
             ResnetOutcome lazy =
                 runResnet(net, resnetConfig(ExecMode::LazyGPU),
-                          training, false, &runner);
+                          training, false, &runner, ptag + "/lazy");
             printRow({training ? "training" : "inference",
                       reduction(base.total.l1Requests,
                                 lazy.total.l1Requests),
@@ -64,5 +69,5 @@ main(int argc, char **argv)
     std::printf("paper: 0%% -> 9.7/29.9/-4.2 (inf), 19.4/25.1/2.8 "
                 "(trn); 50%% -> 27.6/45.6/-1.4 (inf), 31.8/38.7/3.9 "
                 "(trn)\n");
-    return 0;
+    return runner.exitCode();
 }

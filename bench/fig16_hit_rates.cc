@@ -21,7 +21,8 @@ int
 main(int argc, char **argv)
 {
     const BenchOptions opt = parseBenchOptions(argc, argv);
-    const ParallelRunner runner(opt.jobs);
+    ParallelRunner runner(opt.jobs,
+                          opt.sweepOptions("fig16_hit_rates"));
     for (double ws : {0.5}) {
         Resnet18 net(resnetParams(ws));
 
@@ -30,12 +31,13 @@ main(int argc, char **argv)
                     ws * 100);
         printRow({"phase", "cfg", "L1", "L2", "Z-L1", "Z-L2"});
         for (bool training : {false, true}) {
+            const std::string ptag = training ? "train" : "infer";
             ResnetOutcome base =
                 runResnet(net, resnetConfig(ExecMode::Baseline),
-                          training, false, &runner);
+                          training, false, &runner, ptag + "/base");
             ResnetOutcome lazy =
                 runResnet(net, resnetConfig(ExecMode::LazyGPU),
-                          training, false, &runner);
+                          training, false, &runner, ptag + "/lazy");
             const char *phase = training ? "training" : "inference";
             printRow({phase, "Baseline", pct(base.total.l1HitRate()),
                       pct(base.total.l2HitRate()), "-", "-"});
@@ -46,5 +48,5 @@ main(int argc, char **argv)
         }
         std::printf("\n");
     }
-    return 0;
+    return runner.exitCode();
 }

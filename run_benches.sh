@@ -5,10 +5,16 @@
 # The job count is forwarded to every figure binary (they spread their
 # experiment grids over N worker threads; output is byte-identical for
 # any N). Defaults to LAZYGPU_JOBS or the host core count.
+#
+# A failing bench no longer stops the batch: every binary runs, failures
+# are collected, and the script exits nonzero with a FAILED summary so
+# the partial artifacts are still usable (re-run individual benches with
+# --resume to fill in the missing cells).
 jobs_flag=""
 if [ "$1" = "--jobs" ] && [ -n "$2" ]; then
     jobs_flag="--jobs $2"
 fi
+failed=""
 for b in build/bench/*; do
     [ -f "$b" ] && [ -x "$b" ] || continue
     echo "===== $b ====="
@@ -18,5 +24,17 @@ for b in build/bench/*; do
         *micro_components*) "$b" ;;
         *) "$b" $jobs_flag ;;
     esac
+    status=$?
+    if [ $status -ne 0 ]; then
+        echo "*** $b exited with status $status"
+        failed="$failed $b"
+    fi
     echo
 done
+if [ -n "$failed" ]; then
+    echo "FAILED benches:"
+    for b in $failed; do
+        echo "  $b"
+    done
+    exit 1
+fi

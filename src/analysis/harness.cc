@@ -7,6 +7,31 @@
 namespace lazygpu
 {
 
+const char *
+toString(RunStatus s)
+{
+    switch (s) {
+    case RunStatus::Ok: return "ok";
+    case RunStatus::Panic: return "panic";
+    case RunStatus::Fatal: return "fatal";
+    case RunStatus::Timeout: return "timeout";
+    }
+    return "unknown";
+}
+
+bool
+runStatusFromString(const std::string &name, RunStatus &out)
+{
+    for (RunStatus s : {RunStatus::Ok, RunStatus::Panic, RunStatus::Fatal,
+                        RunStatus::Timeout}) {
+        if (name == toString(s)) {
+            out = s;
+            return true;
+        }
+    }
+    return false;
+}
+
 double
 RunResult::eliminationRate() const
 {
@@ -23,6 +48,12 @@ RunResult::eliminationRate() const
 void
 RunResult::accumulate(const RunResult &other)
 {
+    // A failed layer poisons the aggregate: keep the first failure's
+    // status/detail so per-network totals are visibly not trustworthy.
+    if (status == RunStatus::Ok && other.status != RunStatus::Ok) {
+        status = other.status;
+        error = other.error;
+    }
     cycles += other.cycles;
     txsIssued += other.txsIssued;
     txsElimZero += other.txsElimZero;
@@ -47,12 +78,17 @@ RunResult::accumulate(const RunResult &other)
 }
 
 RunResult
-runWorkload(const GpuConfig &cfg, Workload &w, bool verify)
+runWorkload(const GpuConfig &cfg, Workload &w, bool verify,
+            ExecControl *ctl, Tick limit_cycles)
 {
     Gpu gpu(cfg, *w.mem);
+    if (ctl)
+        gpu.engine().attachControl(ctl);
     RunResult res;
-    for (const Kernel &k : w.kernels)
-        res.cycles += gpu.run(k).cycles;
+    for (const Kernel &k : w.kernels) {
+        res.cycles += limit_cycles ? gpu.run(k, limit_cycles).cycles
+                                   : gpu.run(k).cycles;
+    }
 
     const StatSet &st = gpu.stats();
     auto ctr = [&](const char *name) {
@@ -99,7 +135,11 @@ runWorkload(const GpuConfig &cfg, Workload &w, bool verify)
 double
 speedup(const RunResult &base, const RunResult &test)
 {
-    panic_if(test.cycles == 0, "speedup against an empty run");
+    // Failed cells in a degraded (--keep-going) sweep carry zero
+    // cycles; their derived metrics read 0 rather than killing the
+    // whole table.
+    if (base.cycles == 0 || test.cycles == 0)
+        return 0.0;
     return static_cast<double>(base.cycles) /
            static_cast<double>(test.cycles);
 }

@@ -17,9 +17,31 @@
 namespace lazygpu
 {
 
+struct ExecControl;
+
+/** How a grid cell's simulation ended. */
+enum class RunStatus : std::uint8_t
+{
+    Ok = 0,
+    Panic,   //!< recoverable panic (simulator bug in this cell)
+    Fatal,   //!< recoverable fatal (bad config / workload for this cell)
+    Timeout, //!< watchdog cancelled the cell
+};
+
+/** "ok" / "panic" / "fatal" / "timeout". */
+const char *toString(RunStatus s);
+
+/** Inverse of toString; false when name is not a status. */
+bool runStatusFromString(const std::string &name, RunStatus &out);
+
 /** Aggregate outcome of running a workload on one configuration. */
 struct RunResult
 {
+    RunStatus status = RunStatus::Ok;
+    std::string error; //!< "message (file:line)" when status != Ok
+
+    bool ok() const { return status == RunStatus::Ok; }
+
     Tick cycles = 0;
     std::uint64_t txsIssued = 0;
     std::uint64_t txsElimZero = 0;
@@ -68,11 +90,19 @@ struct RunResult
  * identical image) for each configuration being compared.
  *
  * @param verify run the workload's functional check afterwards.
+ * @param ctl optional watchdog channel attached to the engine for the
+ *        duration of the run (heartbeat publishing + cancellation).
+ * @param limit_cycles per-kernel livelock guard; 0 uses Gpu::run's
+ *        default.
  */
 RunResult runWorkload(const GpuConfig &cfg, Workload &w,
-                      bool verify = true);
+                      bool verify = true, ExecControl *ctl = nullptr,
+                      Tick limit_cycles = 0);
 
-/** speedup = cycles(base) / cycles(test). */
+/**
+ * speedup = cycles(base) / cycles(test); 0.0 when either run failed
+ * (cells from a degraded sweep carry zero cycles).
+ */
 double speedup(const RunResult &base, const RunResult &test);
 
 /** Format a markdown-ish table row; used by the bench binaries. */

@@ -1,0 +1,179 @@
+#include "analysis/journal.hh"
+
+#include <fstream>
+
+#include "analysis/json_reader.hh"
+#include "analysis/json_writer.hh"
+#include "sim/logging.hh"
+
+namespace lazygpu
+{
+
+namespace
+{
+
+/**
+ * Every RunResult field, exactly. Integers are exact by construction;
+ * the two doubles use Json::exactNum so strtod() restores the bit
+ * pattern and resumed BENCH rows serialize byte-identically.
+ */
+Json
+resultToJson(const RunResult &r)
+{
+    Json j = Json::object();
+    j.set("status", toString(r.status))
+        .set("error", r.error)
+        .set("cycles", r.cycles)
+        .set("txs_issued", r.txsIssued)
+        .set("txs_elim_zero", r.txsElimZero)
+        .set("txs_elim_otimes", r.txsElimOtimes)
+        .set("txs_elim_dead", r.txsElimDead)
+        .set("txs_eager_fallback", r.txsEagerFallback)
+        .set("store_txs", r.storeTxs)
+        .set("store_txs_zero_skipped", r.storeTxsZeroSkipped)
+        .set("l1_requests", r.l1Requests)
+        .set("l2_requests", r.l2Requests)
+        .set("dram_requests", r.dramRequests)
+        .set("alu_utilization", Json::exactNum(r.aluUtilization))
+        .set("avg_mem_latency", Json::exactNum(r.avgMemLatency))
+        .set("l1_hits", r.l1Hits)
+        .set("l1_misses", r.l1Misses)
+        .set("l2_hits", r.l2Hits)
+        .set("l2_misses", r.l2Misses)
+        .set("zl1_hits", r.zl1Hits)
+        .set("zl1_misses", r.zl1Misses)
+        .set("zl2_hits", r.zl2Hits)
+        .set("zl2_misses", r.zl2Misses)
+        .set("verify_error", r.verifyError);
+    return j;
+}
+
+bool
+resultFromJson(const JsonValue &j, RunResult &r)
+{
+    if (!j.isObject())
+        return false;
+    const JsonValue *status = j.find("status");
+    if (!status ||
+        !runStatusFromString(status->asString(), r.status))
+        return false;
+    auto str = [&](const char *key, std::string &out) {
+        if (const JsonValue *v = j.find(key))
+            out = v->asString();
+    };
+    auto u64 = [&](const char *key, std::uint64_t &out) {
+        if (const JsonValue *v = j.find(key))
+            out = v->asU64();
+    };
+    auto dbl = [&](const char *key, double &out) {
+        if (const JsonValue *v = j.find(key))
+            out = v->asDouble();
+    };
+    str("error", r.error);
+    u64("cycles", r.cycles);
+    u64("txs_issued", r.txsIssued);
+    u64("txs_elim_zero", r.txsElimZero);
+    u64("txs_elim_otimes", r.txsElimOtimes);
+    u64("txs_elim_dead", r.txsElimDead);
+    u64("txs_eager_fallback", r.txsEagerFallback);
+    u64("store_txs", r.storeTxs);
+    u64("store_txs_zero_skipped", r.storeTxsZeroSkipped);
+    u64("l1_requests", r.l1Requests);
+    u64("l2_requests", r.l2Requests);
+    u64("dram_requests", r.dramRequests);
+    dbl("alu_utilization", r.aluUtilization);
+    dbl("avg_mem_latency", r.avgMemLatency);
+    u64("l1_hits", r.l1Hits);
+    u64("l1_misses", r.l1Misses);
+    u64("l2_hits", r.l2Hits);
+    u64("l2_misses", r.l2Misses);
+    u64("zl1_hits", r.zl1Hits);
+    u64("zl1_misses", r.zl1Misses);
+    u64("zl2_hits", r.zl2Hits);
+    u64("zl2_misses", r.zl2Misses);
+    str("verify_error", r.verifyError);
+    return true;
+}
+
+} // namespace
+
+std::string
+journalLine(const std::string &key, const RunResult &r)
+{
+    Json line = Json::object();
+    line.set("key", key).set("result", resultToJson(r));
+    return line.dump(0);
+}
+
+bool
+parseJournalLine(const std::string &line, std::string &key, RunResult &r)
+{
+    JsonValue doc;
+    if (!parseJson(line, doc) || !doc.isObject())
+        return false;
+    const JsonValue *k = doc.find("key");
+    const JsonValue *result = doc.find("result");
+    if (!k || k->kind != JsonValue::Kind::String || !result)
+        return false;
+    RunResult parsed;
+    if (!resultFromJson(*result, parsed))
+        return false;
+    key = k->asString();
+    r = parsed;
+    return true;
+}
+
+SweepJournal::SweepJournal(const std::string &path, bool append)
+    : path_(path)
+{
+    file_ = std::fopen(path.c_str(), append ? "a" : "w");
+    if (!file_)
+        warn("cannot open sweep journal %s; continuing without one",
+             path.c_str());
+}
+
+SweepJournal::~SweepJournal()
+{
+    if (file_)
+        std::fclose(file_);
+}
+
+void
+SweepJournal::append(const std::string &key, const RunResult &result)
+{
+    if (!file_)
+        return;
+    const std::string line = journalLine(key, result) + "\n";
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::fwrite(line.data(), 1, line.size(), file_);
+    std::fflush(file_);
+}
+
+std::map<std::string, RunResult>
+SweepJournal::load(const std::string &path)
+{
+    std::map<std::string, RunResult> out;
+    std::ifstream in(path);
+    if (!in)
+        return out;
+    std::string line;
+    unsigned lineno = 0, bad = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        if (line.empty())
+            continue;
+        std::string key;
+        RunResult r;
+        if (parseJournalLine(line, key, r))
+            out[key] = r;
+        else
+            ++bad;
+    }
+    if (bad)
+        warn("%s: skipped %u unparseable journal line(s) of %u "
+             "(torn write from a killed run?)",
+             path.c_str(), bad, lineno);
+    return out;
+}
+
+} // namespace lazygpu

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Sweep journal: completed grid cells appended to a JSON-lines file.
+ *
+ * Each worker appends one self-contained line per finished cell (Ok or
+ * failed) under a mutex with a single O_APPEND-style write, so the
+ * journal is valid line-by-line even if the process dies mid-sweep.
+ * `--resume` replays it: cells recorded as Ok are restored without
+ * re-simulation (numeric fields round-trip exactly, so resumed BENCH
+ * artifacts are byte-identical to a clean run) and failed/missing cells
+ * are re-executed.
+ */
+
+#ifndef LAZYGPU_ANALYSIS_JOURNAL_HH
+#define LAZYGPU_ANALYSIS_JOURNAL_HH
+
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "analysis/harness.hh"
+
+namespace lazygpu
+{
+
+class SweepJournal
+{
+  public:
+    /**
+     * Open path for appending. With append=false any existing journal
+     * is truncated (a fresh sweep); with append=true (resume) new
+     * entries extend the old ones — on load, later entries win.
+     */
+    SweepJournal(const std::string &path, bool append);
+    ~SweepJournal();
+
+    SweepJournal(const SweepJournal &) = delete;
+    SweepJournal &operator=(const SweepJournal &) = delete;
+
+    bool ok() const { return file_ != nullptr; }
+    const std::string &path() const { return path_; }
+
+    /** Append one cell's outcome: one line, one write, flushed. */
+    void append(const std::string &key, const RunResult &result);
+
+    /**
+     * Parse a journal into key -> result (later entries override
+     * earlier ones). Unparseable lines — e.g. a torn final line from a
+     * killed run — are skipped with a warning; a missing file yields an
+     * empty map.
+     */
+    static std::map<std::string, RunResult>
+    load(const std::string &path);
+
+  private:
+    std::string path_;
+    std::FILE *file_ = nullptr;
+    std::mutex mutex_;
+};
+
+/** One journal line (no trailing newline); exposed for tests. */
+std::string journalLine(const std::string &key, const RunResult &r);
+
+/**
+ * Parse one journal line.
+ * @return false when the line is not a valid journal entry.
+ */
+bool parseJournalLine(const std::string &line, std::string &key,
+                      RunResult &r);
+
+} // namespace lazygpu
+
+#endif // LAZYGPU_ANALYSIS_JOURNAL_HH

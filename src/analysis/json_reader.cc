@@ -1,0 +1,252 @@
+#include "analysis/json_reader.hh"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "sim/logging.hh"
+
+namespace lazygpu
+{
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    for (const auto &[k, v] : members) {
+        if (k == key)
+            return &v;
+    }
+    return nullptr;
+}
+
+std::uint64_t
+JsonValue::asU64() const
+{
+    if (kind != Kind::Number)
+        return 0;
+    return std::strtoull(text.c_str(), nullptr, 10);
+}
+
+double
+JsonValue::asDouble() const
+{
+    if (kind != Kind::Number)
+        return 0.0;
+    return std::strtod(text.c_str(), nullptr);
+}
+
+namespace
+{
+
+struct Parser
+{
+    const char *p;
+    const char *end;
+    std::string err;
+
+    bool
+    fail(const std::string &what)
+    {
+        if (err.empty())
+            err = what;
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (p < end && (*p == ' ' || *p == '\t' || *p == '\n' ||
+                           *p == '\r'))
+            ++p;
+    }
+
+    bool
+    literal(const char *word, std::size_t len)
+    {
+        if (static_cast<std::size_t>(end - p) < len ||
+            std::string(p, len) != word)
+            return fail("bad literal");
+        p += len;
+        return true;
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        if (p >= end || *p != '"')
+            return fail("expected '\"'");
+        ++p;
+        while (p < end && *p != '"') {
+            char c = *p++;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (p >= end)
+                return fail("truncated escape");
+            const char esc = *p++;
+            switch (esc) {
+            case '"': out += '"'; break;
+            case '\\': out += '\\'; break;
+            case '/': out += '/'; break;
+            case 'n': out += '\n'; break;
+            case 't': out += '\t'; break;
+            case 'r': out += '\r'; break;
+            case 'b': out += '\b'; break;
+            case 'f': out += '\f'; break;
+            case 'u': {
+                if (end - p < 4)
+                    return fail("truncated \\u escape");
+                const std::string hex(p, 4);
+                p += 4;
+                char *stop = nullptr;
+                const unsigned long cp = std::strtoul(hex.c_str(), &stop,
+                                                      16);
+                if (stop != hex.c_str() + 4)
+                    return fail("bad \\u escape");
+                // Our writer only emits \u00XX for control bytes.
+                if (cp > 0x7f)
+                    return fail("unsupported non-ASCII \\u escape");
+                out += static_cast<char>(cp);
+                break;
+            }
+            default:
+                return fail("unknown escape");
+            }
+        }
+        if (p >= end)
+            return fail("unterminated string");
+        ++p; // closing quote
+        return true;
+    }
+
+    bool
+    parseNumber(JsonValue &out)
+    {
+        const char *start = p;
+        if (p < end && (*p == '-' || *p == '+'))
+            ++p;
+        bool digits = false;
+        while (p < end && (std::isdigit(static_cast<unsigned char>(*p)) ||
+                           *p == '.' || *p == 'e' || *p == 'E' ||
+                           *p == '+' || *p == '-')) {
+            digits = digits ||
+                     std::isdigit(static_cast<unsigned char>(*p));
+            ++p;
+        }
+        if (!digits)
+            return fail("bad number");
+        out.kind = JsonValue::Kind::Number;
+        out.text.assign(start, static_cast<std::size_t>(p - start));
+        return true;
+    }
+
+    bool
+    parseValue(JsonValue &out)
+    {
+        skipWs();
+        if (p >= end)
+            return fail("unexpected end of input");
+        switch (*p) {
+        case '{': {
+            ++p;
+            out.kind = JsonValue::Kind::Object;
+            skipWs();
+            if (p < end && *p == '}') {
+                ++p;
+                return true;
+            }
+            while (true) {
+                skipWs();
+                std::string key;
+                if (!parseString(key))
+                    return false;
+                skipWs();
+                if (p >= end || *p != ':')
+                    return fail("expected ':'");
+                ++p;
+                JsonValue v;
+                if (!parseValue(v))
+                    return false;
+                out.members.emplace_back(std::move(key), std::move(v));
+                skipWs();
+                if (p < end && *p == ',') {
+                    ++p;
+                    continue;
+                }
+                if (p < end && *p == '}') {
+                    ++p;
+                    return true;
+                }
+                return fail("expected ',' or '}'");
+            }
+        }
+        case '[': {
+            ++p;
+            out.kind = JsonValue::Kind::Array;
+            skipWs();
+            if (p < end && *p == ']') {
+                ++p;
+                return true;
+            }
+            while (true) {
+                JsonValue v;
+                if (!parseValue(v))
+                    return false;
+                out.elems.push_back(std::move(v));
+                skipWs();
+                if (p < end && *p == ',') {
+                    ++p;
+                    continue;
+                }
+                if (p < end && *p == ']') {
+                    ++p;
+                    return true;
+                }
+                return fail("expected ',' or ']'");
+            }
+        }
+        case '"':
+            out.kind = JsonValue::Kind::String;
+            return parseString(out.text);
+        case 't':
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = true;
+            return literal("true", 4);
+        case 'f':
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = false;
+            return literal("false", 5);
+        case 'n':
+            out.kind = JsonValue::Kind::Null;
+            return literal("null", 4);
+        default:
+            return parseNumber(out);
+        }
+    }
+};
+
+} // namespace
+
+bool
+parseJson(const std::string &text, JsonValue &out, std::string *err)
+{
+    Parser parser{text.data(), text.data() + text.size(), {}};
+    JsonValue v;
+    if (!parser.parseValue(v)) {
+        if (err)
+            *err = parser.err;
+        out = JsonValue{};
+        return false;
+    }
+    parser.skipWs();
+    if (parser.p != parser.end) {
+        if (err)
+            *err = "trailing characters after document";
+        out = JsonValue{};
+        return false;
+    }
+    out = std::move(v);
+    return true;
+}
+
+} // namespace lazygpu

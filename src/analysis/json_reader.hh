@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Minimal JSON parser for re-reading our own artifacts (the sweep
+ * journal's JSON-lines entries, crash reports in tests).
+ *
+ * Deliberately small: UTF-8 passthrough, \uXXXX escapes decoded only
+ * for the ASCII range our writer emits, numbers kept as their source
+ * text so integers round-trip exactly (cycle counts exceed a double's
+ * 53-bit mantissa) and doubles written with %.17g re-read bit-exact.
+ */
+
+#ifndef LAZYGPU_ANALYSIS_JSON_READER_HH
+#define LAZYGPU_ANALYSIS_JSON_READER_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace lazygpu
+{
+
+/** A parsed JSON value; object member order is preserved. */
+class JsonValue
+{
+  public:
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    std::string text;   //!< string value, or a number's source text
+    std::vector<JsonValue> elems;
+    std::vector<std::pair<std::string, JsonValue>> members;
+
+    bool isNull() const { return kind == Kind::Null; }
+    bool isObject() const { return kind == Kind::Object; }
+    bool isArray() const { return kind == Kind::Array; }
+
+    /** Object member by key, or nullptr. */
+    const JsonValue *find(const std::string &key) const;
+
+    /** Number as uint64 (0 for non-numbers). */
+    std::uint64_t asU64() const;
+    /** Number as double (0.0 for non-numbers). */
+    double asDouble() const;
+    /** String value ("" for non-strings). */
+    const std::string &asString() const { return text; }
+};
+
+/**
+ * Parse one JSON document from text.
+ *
+ * @return true on success; on failure *err (if non-null) describes the
+ *         first syntax error and out is left Null.
+ */
+bool parseJson(const std::string &text, JsonValue &out,
+               std::string *err = nullptr);
+
+} // namespace lazygpu
+
+#endif // LAZYGPU_ANALYSIS_JSON_READER_HH

@@ -34,6 +34,14 @@ Json::array()
     return j;
 }
 
+Json
+Json::exactNum(double v)
+{
+    Json j(v);
+    j.kind_ = Kind::NumExact;
+    return j;
+}
+
 Json &
 Json::set(const std::string &key, Json value)
 {
@@ -111,10 +119,13 @@ Json::write(std::string &out, unsigned indent, unsigned depth) const
         out += buf;
         break;
     case Kind::Num:
+    case Kind::NumExact:
         if (!std::isfinite(d_)) {
             out += "null";
         } else {
-            std::snprintf(buf, sizeof(buf), "%.10g", d_);
+            std::snprintf(buf, sizeof(buf),
+                          kind_ == Kind::NumExact ? "%.17g" : "%.10g",
+                          d_);
             out += buf;
         }
         break;
@@ -168,6 +179,7 @@ Json
 toJson(const RunResult &r)
 {
     Json j = Json::object();
+    j.set("status", toString(r.status));
     j.set("cycles", r.cycles)
         .set("txs_issued", r.txsIssued)
         .set("txs_elim_zero", r.txsElimZero)
@@ -181,7 +193,29 @@ toJson(const RunResult &r)
         .set("l2_hit_rate", r.l2HitRate())
         .set("avg_mem_latency", r.avgMemLatency)
         .set("alu_utilization", r.aluUtilization);
+    if (!r.error.empty())
+        j.set("error", r.error);
     return j;
+}
+
+bool
+writeFileAtomic(const std::string &path, const std::string &text)
+{
+    const std::string tmp = path + ".tmp";
+    std::FILE *f = std::fopen(tmp.c_str(), "w");
+    if (!f) {
+        warn("cannot write %s; skipping artifact", tmp.c_str());
+        return false;
+    }
+    const std::size_t written = std::fwrite(text.data(), 1, text.size(),
+                                            f);
+    const bool flushed = std::fclose(f) == 0 && written == text.size();
+    if (!flushed || std::rename(tmp.c_str(), path.c_str()) != 0) {
+        warn("cannot finalize %s; skipping artifact", path.c_str());
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
 }
 
 void
@@ -191,15 +225,7 @@ writeBenchJson(const std::string &bench, const Json &root)
     doc.set("bench", bench);
     doc.set("data", root);
 
-    const std::string path = "BENCH_" + bench + ".json";
-    std::FILE *f = std::fopen(path.c_str(), "w");
-    if (!f) {
-        warn("cannot write %s; skipping JSON artifact", path.c_str());
-        return;
-    }
-    const std::string text = doc.dump() + "\n";
-    std::fwrite(text.data(), 1, text.size(), f);
-    std::fclose(f);
+    writeFileAtomic("BENCH_" + bench + ".json", doc.dump() + "\n");
 }
 
 } // namespace lazygpu

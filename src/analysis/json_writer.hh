@@ -38,6 +38,14 @@ class Json
     static Json object();
     static Json array();
 
+    /**
+     * A double serialized with %.17g instead of the display-precision
+     * %.10g, so strtod() re-reads the exact bit pattern. Used by the
+     * sweep journal, whose values must survive a write/parse round trip
+     * byte-identically (--resume replays them into BENCH artifacts).
+     */
+    static Json exactNum(double v);
+
     /** Append/replace-nothing: keys are emitted in set() order. */
     Json &set(const std::string &key, Json value);
 
@@ -55,6 +63,7 @@ class Json
         Int,
         Uint,
         Num,
+        NumExact, //!< %.17g round-trippable double (journal entries)
         Str,
         Arr,
         Obj,
@@ -72,15 +81,29 @@ class Json
     std::vector<std::pair<std::string, Json>> members_;
 };
 
-/** The headline metrics of one run as a JSON object. */
+/**
+ * The headline metrics of one run as a JSON object. Leads with the
+ * run's status; an "error" member is appended only for failed cells,
+ * so healthy rows serialize byte-identically whether or not the sweep
+ * around them degraded.
+ */
 Json toJson(const RunResult &r);
 
 /**
  * Write root (plus a "bench" name field injected at the front) to
- * BENCH_<bench>.json in the current directory. Failures warn and
- * continue: JSON artifacts must never break a bench run.
+ * BENCH_<bench>.json in the current directory. The document is written
+ * to <path>.tmp and atomically rename()d into place, so a crash or
+ * watchdog kill mid-write can never leave a truncated artifact.
+ * Failures warn and continue: JSON artifacts must never break a bench
+ * run.
  */
 void writeBenchJson(const std::string &bench, const Json &root);
+
+/**
+ * Atomically write text to path (tmp file + rename).
+ * @return false (after warning) when the file cannot be written.
+ */
+bool writeFileAtomic(const std::string &path, const std::string &text);
 
 } // namespace lazygpu
 

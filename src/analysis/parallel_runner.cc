@@ -1,10 +1,16 @@
 #include "analysis/parallel_runner.hh"
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
+#include <filesystem>
 #include <thread>
 
+#include "analysis/journal.hh"
+#include "analysis/json_writer.hh"
+#include "sim/engine.hh"
 #include "sim/logging.hh"
+#include "sim/sim_error.hh"
 
 namespace lazygpu
 {
@@ -24,50 +30,365 @@ ParallelRunner::defaultJobs()
     return hw ? hw : 1;
 }
 
-ParallelRunner::ParallelRunner(unsigned jobs)
-    : jobs_(jobs ? jobs : defaultJobs())
+ParallelRunner::ParallelRunner(unsigned jobs, SweepOptions opts)
+    : jobs_(jobs ? jobs : defaultJobs()), opts_(std::move(opts))
 {
 }
 
-std::vector<RunResult>
-ParallelRunner::run(const std::vector<RunJob> &batch) const
+ParallelRunner::~ParallelRunner() = default;
+
+namespace
 {
-    std::vector<RunResult> results(batch.size());
 
-    auto runOne = [&](std::size_t i) {
-        Workload w = batch[i].make();
-        results[i] = runWorkload(batch[i].cfg, w, batch[i].verify);
-    };
+std::int64_t
+nowMs()
+{
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
 
-    const unsigned workers = static_cast<unsigned>(
-        std::min<std::size_t>(jobs_, batch.size()));
-    if (workers <= 1) {
-        for (std::size_t i = 0; i < batch.size(); ++i)
-            runOne(i);
-        return results;
+/**
+ * One worker thread's watchdog channel. The worker publishes "I started
+ * a job" by bumping epoch to an odd value (and resetting ctl) before the
+ * job, and back to even after; the monitor only cancels a slot whose
+ * epoch is odd and unchanged across its decision, so a cancel can never
+ * leak onto the slot's *next* job (the worker re-zeroes ctl.cancel at
+ * every job start regardless).
+ */
+struct WatchSlot
+{
+    ExecControl ctl;
+    std::atomic<std::uint64_t> epoch{0}; //!< odd = job in flight
+    std::atomic<std::int64_t> startMs{0};
+};
+
+RunStatus
+statusOf(SimError::Kind kind)
+{
+    switch (kind) {
+      case SimError::Kind::Panic:
+        return RunStatus::Panic;
+      case SimError::Kind::Fatal:
+        return RunStatus::Fatal;
+      case SimError::Kind::Timeout:
+        return RunStatus::Timeout;
+    }
+    return RunStatus::Panic;
+}
+
+/** Journal/crash-report keys become file names; keep them path-safe. */
+std::string
+sanitizeKey(const std::string &key)
+{
+    std::string out;
+    out.reserve(key.size());
+    for (char c : key) {
+        const bool safe = (c >= 'a' && c <= 'z') ||
+                          (c >= 'A' && c <= 'Z') ||
+                          (c >= '0' && c <= '9') || c == '-' ||
+                          c == '_' || c == '.';
+        out += safe ? c : '_';
+    }
+    return out;
+}
+
+Json
+configToJson(const GpuConfig &cfg)
+{
+    Json j = Json::object();
+    j.set("name", cfg.name)
+        .set("mode", toString(cfg.mode))
+        .set("num_cus", cfg.numCus())
+        .set("simd_per_cu", cfg.simdPerCu)
+        .set("l2_banks", cfg.l2Banks)
+        .set("l1_bytes", cfg.l1.size)
+        .set("l2_bytes", cfg.l2.size);
+    return j;
+}
+
+Json
+snapshotToJson(const EngineSnapshot &snap)
+{
+    Json j = Json::object();
+    j.set("valid", snap.valid);
+    if (!snap.valid)
+        return j;
+    j.set("cycle", static_cast<std::uint64_t>(snap.cycle))
+        .set("events_executed", snap.eventsExecuted)
+        .set("pending_events", snap.pendingEvents)
+        .set("active_clocked", snap.activeClocked);
+    Json activity = Json::array();
+    for (const auto &[tick, events] : snap.recentActivity) {
+        Json sample = Json::array();
+        sample.push(static_cast<std::uint64_t>(tick)).push(events);
+        activity.push(std::move(sample));
+    }
+    j.set("recent_activity", std::move(activity));
+    Json components = Json::array();
+    for (const std::string &line : snap.components)
+        components.push(line);
+    j.set("components", std::move(components));
+    return j;
+}
+
+/**
+ * Post-mortem for one failed cell: the error, the cell's identity and
+ * configuration, and the engine snapshot captured when the error was
+ * raised. Atomic write, so a dying sweep never leaves a torn report.
+ */
+void
+writeCrashReport(const SweepOptions &opts, const std::string &key,
+                 const RunJob &job, const SimError &err)
+{
+    if (opts.crashDir.empty())
+        return;
+    std::error_code ec;
+    std::filesystem::create_directories(opts.crashDir, ec);
+    if (ec) {
+        warn("cannot create %s: %s; skipping crash report",
+             opts.crashDir.c_str(), ec.message().c_str());
+        return;
     }
 
-    // Dynamic work stealing off a shared index: grid points vary wildly
-    // in cost (waves x sparsity), so static striping would leave threads
-    // idle. Each worker writes only results[i] for the indices it claims.
+    Json doc = Json::object();
+    doc.set("bench", opts.benchName)
+        .set("cell", key)
+        .set("kind", SimError::kindName(err.kind()))
+        .set("message", err.message())
+        .set("file", err.file())
+        .set("line", err.line())
+        .set("note", job.note)
+        .set("config", configToJson(job.cfg))
+        .set("snapshot", snapshotToJson(err.snapshot()));
+
+    const std::string prefix =
+        opts.benchName.empty() ? "cell" : opts.benchName;
+    const std::string path = opts.crashDir + "/" + prefix + "-" +
+                             sanitizeKey(key) + ".json";
+    if (writeFileAtomic(path, doc.dump() + "\n"))
+        inform("crash report written to %s", path.c_str());
+}
+
+/**
+ * The injected-livelock workload: a kernel that branches to itself
+ * forever. The engine keeps executing events (so the heartbeat
+ * advances), meaning only the wall-clock watchdog can end it — exactly
+ * the failure mode the CI smoke job exercises.
+ */
+Workload
+makeLivelockWorkload()
+{
+    KernelBuilder kb("injected-livelock");
+    kb.valu(Opcode::VMov, 0, Src::imm(1));
+    const int top = kb.label();
+    kb.place(top);
+    kb.branch(top);
+
+    Workload w;
+    w.name = "injected-livelock";
+    w.mem = std::make_unique<GlobalMemory>();
+    w.kernels.push_back(kb.build(1));
+    return w;
+}
+
+} // namespace
+
+SweepOutcome
+ParallelRunner::runSweep(const std::vector<RunJob> &batch)
+{
+    const std::uint64_t batch_id = batch_counter_++;
+    SweepOutcome out;
+    out.results.resize(batch.size());
+
+    fatal_if(!opts_.injectLivelockKey.empty() &&
+                 opts_.timeoutSec <= 0.0 && opts_.stallSec <= 0.0,
+             "--inject-livelock requires a watchdog (--timeout)");
+
+    std::vector<std::string> keys(batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        keys[i] = batch[i].key.empty()
+                      ? detail::formatString(
+                            "b%llu/cell-%04zu",
+                            static_cast<unsigned long long>(batch_id), i)
+                      : batch[i].key;
+    }
+
+    // The journal spans every batch of this runner's sweep: load it
+    // (resume) and open it once, at the first batch.
+    if (!opts_.journalPath.empty() && !journal_opened_) {
+        journal_opened_ = true;
+        if (opts_.resume)
+            restored_ = SweepJournal::load(opts_.journalPath);
+        journal_ = std::make_unique<SweepJournal>(opts_.journalPath,
+                                                  opts_.resume);
+    }
+
+    // Cells the journal recorded as Ok are replayed verbatim; failed or
+    // missing cells go back into the work list.
+    std::vector<std::size_t> todo;
+    todo.reserve(batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        const auto it = restored_.find(keys[i]);
+        if (it != restored_.end() && it->second.ok()) {
+            out.results[i] = it->second;
+            ++out.numRestored;
+        } else {
+            todo.push_back(i);
+        }
+    }
+
     std::atomic<std::size_t> next{0};
-    auto worker = [&]() {
-        while (true) {
-            const std::size_t i =
+    std::atomic<std::size_t> failed{0};
+    std::atomic<bool> stop{false};
+
+    const unsigned workers = static_cast<unsigned>(
+        std::max<std::size_t>(1, std::min<std::size_t>(jobs_,
+                                                       todo.size())));
+    std::vector<WatchSlot> slots(workers);
+
+    auto runOne = [&](WatchSlot &slot, std::size_t i) {
+        const RunJob &job = batch[i];
+        RunResult r;
+        try {
+            const RecoverableScope recoverable;
+            panic_if(!opts_.injectPanicKey.empty() &&
+                         keys[i] == opts_.injectPanicKey,
+                     "injected fault in cell %s", keys[i].c_str());
+            const bool livelock = !opts_.injectLivelockKey.empty() &&
+                                  keys[i] == opts_.injectLivelockKey;
+            Workload w = livelock ? makeLivelockWorkload() : job.make();
+            r = runWorkload(job.cfg, w, job.verify, &slot.ctl,
+                            job.limitCycles);
+        } catch (const SimError &e) {
+            r = RunResult{};
+            r.status = statusOf(e.kind());
+            r.error = detail::formatString("%s (%s:%d)",
+                                           e.message().c_str(),
+                                           e.file().c_str(), e.line());
+            failed.fetch_add(1, std::memory_order_relaxed);
+            if (!opts_.keepGoing)
+                stop.store(true, std::memory_order_relaxed);
+            warn("cell %s failed — %s", keys[i].c_str(), e.what());
+            writeCrashReport(opts_, keys[i], job, e);
+        }
+        out.results[i] = r;
+        if (journal_)
+            journal_->append(keys[i], r);
+    };
+
+    auto workerLoop = [&](unsigned t) {
+        WatchSlot &slot = slots[t];
+        while (!stop.load(std::memory_order_relaxed)) {
+            const std::size_t n =
                 next.fetch_add(1, std::memory_order_relaxed);
-            if (i >= batch.size())
+            if (n >= todo.size())
                 return;
-            runOne(i);
+            slot.ctl.cancel.store(0, std::memory_order_relaxed);
+            slot.ctl.heartbeat.store(0, std::memory_order_relaxed);
+            slot.startMs.store(nowMs(), std::memory_order_relaxed);
+            slot.epoch.fetch_add(1, std::memory_order_release); // -> odd
+            runOne(slot, todo[n]);
+            slot.epoch.fetch_add(1, std::memory_order_release); // -> even
         }
     };
 
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (unsigned t = 0; t < workers; ++t)
-        pool.emplace_back(worker);
-    for (std::thread &t : pool)
-        t.join();
-    return results;
+    // The watchdog. Polls every slot a few dozen times a second; a cell
+    // over its wall-clock budget, or whose engine heartbeat has not
+    // moved for stallSec, gets its cancel flag raised and unwinds as a
+    // Timeout at the engine's next control poll.
+    std::atomic<bool> monitor_stop{false};
+    std::thread monitor;
+    if (opts_.timeoutSec > 0.0 || opts_.stallSec > 0.0) {
+        monitor = std::thread([&]() {
+            const auto timeout_ms =
+                static_cast<std::int64_t>(opts_.timeoutSec * 1000.0);
+            const auto stall_ms =
+                static_cast<std::int64_t>(opts_.stallSec * 1000.0);
+            std::vector<std::uint64_t> seen_epoch(slots.size(), 0);
+            std::vector<std::uint64_t> last_beat(slots.size(), 0);
+            std::vector<std::int64_t> last_change(slots.size(), 0);
+            while (!monitor_stop.load(std::memory_order_acquire)) {
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(10));
+                const std::int64_t now = nowMs();
+                for (std::size_t t = 0; t < slots.size(); ++t) {
+                    WatchSlot &slot = slots[t];
+                    const std::uint64_t e =
+                        slot.epoch.load(std::memory_order_acquire);
+                    if ((e & 1) == 0)
+                        continue; // idle
+                    if (e != seen_epoch[t]) {
+                        seen_epoch[t] = e;
+                        last_beat[t] = slot.ctl.heartbeat.load(
+                            std::memory_order_relaxed);
+                        last_change[t] = now;
+                    }
+                    std::uint32_t cancel = 0;
+                    if (timeout_ms > 0 &&
+                        now - slot.startMs.load(
+                                  std::memory_order_relaxed) >=
+                            timeout_ms) {
+                        cancel = ExecControl::cancelWallClock;
+                    } else if (stall_ms > 0) {
+                        const std::uint64_t beat =
+                            slot.ctl.heartbeat.load(
+                                std::memory_order_relaxed);
+                        if (beat != last_beat[t]) {
+                            last_beat[t] = beat;
+                            last_change[t] = now;
+                        } else if (now - last_change[t] >= stall_ms) {
+                            cancel = ExecControl::cancelStalled;
+                        }
+                    }
+                    // Re-check the epoch so a decision made against a
+                    // finished job is dropped instead of cancelling the
+                    // slot's next one.
+                    if (cancel &&
+                        slot.epoch.load(std::memory_order_acquire) == e)
+                        slot.ctl.cancel.store(
+                            cancel, std::memory_order_relaxed);
+                }
+            }
+        });
+    }
+
+    if (workers <= 1) {
+        workerLoop(0);
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(workers);
+        for (unsigned t = 0; t < workers; ++t)
+            pool.emplace_back(workerLoop, t);
+        for (std::thread &t : pool)
+            t.join();
+    }
+
+    if (monitor.joinable()) {
+        monitor_stop.store(true, std::memory_order_release);
+        monitor.join();
+    }
+
+    out.numFailed = failed.load(std::memory_order_relaxed);
+    failures_ += out.numFailed;
+    return out;
+}
+
+std::vector<RunResult>
+ParallelRunner::run(const std::vector<RunJob> &batch)
+{
+    SweepOutcome out = runSweep(batch);
+    if (!out.allOk() && !opts_.keepGoing) {
+        // The historical fail-fast contract: callers of run() assume
+        // every returned result is valid, so a failed cell (already
+        // journaled and reported above) ends the process.
+        detail::message("error",
+                        detail::formatString(
+                            "sweep aborted: %zu cell(s) failed",
+                            out.numFailed));
+        std::exit(1);
+    }
+    return std::move(out.results);
 }
 
 } // namespace lazygpu

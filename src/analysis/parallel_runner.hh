@@ -1,7 +1,8 @@
 /**
  * @file
  * ParallelRunner: execute a grid of independent simulations across a
- * thread pool, preserving submission order.
+ * thread pool, preserving submission order — and survive the cells
+ * that fail.
  *
  * Every figure bench sweeps a (workload x mode x config) grid whose
  * points are embarrassingly parallel: each run builds a fresh Engine /
@@ -11,15 +12,29 @@
  * inputs), jobs carry a *factory* and each worker materialises its own
  * instance.
  *
+ * Fault isolation: workers run inside a RecoverableScope, so a panic()
+ * or fatal() in one grid cell becomes a SimError recorded in that
+ * cell's RunResult (status + error detail + crash report) instead of
+ * process death. A watchdog thread cancels cells that exceed a
+ * wall-clock budget or stop making engine progress (status Timeout).
+ * Completed cells are journaled to a JSON-lines file as they finish;
+ * `resume` restores the Ok cells from the journal and re-runs only the
+ * missing/failed ones.
+ *
  * Results are returned indexed by submission order regardless of thread
  * count, so tables and JSON artifacts are byte-identical between
- * --jobs 1 and --jobs N.
+ * --jobs 1 and --jobs N (and across clean / degraded / resumed runs for
+ * the healthy cells).
  */
 
 #ifndef LAZYGPU_ANALYSIS_PARALLEL_RUNNER_HH
 #define LAZYGPU_ANALYSIS_PARALLEL_RUNNER_HH
 
+#include <cstddef>
 #include <functional>
+#include <map>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "analysis/harness.hh"
@@ -27,12 +42,68 @@
 namespace lazygpu
 {
 
+class SweepJournal;
+
 /** One grid point: a configuration plus a fresh-workload factory. */
 struct RunJob
 {
     GpuConfig cfg;
     std::function<Workload()> make;
     bool verify = false;
+    /**
+     * Stable identity for the journal, crash reports and fault
+     * injection. Empty keys are auto-assigned "b<batch>/cell-<index>",
+     * which is stable because batches are submitted deterministically.
+     */
+    std::string key = {};
+    /** Free-form description (workload, seed) echoed in crash reports. */
+    std::string note = {};
+    /** Per-kernel livelock guard; 0 uses Gpu::run's default. */
+    Tick limitCycles = 0;
+};
+
+/** Fault-tolerance policy for a runner's sweeps. */
+struct SweepOptions
+{
+    /**
+     * false: the historical fail-fast contract — on the first failed
+     * cell the runner stops claiming new cells, finishes in-flight
+     * ones, journals, and run() terminates the process with exit 1.
+     * true: degrade gracefully — failed cells are recorded with their
+     * status and every healthy cell still produces its exact result.
+     */
+    bool keepGoing = false;
+    /** Wall-clock budget per cell in seconds; 0 disables. */
+    double timeoutSec = 0.0;
+    /**
+     * Cancel a cell whose engine heartbeat is frozen this long
+     * (seconds); 0 disables. Only catches stalls that re-enter the
+     * engine loop — a thread stuck outside the engine cannot observe
+     * the cancel flag and falls to timeoutSec.
+     */
+    double stallSec = 0.0;
+    /** JSON-lines journal of finished cells; empty disables. */
+    std::string journalPath;
+    /** Restore Ok cells from the journal instead of re-running them. */
+    bool resume = false;
+    /** Directory for per-cell crash reports; empty disables. */
+    std::string crashDir;
+    /** Bench name used to label crash reports. */
+    std::string benchName;
+    /** Fault injection (CI smoke): panic when this cell starts. */
+    std::string injectPanicKey;
+    /** Fault injection: replace this cell's workload with a spin loop. */
+    std::string injectLivelockKey;
+};
+
+/** What a sweep did, beyond the per-cell results. */
+struct SweepOutcome
+{
+    std::vector<RunResult> results; //!< submission-order, one per job
+    std::size_t numRestored = 0;    //!< Ok cells replayed from the journal
+    std::size_t numFailed = 0;      //!< cells with status != Ok
+
+    bool allOk() const { return numFailed == 0; }
 };
 
 class ParallelRunner
@@ -41,23 +112,43 @@ class ParallelRunner
     /**
      * @param jobs worker threads; 0 resolves via defaultJobs()
      *        (LAZYGPU_JOBS env var, else hardware concurrency).
+     * @param opts fault-tolerance policy applied to every sweep this
+     *        runner executes.
      */
-    explicit ParallelRunner(unsigned jobs = 0);
+    explicit ParallelRunner(unsigned jobs = 0, SweepOptions opts = {});
+    ~ParallelRunner();
 
     unsigned jobs() const { return jobs_; }
+    const SweepOptions &options() const { return opts_; }
 
     /**
      * Run every job and return its RunResult at the job's submission
-     * index. With one worker (or one job) everything runs inline on the
-     * calling thread.
+     * index. Without keepGoing, a failed cell terminates the process
+     * (exit 1) after journaling, so callers may assume every returned
+     * result is Ok; with keepGoing, failed cells come back with their
+     * status set and zeroed metrics.
      */
-    std::vector<RunResult> run(const std::vector<RunJob> &batch) const;
+    std::vector<RunResult> run(const std::vector<RunJob> &batch);
+
+    /** Run a sweep and report restored/failed counts alongside. */
+    SweepOutcome runSweep(const std::vector<RunJob> &batch);
+
+    /** Failed cells accumulated across every sweep of this runner. */
+    std::size_t failures() const { return failures_; }
+    /** 1 when any cell of any sweep failed, else 0 (bench exit code). */
+    int exitCode() const { return failures_ ? 1 : 0; }
 
     /** LAZYGPU_JOBS env var if set, else std::thread::hardware_concurrency. */
     static unsigned defaultJobs();
 
   private:
     unsigned jobs_;
+    SweepOptions opts_;
+    std::unique_ptr<SweepJournal> journal_;
+    std::map<std::string, RunResult> restored_;
+    bool journal_opened_ = false;
+    std::size_t failures_ = 0;
+    std::uint64_t batch_counter_ = 0;
 };
 
 } // namespace lazygpu

@@ -5,20 +5,25 @@ namespace lazygpu
 
 ResnetOutcome
 runResnet(const Resnet18 &net, const GpuConfig &cfg, bool training,
-          bool verify, const ParallelRunner *runner)
+          bool verify, ParallelRunner *runner, const std::string &tag)
 {
     std::vector<RunJob> jobs;
     jobs.reserve(net.specs().size());
     for (unsigned idx = 0; idx < net.specs().size(); ++idx) {
-        jobs.push_back(RunJob{
-            cfg,
-            [&net, idx, training]() {
-                return net.layerWorkload(idx, training);
-            },
-            verify});
+        RunJob job{cfg,
+                   [&net, idx, training]() {
+                       return net.layerWorkload(idx, training);
+                   },
+                   verify};
+        if (!tag.empty()) {
+            job.key = tag + "/layer-" + std::to_string(idx);
+            job.note = net.specs()[idx].name +
+                       (training ? " (training)" : " (inference)");
+        }
+        jobs.push_back(std::move(job));
     }
 
-    const ParallelRunner serial(1);
+    ParallelRunner serial(1);
     std::vector<RunResult> layers =
         (runner ? *runner : serial).run(jobs);
 

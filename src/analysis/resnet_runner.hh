@@ -31,11 +31,16 @@ struct ResnetOutcome
  *
  * @param training add the dW/dX GEMMs per conv layer.
  * @param verify   functionally check each layer (slower).
- * @param runner   spread layers over this pool; nullptr runs serially.
+ * @param runner   spread layers over this pool (and inherit its
+ *                 fault-tolerance policy); nullptr runs serially.
+ * @param tag      cell-key prefix ("<tag>/layer-<idx>") so journal and
+ *                 crash-report entries name the layer; empty keeps the
+ *                 runner's auto-assigned batch keys.
  */
 ResnetOutcome runResnet(const Resnet18 &net, const GpuConfig &cfg,
                         bool training, bool verify = false,
-                        const ParallelRunner *runner = nullptr);
+                        ParallelRunner *runner = nullptr,
+                        const std::string &tag = "");
 
 } // namespace lazygpu
 

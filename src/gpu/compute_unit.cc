@@ -98,6 +98,43 @@ ComputeUnit::quiescent() const
     return ready_waves_ == 0;
 }
 
+namespace
+{
+
+const char *
+waveStatusName(WaveStatus s)
+{
+    switch (s) {
+    case WaveStatus::Ready: return "Ready";
+    case WaveStatus::Waiting: return "Waiting";
+    case WaveStatus::Done: return "Done";
+    }
+    return "?";
+}
+
+} // namespace
+
+void
+ComputeUnit::describeInto(std::vector<std::string> &out) const
+{
+    if (waves_.empty())
+        return;
+    out.push_back(detail::formatString(
+        "cu %u: %u resident waves (max %u), %u ready", cu_id_,
+        residentWaves(), max_waves_, ready_waves_));
+    for (const auto &w : waves_) {
+        unsigned busy_regs = 0;
+        for (unsigned r = 0; r < w->kernel().numVregs; ++r)
+            busy_regs += w->anyNotReady(r) ? 1 : 0;
+        out.push_back(detail::formatString(
+            "cu %u wave %u simd %u: pc %u status %s, %zu pending "
+            "loads, %u busy vregs, %u txs + %u masks outstanding",
+            cu_id_, w->wid(), w->simdId, w->pc,
+            waveStatusName(w->status), w->pendings().size(), busy_regs,
+            w->outstanding_txs_, w->outstanding_masks_));
+    }
+}
+
 void
 ComputeUnit::setStatus(Wavefront &wave, WaveStatus s)
 {

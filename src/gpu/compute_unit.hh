@@ -79,6 +79,14 @@ class ComputeUnit : public Clocked
     void tick() override;
     bool quiescent() const override;
 
+    /**
+     * Append one state-dump line per resident wavefront (plus a CU
+     * summary line) for crash snapshots, in the src/verif dump
+     * vocabulary: wave/lane/pending-load/outstanding-tx terms. Pure
+     * reads; safe to call from any pipeline state.
+     */
+    void describeInto(std::vector<std::string> &out) const;
+
   private:
     // --- Scheduling ------------------------------------------------------
     Wavefront *pickWave(unsigned simd);

@@ -67,6 +67,7 @@ Gpu::run(const Kernel &kernel, Tick limit_cycles)
 
     KernelResult res;
     res.startTick = engine_.now();
+    const SnapshotSourceScope snapshot_scope(this);
     res.endTick = engine_.run(res.startTick + limit_cycles);
     res.cycles = res.endTick - res.startTick;
     current_ = nullptr;
@@ -82,6 +83,21 @@ Gpu::run(const Kernel &kernel, Tick limit_cycles)
                  kernel.name.c_str());
     }
     return res;
+}
+
+EngineSnapshot
+Gpu::captureSnapshot() const
+{
+    EngineSnapshot snap;
+    snap.valid = true;
+    snap.cycle = engine_.now();
+    snap.eventsExecuted = engine_.eventsExecuted();
+    snap.pendingEvents = engine_.numPendingEvents();
+    snap.activeClocked = engine_.activeClocked();
+    snap.recentActivity = engine_.recentActivity();
+    for (const auto &cu : cus_)
+        cu->describeInto(snap.components);
+    return snap;
 }
 
 std::uint64_t

@@ -20,6 +20,7 @@
 #include "mem/memory.hh"
 #include "sim/config.hh"
 #include "sim/engine.hh"
+#include "sim/sim_error.hh"
 #include "sim/stats.hh"
 
 namespace lazygpu
@@ -33,7 +34,7 @@ struct KernelResult
     Tick endTick = 0;
 };
 
-class Gpu
+class Gpu : public SnapshotSource
 {
   public:
     Gpu(const GpuConfig &cfg, GlobalMemory &mem);
@@ -41,10 +42,17 @@ class Gpu
     /**
      * Execute a kernel to completion (blocking).
      *
+     * While the kernel runs, this Gpu is the calling thread's
+     * SnapshotSource: a recoverable panic/fatal raised anywhere below
+     * carries a snapshot of this device in its SimError.
+     *
      * @param limit_cycles panic guard against livelocked kernels.
      */
     KernelResult run(const Kernel &kernel,
                      Tick limit_cycles = 4'000'000'000ull);
+
+    /** Engine counters plus per-CU wavefront states (crash forensics). */
+    EngineSnapshot captureSnapshot() const override;
 
     /** Install a verification retire observer on every compute unit. */
     void setRetireObserver(ComputeUnit::RetireObserver obs);

@@ -2,6 +2,8 @@
 
 #include <bit>
 
+#include "sim/sim_error.hh"
+
 namespace lazygpu
 {
 
@@ -120,10 +122,50 @@ Engine::drainEventsAtNow()
     occupied_[b >> 6] &= ~(std::uint64_t(1) << (b & 63));
 }
 
+void
+Engine::pollControl()
+{
+    const std::uint64_t beat = now_ + events_executed_;
+    ctl_->heartbeat.store(beat, std::memory_order_relaxed);
+    trace_[trace_count_++ % recentTraceSize] = {now_, events_executed_};
+    const std::uint32_t cancel =
+        ctl_->cancel.load(std::memory_order_relaxed);
+    if (cancel) {
+        throwSimError(
+            SimError::Kind::Timeout, __FILE__, __LINE__,
+            detail::formatString(
+                "watchdog cancelled the run at cycle %llu (%s)",
+                static_cast<unsigned long long>(now_),
+                cancel == ExecControl::cancelStalled
+                    ? "no forward progress"
+                    : "wall-clock timeout exceeded"));
+    }
+}
+
+std::vector<std::pair<Tick, std::uint64_t>>
+Engine::recentActivity() const
+{
+    std::vector<std::pair<Tick, std::uint64_t>> out;
+    const std::uint64_t n =
+        trace_count_ < recentTraceSize ? trace_count_ : recentTraceSize;
+    out.reserve(n);
+    for (std::uint64_t i = trace_count_ - n; i < trace_count_; ++i)
+        out.push_back(trace_[i % recentTraceSize]);
+    return out;
+}
+
 Tick
 Engine::run(Tick limit)
 {
     while (true) {
+        // Watchdog poll, amortised far off the event hot path: one
+        // predictable branch per loop iteration when no channel is
+        // attached, one decrement-and-test otherwise.
+        if (ctl_ && --poll_countdown_ == 0) {
+            poll_countdown_ = pollInterval;
+            pollControl();
+        }
+
         drainEventsAtNow();
 
         if (active_clocked_ == 0) {
@@ -194,6 +236,8 @@ Engine::reset()
     // engine (and their activity notifications would corrupt the count).
     clocked_.clear();
     active_clocked_ = 0;
+    poll_countdown_ = pollInterval;
+    trace_count_ = 0;
 }
 
 } // namespace lazygpu

@@ -25,6 +25,7 @@
 #define LAZYGPU_SIM_ENGINE_HH
 
 #include <array>
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -39,6 +40,25 @@
 
 namespace lazygpu
 {
+
+/**
+ * Watchdog channel between a simulation thread and its monitor.
+ *
+ * The engine periodically (every few thousand scheduler iterations, off
+ * the per-event hot path) publishes a forward-progress heartbeat and
+ * polls the cancel flag; a monitor thread that sets cancel causes the
+ * engine to abandon the run by throwing a SimError of kind Timeout.
+ */
+struct ExecControl
+{
+    /** Monotone progress marker: simulated tick + events executed. */
+    std::atomic<std::uint64_t> heartbeat{0};
+    /** 0 = run; cancelWallClock/cancelStalled = abandon the run. */
+    std::atomic<std::uint32_t> cancel{0};
+
+    static constexpr std::uint32_t cancelWallClock = 1;
+    static constexpr std::uint32_t cancelStalled = 2;
+};
 
 /**
  * A component driven once per core clock cycle.
@@ -173,6 +193,23 @@ class Engine
     void reset();
 
     bool hasPendingEvents() const { return num_events_ != 0; }
+    std::size_t numPendingEvents() const { return num_events_; }
+
+    /**
+     * Attach (or detach, with nullptr) a watchdog channel. The engine
+     * polls it every pollInterval scheduler iterations: it publishes
+     * now() + eventsExecuted() as the heartbeat, records the sample in
+     * the recent-activity ring, and throws a SimError(Timeout) when the
+     * cancel flag is set. The channel must outlive the run.
+     */
+    void attachControl(ExecControl *ctl) { ctl_ = ctl; }
+
+    /**
+     * The last recentTraceSize heartbeat samples (tick, eventsExecuted),
+     * oldest first — the forward-progress trajectory embedded in crash
+     * snapshots. Only populated while a control channel is attached.
+     */
+    std::vector<std::pair<Tick, std::uint64_t>> recentActivity() const;
 
     // --- Instrumentation (perf tracking and allocation tests) -----------
     /** Total events executed since construction/reset. */
@@ -186,6 +223,11 @@ class Engine
 
     /** Inline payload capacity of one pooled event record, in bytes. */
     static constexpr std::size_t inlineEventBytes = 64;
+
+    /** Scheduler iterations between watchdog polls (power of two). */
+    static constexpr unsigned pollInterval = 1024;
+    /** Heartbeat samples retained for crash snapshots. */
+    static constexpr unsigned recentTraceSize = 16;
 
   private:
     struct EventRecord
@@ -289,6 +331,9 @@ class Engine
     /** Run every event scheduled at the current tick. */
     void drainEventsAtNow();
 
+    /** Publish heartbeat, record the trace sample, honour cancel. */
+    void pollControl();
+
     /** Destroy every pending event's payload and recycle its record. */
     void clearEvents();
 
@@ -311,6 +356,14 @@ class Engine
 
     std::uint64_t events_executed_ = 0;
     std::uint64_t oversized_events_ = 0;
+
+    // Watchdog channel (nullptr outside sweep workers). The poll
+    // counter and trace ring live off the event hot path: run() only
+    // touches them once per pollInterval loop iterations.
+    ExecControl *ctl_ = nullptr;
+    unsigned poll_countdown_ = pollInterval;
+    std::array<std::pair<Tick, std::uint64_t>, recentTraceSize> trace_{};
+    std::uint64_t trace_count_ = 0;
 };
 
 } // namespace lazygpu

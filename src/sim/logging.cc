@@ -2,12 +2,42 @@
 
 #include <cstdarg>
 #include <cstdio>
+#include <cstring>
+#include <mutex>
 #include <vector>
+
+#include "sim/sim_error.hh"
 
 namespace lazygpu
 {
 namespace detail
 {
+
+namespace
+{
+
+/**
+ * Serialises every diagnostic emission. Each message is formatted into
+ * one buffer and written with a single fwrite under this lock, so
+ * concurrent failures from ParallelRunner workers cannot interleave
+ * their lines.
+ */
+std::mutex &
+ioMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+void
+emit(const std::string &text)
+{
+    std::lock_guard<std::mutex> lock(ioMutex());
+    std::fwrite(text.data(), 1, text.size(), stderr);
+    std::fflush(stderr);
+}
+
+} // namespace
 
 std::string
 formatString(const char *fmt, ...)
@@ -32,8 +62,15 @@ void
 terminateWith(const char *kind, const std::string &msg, const char *file,
               int line, bool abort_run)
 {
-    std::fprintf(stderr, "%s: %s (%s:%d)\n", kind, msg.c_str(), file, line);
-    std::fflush(stderr);
+    // Inside a recoverable scope (a sweep worker) the error becomes an
+    // exception instead of process death; the harness reports it and
+    // the remaining grid cells survive.
+    if (recoverableErrorsArmed()) {
+        throwSimError(abort_run ? SimError::Kind::Panic
+                                : SimError::Kind::Fatal,
+                      file, line, msg);
+    }
+    emit(formatString("%s: %s (%s:%d)\n", kind, msg.c_str(), file, line));
     if (abort_run)
         std::abort();
     std::exit(1);
@@ -42,7 +79,7 @@ terminateWith(const char *kind, const std::string &msg, const char *file,
 void
 message(const char *kind, const std::string &msg)
 {
-    std::fprintf(stderr, "%s: %s\n", kind, msg.c_str());
+    emit(formatString("%s: %s\n", kind, msg.c_str()));
 }
 
 } // namespace detail

@@ -1,0 +1,102 @@
+#include "sim/sim_error.hh"
+
+#include "sim/logging.hh"
+
+namespace lazygpu
+{
+
+namespace
+{
+
+thread_local bool tls_armed = false;
+thread_local const SnapshotSource *tls_snapshot_source = nullptr;
+
+} // namespace
+
+std::string
+EngineSnapshot::describe() const
+{
+    if (!valid)
+        return "  (no engine snapshot: error raised outside a "
+               "simulation run)\n";
+    std::string out = detail::formatString(
+        "  cycle %llu, %llu events executed, %llu pending, "
+        "%u active clocked components\n",
+        static_cast<unsigned long long>(cycle),
+        static_cast<unsigned long long>(eventsExecuted),
+        static_cast<unsigned long long>(pendingEvents), activeClocked);
+    if (!recentActivity.empty()) {
+        out += "  recent activity (tick/events):";
+        for (const auto &[tick, events] : recentActivity) {
+            out += detail::formatString(
+                " %llu/%llu", static_cast<unsigned long long>(tick),
+                static_cast<unsigned long long>(events));
+        }
+        out += '\n';
+    }
+    for (const std::string &line : components)
+        out += "  " + line + "\n";
+    return out;
+}
+
+SimError::SimError(Kind kind, std::string message, const char *file,
+                   int line, EngineSnapshot snapshot)
+    : kind_(kind), message_(std::move(message)), file_(file), line_(line),
+      snapshot_(std::move(snapshot))
+{
+    what_ = detail::formatString("%s: %s (%s:%d)", kindName(kind_),
+                                 message_.c_str(), file_.c_str(), line_);
+}
+
+const char *
+SimError::kindName(Kind kind)
+{
+    switch (kind) {
+    case Kind::Panic: return "panic";
+    case Kind::Fatal: return "fatal";
+    case Kind::Timeout: return "timeout";
+    }
+    return "unknown";
+}
+
+RecoverableScope::RecoverableScope() : prev_(tls_armed)
+{
+    tls_armed = true;
+}
+
+RecoverableScope::~RecoverableScope() { tls_armed = prev_; }
+
+bool
+recoverableErrorsArmed()
+{
+    return tls_armed;
+}
+
+SnapshotSourceScope::SnapshotSourceScope(const SnapshotSource *src)
+    : prev_(tls_snapshot_source)
+{
+    tls_snapshot_source = src;
+}
+
+SnapshotSourceScope::~SnapshotSourceScope()
+{
+    tls_snapshot_source = prev_;
+}
+
+EngineSnapshot
+captureCurrentSnapshot()
+{
+    if (!tls_snapshot_source)
+        return {};
+    return tls_snapshot_source->captureSnapshot();
+}
+
+void
+throwSimError(SimError::Kind kind, const char *file, int line,
+              std::string message)
+{
+    throw SimError(kind, std::move(message), file, line,
+                   captureCurrentSnapshot());
+}
+
+} // namespace lazygpu

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Recoverable simulation errors.
+ *
+ * panic()/fatal() normally terminate the process — the right behaviour
+ * for standalone tools, where a corrupted simulation must not limp on.
+ * Sweep harnesses (the ParallelRunner workers) instead arm a thread-local
+ * *recoverable scope*: inside it, terminateWith() throws a SimError
+ * carrying the error's kind, provenance and a best-effort snapshot of the
+ * engine at the moment of failure, so one bad grid cell can be reported
+ * and the rest of the sweep can continue.
+ *
+ * The snapshot is provided by whichever component registered itself as
+ * the thread's SnapshotSource (the Gpu, for the duration of Gpu::run).
+ * After a SimError is thrown, the simulation objects it unwound through
+ * (Gpu, Engine, Workload) are in an unspecified state and must only be
+ * destroyed — the snapshot inside the error is the sole state that is
+ * safe to inspect (see DESIGN.md §10).
+ */
+
+#ifndef LAZYGPU_SIM_SIM_ERROR_HH
+#define LAZYGPU_SIM_SIM_ERROR_HH
+
+#include <exception>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace lazygpu
+{
+
+/**
+ * What the engine looked like when a recoverable error was raised.
+ *
+ * Captured without touching simulation state (pure reads), so capture
+ * itself cannot fail even from a corrupted pipeline. `components` holds
+ * one formatted line per interesting sub-state (per-CU wavefront states,
+ * pending loads, outstanding transactions) in the same vocabulary the
+ * src/verif state dumps use.
+ */
+struct EngineSnapshot
+{
+    bool valid = false; //!< false when no SnapshotSource was installed
+    Tick cycle = 0;
+    std::uint64_t eventsExecuted = 0;
+    std::uint64_t pendingEvents = 0;
+    unsigned activeClocked = 0;
+    /**
+     * Recent (tick, eventsExecuted) heartbeat samples, oldest first:
+     * the engine's forward-progress trajectory leading up to the error.
+     */
+    std::vector<std::pair<Tick, std::uint64_t>> recentActivity;
+    /** One line per CU/wavefront state dump entry. */
+    std::vector<std::string> components;
+
+    /** Multi-line human-readable rendering (crash reports, logs). */
+    std::string describe() const;
+};
+
+/** A panic()/fatal()/watchdog failure caught inside a recoverable scope. */
+class SimError : public std::exception
+{
+  public:
+    enum class Kind
+    {
+        Panic,   //!< internal invariant violated (simulator bug)
+        Fatal,   //!< user-level error (bad config / impossible workload)
+        Timeout, //!< cancelled by a watchdog (wall clock or no progress)
+    };
+
+    SimError(Kind kind, std::string message, const char *file, int line,
+             EngineSnapshot snapshot);
+
+    const char *what() const noexcept override { return what_.c_str(); }
+
+    Kind kind() const { return kind_; }
+    const std::string &message() const { return message_; }
+    const std::string &file() const { return file_; }
+    int line() const { return line_; }
+    const EngineSnapshot &snapshot() const { return snapshot_; }
+
+    /** "panic" / "fatal" / "timeout". */
+    static const char *kindName(Kind kind);
+
+  private:
+    Kind kind_;
+    std::string message_;
+    std::string file_;
+    int line_;
+    EngineSnapshot snapshot_;
+    std::string what_; //!< "kind: message (file:line)"
+};
+
+/**
+ * Arm recoverable errors on this thread for the scope's lifetime.
+ * Nestable; the previous arming state is restored on destruction.
+ */
+class RecoverableScope
+{
+  public:
+    RecoverableScope();
+    ~RecoverableScope();
+
+    RecoverableScope(const RecoverableScope &) = delete;
+    RecoverableScope &operator=(const RecoverableScope &) = delete;
+
+  private:
+    bool prev_;
+};
+
+/** True when the calling thread is inside a RecoverableScope. */
+bool recoverableErrorsArmed();
+
+/** Something that can describe the running simulation (the Gpu). */
+class SnapshotSource
+{
+  public:
+    virtual ~SnapshotSource() = default;
+    virtual EngineSnapshot captureSnapshot() const = 0;
+};
+
+/**
+ * Install src as the calling thread's snapshot source for the scope's
+ * lifetime (the previous source is restored on destruction).
+ */
+class SnapshotSourceScope
+{
+  public:
+    explicit SnapshotSourceScope(const SnapshotSource *src);
+    ~SnapshotSourceScope();
+
+    SnapshotSourceScope(const SnapshotSourceScope &) = delete;
+    SnapshotSourceScope &operator=(const SnapshotSourceScope &) = delete;
+
+  private:
+    const SnapshotSource *prev_;
+};
+
+/** Snapshot from the thread's installed source; invalid if none. */
+EngineSnapshot captureCurrentSnapshot();
+
+/**
+ * Capture the current snapshot and throw. Used by terminateWith() when a
+ * recoverable scope is armed, and by the engine's watchdog cancel path.
+ */
+[[noreturn]] void throwSimError(SimError::Kind kind, const char *file,
+                                int line, std::string message);
+
+} // namespace lazygpu
+
+#endif // LAZYGPU_SIM_SIM_ERROR_HH

@@ -1,0 +1,342 @@
+/**
+ * @file
+ * Tests for the sweep fault-tolerance stack: recoverable panic/fatal
+ * (SimError + RecoverableScope), the per-job watchdog, the JSON-lines
+ * sweep journal with --resume, and crash reports. Death tests confirm
+ * the flip side: outside a recoverable scope, panic()/fatal() still
+ * terminate the process the way the standalone tools rely on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "analysis/journal.hh"
+#include "analysis/parallel_runner.hh"
+#include "isa/kernel.hh"
+#include "sim/logging.hh"
+#include "sim/sim_error.hh"
+#include "workloads/suite.hh"
+
+namespace lazygpu
+{
+namespace
+{
+
+/** Field-by-field equality, with the mismatching field in the message. */
+::testing::AssertionResult
+sameResult(const RunResult &a, const RunResult &b)
+{
+#define LAZYGPU_CMP(field)                                                  \
+    if (a.field != b.field)                                                 \
+        return ::testing::AssertionFailure()                                \
+               << #field << " differs: " << a.field << " vs " << b.field;
+    LAZYGPU_CMP(cycles)
+    LAZYGPU_CMP(txsIssued)
+    LAZYGPU_CMP(txsElimZero)
+    LAZYGPU_CMP(txsElimOtimes)
+    LAZYGPU_CMP(txsElimDead)
+    LAZYGPU_CMP(txsEagerFallback)
+    LAZYGPU_CMP(storeTxs)
+    LAZYGPU_CMP(storeTxsZeroSkipped)
+    LAZYGPU_CMP(l1Requests)
+    LAZYGPU_CMP(l2Requests)
+    LAZYGPU_CMP(dramRequests)
+    LAZYGPU_CMP(aluUtilization)
+    LAZYGPU_CMP(avgMemLatency)
+    LAZYGPU_CMP(l1Hits)
+    LAZYGPU_CMP(l1Misses)
+    LAZYGPU_CMP(l2Hits)
+    LAZYGPU_CMP(l2Misses)
+    LAZYGPU_CMP(zl1Hits)
+    LAZYGPU_CMP(zl1Misses)
+    LAZYGPU_CMP(zl2Hits)
+    LAZYGPU_CMP(zl2Misses)
+    LAZYGPU_CMP(verifyError)
+#undef LAZYGPU_CMP
+    return ::testing::AssertionSuccess();
+}
+
+GpuConfig
+tinyCfg()
+{
+    return GpuConfig::r9Nano().scaled(16);
+}
+
+/** Smallest healthy cell: a 4-wave MM on the 1/16-scale machine. */
+RunJob
+healthyJob(const std::string &key)
+{
+    WorkloadParams p;
+    p.scale = 64;
+    return RunJob{tinyCfg(), [p]() { return makeMM(p, 4); }, true, key};
+}
+
+/** A kernel that branches to itself: only a watchdog can end it. */
+Workload
+spinWorkload()
+{
+    KernelBuilder kb("spin");
+    kb.valu(Opcode::VMov, 0, Src::imm(1));
+    const int top = kb.label();
+    kb.place(top);
+    kb.branch(top);
+
+    Workload w;
+    w.name = "spin";
+    w.mem = std::make_unique<GlobalMemory>();
+    w.kernels.push_back(kb.build(1));
+    return w;
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+TEST(RecoverableScope, ArmedPanicThrowsSimError)
+{
+    const RecoverableScope scope;
+    try {
+        panic("armed probe %d", 7);
+        FAIL() << "panic did not throw inside a RecoverableScope";
+    } catch (const SimError &e) {
+        EXPECT_EQ(SimError::Kind::Panic, e.kind());
+        EXPECT_NE(std::string::npos, e.message().find("armed probe 7"));
+        EXPECT_NE(std::string::npos,
+                  e.file().find("test_fault_tolerance"));
+        EXPECT_GT(e.line(), 0);
+        // No SnapshotSource installed on this thread.
+        EXPECT_FALSE(e.snapshot().valid);
+    }
+}
+
+TEST(RecoverableScope, ArmedFatalThrowsSimError)
+{
+    const RecoverableScope scope;
+    try {
+        fatal("armed fatal probe");
+        FAIL() << "fatal did not throw inside a RecoverableScope";
+    } catch (const SimError &e) {
+        EXPECT_EQ(SimError::Kind::Fatal, e.kind());
+        EXPECT_STREQ("fatal", SimError::kindName(e.kind()));
+    }
+}
+
+TEST(RecoverableScope, DisarmsOnScopeExit)
+{
+    EXPECT_FALSE(recoverableErrorsArmed());
+    {
+        const RecoverableScope outer;
+        EXPECT_TRUE(recoverableErrorsArmed());
+        {
+            const RecoverableScope inner;
+            EXPECT_TRUE(recoverableErrorsArmed());
+        }
+        EXPECT_TRUE(recoverableErrorsArmed());
+    }
+    EXPECT_FALSE(recoverableErrorsArmed());
+}
+
+TEST(RecoverableScopeDeath, UnarmedPanicStillAborts)
+{
+    EXPECT_DEATH(panic("unarmed panic probe"), "unarmed panic probe");
+}
+
+TEST(RecoverableScopeDeath, UnarmedFatalStillExits)
+{
+    EXPECT_EXIT(fatal("unarmed fatal probe"),
+                ::testing::ExitedWithCode(1), "unarmed fatal probe");
+}
+
+TEST(SweepJournalTest, LinesRoundTripExactly)
+{
+    RunResult r;
+    r.cycles = 123456789;
+    r.txsIssued = (1ull << 60) + 7; // exceeds double's 2^53 exactness
+    r.aluUtilization = 0.12345678901234567;
+    r.avgMemLatency = 146.00000000000003;
+    r.verifyError = "line1\n\"quoted\"\tend";
+
+    const std::string key = "suite/FIR s=0.5";
+    const std::string line = journalLine(key, r);
+
+    std::string key2;
+    RunResult r2;
+    ASSERT_TRUE(parseJournalLine(line, key2, r2));
+    EXPECT_EQ(key, key2);
+    EXPECT_EQ(RunStatus::Ok, r2.status);
+    EXPECT_TRUE(sameResult(r, r2));
+    // Re-serialization is byte-identical — the property --resume needs
+    // to reproduce BENCH artifacts exactly.
+    EXPECT_EQ(line, journalLine(key2, r2));
+
+    EXPECT_FALSE(parseJournalLine("", key2, r2));
+    EXPECT_FALSE(parseJournalLine("{\"key\":\"torn", key2, r2));
+    EXPECT_FALSE(parseJournalLine("{\"key\":7,\"result\":{}}", key2, r2));
+}
+
+TEST(FaultTolerance, SweepIsolatesPanicFatalAndLivelock)
+{
+    const std::string journal = "ft_sweep_journal.jsonl";
+    const std::string crash_dir = "ft_sweep_crash";
+    std::remove(journal.c_str());
+    std::remove((crash_dir + "/ft-cell_panics.json").c_str());
+    std::remove((crash_dir + "/ft-cell_livelocks.json").c_str());
+
+    std::vector<RunJob> jobs;
+    jobs.push_back(healthyJob("cell/healthy-0"));
+    jobs.push_back(RunJob{tinyCfg(),
+                          []() -> Workload {
+                              panic("injected test panic");
+                          },
+                          false, "cell/panics"});
+    jobs.push_back(healthyJob("cell/healthy-1"));
+    jobs.push_back(RunJob{tinyCfg(),
+                          []() -> Workload {
+                              fatal("injected test fatal");
+                          },
+                          false, "cell/fatals"});
+    jobs.push_back(RunJob{tinyCfg(), []() { return spinWorkload(); },
+                          false, "cell/livelocks"});
+
+    SweepOptions opts;
+    opts.keepGoing = true;
+    opts.timeoutSec = 2.0;
+    opts.journalPath = journal;
+    opts.crashDir = crash_dir;
+    opts.benchName = "ft";
+    ParallelRunner runner(4, opts);
+    const SweepOutcome out = runner.runSweep(jobs);
+
+    ASSERT_EQ(5u, out.results.size());
+    EXPECT_EQ(3u, out.numFailed);
+    EXPECT_EQ(3u, runner.failures());
+    EXPECT_EQ(1, runner.exitCode());
+    EXPECT_FALSE(out.allOk());
+
+    EXPECT_EQ(RunStatus::Panic, out.results[1].status);
+    EXPECT_NE(std::string::npos,
+              out.results[1].error.find("injected test panic"));
+    EXPECT_EQ(RunStatus::Fatal, out.results[3].status);
+    EXPECT_NE(std::string::npos,
+              out.results[3].error.find("injected test fatal"));
+    EXPECT_EQ(RunStatus::Timeout, out.results[4].status);
+    EXPECT_NE(std::string::npos, out.results[4].error.find("watchdog"));
+    EXPECT_EQ(0u, out.results[4].cycles);
+
+    // The healthy cells are byte-identical to a clean fault-free run.
+    const std::vector<RunResult> ref =
+        ParallelRunner(1).run({healthyJob(""), healthyJob("")});
+    ASSERT_EQ(2u, ref.size());
+    EXPECT_EQ(RunStatus::Ok, out.results[0].status);
+    EXPECT_EQ(RunStatus::Ok, out.results[2].status);
+    EXPECT_TRUE(sameResult(ref[0], out.results[0]));
+    EXPECT_TRUE(sameResult(ref[1], out.results[2]));
+
+    // Every cell — including the failed ones — was journaled.
+    const auto entries = SweepJournal::load(journal);
+    ASSERT_EQ(5u, entries.size());
+    EXPECT_TRUE(entries.at("cell/healthy-0").ok());
+    EXPECT_TRUE(sameResult(entries.at("cell/healthy-1"),
+                           out.results[2]));
+    EXPECT_EQ(RunStatus::Panic, entries.at("cell/panics").status);
+    EXPECT_EQ(RunStatus::Timeout, entries.at("cell/livelocks").status);
+
+    // Crash reports exist and carry the error plus the forensic data.
+    const std::string panic_report =
+        slurp(crash_dir + "/ft-cell_panics.json");
+    EXPECT_NE(std::string::npos,
+              panic_report.find("injected test panic"));
+    EXPECT_NE(std::string::npos, panic_report.find("\"kind\": \"panic\""));
+
+    // The livelock died *inside* Gpu::run, so its report includes a
+    // valid engine snapshot with the heartbeat trajectory.
+    const std::string timeout_report =
+        slurp(crash_dir + "/ft-cell_livelocks.json");
+    EXPECT_NE(std::string::npos,
+              timeout_report.find("\"kind\": \"timeout\""));
+    EXPECT_NE(std::string::npos,
+              timeout_report.find("\"valid\": true"));
+    EXPECT_NE(std::string::npos,
+              timeout_report.find("\"recent_activity\""));
+}
+
+TEST(FaultTolerance, ResumeReplaysOkCellsAndRerunsFailed)
+{
+    const std::string journal = "ft_resume_journal.jsonl";
+    std::remove(journal.c_str());
+
+    SweepOptions opts;
+    opts.keepGoing = true;
+    opts.journalPath = journal;
+
+    RunResult first_a;
+    {
+        std::vector<RunJob> jobs;
+        jobs.push_back(healthyJob("cell/a"));
+        jobs.push_back(RunJob{tinyCfg(),
+                              []() -> Workload {
+                                  panic("first attempt fails");
+                              },
+                              false, "cell/b"});
+        ParallelRunner runner(2, opts);
+        const SweepOutcome out = runner.runSweep(jobs);
+        ASSERT_TRUE(out.results[0].ok());
+        ASSERT_EQ(RunStatus::Panic, out.results[1].status);
+        first_a = out.results[0];
+    }
+
+    // Resume: cell/a must be replayed from the journal (its factory is
+    // never invoked); cell/b — failed last time — is re-executed.
+    opts.resume = true;
+    std::atomic<unsigned> a_calls{0};
+    std::vector<RunJob> jobs;
+    WorkloadParams p;
+    p.scale = 64;
+    jobs.push_back(RunJob{tinyCfg(),
+                          [&a_calls, p]() {
+                              ++a_calls;
+                              return makeMM(p, 4);
+                          },
+                          true, "cell/a"});
+    jobs.push_back(healthyJob("cell/b"));
+    ParallelRunner runner(2, opts);
+    const SweepOutcome out = runner.runSweep(jobs);
+
+    EXPECT_EQ(1u, out.numRestored);
+    EXPECT_EQ(0u, out.numFailed);
+    EXPECT_EQ(0, runner.exitCode());
+    EXPECT_EQ(0u, a_calls.load());
+    EXPECT_TRUE(sameResult(first_a, out.results[0]));
+    EXPECT_TRUE(out.results[1].ok());
+
+    // The journal now records both cells as Ok (later entries win).
+    const auto entries = SweepJournal::load(journal);
+    EXPECT_TRUE(entries.at("cell/a").ok());
+    EXPECT_TRUE(entries.at("cell/b").ok());
+}
+
+TEST(FaultToleranceDeath, FailFastRunStillExitsNonzero)
+{
+    // Without --keep-going, run() keeps the historical contract: a
+    // failed cell ends the process after reporting and journaling.
+    std::vector<RunJob> jobs;
+    jobs.push_back(RunJob{tinyCfg(),
+                          []() -> Workload {
+                              panic("fail-fast probe");
+                          }});
+    EXPECT_EXIT(ParallelRunner(1).run(jobs),
+                ::testing::ExitedWithCode(1), "sweep aborted");
+}
+
+} // namespace
+} // namespace lazygpu
