@@ -76,6 +76,14 @@ parseBenchOptions(int argc, char **argv)
             opt.injectPanicKey = v;
         } else if (valueFor(i, a, "--inject-livelock", v)) {
             opt.injectLivelockKey = v;
+        } else if (a == "--progress") {
+            opt.progress = true;
+        } else if (a == "--report") {
+            opt.statsReport = true;
+        } else if (valueFor(i, a, "--trace", v)) {
+            opt.tracePath = v;
+        } else if (valueFor(i, a, "--trace-cell", v)) {
+            opt.traceCellKey = v;
         } else {
             opt.args.push_back(a);
         }
@@ -98,6 +106,10 @@ BenchOptions::sweepOptions(const std::string &bench) const
     s.benchName = bench;
     s.injectPanicKey = injectPanicKey;
     s.injectLivelockKey = injectLivelockKey;
+    s.progress = progress;
+    s.statsReport = statsReport;
+    s.tracePath = tracePath;
+    s.traceCellKey = traceCellKey;
     return s;
 }
 

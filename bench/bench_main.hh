@@ -21,6 +21,14 @@
  *   --inject-panic KEY / --inject-livelock KEY
  *                    fault injection for the CI smoke job: force the
  *                    named cell to panic / spin forever
+ *   --progress       periodic stderr line: cells done/total and an ETA
+ *   --report         print each cell's hierarchical stats report to
+ *                    stderr after it runs
+ *   --trace FILE     write one cell's binary timeline trace to FILE
+ *                    (convert with trace_export; tracing never changes
+ *                    simulated results)
+ *   --trace-cell KEY which cell --trace records (default: the first
+ *                    cell of the first sweep)
  *
  * Remaining arguments are returned positionally for bench-specific
  * knobs (`--quick`, wave counts, ...). Printed tables and JSON
@@ -52,6 +60,12 @@ struct BenchOptions
     std::string crashDir = "crash-reports";
     std::string injectPanicKey;
     std::string injectLivelockKey;
+
+    // Observability knobs (see file comment).
+    bool progress = false;
+    bool statsReport = false;
+    std::string tracePath;
+    std::string traceCellKey;
 
     /** Arguments other than the shared flags, in order. */
     std::vector<std::string> args;

@@ -9,10 +9,12 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <unordered_map>
 
 #include "bench/bench_main.hh"
 #include "bench/bench_util.hh"
 #include "gpu/gpu.hh"
+#include "obs/trace.hh"
 #include "workloads/suite.hh"
 
 using namespace lazygpu;
@@ -39,21 +41,47 @@ runTraced(ExecMode mode, unsigned waves)
                         ? GpuConfig::r9Nano()
                         : GpuConfig::lazyGpu(mode);
     cfg = cfg.scaled(4);
-    cfg.enableTraces = true;
+    cfg.enableTraces = true; // empty tracePath keeps records in memory
 
     Gpu gpu(cfg, *w.mem);
     Trace t;
     for (const Kernel &k : w.kernels)
         t.cycles += gpu.run(k).cycles;
-    t.latency = gpu.stats().series("trace.latency").points();
-    t.inflight = gpu.stats().series("trace.inflight").points();
+
+    // Rebuild the figure's two time series from the transaction spans:
+    // a TxBegin raises the device-wide in-flight count, a TxEnd samples
+    // the transaction's latency and lowers it. Records are in engine
+    // execution order, so the series come out in the same order the old
+    // ad-hoc instrumentation sampled them.
+    std::unordered_map<std::uint64_t, Tick> begin_tick;
+    double inflight = 0.0;
+    for (const TraceRecord &rec : gpu.trace()->records()) {
+        switch (static_cast<TraceKind>(rec.kind)) {
+        case TraceKind::TxBegin:
+            begin_tick.emplace(rec.id, rec.tick);
+            t.inflight.push_back({rec.tick, ++inflight});
+            break;
+        case TraceKind::TxEnd: {
+            const auto it = begin_tick.find(rec.id);
+            if (it != begin_tick.end()) {
+                t.latency.push_back(
+                    {rec.tick,
+                     static_cast<double>(rec.tick - it->second)});
+                begin_tick.erase(it);
+            }
+            t.inflight.push_back({rec.tick, --inflight});
+            break;
+        }
+        default:
+            break;
+        }
+    }
 
     const double simd_cycles = static_cast<double>(t.cycles) *
                                cfg.numCus() * cfg.simdPerCu;
-    t.alu_util =
-        static_cast<double>(
-            gpu.stats().counter("cu.simd_busy_cycles").value()) /
-        simd_cycles;
+    t.alu_util = static_cast<double>(gpu.stats().sumCounters(
+                     "gpu.", ".simd_busy_cycles")) /
+                 simd_cycles;
     return t;
 }
 

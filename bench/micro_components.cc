@@ -40,7 +40,7 @@ void
 BM_CacheAccess(benchmark::State &state)
 {
     Engine engine;
-    StatSet stats;
+    StatsRegistry stats;
     CacheParams params;
     params.size = 64 * 1024;
     params.latency = 1;

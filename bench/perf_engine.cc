@@ -209,6 +209,31 @@ main(int argc, char **argv)
     std::printf("  wall: %.2fs, %llu simulated cycles, %.0f cycles/s\n",
                 sweep_secs, static_cast<unsigned long long>(sim_cycles),
                 cycles_per_sec);
+
+    // Observability A/B: the same cell with the trace sink detached
+    // and attached. With tracing off every instrumentation site is one
+    // pointer test, so the two runs should be within measurement noise;
+    // the artifact records the ratio so a regression in the off path
+    // shows up in the history. (That the traced run's *results* are
+    // identical is pinned by test_obs.cc.)
+    std::printf("\nobs A/B (MM 1024 waves, LazyCore):\n");
+    auto obsCell = [](bool traces) {
+        WorkloadParams p;
+        p.scale = 16;
+        Workload w = makeMM(p, 1024);
+        GpuConfig cfg = GpuConfig::r9Nano().scaled(4);
+        cfg.mode = ExecMode::LazyCore;
+        cfg.enableTraces = traces; // empty tracePath: in-memory sink
+        const auto t0 = std::chrono::steady_clock::now();
+        runWorkload(cfg, w, false);
+        return secondsSince(t0);
+    };
+    const double obs_off_secs = obsCell(false);
+    const double obs_on_secs = obsCell(true);
+    std::printf("  tracing off %.2fs, on (in-memory) %.2fs, "
+                "on/off %.2fx\n",
+                obs_off_secs, obs_on_secs, obs_on_secs / obs_off_secs);
+
     std::printf("peak RSS: %llu KiB\n",
                 static_cast<unsigned long long>(peakRssKib()));
 
@@ -226,9 +251,15 @@ main(int argc, char **argv)
         .set("cycles_per_sec", cycles_per_sec)
         .set("jobs", 1u);
 
+    Json obs_ab = Json::object();
+    obs_ab.set("off_ms", obs_off_secs * 1e3)
+        .set("on_ms", obs_on_secs * 1e3)
+        .set("on_over_off", obs_on_secs / obs_off_secs);
+
     Json data = Json::object();
     data.set("scheduler_micro", std::move(micro))
         .set("fig03_sweep", std::move(sweep))
+        .set("obs_ab", std::move(obs_ab))
         .set("peak_rss_kib", peakRssKib());
     writeBenchJson("perf", data);
     return 0;

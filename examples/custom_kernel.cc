@@ -65,10 +65,8 @@ main()
     std::printf("memory transactions issued: %llu, stores skipped as "
                 "all-zero: %llu\n",
                 static_cast<unsigned long long>(
-                    gpu.stats().counter("cu.txs_issued").value()),
-                static_cast<unsigned long long>(
-                    gpu.stats()
-                        .counter("cu.store_txs_zero_skipped")
-                        .value()));
+                    gpu.stats().sumCounters("gpu.", ".txs_issued")),
+                static_cast<unsigned long long>(gpu.stats().sumCounters(
+                    "gpu.", ".store_txs_zero_skipped")));
     return errors == 0 ? 0 : 1;
 }

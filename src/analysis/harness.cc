@@ -1,5 +1,6 @@
 #include "analysis/harness.hh"
 
+#include <cstdio>
 #include <sstream>
 
 #include "sim/logging.hh"
@@ -55,6 +56,7 @@ RunResult::accumulate(const RunResult &other)
         error = other.error;
     }
     cycles += other.cycles;
+    wallMs += other.wallMs;
     txsIssued += other.txsIssued;
     txsElimZero += other.txsElimZero;
     txsElimOtimes += other.txsElimOtimes;
@@ -90,18 +92,19 @@ runWorkload(const GpuConfig &cfg, Workload &w, bool verify,
                                    : gpu.run(k).cycles;
     }
 
-    const StatSet &st = gpu.stats();
+    const StatsRegistry &st = gpu.stats();
+    // Per-CU counters live under "gpu.sa<S>.cu<C>.<stat>"; the headline
+    // metrics are their exact integer sums.
     auto ctr = [&](const char *name) {
-        auto it = st.counters().find(name);
-        return it == st.counters().end() ? 0ull : it->second.value();
+        return st.sumCounters("gpu.", std::string(".") + name);
     };
-    res.txsIssued = ctr("cu.txs_issued");
-    res.txsElimZero = ctr("cu.txs_elim_zero");
-    res.txsElimOtimes = ctr("cu.txs_elim_otimes");
-    res.txsElimDead = ctr("cu.txs_elim_dead");
-    res.txsEagerFallback = ctr("cu.txs_eager_fallback");
-    res.storeTxs = ctr("cu.store_txs");
-    res.storeTxsZeroSkipped = ctr("cu.store_txs_zero_skipped");
+    res.txsIssued = ctr("txs_issued");
+    res.txsElimZero = ctr("txs_elim_zero");
+    res.txsElimOtimes = ctr("txs_elim_otimes");
+    res.txsElimDead = ctr("txs_elim_dead");
+    res.txsEagerFallback = ctr("txs_eager_fallback");
+    res.storeTxs = ctr("store_txs");
+    res.storeTxsZeroSkipped = ctr("store_txs_zero_skipped");
     res.l1Requests = gpu.l1Requests();
     res.l2Requests = gpu.l2Requests();
     res.dramRequests = gpu.dramRequests();
@@ -110,7 +113,7 @@ runWorkload(const GpuConfig &cfg, Workload &w, bool verify,
         static_cast<double>(res.cycles) * cfg.numCus() * cfg.simdPerCu;
     res.aluUtilization =
         total_simd_cycles > 0
-            ? static_cast<double>(ctr("cu.simd_busy_cycles")) /
+            ? static_cast<double>(ctr("simd_busy_cycles")) /
                   total_simd_cycles
             : 0.0;
 
@@ -118,14 +121,17 @@ runWorkload(const GpuConfig &cfg, Workload &w, bool verify,
     if (lat != st.dists().end())
         res.avgMemLatency = lat->second.mean();
 
-    res.l1Hits = st.sumCounters("l1.", ".hits");
-    res.l1Misses = st.sumCounters("l1.", ".misses");
-    res.l2Hits = st.sumCounters("l2.", ".hits");
-    res.l2Misses = st.sumCounters("l2.", ".misses");
-    res.zl1Hits = st.sumCounters("zl1.", ".hits");
-    res.zl1Misses = st.sumCounters("zl1.", ".misses");
-    res.zl2Hits = st.sumCounters("zl2.", ".hits");
-    res.zl2Misses = st.sumCounters("zl2.", ".misses");
+    res.l1Hits = st.sumCounters("mem.l1.", ".hits");
+    res.l1Misses = st.sumCounters("mem.l1.", ".misses");
+    res.l2Hits = st.sumCounters("mem.l2.", ".hits");
+    res.l2Misses = st.sumCounters("mem.l2.", ".misses");
+    res.zl1Hits = st.sumCounters("mem.zl1.", ".hits");
+    res.zl1Misses = st.sumCounters("mem.zl1.", ".misses");
+    res.zl2Hits = st.sumCounters("mem.zl2.", ".hits");
+    res.zl2Misses = st.sumCounters("mem.zl2.", ".misses");
+
+    if (cfg.statsReport)
+        std::fputs(st.report().c_str(), stderr);
 
     if (verify && w.verify)
         res.verifyError = w.verify(*w.mem);

@@ -43,6 +43,12 @@ struct RunResult
     bool ok() const { return status == RunStatus::Ok; }
 
     Tick cycles = 0;
+    /**
+     * Host milliseconds spent simulating this cell. Journaled (it feeds
+     * resumed sweeps' ETA estimates) but never part of BENCH artifacts,
+     * which must stay machine-independent.
+     */
+    std::uint64_t wallMs = 0;
     std::uint64_t txsIssued = 0;
     std::uint64_t txsElimZero = 0;
     std::uint64_t txsElimOtimes = 0;

@@ -24,6 +24,7 @@ resultToJson(const RunResult &r)
     j.set("status", toString(r.status))
         .set("error", r.error)
         .set("cycles", r.cycles)
+        .set("wall_ms", r.wallMs)
         .set("txs_issued", r.txsIssued)
         .set("txs_elim_zero", r.txsElimZero)
         .set("txs_elim_otimes", r.txsElimOtimes)
@@ -71,6 +72,7 @@ resultFromJson(const JsonValue &j, RunResult &r)
     };
     str("error", r.error);
     u64("cycles", r.cycles);
+    u64("wall_ms", r.wallMs);
     u64("txs_issued", r.txsIssued);
     u64("txs_elim_zero", r.txsElimZero);
     u64("txs_elim_otimes", r.txsElimOtimes);

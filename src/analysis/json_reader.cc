@@ -125,6 +125,15 @@ struct Parser
         const char *start = p;
         if (p < end && (*p == '-' || *p == '+'))
             ++p;
+        if (p < end && *p == 'I') {
+            // Signed non-finite literal (the writer's NaN/Infinity
+            // encoding); strtod parses the resulting text directly.
+            if (!literal("Infinity", 8))
+                return false;
+            out.kind = JsonValue::Kind::Number;
+            out.text.assign(start, static_cast<std::size_t>(p - start));
+            return true;
+        }
         bool digits = false;
         while (p < end && (std::isdigit(static_cast<unsigned char>(*p)) ||
                            *p == '.' || *p == 'e' || *p == 'E' ||
@@ -219,6 +228,10 @@ struct Parser
         case 'n':
             out.kind = JsonValue::Kind::Null;
             return literal("null", 4);
+        case 'N':
+            out.kind = JsonValue::Kind::Number;
+            out.text = "NaN";
+            return literal("NaN", 3);
         default:
             return parseNumber(out);
         }

@@ -121,7 +121,11 @@ Json::write(std::string &out, unsigned indent, unsigned depth) const
     case Kind::Num:
     case Kind::NumExact:
         if (!std::isfinite(d_)) {
-            out += "null";
+            // JSON5-style non-finite literals (what Python's json and
+            // our reader accept); "null" would silently turn a poisoned
+            // metric into a missing one and break round-tripping.
+            out += std::isnan(d_) ? "NaN"
+                                  : (d_ < 0 ? "-Infinity" : "Infinity");
         } else {
             std::snprintf(buf, sizeof(buf),
                           kind_ == Kind::NumExact ? "%.17g" : "%.10g",

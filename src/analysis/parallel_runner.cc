@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <thread>
@@ -224,15 +225,30 @@ ParallelRunner::runSweep(const std::vector<RunJob> &batch)
                                                   opts_.resume);
     }
 
+    // Resolve which cell gets the binary trace: an explicit key, else
+    // the first cell of the first batch.
+    if (!opts_.tracePath.empty() && opts_.traceCellKey.empty() &&
+        batch_id == 0 && !keys.empty())
+        opts_.traceCellKey = keys[0];
+    const bool tracing = !opts_.tracePath.empty();
+
     // Cells the journal recorded as Ok are replayed verbatim; failed or
-    // missing cells go back into the work list.
+    // missing cells go back into the work list. The traced cell is
+    // exempt — it must actually run to produce the trace file (tracing
+    // never changes its result, so resumed artifacts stay identical).
     std::vector<std::size_t> todo;
     todo.reserve(batch.size());
+    std::uint64_t seed_ms = 0, seed_cells = 0;
     for (std::size_t i = 0; i < batch.size(); ++i) {
         const auto it = restored_.find(keys[i]);
-        if (it != restored_.end() && it->second.ok()) {
+        if (it != restored_.end() && it->second.ok() &&
+            !(tracing && keys[i] == opts_.traceCellKey)) {
             out.results[i] = it->second;
             ++out.numRestored;
+            if (it->second.wallMs) {
+                seed_ms += it->second.wallMs;
+                ++seed_cells;
+            }
         } else {
             todo.push_back(i);
         }
@@ -241,6 +257,10 @@ ParallelRunner::runSweep(const std::vector<RunJob> &batch)
     std::atomic<std::size_t> next{0};
     std::atomic<std::size_t> failed{0};
     std::atomic<bool> stop{false};
+    // Progress bookkeeping: bumped once per finished cell, never inside
+    // the simulation hot path.
+    std::atomic<std::size_t> done{0};
+    std::atomic<std::uint64_t> done_ms{0};
 
     const unsigned workers = static_cast<unsigned>(
         std::max<std::size_t>(1, std::min<std::size_t>(jobs_,
@@ -249,6 +269,7 @@ ParallelRunner::runSweep(const std::vector<RunJob> &batch)
 
     auto runOne = [&](WatchSlot &slot, std::size_t i) {
         const RunJob &job = batch[i];
+        const std::int64_t cell_start = nowMs();
         RunResult r;
         try {
             const RecoverableScope recoverable;
@@ -258,7 +279,16 @@ ParallelRunner::runSweep(const std::vector<RunJob> &batch)
             const bool livelock = !opts_.injectLivelockKey.empty() &&
                                   keys[i] == opts_.injectLivelockKey;
             Workload w = livelock ? makeLivelockWorkload() : job.make();
-            r = runWorkload(job.cfg, w, job.verify, &slot.ctl,
+            // Observability knobs are applied here, centrally, so every
+            // bench gets --report/--trace without plumbing them through
+            // each figure's job-building code.
+            GpuConfig cfg = job.cfg;
+            cfg.statsReport = cfg.statsReport || opts_.statsReport;
+            if (tracing && keys[i] == opts_.traceCellKey) {
+                cfg.enableTraces = true;
+                cfg.tracePath = opts_.tracePath;
+            }
+            r = runWorkload(cfg, w, job.verify, &slot.ctl,
                             job.limitCycles);
         } catch (const SimError &e) {
             r = RunResult{};
@@ -272,7 +302,11 @@ ParallelRunner::runSweep(const std::vector<RunJob> &batch)
             warn("cell %s failed — %s", keys[i].c_str(), e.what());
             writeCrashReport(opts_, keys[i], job, e);
         }
+        r.wallMs =
+            static_cast<std::uint64_t>(nowMs() - cell_start);
         out.results[i] = r;
+        done_ms.fetch_add(r.wallMs, std::memory_order_relaxed);
+        done.fetch_add(1, std::memory_order_relaxed);
         if (journal_)
             journal_->append(keys[i], r);
     };
@@ -353,6 +387,55 @@ ParallelRunner::runSweep(const std::vector<RunJob> &batch)
         });
     }
 
+    // The progress reporter: a periodic stderr line with cells
+    // done/total and an ETA. The estimate is mean cell wall time
+    // (journal timings seed it on resume, so a resumed sweep has an ETA
+    // before its first fresh cell finishes) spread across the workers.
+    // It only reads the per-cell counters above — nothing is added to
+    // the simulation hot path.
+    std::atomic<bool> progress_stop{false};
+    std::thread progress;
+    if (opts_.progress && !todo.empty()) {
+        progress = std::thread([&]() {
+            const std::int64_t t0 = nowMs();
+            while (true) {
+                for (int k = 0;
+                     k < 20 &&
+                     !progress_stop.load(std::memory_order_acquire);
+                     ++k)
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(50));
+                if (progress_stop.load(std::memory_order_acquire))
+                    return;
+                const std::size_t d =
+                    done.load(std::memory_order_relaxed);
+                const double elapsed =
+                    static_cast<double>(nowMs() - t0) / 1000.0;
+                const std::uint64_t known_cells =
+                    d + seed_cells;
+                const std::uint64_t known_ms =
+                    done_ms.load(std::memory_order_relaxed) + seed_ms;
+                if (known_cells == 0) {
+                    std::fprintf(stderr,
+                                 "progress: %zu/%zu cells, %.0fs "
+                                 "elapsed\n",
+                                 d, todo.size(), elapsed);
+                    continue;
+                }
+                const double avg_s =
+                    static_cast<double>(known_ms) /
+                    static_cast<double>(known_cells) / 1000.0;
+                const double eta_s =
+                    static_cast<double>(todo.size() - d) * avg_s /
+                    workers;
+                std::fprintf(stderr,
+                             "progress: %zu/%zu cells, %.0fs elapsed, "
+                             "eta %.0fs\n",
+                             d, todo.size(), elapsed, eta_s);
+            }
+        });
+    }
+
     if (workers <= 1) {
         workerLoop(0);
     } else {
@@ -367,6 +450,13 @@ ParallelRunner::runSweep(const std::vector<RunJob> &batch)
     if (monitor.joinable()) {
         monitor_stop.store(true, std::memory_order_release);
         monitor.join();
+    }
+    if (progress.joinable()) {
+        progress_stop.store(true, std::memory_order_release);
+        progress.join();
+        std::fprintf(stderr, "progress: %zu/%zu cells done\n",
+                     done.load(std::memory_order_relaxed),
+                     todo.size());
     }
 
     out.numFailed = failed.load(std::memory_order_relaxed);

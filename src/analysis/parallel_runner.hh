@@ -6,7 +6,7 @@
  *
  * Every figure bench sweeps a (workload x mode x config) grid whose
  * points are embarrassingly parallel: each run builds a fresh Engine /
- * StatSet / GlobalMemory via runWorkload, and all workload generation is
+ * StatsRegistry / GlobalMemory via runWorkload, and all workload generation is
  * seeded through the per-instance Rng, so runs share no mutable state.
  * Because a Workload may only be run once (in-place kernels mutate their
  * inputs), jobs carry a *factory* and each worker materialises its own
@@ -94,6 +94,23 @@ struct SweepOptions
     std::string injectPanicKey;
     /** Fault injection: replace this cell's workload with a spin loop. */
     std::string injectLivelockKey;
+    /** Periodic "cells done/total, ETA" line on stderr. */
+    bool progress = false;
+    /** Print each cell's hierarchical stats report to stderr. */
+    bool statsReport = false;
+    /**
+     * Write the traced cell's binary timeline to this file; empty
+     * disables tracing. Tracing is observational (it never perturbs the
+     * simulated outcome), so the traced cell's results stay identical.
+     */
+    std::string tracePath;
+    /**
+     * Which cell gets the trace; empty with a tracePath set traces the
+     * first cell of the first batch. The traced cell is always re-run,
+     * never restored from the journal, so a --trace --resume run still
+     * produces the trace file.
+     */
+    std::string traceCellKey;
 };
 
 /** What a sweep did, beyond the per-cell results. */

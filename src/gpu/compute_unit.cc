@@ -36,37 +36,69 @@ asU(float f)
 
 } // namespace
 
-ComputeUnit::ComputeUnit(Engine &engine, StatSet &stats,
+namespace
+{
+
+/** This CU's component path, e.g. "gpu.sa1.cu3." for cu_id 7, sa 1. */
+std::string
+cuPrefix(const GpuConfig &cfg, unsigned cu_id, unsigned sa_id)
+{
+    return "gpu.sa" + std::to_string(sa_id) + ".cu" +
+           std::to_string(cu_id % cfg.cusPerSa) + ".";
+}
+
+} // namespace
+
+ComputeUnit::ComputeUnit(Engine &engine, StatsRegistry &stats,
+                         LifecycleTracker &lifecycle,
                          const GpuConfig &cfg, GlobalMemory &mem,
                          MemoryHierarchy &hier, unsigned cu_id,
-                         unsigned sa_id)
-    : engine_(engine), stats_(stats), cfg_(cfg), mem_(mem), hier_(hier),
+                         unsigned sa_id, TraceSink *trace)
+    : engine_(engine), stats_(stats), lifecycle_(lifecycle),
+      trace_(trace), cfg_(cfg), mem_(mem), hier_(hier),
       cu_id_(cu_id), sa_id_(sa_id), mode_(cfg.mode),
       simd_busy_(cfg.simdPerCu, 0), ready_per_simd_(cfg.simdPerCu, 0),
-      valu_insts_(stats.counter("cu.valu_insts")),
-      salu_insts_(stats.counter("cu.salu_insts")),
-      simd_busy_cycles_(stats.counter("cu.simd_busy_cycles")),
-      load_insts_(stats.counter("cu.load_insts")),
-      store_insts_(stats.counter("cu.store_insts")),
-      txs_issued_(stats.counter("cu.txs_issued")),
-      txs_completed_(stats.counter("cu.txs_completed")),
-      txs_elim_zero_(stats.counter("cu.txs_elim_zero")),
-      txs_elim_otimes_(stats.counter("cu.txs_elim_otimes")),
-      txs_elim_dead_(stats.counter("cu.txs_elim_dead")),
-      txs_eager_fallback_(stats.counter("cu.txs_eager_fallback")),
-      store_txs_(stats.counter("cu.store_txs")),
-      store_txs_zero_skipped_(stats.counter("cu.store_txs_zero_skipped")),
-      mask_reads_(stats.counter("cu.mask_reads")),
-      mask_writes_(stats.counter("cu.mask_writes")),
-      zc_short_circuits_(stats.counter("cu.zc_short_circuits")),
-      lanes_zeroed_(stats.counter("cu.lanes_zeroed")),
-      lanes_suspended_(stats.counter("cu.lanes_suspended")),
+      valu_insts_(stats.counter(cuPrefix(cfg, cu_id, sa_id) +
+                                "valu_insts")),
+      salu_insts_(stats.counter(cuPrefix(cfg, cu_id, sa_id) +
+                                "salu_insts")),
+      simd_busy_cycles_(stats.counter(cuPrefix(cfg, cu_id, sa_id) +
+                                      "simd_busy_cycles")),
+      load_insts_(stats.counter(cuPrefix(cfg, cu_id, sa_id) +
+                                "load_insts")),
+      store_insts_(stats.counter(cuPrefix(cfg, cu_id, sa_id) +
+                                 "store_insts")),
+      txs_issued_(stats.counter(cuPrefix(cfg, cu_id, sa_id) +
+                                "txs_issued")),
+      txs_completed_(stats.counter(cuPrefix(cfg, cu_id, sa_id) +
+                                   "txs_completed")),
+      txs_elim_zero_(stats.counter(cuPrefix(cfg, cu_id, sa_id) +
+                                   "txs_elim_zero")),
+      txs_elim_otimes_(stats.counter(cuPrefix(cfg, cu_id, sa_id) +
+                                     "txs_elim_otimes")),
+      txs_elim_dead_(stats.counter(cuPrefix(cfg, cu_id, sa_id) +
+                                   "txs_elim_dead")),
+      txs_eager_fallback_(stats.counter(cuPrefix(cfg, cu_id, sa_id) +
+                                        "txs_eager_fallback")),
+      store_txs_(stats.counter(cuPrefix(cfg, cu_id, sa_id) +
+                               "store_txs")),
+      store_txs_zero_skipped_(stats.counter(
+          cuPrefix(cfg, cu_id, sa_id) + "store_txs_zero_skipped")),
+      mask_reads_(stats.counter(cuPrefix(cfg, cu_id, sa_id) +
+                                "mask_reads")),
+      mask_writes_(stats.counter(cuPrefix(cfg, cu_id, sa_id) +
+                                 "mask_writes")),
+      zc_short_circuits_(stats.counter(cuPrefix(cfg, cu_id, sa_id) +
+                                       "zc_short_circuits")),
+      lanes_zeroed_(stats.counter(cuPrefix(cfg, cu_id, sa_id) +
+                                  "lanes_zeroed")),
+      lanes_suspended_(stats.counter(cuPrefix(cfg, cu_id, sa_id) +
+                                     "lanes_suspended")),
+      // One shared latency distribution per Gpu: keeping the sample
+      // (summation) order identical across configurations pins the
+      // golden avgMemLatency digits.
       mem_latency_(stats.dist("mem.latency"))
 {
-    if (cfg.enableTraces) {
-        lat_series_ = &stats.series("trace.latency");
-        inflight_series_ = &stats.series("trace.inflight");
-    }
 }
 
 void
@@ -85,6 +117,11 @@ ComputeUnit::addWavefront(std::unique_ptr<Wavefront> wave)
     }
     wave->simdId = best;
     wave->dispatchTick = engine_.now();
+    if (trace_) {
+        wave->traceId = trace_->nextId();
+        trace_->emit(TraceKind::WaveBegin, traceTrack(), 0,
+                     engine_.now(), wave->traceId, wave->wid());
+    }
     waves_.push_back(std::move(wave));
     // Fresh wavefronts arrive Ready; account for them in the quiescence
     // protocol (the engine no longer polls every component).
@@ -329,6 +366,7 @@ ComputeUnit::trySuspend(Wavefront &wave, const Instruction &inst,
             continue;
         wave.setRegState(reg, lane, RegState::Suspended);
         ++lanes_suspended_;
+        lifecycle_.suspended(engine_.now() - pl->recordTick);
         if (auto *tx = pl->txFor(pl->wordAddr(reg - pl->firstDst, lane)))
             tx->hadSuspended = true;
     }
@@ -658,6 +696,7 @@ ComputeUnit::recordLazyLoad(Wavefront &wave, const Instruction &inst,
     pl.firstDst = inst.dst;
     pl.numRegs = nregs;
     pl.laneAddr = lane_addr;
+    pl.recordTick = engine_.now();
 
     // Group every (reg, lane) word into its covering transaction,
     // preserving lane order. Consecutive lanes almost always hit the
@@ -759,6 +798,10 @@ ComputeUnit::issuePendingLoad(Wavefront &wave, PendingLoad &pl)
             hier_.maskResidentInL1(sa_id_,
                                    GlobalMemory::maskAddr(tx.addr))) {
             ++zc_short_circuits_;
+            if (trace_) {
+                trace_->emit(TraceKind::ZcShortCircuit, traceTrack(), 0,
+                             engine_.now(), 0, tx.addr);
+            }
             tx.outcome = TxOutcome::Issued;
             for (const auto &[r, lane] : tx.words) {
                 if (wave.regState(first_dst + r, lane) !=
@@ -798,30 +841,29 @@ ComputeUnit::issuePendingLoad(Wavefront &wave, PendingLoad &pl)
         ++wave.outstanding_txs_;
         ++pl.inflightTxs;
         ++txs_issued_;
-        if (inflight_series_) {
-            inflight_series_->sample(
-                engine_.now(), static_cast<double>(txs_issued_.value() -
-                                                   txs_completed_.value()));
-        }
 
         const Tick issue_tick = engine_.now();
+        const Tick record_tick = pl.recordTick;
+        lifecycle_.issued(issue_tick - record_tick);
+        std::uint64_t span_id = 0;
+        if (trace_) {
+            span_id = trace_->nextId();
+            trace_->emit(TraceKind::TxBegin, traceTrack(), 0,
+                         issue_tick, span_id, tx.addr);
+        }
         Addr tx_addr = tx.addr;
         issueTx(tx.addr, false,
-                [this, wp, pl_id, tx_addr, issue_tick]() {
+                [this, wp, pl_id, tx_addr, issue_tick, record_tick,
+                 span_id]() {
             Wavefront &w = *wp;
             --w.outstanding_txs_;
             ++txs_completed_;
             const Tick lat = engine_.now() - issue_tick;
             mem_latency_.sample(static_cast<double>(lat));
-            if (lat_series_) {
-                lat_series_->sample(engine_.now(),
-                                    static_cast<double>(lat));
-            }
-            if (inflight_series_) {
-                inflight_series_->sample(
-                    engine_.now(),
-                    static_cast<double>(txs_issued_.value() -
-                                        txs_completed_.value()));
+            lifecycle_.resolved(engine_.now() - record_tick);
+            if (trace_) {
+                trace_->emit(TraceKind::TxEnd, traceTrack(), 0,
+                             engine_.now(), span_id, tx_addr);
             }
             auto it = w.pendings().find(pl_id);
             bool load_drained = true;
@@ -871,12 +913,25 @@ ComputeUnit::requestMasks(Wavefront &wave, PendingLoad &pl)
     const bool lazy_elim = hasZeroElimination(mode_);
 
     pl.masksOutstanding += static_cast<unsigned>(mask_txs.size());
+    const Tick record_tick = pl.recordTick;
     for (Addr ma : mask_txs) {
         ++mask_reads_;
         ++wave.outstanding_masks_;
-        issueMaskTx(ma, false, [this, wp, pl_id, ma, lazy_elim]() {
+        std::uint64_t span_id = 0;
+        if (trace_) {
+            span_id = trace_->nextId();
+            trace_->emit(TraceKind::MaskBegin, traceTrack(), 0,
+                         engine_.now(), span_id, ma);
+        }
+        issueMaskTx(ma, false, [this, wp, pl_id, ma, lazy_elim,
+                                record_tick, span_id]() {
             Wavefront &w = *wp;
             --w.outstanding_masks_;
+            lifecycle_.maskProbed(engine_.now() - record_tick);
+            if (trace_) {
+                trace_->emit(TraceKind::MaskEnd, traceTrack(), 0,
+                             engine_.now(), span_id, ma);
+            }
             bool masks_done = true;
             if (auto it = w.pendings().find(pl_id);
                 it != w.pendings().end()) {
@@ -963,15 +1018,19 @@ ComputeUnit::resolveWord(Wavefront &wave, PendingLoad &pl,
 
     if (tx->unresolved == 0 && tx->outcome == TxOutcome::Unissued) {
         // This transaction will never be issued; classify why (Fig 14).
+        const Tick age = engine_.now() - pl.recordTick;
         if (tx->zeroedWords == tx->words.size()) {
             tx->outcome = TxOutcome::EliminatedZero;
             ++txs_elim_zero_;
+            lifecycle_.eliminatedZero(age);
         } else if (tx->hadSuspended) {
             tx->outcome = TxOutcome::EliminatedOtimes;
             ++txs_elim_otimes_;
+            lifecycle_.eliminatedOtimes(age);
         } else {
             tx->outcome = TxOutcome::EliminatedDead;
             ++txs_elim_dead_;
+            lifecycle_.eliminatedDead(age);
         }
     }
 }
@@ -1076,6 +1135,10 @@ ComputeUnit::executeStore(Wavefront &wave, const Instruction &inst)
                             scratch_mask_txs_);
         for (Addr ma : scratch_mask_txs_) {
             ++mask_writes_;
+            if (trace_) {
+                trace_->emit(TraceKind::MaskWrite, traceTrack(), 0,
+                             engine_.now(), 0, ma);
+            }
             issueMaskTx(ma, true, nullptr);
         }
     }
@@ -1084,9 +1147,17 @@ ComputeUnit::executeStore(Wavefront &wave, const Instruction &inst)
             mem_.zeroMaskByte(ta) == 0xff) {
             // All-zero block: only the Zero Cache is written (Sec 4.2).
             ++store_txs_zero_skipped_;
+            if (trace_) {
+                trace_->emit(TraceKind::StoreTx, traceTrack(), 1,
+                             engine_.now(), 0, ta);
+            }
             continue;
         }
         ++store_txs_;
+        if (trace_) {
+            trace_->emit(TraceKind::StoreTx, traceTrack(), 0,
+                         engine_.now(), 0, ta);
+        }
         issueTx(ta, true, nullptr); // posted write
     }
     ++wave.pc;
@@ -1154,6 +1225,10 @@ ComputeUnit::maybeFinalize(Wavefront *wave)
                                return w.get() == wave;
                            });
     panic_if(it == waves_.end(), "finalizing an unknown wavefront");
+    if (trace_) {
+        trace_->emit(TraceKind::WaveEnd, traceTrack(), 0, engine_.now(),
+                     wave->traceId, wave->wid());
+    }
     waves_.erase(it);
     if (retire_cb_)
         retire_cb_();

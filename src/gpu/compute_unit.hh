@@ -32,9 +32,11 @@
 #include "gpu/wavefront.hh"
 #include "mem/hierarchy.hh"
 #include "mem/memory.hh"
+#include "obs/lifecycle.hh"
+#include "obs/registry.hh"
+#include "obs/trace.hh"
 #include "sim/config.hh"
 #include "sim/engine.hh"
-#include "sim/stats.hh"
 
 namespace lazygpu
 {
@@ -42,9 +44,10 @@ namespace lazygpu
 class ComputeUnit : public Clocked
 {
   public:
-    ComputeUnit(Engine &engine, StatSet &stats, const GpuConfig &cfg,
+    ComputeUnit(Engine &engine, StatsRegistry &stats,
+                LifecycleTracker &lifecycle, const GpuConfig &cfg,
                 GlobalMemory &mem, MemoryHierarchy &hier, unsigned cu_id,
-                unsigned sa_id);
+                unsigned sa_id, TraceSink *trace);
 
     /** Occupancy limit for the running kernel (register-usage bound). */
     void setMaxWaves(unsigned n) { max_waves_ = n; }
@@ -172,8 +175,16 @@ class ComputeUnit : public Clocked
     /** Functional load of one register word. */
     std::uint32_t loadWord(Opcode op, Addr addr, unsigned reg_off) const;
 
+    /** This CU's id as a trace track (CU tracks are global CU ids). */
+    std::uint16_t traceTrack() const
+    {
+        return static_cast<std::uint16_t>(cu_id_);
+    }
+
     Engine &engine_;
-    StatSet &stats_;
+    StatsRegistry &stats_;
+    LifecycleTracker &lifecycle_;
+    TraceSink *trace_;
     const GpuConfig &cfg_;
     GlobalMemory &mem_;
     MemoryHierarchy &hier_;
@@ -206,7 +217,7 @@ class ComputeUnit : public Clocked
     std::vector<unsigned> scratch_retire_ids_;
     Coalescer coalescer_;
 
-    // Shared GPU-wide stats (one StatSet per Gpu).
+    // Shared GPU-wide stats (one StatsRegistry per Gpu).
     Counter &valu_insts_;
     Counter &salu_insts_;
     Counter &simd_busy_cycles_;
@@ -226,10 +237,6 @@ class ComputeUnit : public Clocked
     Counter &lanes_zeroed_;
     Counter &lanes_suspended_;
     Distribution &mem_latency_;
-
-    // Optional Fig 2 instrumentation (cfg.enableTraces).
-    TimeSeries *lat_series_ = nullptr;
-    TimeSeries *inflight_series_ = nullptr;
 };
 
 } // namespace lazygpu

@@ -6,13 +6,38 @@ namespace lazygpu
 {
 
 Gpu::Gpu(const GpuConfig &cfg, GlobalMemory &mem)
-    : cfg_(cfg), mem_(mem), hier_(engine_, stats_, cfg_, mem_)
+    : cfg_(cfg), mem_(mem), lifecycle_(stats_, cfg.mode),
+      trace_(cfg.enableTraces
+                 ? std::make_unique<TraceSink>(cfg.tracePath)
+                 : nullptr),
+      hier_(engine_, stats_, cfg_, mem_)
 {
+    if (trace_) {
+        std::vector<std::string> cache_tracks;
+        hier_.attachTrace(trace_.get(), cache_tracks);
+        engine_.attachTrace(trace_.get());
+
+        std::string meta = "{\"mode\":\"" + toString(cfg_.mode) +
+                           "\",\"numShaderArrays\":" +
+                           std::to_string(cfg_.numShaderArrays) +
+                           ",\"cusPerSa\":" +
+                           std::to_string(cfg_.cusPerSa) +
+                           ",\"cacheTracks\":[";
+        for (std::size_t i = 0; i < cache_tracks.size(); ++i) {
+            if (i)
+                meta += ',';
+            meta += '"' + cache_tracks[i] + '"';
+        }
+        meta += "]}";
+        trace_->setMeta(std::move(meta));
+    }
+
     for (unsigned sa = 0; sa < cfg_.numShaderArrays; ++sa) {
         for (unsigned c = 0; c < cfg_.cusPerSa; ++c) {
             unsigned cu_id = sa * cfg_.cusPerSa + c;
             cus_.push_back(std::make_unique<ComputeUnit>(
-                engine_, stats_, cfg_, mem_, hier_, cu_id, sa));
+                engine_, stats_, lifecycle_, cfg_, mem_, hier_, cu_id,
+                sa, trace_.get()));
             engine_.addClocked(cus_.back().get());
             ComputeUnit *cu = cus_.back().get();
             cu->setRetireCallback([this, cu]() { refill(*cu); });
@@ -82,6 +107,22 @@ Gpu::run(const Kernel &kernel, Tick limit_cycles)
                  "kernel '%s' drained with resident wavefronts",
                  kernel.name.c_str());
     }
+
+    // Mirror the engine's own counters into the registry so the
+    // `engine` component shows up in dumps/reports like everything
+    // else (reset + add: run() may be called repeatedly and the
+    // getters are cumulative).
+    auto sync = [this](const char *name, std::uint64_t v) {
+        Counter &c = stats_.counter(name);
+        c.reset();
+        c += v;
+    };
+    sync("engine.events_executed", engine_.eventsExecuted());
+    sync("engine.pool_chunks", engine_.poolChunks());
+    sync("engine.oversized_events", engine_.oversizedEvents());
+
+    if (trace_)
+        trace_->flush();
     return res;
 }
 
@@ -103,24 +144,24 @@ Gpu::captureSnapshot() const
 std::uint64_t
 Gpu::l1Requests() const
 {
-    return stats_.sumCounters("l1.", ".hits") +
-           stats_.sumCounters("l1.", ".misses") +
-           stats_.sumCounters("l1.", ".write_throughs");
+    return stats_.sumCounters("mem.l1.", ".hits") +
+           stats_.sumCounters("mem.l1.", ".misses") +
+           stats_.sumCounters("mem.l1.", ".write_throughs");
 }
 
 std::uint64_t
 Gpu::l2Requests() const
 {
-    return stats_.sumCounters("l2.", ".hits") +
-           stats_.sumCounters("l2.", ".misses") +
-           stats_.sumCounters("l2.", ".write_throughs");
+    return stats_.sumCounters("mem.l2.", ".hits") +
+           stats_.sumCounters("mem.l2.", ".misses") +
+           stats_.sumCounters("mem.l2.", ".write_throughs");
 }
 
 std::uint64_t
 Gpu::dramRequests() const
 {
-    return stats_.sumCounters("dram.", ".reads") +
-           stats_.sumCounters("dram.", ".writes");
+    return stats_.sumCounters("mem.dram.", ".reads") +
+           stats_.sumCounters("mem.dram.", ".writes");
 }
 
 } // namespace lazygpu

@@ -18,10 +18,12 @@
 #include "isa/kernel.hh"
 #include "mem/hierarchy.hh"
 #include "mem/memory.hh"
+#include "obs/lifecycle.hh"
+#include "obs/registry.hh"
+#include "obs/trace.hh"
 #include "sim/config.hh"
 #include "sim/engine.hh"
 #include "sim/sim_error.hh"
-#include "sim/stats.hh"
 
 namespace lazygpu
 {
@@ -57,11 +59,17 @@ class Gpu : public SnapshotSource
     /** Install a verification retire observer on every compute unit. */
     void setRetireObserver(ComputeUnit::RetireObserver obs);
 
-    StatSet &stats() { return stats_; }
+    StatsRegistry &stats() { return stats_; }
     Engine &engine() { return engine_; }
     MemoryHierarchy &hierarchy() { return hier_; }
     GlobalMemory &memory() { return mem_; }
     const GpuConfig &config() const { return cfg_; }
+
+    /** The trace sink, or nullptr when cfg.enableTraces is off. */
+    TraceSink *trace() { return trace_.get(); }
+
+    /** The per-mode lazy-load lifecycle histograms. */
+    const LifecycleTracker &lifecycle() const { return lifecycle_; }
 
     /** Total data-path memory requests seen at each level (Fig 15). */
     std::uint64_t l1Requests() const;
@@ -74,7 +82,9 @@ class Gpu : public SnapshotSource
     GpuConfig cfg_;
     GlobalMemory &mem_;
     Engine engine_;
-    StatSet stats_;
+    StatsRegistry stats_;
+    LifecycleTracker lifecycle_;
+    std::unique_ptr<TraceSink> trace_;
     MemoryHierarchy hier_;
     std::vector<std::unique_ptr<ComputeUnit>> cus_;
 

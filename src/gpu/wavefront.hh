@@ -70,6 +70,7 @@ struct PendingLoad
     bool issueRequested = false;
     bool dataIssued = false; //!< issue was triggered at least once
     unsigned inflightTxs = 0; //!< issued but not yet completed
+    Tick recordTick = 0; //!< when the Lazy Unit recorded the load
 
     /** One 32 B transaction of the load's footprint. */
     struct Tx
@@ -128,6 +129,7 @@ class Wavefront
     bool scc = false;
     Tick nextIssue = 0; //!< earliest tick the next instruction may issue
     Tick dispatchTick = 0;
+    std::uint64_t traceId = 0; //!< trace span id (0 when not tracing)
 
     std::vector<std::uint32_t> sregs;
 

@@ -8,7 +8,7 @@
 namespace lazygpu
 {
 
-Cache::Cache(Engine &engine, StatSet &stats, const std::string &name,
+Cache::Cache(Engine &engine, StatsRegistry &stats, const std::string &name,
              const CacheParams &params, WritePolicy policy,
              MemDevice &below)
     : engine_(engine), name_(name), line_size_(params.lineSize),
@@ -143,12 +143,14 @@ Cache::handleRead(Addr line_addr, Completion done)
                 if (cb)
                     cb();
             });
+        traceDepth();
         return;
     }
 
     Mshr &mshr = mshrs_[line_addr];
     if (done)
         mshr.waiters.push_back(std::move(done));
+    traceDepth();
     below_.access(MemAccess{line_addr, line_size_, false},
                   [this, line_addr]() { fill(line_addr); });
 }
@@ -199,10 +201,12 @@ Cache::handleWrite(const MemAccess &acc, Completion done)
                     static_cast<double>(engine_.now() - enq));
                 cb();
             });
+        traceDepth();
         return;
     }
     Mshr &mshr = mshrs_[la];
     mshr.waiters.push_back(std::move(mark_dirty));
+    traceDepth();
     below_.access(MemAccess{la, line_size_, false},
                   [this, la]() { fill(la); });
 }
@@ -232,6 +236,7 @@ Cache::fill(Addr line_addr)
             engine_.scheduleIn(latency_, std::move(w));
     }
     drainPending();
+    traceDepth();
 }
 
 void

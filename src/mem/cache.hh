@@ -20,9 +20,10 @@
 #include <vector>
 
 #include "mem/device.hh"
+#include "obs/registry.hh"
+#include "obs/trace.hh"
 #include "sim/config.hh"
 #include "sim/engine.hh"
-#include "sim/stats.hh"
 
 namespace lazygpu
 {
@@ -36,7 +37,7 @@ class Cache : public MemDevice
         WriteBack,   //!< write-allocate; dirty eviction writes below
     };
 
-    Cache(Engine &engine, StatSet &stats, const std::string &name,
+    Cache(Engine &engine, StatsRegistry &stats, const std::string &name,
           const CacheParams &params, WritePolicy policy,
           MemDevice &below);
 
@@ -56,6 +57,14 @@ class Cache : public MemDevice
     bool probe(Addr addr);
 
     const std::string &name() const { return name_; }
+
+    /** Sample MSHR/pending occupancy into `trace` as track `track`. */
+    void
+    attachTrace(TraceSink *trace, std::uint16_t track)
+    {
+        trace_ = trace;
+        track_ = track;
+    }
 
   private:
     struct Line
@@ -85,6 +94,16 @@ class Cache : public MemDevice
     void fill(Addr line_addr);
     void drainPending();
 
+    /** Occupancy changed: one depth record when tracing is attached. */
+    void
+    traceDepth()
+    {
+        if (trace_) {
+            trace_->emit(TraceKind::CacheDepth, track_, 0,
+                         engine_.now(), mshrs_.size(), pending_.size());
+        }
+    }
+
     Engine &engine_;
     const std::string name_;
     const unsigned line_size_;
@@ -101,6 +120,8 @@ class Cache : public MemDevice
     std::deque<std::pair<MemAccess, Completion>> pending_;
     Tick port_busy_ = 0;
     std::uint64_t lru_clock_ = 0;
+    TraceSink *trace_ = nullptr;
+    std::uint16_t track_ = 0;
 
     Counter &hits_;
     Counter &misses_;

@@ -6,7 +6,7 @@
 namespace lazygpu
 {
 
-DramChannel::DramChannel(Engine &engine, StatSet &stats,
+DramChannel::DramChannel(Engine &engine, StatsRegistry &stats,
                          const std::string &name, unsigned bytes_per_cycle,
                          Tick access_latency)
     : engine_(engine), bytes_per_cycle_(std::max(1u, bytes_per_cycle)),

@@ -15,7 +15,7 @@
 
 #include "mem/device.hh"
 #include "sim/engine.hh"
-#include "sim/stats.hh"
+#include "obs/registry.hh"
 
 namespace lazygpu
 {
@@ -23,7 +23,7 @@ namespace lazygpu
 class DramChannel : public MemDevice
 {
   public:
-    DramChannel(Engine &engine, StatSet &stats, const std::string &name,
+    DramChannel(Engine &engine, StatsRegistry &stats, const std::string &name,
                 unsigned bytes_per_cycle, Tick access_latency);
 
     void access(const MemAccess &acc, Completion done) override;

@@ -44,7 +44,7 @@ BankRouter::access(const MemAccess &acc, Completion done)
     }
 }
 
-MemoryHierarchy::MemoryHierarchy(Engine &engine, StatSet &stats,
+MemoryHierarchy::MemoryHierarchy(Engine &engine, StatsRegistry &stats,
                                  const GpuConfig &cfg, GlobalMemory &mem)
     : mem_(mem)
 {
@@ -53,7 +53,7 @@ MemoryHierarchy::MemoryHierarchy(Engine &engine, StatSet &stats,
     // One DRAM channel per L2 bank.
     for (unsigned b = 0; b < cfg.l2Banks; ++b) {
         dram_.push_back(std::make_unique<DramChannel>(
-            engine, stats, "dram." + std::to_string(b),
+            engine, stats, "mem.dram.ch" + std::to_string(b),
             cfg.dramBytesPerCycle, cfg.dramLatency));
     }
 
@@ -64,7 +64,7 @@ MemoryHierarchy::MemoryHierarchy(Engine &engine, StatSet &stats,
         CacheParams p = cfg.l2;
         p.latency = cfg.l2HopLatency;
         l2_.push_back(std::make_unique<Cache>(
-            engine, stats, "l2." + std::to_string(b), p,
+            engine, stats, "mem.l2.bank" + std::to_string(b), p,
             Cache::WritePolicy::WriteBack, *dram_[b]));
         l2_router_->addBank(l2_[b].get());
     }
@@ -77,7 +77,7 @@ MemoryHierarchy::MemoryHierarchy(Engine &engine, StatSet &stats,
             CacheParams p = cfg.l2Zero;
             p.latency = cfg.l2HopLatency;
             l2_zero_.push_back(std::make_unique<Cache>(
-                engine, stats, "zl2." + std::to_string(b), p,
+                engine, stats, "mem.zl2.bank" + std::to_string(b), p,
                 Cache::WritePolicy::WriteBack, *dram_[b]));
             zc_router_->addBank(l2_zero_[b].get());
         }
@@ -88,16 +88,33 @@ MemoryHierarchy::MemoryHierarchy(Engine &engine, StatSet &stats,
         CacheParams p = cfg.l1;
         p.latency = cfg.l1HitLatency;
         l1_.push_back(std::make_unique<Cache>(
-            engine, stats, "l1." + std::to_string(sa), p,
+            engine, stats, "mem.l1.sa" + std::to_string(sa), p,
             Cache::WritePolicy::WriteAround, *l2_router_));
         if (zero_caches) {
             CacheParams zp = cfg.l1Zero;
             zp.latency = cfg.zcacheHitLatency;
             l1_zero_.push_back(std::make_unique<Cache>(
-                engine, stats, "zl1." + std::to_string(sa), zp,
+                engine, stats, "mem.zl1.sa" + std::to_string(sa), zp,
                 Cache::WritePolicy::WriteAround, *zc_router_));
         }
     }
+}
+
+void
+MemoryHierarchy::attachTrace(TraceSink *trace,
+                             std::vector<std::string> &tracks)
+{
+    auto attach = [&](std::vector<std::unique_ptr<Cache>> &caches) {
+        for (auto &c : caches) {
+            c->attachTrace(trace,
+                           static_cast<std::uint16_t>(tracks.size()));
+            tracks.push_back(c->name());
+        }
+    };
+    attach(l1_);
+    attach(l1_zero_);
+    attach(l2_);
+    attach(l2_zero_);
 }
 
 void

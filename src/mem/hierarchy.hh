@@ -21,7 +21,7 @@
 #include "mem/memory.hh"
 #include "sim/config.hh"
 #include "sim/engine.hh"
-#include "sim/stats.hh"
+#include "obs/registry.hh"
 
 namespace lazygpu
 {
@@ -50,7 +50,7 @@ class BankRouter : public MemDevice
 class MemoryHierarchy
 {
   public:
-    MemoryHierarchy(Engine &engine, StatSet &stats, const GpuConfig &cfg,
+    MemoryHierarchy(Engine &engine, StatsRegistry &stats, const GpuConfig &cfg,
                     GlobalMemory &mem);
 
     /** Issue a data transaction from shader array sa. */
@@ -71,6 +71,13 @@ class MemoryHierarchy
     bool maskResidentInL1(unsigned sa, Addr mask_addr);
 
     bool hasZeroCaches() const { return !l1_zero_.empty(); }
+
+    /**
+     * Route every cache's occupancy records into `trace`, appending one
+     * track name per cache to `tracks` (the index in `tracks` is the
+     * record's track id; the Gpu embeds the list in the trace meta).
+     */
+    void attachTrace(TraceSink *trace, std::vector<std::string> &tracks);
 
     Cache &l1(unsigned sa) { return *l1_[sa]; }
     Cache &l2(unsigned bank) { return *l2_[bank]; }

@@ -1,0 +1,37 @@
+#include "obs/lifecycle.hh"
+
+namespace lazygpu
+{
+
+std::string
+LifecycleTracker::modeToken(ExecMode mode)
+{
+    std::string token = toString(mode);
+    for (char &c : token) {
+        if (c >= 'A' && c <= 'Z')
+            c = static_cast<char>(c - 'A' + 'a');
+        else if (c == '+')
+            c = '_';
+    }
+    return token;
+}
+
+LifecycleTracker::LifecycleTracker(StatsRegistry &stats, ExecMode mode)
+    : issue_wait_(stats.hist("lifecycle." + modeToken(mode) +
+                             ".issue_wait")),
+      resolve_time_(stats.hist("lifecycle." + modeToken(mode) +
+                               ".resolve_time")),
+      elim_zero_(stats.hist("lifecycle." + modeToken(mode) +
+                            ".elim_zero_time")),
+      elim_otimes_(stats.hist("lifecycle." + modeToken(mode) +
+                              ".elim_otimes_time")),
+      elim_dead_(stats.hist("lifecycle." + modeToken(mode) +
+                            ".elim_dead_time")),
+      mask_probe_(stats.hist("lifecycle." + modeToken(mode) +
+                             ".mask_probe_wait")),
+      suspend_wait_(stats.hist("lifecycle." + modeToken(mode) +
+                               ".suspend_wait"))
+{
+}
+
+} // namespace lazygpu

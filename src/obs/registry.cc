@@ -1,0 +1,223 @@
+#include "obs/registry.hh"
+
+#include <bit>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace lazygpu
+{
+
+unsigned
+Histogram::bucketIndex(std::uint64_t v)
+{
+    if (v == 0)
+        return 0;
+    const unsigned log2 =
+        63u - static_cast<unsigned>(std::countl_zero(v));
+    return std::min(log2 + 1, numBuckets - 1);
+}
+
+double
+Histogram::percentile(double p) const
+{
+    if (count_ == 0)
+        return 0.0;
+    if (p <= 0.0)
+        return static_cast<double>(min_);
+    if (p >= 100.0)
+        return static_cast<double>(max_);
+
+    // The sample at rank ceil(p% * count), located by a bucket walk
+    // with linear interpolation across the winning bucket's range.
+    const double target = p / 100.0 * static_cast<double>(count_);
+    std::uint64_t cum = 0;
+    for (unsigned i = 0; i < numBuckets; ++i) {
+        if (buckets_[i] == 0)
+            continue;
+        const double prev = static_cast<double>(cum);
+        cum += buckets_[i];
+        if (static_cast<double>(cum) < target)
+            continue;
+        const double lo = static_cast<double>(bucketLo(i));
+        const double hi = static_cast<double>(bucketHi(i));
+        const double frac =
+            (target - prev) / static_cast<double>(buckets_[i]);
+        double v = lo + (hi - lo) * frac;
+        // The true extremes are known exactly; never report a value
+        // outside the observed range (this also makes single-value
+        // histograms exact at every percentile).
+        v = std::max(v, static_cast<double>(min_));
+        v = std::min(v, static_cast<double>(max_));
+        return v;
+    }
+    return static_cast<double>(max_);
+}
+
+void
+StatsRegistry::checkKind(const std::string &name, Kind kind)
+{
+    const auto [it, inserted] = registered_.emplace(name, kind);
+    panic_if(!inserted && it->second != kind,
+             "stat '%s' already registered as a different kind",
+             name.c_str());
+}
+
+Counter &
+StatsRegistry::counter(const std::string &name)
+{
+    checkKind(name, Kind::Counter);
+    return counters_[name];
+}
+
+Distribution &
+StatsRegistry::dist(const std::string &name)
+{
+    checkKind(name, Kind::Distribution);
+    return dists_[name];
+}
+
+Histogram &
+StatsRegistry::hist(const std::string &name)
+{
+    checkKind(name, Kind::Histogram);
+    return hists_[name];
+}
+
+TimeSeries &
+StatsRegistry::series(const std::string &name)
+{
+    checkKind(name, Kind::TimeSeries);
+    return series_[name];
+}
+
+std::uint64_t
+StatsRegistry::sumCounters(const std::string &prefix,
+                           const std::string &suffix) const
+{
+    std::uint64_t total = 0;
+    for (const auto &[name, ctr] : counters_) {
+        if (name.size() < prefix.size() + suffix.size())
+            continue;
+        if (name.compare(0, prefix.size(), prefix) != 0)
+            continue;
+        if (!suffix.empty() &&
+            name.compare(name.size() - suffix.size(), suffix.size(),
+                         suffix) != 0) {
+            continue;
+        }
+        total += ctr.value();
+    }
+    return total;
+}
+
+void
+StatsRegistry::reset()
+{
+    for (auto &[name, ctr] : counters_)
+        ctr.reset();
+    for (auto &[name, d] : dists_)
+        d.reset();
+    for (auto &[name, h] : hists_)
+        h.reset();
+    for (auto &[name, s] : series_)
+        s.reset();
+}
+
+std::string
+StatsRegistry::dump() const
+{
+    std::ostringstream os;
+    for (const auto &[name, ctr] : counters_)
+        os << name << " " << ctr.value() << "\n";
+    for (const auto &[name, d] : dists_) {
+        os << name << ".count " << d.count() << "\n";
+        os << name << ".mean " << d.mean() << "\n";
+        os << name << ".max " << d.max() << "\n";
+    }
+    for (const auto &[name, h] : hists_) {
+        os << name << ".count " << h.count() << "\n";
+        os << name << ".mean " << h.mean() << "\n";
+        os << name << ".p99 " << h.percentile(99.0) << "\n";
+        os << name << ".max " << h.max() << "\n";
+    }
+    return os.str();
+}
+
+namespace
+{
+
+/** Indentation shared between two consecutive dotted names. */
+void
+printTreePath(std::ostringstream &os, const std::string &prev,
+              const std::string &name, std::string &leaf)
+{
+    // Components before the leaf that differ from the previous name's
+    // path open a new indented group; the leaf itself is printed by the
+    // caller with its value.
+    std::vector<std::string> parts;
+    std::size_t start = 0;
+    for (std::size_t i = 0; i <= name.size(); ++i) {
+        if (i == name.size() || name[i] == '.') {
+            parts.push_back(name.substr(start, i - start));
+            start = i + 1;
+        }
+    }
+    std::vector<std::string> prev_parts;
+    start = 0;
+    for (std::size_t i = 0; i <= prev.size(); ++i) {
+        if (i == prev.size() || prev[i] == '.') {
+            prev_parts.push_back(prev.substr(start, i - start));
+            start = i + 1;
+        }
+    }
+    std::size_t common = 0;
+    while (common + 1 < parts.size() && common < prev_parts.size() &&
+           parts[common] == prev_parts[common]) {
+        ++common;
+    }
+    for (std::size_t i = common; i + 1 < parts.size(); ++i) {
+        os << std::string(2 * i, ' ') << parts[i] << "\n";
+    }
+    leaf = std::string(2 * (parts.size() - 1), ' ') + parts.back();
+}
+
+} // namespace
+
+std::string
+StatsRegistry::report() const
+{
+    std::ostringstream os;
+    std::string prev;
+    std::string leaf;
+    for (const auto &[name, kind] : registered_) {
+        printTreePath(os, prev, name, leaf);
+        prev = name;
+        switch (kind) {
+        case Kind::Counter:
+            os << leaf << " " << counters_.at(name).value() << "\n";
+            break;
+        case Kind::Distribution: {
+            const Distribution &d = dists_.at(name);
+            os << leaf << " count=" << d.count() << " mean=" << d.mean()
+               << " min=" << d.min() << " max=" << d.max() << "\n";
+            break;
+        }
+        case Kind::Histogram: {
+            const Histogram &h = hists_.at(name);
+            os << leaf << " count=" << h.count() << " mean=" << h.mean()
+               << " p50=" << h.percentile(50.0)
+               << " p99=" << h.percentile(99.0) << " max=" << h.max()
+               << "\n";
+            break;
+        }
+        case Kind::TimeSeries:
+            os << leaf << " " << series_.at(name).points().size()
+               << " points\n";
+            break;
+        }
+    }
+    return os.str();
+}
+
+} // namespace lazygpu

@@ -1,0 +1,70 @@
+#include "obs/trace.hh"
+
+#include <cstring>
+
+#include "sim/logging.hh"
+
+namespace lazygpu
+{
+
+TraceSink::TraceSink(std::string path, std::size_t capacity)
+    : path_(std::move(path)), capacity_(capacity)
+{
+    if (!path_.empty()) {
+        file_ = std::fopen(path_.c_str(), "wb");
+        panic_if(!file_, "cannot open trace file '%s'", path_.c_str());
+        buf_.reserve(capacity_);
+    }
+}
+
+TraceSink::~TraceSink()
+{
+    if (file_) {
+        flush();
+        std::fclose(file_);
+    }
+}
+
+void
+TraceSink::setMeta(std::string json)
+{
+    panic_if(header_written_,
+             "trace meta must be set before the first flush");
+    meta_ = std::move(json);
+}
+
+void
+TraceSink::writeHeader()
+{
+    TraceFileHeader hdr{};
+    std::memcpy(hdr.magic, "LZGTRC01", sizeof(hdr.magic));
+    hdr.version = fileVersion;
+    hdr.recordBytes = sizeof(TraceRecord);
+    hdr.metaBytes = meta_.size();
+    std::fwrite(&hdr, sizeof(hdr), 1, file_);
+    std::fwrite(meta_.data(), 1, meta_.size(), file_);
+    header_written_ = true;
+}
+
+void
+TraceSink::writeOut()
+{
+    if (!header_written_)
+        writeHeader();
+    if (!buf_.empty()) {
+        std::fwrite(buf_.data(), sizeof(TraceRecord), buf_.size(),
+                    file_);
+        buf_.clear();
+    }
+}
+
+void
+TraceSink::flush()
+{
+    if (!file_)
+        return;
+    writeOut();
+    std::fflush(file_);
+}
+
+} // namespace lazygpu

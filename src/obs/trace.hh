@@ -1,0 +1,151 @@
+/**
+ * @file
+ * The binary trace sink.
+ *
+ * Components emit fixed 32-byte TraceRecords describing lifecycle
+ * edges (wavefront begin/end, transaction issue/complete, mask probe
+ * begin/end), instants (zero-cache short circuits, store traffic) and
+ * sampled depths (cache MSHR/pending occupancy, engine queue depth).
+ * The sink buffers them in a fixed ring and flushes to a file, or --
+ * with an empty path -- keeps everything in memory for programmatic
+ * replay (Fig 2 rebuilds its latency/in-flight series this way).
+ *
+ * The hot path sees exactly one pointer test per instrumentation site
+ * (`if (trace_)`), so with tracing off the cost is a predicted-not-taken
+ * branch; with tracing on, emission is a bounds check plus a 32-byte
+ * store. Tracing is purely observational: it never schedules events or
+ * touches simulated state, so enabling it cannot perturb results.
+ *
+ * File layout: TraceFileHeader ("LZGTRC01", version, record size, meta
+ * length), a UTF-8 JSON meta blob (config, track names, mode), then raw
+ * TraceRecords until EOF. bench/trace_export converts this to Chrome
+ * trace-event JSON loadable in Perfetto / chrome://tracing.
+ */
+
+#ifndef LAZYGPU_OBS_TRACE_HH
+#define LAZYGPU_OBS_TRACE_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace lazygpu
+{
+
+enum class TraceKind : std::uint16_t
+{
+    /** Wavefront dispatched to a CU. track=CU, id=wave trace id. */
+    WaveBegin = 1,
+    /** Wavefront finalized. track=CU, id=wave trace id. */
+    WaveEnd = 2,
+    /** Data transaction issued. track=CU, id=tx span id, arg=addr. */
+    TxBegin = 3,
+    /** Data transaction completed. track=CU, id=tx span id, arg=addr. */
+    TxEnd = 4,
+    /** Zero-mask probe issued. track=CU, id=span id, arg=mask addr. */
+    MaskBegin = 5,
+    /** Zero-mask probe response. track=CU, id=span id, arg=mask addr. */
+    MaskEnd = 6,
+    /** EagerZC short circuit (L2 access avoided). track=CU, arg=addr. */
+    ZcShortCircuit = 7,
+    /** Zero-mask write (store path). track=CU, arg=mask addr. */
+    MaskWrite = 8,
+    /** Store transaction. track=CU, arg=addr, flags=1 if zero-skipped. */
+    StoreTx = 9,
+    /** Cache occupancy. track=cache, id=MSHRs in use, arg=queued. */
+    CacheDepth = 10,
+    /** Engine depth. id=queued events, arg=(pool chunks<<32)|clocked. */
+    EngineCounters = 11,
+};
+
+/** One fixed-size trace event; written to the file verbatim. */
+struct TraceRecord
+{
+    std::uint16_t kind;
+    std::uint16_t track;
+    std::uint32_t flags;
+    std::uint64_t tick;
+    std::uint64_t id;
+    std::uint64_t arg;
+};
+
+static_assert(sizeof(TraceRecord) == 32,
+              "trace records are 32 bytes on disk");
+
+/** The on-disk header preceding the meta blob and the records. */
+struct TraceFileHeader
+{
+    char magic[8]; // "LZGTRC01"
+    std::uint32_t version;
+    std::uint32_t recordBytes;
+    std::uint64_t metaBytes;
+};
+
+static_assert(sizeof(TraceFileHeader) == 24, "fixed 24-byte header");
+
+class TraceSink
+{
+  public:
+    static constexpr std::uint32_t fileVersion = 1;
+    static constexpr std::size_t defaultCapacity = 1 << 16;
+
+    /**
+     * An empty path keeps every record in memory (records()); otherwise
+     * records stream to the file, `capacity` records per flush.
+     */
+    explicit TraceSink(std::string path,
+                       std::size_t capacity = defaultCapacity);
+    ~TraceSink();
+
+    TraceSink(const TraceSink &) = delete;
+    TraceSink &operator=(const TraceSink &) = delete;
+
+    /**
+     * The JSON meta blob written after the header. Must be set before
+     * the first flush reaches the file (i.e. before `capacity` records
+     * have been emitted); the Gpu sets it at attach time.
+     */
+    void setMeta(std::string json);
+
+    /** A fresh id for matching begin/end record pairs. */
+    std::uint64_t nextId() { return next_id_++; }
+
+    void
+    emit(TraceKind kind, std::uint16_t track, std::uint32_t flags,
+         Tick tick, std::uint64_t id, std::uint64_t arg)
+    {
+        buf_.push_back({static_cast<std::uint16_t>(kind), track, flags,
+                        tick, id, arg});
+        if (file_ && buf_.size() >= capacity_)
+            writeOut();
+        ++emitted_;
+    }
+
+    /** Every record so far (in-memory mode only). */
+    const std::vector<TraceRecord> &records() const { return buf_; }
+
+    std::uint64_t emitted() const { return emitted_; }
+
+    /** Push header/meta and any buffered records to the file. */
+    void flush();
+
+  private:
+    void writeOut();
+    void writeHeader();
+
+    std::string path_;
+    std::FILE *file_ = nullptr;
+    bool header_written_ = false;
+    std::string meta_ = "{}";
+    std::size_t capacity_;
+    std::vector<TraceRecord> buf_;
+    std::uint64_t next_id_ = 1;
+    std::uint64_t emitted_ = 0;
+};
+
+} // namespace lazygpu
+
+#endif // LAZYGPU_OBS_TRACE_HH

@@ -71,8 +71,18 @@ struct GpuConfig
 
     std::string name = "r9nano";
 
-    /** Record Fig 2-style latency / in-flight time series. */
+    /** Attach the trace sink (timeline records for every CU/cache). */
     bool enableTraces = false;
+
+    /**
+     * Where the binary trace is written (see obs/trace.hh for the file
+     * format; bench/trace_export converts to Perfetto JSON). Empty with
+     * enableTraces set keeps the records in memory (Gpu::trace()).
+     */
+    std::string tracePath;
+
+    /** Print the hierarchical stats report to stderr after each run. */
+    bool statsReport = false;
 
     /**
      * Fault injection for the differential checker's self-test: a

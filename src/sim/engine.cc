@@ -2,6 +2,7 @@
 
 #include <bit>
 
+#include "obs/trace.hh"
 #include "sim/sim_error.hh"
 
 namespace lazygpu
@@ -65,6 +66,13 @@ Engine::advanceTo(Tick t)
         EventRecord *r = overflow_.top();
         overflow_.pop();
         pushBucket(r); // num_events_ is unchanged: still pending
+    }
+    if (trace_sink_ && t - trace_sink_last_ >= traceSampleTicks) {
+        trace_sink_last_ = t;
+        trace_sink_->emit(
+            TraceKind::EngineCounters, 0, 0, now_, num_events_,
+            (static_cast<std::uint64_t>(chunks_.size()) << 32) |
+                active_clocked_);
     }
 }
 
@@ -238,6 +246,7 @@ Engine::reset()
     active_clocked_ = 0;
     poll_countdown_ = pollInterval;
     trace_count_ = 0;
+    trace_sink_last_ = 0;
 }
 
 } // namespace lazygpu

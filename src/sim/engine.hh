@@ -41,6 +41,8 @@
 namespace lazygpu
 {
 
+class TraceSink;
+
 /**
  * Watchdog channel between a simulation thread and its monitor.
  *
@@ -205,6 +207,22 @@ class Engine
     void attachControl(ExecControl *ctl) { ctl_ = ctl; }
 
     /**
+     * Attach (or detach, with nullptr) a trace sink. While attached,
+     * every time advance of at least traceSampleTicks emits one
+     * EngineCounters record (queue depth, pool chunks, active clocked
+     * components) -- off the event hot path.
+     */
+    void
+    attachTrace(TraceSink *trace)
+    {
+        trace_sink_ = trace;
+        trace_sink_last_ = 0;
+    }
+
+    /** Minimum ticks between engine-depth trace records. */
+    static constexpr Tick traceSampleTicks = 64;
+
+    /**
      * The last recentTraceSize heartbeat samples (tick, eventsExecuted),
      * oldest first — the forward-progress trajectory embedded in crash
      * snapshots. Only populated while a control channel is attached.
@@ -364,6 +382,10 @@ class Engine
     unsigned poll_countdown_ = pollInterval;
     std::array<std::pair<Tick, std::uint64_t>, recentTraceSize> trace_{};
     std::uint64_t trace_count_ = 0;
+
+    // Observability sink (nullptr unless tracing is enabled).
+    TraceSink *trace_sink_ = nullptr;
+    Tick trace_sink_last_ = 0;
 };
 
 } // namespace lazygpu

@@ -10,7 +10,7 @@
 #include "mem/memory.hh"
 #include "sim/config.hh"
 #include "sim/rng.hh"
-#include "sim/stats.hh"
+#include "obs/registry.hh"
 
 namespace lazygpu
 {
@@ -21,7 +21,7 @@ namespace
 
 TEST(Stats, CountersAccumulate)
 {
-    StatSet st;
+    StatsRegistry st;
     st.counter("a.x") += 5;
     ++st.counter("a.x");
     st.counter("b.x") += 2;
@@ -31,7 +31,7 @@ TEST(Stats, CountersAccumulate)
 
 TEST(Stats, SumCountersMatchesPrefixAndSuffix)
 {
-    StatSet st;
+    StatsRegistry st;
     st.counter("l1.0.hits") += 3;
     st.counter("l1.1.hits") += 4;
     st.counter("l1.0.misses") += 10;
@@ -59,7 +59,7 @@ TEST(Stats, DistributionTracksMoments)
 
 TEST(Stats, TimeSeriesKeepsSamples)
 {
-    StatSet st;
+    StatsRegistry st;
     st.series("t").sample(10, 1.5);
     st.series("t").sample(20, 2.5);
     ASSERT_EQ(2u, st.series("t").points().size());

@@ -34,9 +34,9 @@ oneCu(ExecMode mode)
 std::uint64_t
 ctr(const Gpu &gpu, const char *name)
 {
+    // Per-CU counters live under "gpu.sa<S>.cu<C>.<name>"; sum them.
     auto &st = const_cast<Gpu &>(gpu).stats();
-    auto it = st.counters().find(name);
-    return it == st.counters().end() ? 0 : it->second.value();
+    return st.sumCounters("gpu.", std::string(".") + name);
 }
 
 TEST(LazyMechanics, UnusedLoadIsNeverIssuedOnLazyCore)
@@ -55,10 +55,10 @@ TEST(LazyMechanics, UnusedLoadIsNeverIssuedOnLazyCore)
         Gpu gpu(oneCu(mode), mem);
         gpu.run(k);
         if (mode == ExecMode::Baseline) {
-            EXPECT_EQ(8u, ctr(gpu, "cu.txs_issued"));
+            EXPECT_EQ(8u, ctr(gpu, "txs_issued"));
         } else {
-            EXPECT_EQ(0u, ctr(gpu, "cu.txs_issued"));
-            EXPECT_EQ(8u, ctr(gpu, "cu.txs_elim_dead"));
+            EXPECT_EQ(0u, ctr(gpu, "txs_issued"));
+            EXPECT_EQ(8u, ctr(gpu, "txs_elim_dead"));
         }
     }
 }
@@ -78,8 +78,8 @@ TEST(LazyMechanics, OverwrittenPendingLoadIsEliminated)
 
     Gpu gpu(oneCu(ExecMode::LazyCore), mem);
     gpu.run(k);
-    EXPECT_EQ(0u, ctr(gpu, "cu.txs_issued"));
-    EXPECT_EQ(8u, ctr(gpu, "cu.txs_elim_dead"));
+    EXPECT_EQ(0u, ctr(gpu, "txs_issued"));
+    EXPECT_EQ(8u, ctr(gpu, "txs_elim_dead"));
     // The overwrite's value flows through correctly.
     EXPECT_FLOAT_EQ(2.0f, mem.readF32(buf + 2048));
 }
@@ -104,10 +104,10 @@ TEST(LazyMechanics, ZeroCacheEliminatesAllZeroLoads)
 
     Gpu gpu(oneCu(ExecMode::LazyZC), mem);
     gpu.run(k);
-    EXPECT_EQ(0u, ctr(gpu, "cu.txs_issued"));
-    EXPECT_EQ(8u, ctr(gpu, "cu.txs_elim_zero"));
-    EXPECT_EQ(64u, ctr(gpu, "cu.lanes_zeroed"));
-    EXPECT_GT(ctr(gpu, "cu.mask_reads"), 0u);
+    EXPECT_EQ(0u, ctr(gpu, "txs_issued"));
+    EXPECT_EQ(8u, ctr(gpu, "txs_elim_zero"));
+    EXPECT_EQ(64u, ctr(gpu, "lanes_zeroed"));
+    EXPECT_GT(ctr(gpu, "mask_reads"), 0u);
     for (unsigned i = 0; i < wavefrontSize; ++i)
         EXPECT_FLOAT_EQ(5.0f, mem.readF32(out + 4ull * i));
 }
@@ -132,9 +132,9 @@ TEST(LazyMechanics, PartialZeroLanesAreZeroedButTxStillIssues)
 
     Gpu gpu(oneCu(ExecMode::LazyZC), mem);
     gpu.run(k);
-    EXPECT_EQ(8u, ctr(gpu, "cu.txs_issued"));
-    EXPECT_EQ(0u, ctr(gpu, "cu.txs_elim_zero"));
-    EXPECT_EQ(32u, ctr(gpu, "cu.lanes_zeroed"));
+    EXPECT_EQ(8u, ctr(gpu, "txs_issued"));
+    EXPECT_EQ(0u, ctr(gpu, "txs_elim_zero"));
+    EXPECT_EQ(32u, ctr(gpu, "lanes_zeroed"));
     for (unsigned i = 0; i < wavefrontSize; ++i) {
         EXPECT_FLOAT_EQ(i % 2 ? 4.0f : 1.0f,
                         mem.readF32(out + 4ull * i));
@@ -162,9 +162,9 @@ TEST(LazyMechanics, OtimesSuspendsLoadsWithZeroCounterpart)
 
     Gpu gpu(oneCu(ExecMode::LazyGPU), mem);
     gpu.run(k);
-    EXPECT_EQ(0u, ctr(gpu, "cu.txs_issued"));
-    EXPECT_EQ(8u, ctr(gpu, "cu.txs_elim_otimes"));
-    EXPECT_EQ(64u, ctr(gpu, "cu.lanes_suspended"));
+    EXPECT_EQ(0u, ctr(gpu, "txs_issued"));
+    EXPECT_EQ(8u, ctr(gpu, "txs_elim_otimes"));
+    EXPECT_EQ(64u, ctr(gpu, "lanes_suspended"));
     for (unsigned i = 0; i < wavefrontSize; ++i)
         EXPECT_FLOAT_EQ(0.0f, mem.readF32(out + 4ull * i));
 }
@@ -191,8 +191,8 @@ TEST(LazyMechanics, SuspendedLoadRequalifiesWhenValueIsNeeded)
 
     Gpu gpu(oneCu(ExecMode::LazyGPU), mem);
     gpu.run(k);
-    EXPECT_EQ(8u, ctr(gpu, "cu.txs_issued"));
-    EXPECT_EQ(0u, ctr(gpu, "cu.txs_elim_otimes"));
+    EXPECT_EQ(8u, ctr(gpu, "txs_issued"));
+    EXPECT_EQ(0u, ctr(gpu, "txs_elim_otimes"));
     for (unsigned i = 0; i < wavefrontSize; ++i)
         EXPECT_FLOAT_EQ(3.5f, mem.readF32(out + 4ull * i));
 }
@@ -224,9 +224,9 @@ TEST(LazyMechanics, MacUsesMaskZeroedCounterpartToKillWeightLoads)
     Gpu gpu(oneCu(ExecMode::LazyGPU), mem);
     gpu.run(k);
     // a's 8 transactions eliminated by (1); w's by (2).
-    EXPECT_EQ(8u, ctr(gpu, "cu.txs_elim_zero"));
-    EXPECT_EQ(8u, ctr(gpu, "cu.txs_elim_otimes"));
-    EXPECT_EQ(0u, ctr(gpu, "cu.txs_issued"));
+    EXPECT_EQ(8u, ctr(gpu, "txs_elim_zero"));
+    EXPECT_EQ(8u, ctr(gpu, "txs_elim_otimes"));
+    EXPECT_EQ(0u, ctr(gpu, "txs_issued"));
     for (unsigned i = 0; i < wavefrontSize; ++i)
         EXPECT_FLOAT_EQ(9.0f, mem.readF32(out + 4ull * i));
 }
@@ -252,7 +252,7 @@ TEST(LazyMechanics, MixedUpperBitsFallBackToEagerIssue)
 
     Gpu gpu(oneCu(ExecMode::LazyGPU), mem);
     gpu.run(k);
-    EXPECT_GT(ctr(gpu, "cu.txs_eager_fallback"), 0u);
+    EXPECT_GT(ctr(gpu, "txs_eager_fallback"), 0u);
 }
 
 TEST(LazyMechanics, AllZeroStoresOnlyTouchTheZeroCache)
@@ -268,9 +268,9 @@ TEST(LazyMechanics, AllZeroStoresOnlyTouchTheZeroCache)
 
     Gpu gpu(oneCu(ExecMode::LazyGPU), mem);
     gpu.run(k);
-    EXPECT_EQ(0u, ctr(gpu, "cu.store_txs"));
-    EXPECT_EQ(8u, ctr(gpu, "cu.store_txs_zero_skipped"));
-    EXPECT_GT(ctr(gpu, "cu.mask_writes"), 0u);
+    EXPECT_EQ(0u, ctr(gpu, "store_txs"));
+    EXPECT_EQ(8u, ctr(gpu, "store_txs_zero_skipped"));
+    EXPECT_GT(ctr(gpu, "mask_writes"), 0u);
 }
 
 TEST(LazyMechanics, NonZeroStoresWriteBothPaths)
@@ -286,9 +286,9 @@ TEST(LazyMechanics, NonZeroStoresWriteBothPaths)
 
     Gpu gpu(oneCu(ExecMode::LazyGPU), mem);
     gpu.run(k);
-    EXPECT_EQ(8u, ctr(gpu, "cu.store_txs"));
-    EXPECT_EQ(0u, ctr(gpu, "cu.store_txs_zero_skipped"));
-    EXPECT_GT(ctr(gpu, "cu.mask_writes"), 0u);
+    EXPECT_EQ(8u, ctr(gpu, "store_txs"));
+    EXPECT_EQ(0u, ctr(gpu, "store_txs_zero_skipped"));
+    EXPECT_GT(ctr(gpu, "mask_writes"), 0u);
 }
 
 TEST(LazyMechanics, BaselineIssuesEverythingAtExecute)
@@ -306,10 +306,10 @@ TEST(LazyMechanics, BaselineIssuesEverythingAtExecute)
 
     Gpu gpu(oneCu(ExecMode::Baseline), mem);
     gpu.run(k);
-    EXPECT_EQ(8u, ctr(gpu, "cu.txs_issued"));
-    EXPECT_EQ(0u, ctr(gpu, "cu.txs_elim_zero") +
-                      ctr(gpu, "cu.txs_elim_otimes") +
-                      ctr(gpu, "cu.txs_elim_dead"));
+    EXPECT_EQ(8u, ctr(gpu, "txs_issued"));
+    EXPECT_EQ(0u, ctr(gpu, "txs_elim_zero") +
+                      ctr(gpu, "txs_elim_otimes") +
+                      ctr(gpu, "txs_elim_dead"));
 }
 
 TEST(LazyMechanics, MultiRegisterLoadsTrackPerRegisterBusyBits)

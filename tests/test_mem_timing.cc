@@ -20,7 +20,7 @@ namespace
 struct Fixture
 {
     Engine engine;
-    StatSet stats;
+    StatsRegistry stats;
 };
 
 /** Run an access and return its completion tick. */
@@ -307,8 +307,8 @@ TEST(Hierarchy, MaskPathUsesTheZeroCaches)
     f.engine.run();
     EXPECT_TRUE(hier.maskResidentInL1(0, ma));
     EXPECT_FALSE(hier.maskResidentInL1(1, ma)); // per-SA L1 Zero Caches
-    EXPECT_EQ(1u, f.stats.sumCounters("zl1.", ".misses"));
-    EXPECT_EQ(0u, f.stats.sumCounters("l1.", ".misses"));
+    EXPECT_EQ(1u, f.stats.sumCounters("mem.zl1.", ".misses"));
+    EXPECT_EQ(0u, f.stats.sumCounters("mem.l1.", ".misses"));
 }
 
 TEST(HierarchyDeath, MaskAccessWithoutZeroCachesPanics)
