@@ -21,6 +21,20 @@ parseJobs(const std::string &value)
     return static_cast<unsigned>(v);
 }
 
+unsigned
+parseTimingWaves(const std::string &value)
+{
+    if (value == "all")
+        return GpuConfig::timingWavesAll;
+    char *end = nullptr;
+    const unsigned long v = std::strtoul(value.c_str(), &end, 10);
+    fatal_if(end == value.c_str() || *end != '\0' ||
+                 v >= GpuConfig::timingWavesAll,
+             "--timing-waves expects a wave count or 'all', got '%s'",
+             value.c_str());
+    return static_cast<unsigned>(v);
+}
+
 double
 parseSeconds(const char *flag, const std::string &value)
 {
@@ -84,6 +98,8 @@ parseBenchOptions(int argc, char **argv)
             opt.tracePath = v;
         } else if (valueFor(i, a, "--trace-cell", v)) {
             opt.traceCellKey = v;
+        } else if (valueFor(i, a, "--timing-waves", v)) {
+            opt.timingWaves = parseTimingWaves(v);
         } else {
             opt.args.push_back(a);
         }
@@ -110,6 +126,7 @@ BenchOptions::sweepOptions(const std::string &bench) const
     s.statsReport = statsReport;
     s.tracePath = tracePath;
     s.traceCellKey = traceCellKey;
+    s.timingWaves = timingWaves;
     return s;
 }
 

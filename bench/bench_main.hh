@@ -29,6 +29,11 @@
  *                    simulated results)
  *   --trace-cell KEY which cell --trace records (default: the first
  *                    cell of the first sweep)
+ *   --timing-waves N multi-resolution sampling: the first N wavefronts
+ *                    of each kernel run in detailed timing, the rest in
+ *                    the fast functional rabbit executor with exact
+ *                    sparsity accounting and extrapolated timing stats;
+ *                    'all' (the default) disables sampling
  *
  * Remaining arguments are returned positionally for bench-specific
  * knobs (`--quick`, wave counts, ...). Printed tables and JSON
@@ -66,6 +71,9 @@ struct BenchOptions
     bool statsReport = false;
     std::string tracePath;
     std::string traceCellKey;
+
+    /** --timing-waves sampling window; timingWavesAll disables it. */
+    unsigned timingWaves = GpuConfig::timingWavesAll;
 
     /** Arguments other than the shared flags, in order. */
     std::vector<std::string> args;

@@ -21,6 +21,7 @@
 #include <sys/resource.h>
 
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <functional>
 #include <queue>
@@ -234,6 +235,48 @@ main(int argc, char **argv)
                 "on/off %.2fx\n",
                 obs_off_secs, obs_on_secs, obs_on_secs / obs_off_secs);
 
+    // Multi-resolution sampling: the 16-CU fig03 MM cell, full timing
+    // vs --timing-waves 256 (first 256 of 16384 waves detailed, the
+    // rest through the rabbit executor). Reports the wall-clock speedup
+    // the sampling mode buys (ISSUE target: >= 5x) plus the accuracy of
+    // the extrapolated cycle estimate and the (exact) elimination
+    // rates.
+    std::printf("\nrabbit sampling (MM 16384 waves, LazyCore, 16 CUs):\n");
+    constexpr unsigned kRabbitTotalWaves = 16384;
+    constexpr unsigned kRabbitTimedWaves = 256;
+    auto rabbitCell = [](unsigned timing_waves) {
+        WorkloadParams p;
+        p.sparsity = 0.0;
+        p.scale = 16;
+        Workload w = makeMM(p, kRabbitTotalWaves);
+        GpuConfig cfg = GpuConfig::r9Nano().scaled(4);
+        cfg.mode = ExecMode::LazyCore;
+        cfg.timingWaves = timing_waves;
+        const auto t0 = std::chrono::steady_clock::now();
+        RunResult r = runWorkload(cfg, w, false);
+        return std::make_pair(secondsSince(t0), r);
+    };
+    const auto [rabbit_samp_secs, rabbit_samp] =
+        rabbitCell(kRabbitTimedWaves);
+    const auto [rabbit_full_secs, rabbit_full] =
+        rabbitCell(GpuConfig::timingWavesAll);
+    const double rabbit_speedup = rabbit_full_secs / rabbit_samp_secs;
+    const double est_cycles_rel_err =
+        rabbit_full.cycles
+            ? std::abs(static_cast<double>(rabbit_samp.cycles) -
+                       static_cast<double>(rabbit_full.cycles)) /
+                  static_cast<double>(rabbit_full.cycles)
+            : 0.0;
+    std::printf("  full %.2fs, sampled (%u timed) %.2fs: %.2fx\n"
+                "  est cycles %llu vs full %llu (rel err %.4f)\n"
+                "  elim rate sampled %.4f vs full %.4f\n",
+                rabbit_full_secs, kRabbitTimedWaves, rabbit_samp_secs,
+                rabbit_speedup,
+                static_cast<unsigned long long>(rabbit_samp.cycles),
+                static_cast<unsigned long long>(rabbit_full.cycles),
+                est_cycles_rel_err, rabbit_samp.eliminationRate(),
+                rabbit_full.eliminationRate());
+
     std::printf("peak RSS: %llu KiB\n",
                 static_cast<unsigned long long>(peakRssKib()));
 
@@ -256,10 +299,23 @@ main(int argc, char **argv)
         .set("on_ms", obs_on_secs * 1e3)
         .set("on_over_off", obs_on_secs / obs_off_secs);
 
+    Json rabbit = Json::object();
+    rabbit.set("total_waves", kRabbitTotalWaves)
+        .set("timing_waves", kRabbitTimedWaves)
+        .set("full_ms", rabbit_full_secs * 1e3)
+        .set("sampled_ms", rabbit_samp_secs * 1e3)
+        .set("speedup", rabbit_speedup)
+        .set("est_cycles", rabbit_samp.cycles)
+        .set("full_cycles", rabbit_full.cycles)
+        .set("est_cycles_rel_err", est_cycles_rel_err)
+        .set("elim_rate_full", rabbit_full.eliminationRate())
+        .set("elim_rate_sampled", rabbit_samp.eliminationRate());
+
     Json data = Json::object();
     data.set("scheduler_micro", std::move(micro))
         .set("fig03_sweep", std::move(sweep))
         .set("obs_ab", std::move(obs_ab))
+        .set("rabbit_sampling", std::move(rabbit))
         .set("peak_rss_kib", peakRssKib());
     writeBenchJson("perf", data);
     return 0;

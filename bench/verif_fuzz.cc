@@ -8,6 +8,7 @@
  *   verif_fuzz [--seed-range A:B] [--seeds s1,s2,...]
  *              [--modes Baseline,LazyGPU,...]
  *              [--waves N] [--sparsity X] [--body-ops N]
+ *              [--timing-waves W1,W2,...] (numbers, 'boundary', 'all')
  *              [--corpus DIR] [--corpus-only] [--minimize]
  *              [--inject-bug] [--verbose]
  *
@@ -19,11 +20,20 @@
  * --corpus DIR replays every *.case file (minimized regressions from
  * fixed bugs) before the sweep.
  *
+ * --timing-waves W1,W2,... additionally re-runs every differential with
+ * GpuConfig::timingWaves set to each listed value, checking the rabbit
+ * fast path against the same untimed reference. Tokens are wave counts
+ * plus 'boundary' (numWavefronts - 1: one rabbit wave) and 'all'
+ * (numWavefronts: sampling armed but every wave still timed); 0 runs
+ * everything in rabbit mode. Any discrepancy is a real bug.
+ *
  * --inject-bug is the self-test demanded by the PR acceptance criteria:
  * it arms GpuConfig::injectSkipSuspendRequalify (optimization (2)
  * wrongly keeps a suspended lane at zero when a non-otimes instruction
  * consumes it) and exits 0 iff the sweep CATCHES the fault on LazyGPU
- * within the seed range.
+ * within the seed range -- under full timing and under every
+ * --timing-waves setting, since the rabbit path honours the same
+ * injected fault.
  */
 
 #include <cstdio>
@@ -52,6 +62,8 @@ struct Args
     unsigned waves = 0;
     double sparsity = -1.0;
     unsigned bodyOps = 0;
+    /** Raw --timing-waves tokens; resolved per generated case. */
+    std::vector<std::string> timingWaves;
     std::string corpusDir;
     bool corpusOnly = false;
     bool minimize = false;
@@ -123,6 +135,15 @@ parseArgs(int argc, char **argv)
             a.sparsity = std::stod(value(i));
         } else if (arg == "--body-ops") {
             a.bodyOps = static_cast<unsigned>(std::stoul(value(i)));
+        } else if (arg == "--timing-waves") {
+            for (const std::string &s : splitCsv(value(i))) {
+                fatal_if(s != "boundary" && s != "all" &&
+                             s.find_first_not_of("0123456789") !=
+                                 std::string::npos,
+                         "--timing-waves wants wave counts, 'boundary' "
+                         "or 'all', got '%s'", s.c_str());
+                a.timingWaves.push_back(s);
+            }
         } else if (arg == "--corpus") {
             a.corpusDir = value(i);
         } else if (arg == "--corpus-only") {
@@ -138,6 +159,27 @@ parseArgs(int argc, char **argv)
         }
     }
     return a;
+}
+
+/** "full" (no sampling) followed by every --timing-waves token. */
+std::vector<std::string>
+samplingSettings(const Args &a)
+{
+    std::vector<std::string> settings = {"full"};
+    settings.insert(settings.end(), a.timingWaves.begin(),
+                    a.timingWaves.end());
+    return settings;
+}
+
+unsigned
+resolveTimingWaves(const std::string &token, const GeneratedCase &c)
+{
+    const unsigned waves = c.kernel.numWavefronts;
+    if (token == "all")
+        return waves;
+    if (token == "boundary")
+        return waves ? waves - 1 : 0;
+    return static_cast<unsigned>(std::stoul(token));
 }
 
 GenOptions
@@ -233,15 +275,26 @@ runCorpus(const Args &a, const DiffOptions &dopt)
         const GeneratedCase probe = generateCase(cc.opt);
         const GeneratedCase c =
             generateCase(cc.opt, enabledMask(cc, probe.numActions));
-        const DiffReport rep = runDifferential(c, dopt);
-        if (rep.ok()) {
+        bool case_ok = true;
+        for (const std::string &setting : samplingSettings(a)) {
+            DiffOptions run_opt = dopt;
+            if (setting != "full")
+                run_opt.timingWaves = resolveTimingWaves(setting, c);
+            const DiffReport rep = runDifferential(c, run_opt);
+            if (!rep.ok()) {
+                case_ok = false;
+                std::fprintf(stderr,
+                             "corpus FAIL %s [timing-waves=%s]\n  %s\n",
+                             path.c_str(), setting.c_str(),
+                             rep.firstDivergence().c_str());
+            }
+        }
+        if (case_ok) {
             if (a.verbose)
                 std::printf("corpus ok   %s (%s)\n", path.c_str(),
                             c.summary.c_str());
         } else {
             ++failures;
-            std::fprintf(stderr, "corpus FAIL %s\n  %s\n", path.c_str(),
-                         rep.firstDivergence().c_str());
         }
     }
     std::printf("corpus: %zu cases, %d failing\n", files.size(),
@@ -260,32 +313,50 @@ sweepSeeds(const Args &a)
     return seeds;
 }
 
-/** Self-test: the armed fault must be caught inside the seed range. */
+/**
+ * Self-test: the armed fault must be caught inside the seed range,
+ * under full timing and under every --timing-waves setting (the rabbit
+ * path honours the same injected fault).
+ */
 int
 runInjectBug(const Args &a)
 {
-    DiffOptions dopt;
-    dopt.injectSuspendBug = true;
+    DiffOptions base;
+    base.injectSuspendBug = true;
     // The fault lives in optimization (2); only LazyGPU exercises it.
-    dopt.modes = {ExecMode::LazyGPU};
+    base.modes = {ExecMode::LazyGPU};
 
-    for (std::uint64_t seed : sweepSeeds(a)) {
-        const GeneratedCase c = generateCase(genOptions(a, seed));
-        const DiffReport rep = runDifferential(c, dopt);
-        if (!rep.ok()) {
-            std::printf("inject-bug: caught at seed %llu\n  %s\n",
-                        static_cast<unsigned long long>(seed),
-                        rep.firstDivergence().c_str());
-            return 0;
+    for (const std::string &setting : samplingSettings(a)) {
+        bool caught = false;
+        for (std::uint64_t seed : sweepSeeds(a)) {
+            const GeneratedCase c = generateCase(genOptions(a, seed));
+            DiffOptions dopt = base;
+            if (setting != "full")
+                dopt.timingWaves = resolveTimingWaves(setting, c);
+            const DiffReport rep = runDifferential(c, dopt);
+            if (!rep.ok()) {
+                std::printf(
+                    "inject-bug[%s]: caught at seed %llu\n  %s\n",
+                    setting.c_str(),
+                    static_cast<unsigned long long>(seed),
+                    rep.firstDivergence().c_str());
+                caught = true;
+                break;
+            }
+            if (a.verbose)
+                std::printf("inject-bug[%s]: seed %llu silent\n",
+                            setting.c_str(),
+                            static_cast<unsigned long long>(seed));
         }
-        if (a.verbose)
-            std::printf("inject-bug: seed %llu silent\n",
-                        static_cast<unsigned long long>(seed));
+        if (!caught) {
+            std::fprintf(stderr,
+                         "inject-bug[%s]: fault NOT caught in %zu seeds "
+                         "-- the differential checker is blind\n",
+                         setting.c_str(), sweepSeeds(a).size());
+            return 1;
+        }
     }
-    std::fprintf(stderr,
-                 "inject-bug: fault NOT caught in %zu seeds -- the "
-                 "differential checker is blind\n", sweepSeeds(a).size());
-    return 1;
+    return 0;
 }
 
 } // namespace
@@ -308,14 +379,22 @@ main(int argc, char **argv)
     }
 
     const std::vector<std::uint64_t> seeds = sweepSeeds(a);
+    const std::vector<std::string> settings = samplingSettings(a);
     std::uint64_t checked = 0;
     for (std::uint64_t seed : seeds) {
         const GenOptions gen = genOptions(a, seed);
         const GeneratedCase c = generateCase(gen);
-        const DiffReport rep = runDifferential(c, dopt);
-        if (!rep.ok()) {
-            reportFailure(a, gen, c, rep, dopt);
-            return 1;
+        for (const std::string &setting : settings) {
+            DiffOptions run_opt = dopt;
+            if (setting != "full")
+                run_opt.timingWaves = resolveTimingWaves(setting, c);
+            const DiffReport rep = runDifferential(c, run_opt);
+            if (!rep.ok()) {
+                std::fprintf(stderr, "timing-waves setting: %s\n",
+                             setting.c_str());
+                reportFailure(a, gen, c, rep, run_opt);
+                return 1;
+            }
         }
         ++checked;
         if (a.verbose)
@@ -325,8 +404,10 @@ main(int argc, char **argv)
                         static_cast<unsigned long long>(checked),
                         seeds.size());
     }
-    std::printf("verif_fuzz: %llu seeds x %zu modes ok\n",
+    std::printf("verif_fuzz: %llu seeds x %zu modes x %zu sampling "
+                "settings ok\n",
                 static_cast<unsigned long long>(checked),
-                (a.modes.empty() ? allModes() : a.modes).size());
+                (a.modes.empty() ? allModes() : a.modes).size(),
+                settings.size());
     return 0;
 }

@@ -88,8 +88,9 @@ runWorkload(const GpuConfig &cfg, Workload &w, bool verify,
         gpu.engine().attachControl(ctl);
     RunResult res;
     for (const Kernel &k : w.kernels) {
-        res.cycles += limit_cycles ? gpu.run(k, limit_cycles).cycles
-                                   : gpu.run(k).cycles;
+        // estCycles == cycles unless --timing-waves sampling is active.
+        res.cycles += limit_cycles ? gpu.run(k, limit_cycles).estCycles
+                                   : gpu.run(k).estCycles;
     }
 
     const StatsRegistry &st = gpu.stats();
@@ -111,9 +112,12 @@ runWorkload(const GpuConfig &cfg, Workload &w, bool verify,
 
     const double total_simd_cycles =
         static_cast<double>(res.cycles) * cfg.numCus() * cfg.simdPerCu;
+    // Extrapolated numerator over extrapolated denominator: both scale
+    // by total/timed under sampling, so the ratio stays meaningful.
     res.aluUtilization =
         total_simd_cycles > 0
-            ? static_cast<double>(ctr("simd_busy_cycles")) /
+            ? static_cast<double>(gpu.estSumCounters(
+                  "gpu.", ".simd_busy_cycles")) /
                   total_simd_cycles
             : 0.0;
 
@@ -121,14 +125,14 @@ runWorkload(const GpuConfig &cfg, Workload &w, bool verify,
     if (lat != st.dists().end())
         res.avgMemLatency = lat->second.mean();
 
-    res.l1Hits = st.sumCounters("mem.l1.", ".hits");
-    res.l1Misses = st.sumCounters("mem.l1.", ".misses");
-    res.l2Hits = st.sumCounters("mem.l2.", ".hits");
-    res.l2Misses = st.sumCounters("mem.l2.", ".misses");
-    res.zl1Hits = st.sumCounters("mem.zl1.", ".hits");
-    res.zl1Misses = st.sumCounters("mem.zl1.", ".misses");
-    res.zl2Hits = st.sumCounters("mem.zl2.", ".hits");
-    res.zl2Misses = st.sumCounters("mem.zl2.", ".misses");
+    res.l1Hits = gpu.estSumCounters("mem.l1.", ".hits");
+    res.l1Misses = gpu.estSumCounters("mem.l1.", ".misses");
+    res.l2Hits = gpu.estSumCounters("mem.l2.", ".hits");
+    res.l2Misses = gpu.estSumCounters("mem.l2.", ".misses");
+    res.zl1Hits = gpu.estSumCounters("mem.zl1.", ".hits");
+    res.zl1Misses = gpu.estSumCounters("mem.zl1.", ".misses");
+    res.zl2Hits = gpu.estSumCounters("mem.zl2.", ".hits");
+    res.zl2Misses = gpu.estSumCounters("mem.zl2.", ".misses");
 
     if (cfg.statsReport)
         std::fputs(st.report().c_str(), stderr);

@@ -69,6 +69,50 @@ struct Parser
         return true;
     }
 
+    /** Strict 4-hex-digit parse of a \\uXXXX unit (no strtoul laxity). */
+    bool
+    parseHex4(unsigned &out)
+    {
+        if (end - p < 4)
+            return fail("truncated \\u escape");
+        unsigned v = 0;
+        for (int i = 0; i < 4; ++i) {
+            const char c = *p++;
+            unsigned d;
+            if (c >= '0' && c <= '9')
+                d = static_cast<unsigned>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                d = static_cast<unsigned>(c - 'a') + 10;
+            else if (c >= 'A' && c <= 'F')
+                d = static_cast<unsigned>(c - 'A') + 10;
+            else
+                return fail("bad \\u escape");
+            v = (v << 4) | d;
+        }
+        out = v;
+        return true;
+    }
+
+    void
+    appendUtf8(std::uint32_t cp, std::string &out)
+    {
+        if (cp < 0x80) {
+            out += static_cast<char>(cp);
+        } else if (cp < 0x800) {
+            out += static_cast<char>(0xc0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3f));
+        } else if (cp < 0x10000) {
+            out += static_cast<char>(0xe0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (cp & 0x3f));
+        } else {
+            out += static_cast<char>(0xf0 | (cp >> 18));
+            out += static_cast<char>(0x80 | ((cp >> 12) & 0x3f));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (cp & 0x3f));
+        }
+    }
+
     bool
     parseString(std::string &out)
     {
@@ -94,19 +138,28 @@ struct Parser
             case 'b': out += '\b'; break;
             case 'f': out += '\f'; break;
             case 'u': {
-                if (end - p < 4)
-                    return fail("truncated \\u escape");
-                const std::string hex(p, 4);
-                p += 4;
-                char *stop = nullptr;
-                const unsigned long cp = std::strtoul(hex.c_str(), &stop,
-                                                      16);
-                if (stop != hex.c_str() + 4)
-                    return fail("bad \\u escape");
-                // Our writer only emits \u00XX for control bytes.
-                if (cp > 0x7f)
-                    return fail("unsupported non-ASCII \\u escape");
-                out += static_cast<char>(cp);
+                unsigned unit = 0;
+                if (!parseHex4(unit))
+                    return false;
+                std::uint32_t cp = unit;
+                if (unit >= 0xd800 && unit <= 0xdbff) {
+                    // High surrogate: RFC 8259 requires a low surrogate
+                    // escape to follow; the pair encodes one non-BMP
+                    // code point.
+                    if (end - p < 2 || p[0] != '\\' || p[1] != 'u')
+                        return fail("unpaired high surrogate");
+                    p += 2;
+                    unsigned lo = 0;
+                    if (!parseHex4(lo))
+                        return false;
+                    if (lo < 0xdc00 || lo > 0xdfff)
+                        return fail("unpaired high surrogate");
+                    cp = 0x10000 + ((unit - 0xd800u) << 10) +
+                         (lo - 0xdc00u);
+                } else if (unit >= 0xdc00 && unit <= 0xdfff) {
+                    return fail("unpaired low surrogate");
+                }
+                appendUtf8(cp, out);
                 break;
             }
             default:

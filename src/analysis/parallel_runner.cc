@@ -20,13 +20,31 @@ unsigned
 ParallelRunner::defaultJobs()
 {
     if (const char *env = std::getenv("LAZYGPU_JOBS")) {
-        char *end = nullptr;
-        const unsigned long v = std::strtoul(env, &end, 10);
-        fatal_if(end == env || *end != '\0' || v == 0 || v > 4096,
-                 "LAZYGPU_JOBS must be a positive integer, got '%s'",
+        // Strict decimal parse: strtoul would quietly accept leading
+        // whitespace, '+'/'-' signs and locale oddities; any of those in
+        // a CI environment variable is a configuration mistake we want
+        // to surface, not paper over.
+        unsigned long v = 0;
+        bool ok = *env != '\0';
+        for (const char *p = env; ok && *p; ++p) {
+            if (*p < '0' || *p > '9') {
+                ok = false;
+                break;
+            }
+            v = v * 10 + static_cast<unsigned long>(*p - '0');
+            if (v > 4096) {
+                ok = false;
+                break;
+            }
+        }
+        fatal_if(!ok || v == 0,
+                 "LAZYGPU_JOBS must be a positive integer <= 4096, "
+                 "got '%s'",
                  env);
         return static_cast<unsigned>(v);
     }
+    // hardware_concurrency() may legitimately return 0 (unknown); a
+    // zero-thread pool would deadlock every sweep.
     const unsigned hw = std::thread::hardware_concurrency();
     return hw ? hw : 1;
 }
@@ -284,6 +302,8 @@ ParallelRunner::runSweep(const std::vector<RunJob> &batch)
             // each figure's job-building code.
             GpuConfig cfg = job.cfg;
             cfg.statsReport = cfg.statsReport || opts_.statsReport;
+            if (opts_.timingWaves != GpuConfig::timingWavesAll)
+                cfg.timingWaves = opts_.timingWaves;
             if (tracing && keys[i] == opts_.traceCellKey) {
                 cfg.enableTraces = true;
                 cfg.tracePath = opts_.tracePath;

@@ -99,6 +99,13 @@ struct SweepOptions
     /** Print each cell's hierarchical stats report to stderr. */
     bool statsReport = false;
     /**
+     * Multi-resolution sampling window applied to every cell
+     * (--timing-waves): the first N wavefronts of each kernel run in
+     * detailed timing, the rest in the functional rabbit executor.
+     * GpuConfig::timingWavesAll (the default) disables sampling.
+     */
+    unsigned timingWaves = GpuConfig::timingWavesAll;
+    /**
      * Write the traced cell's binary timeline to this file; empty
      * disables tracing. Tracing is observational (it never perturbs the
      * simulated outcome), so the traced cell's results stay identical.

@@ -1,5 +1,8 @@
 #include "gpu/gpu.hh"
 
+#include <algorithm>
+#include <cmath>
+
 #include "sim/logging.hh"
 
 namespace lazygpu
@@ -48,18 +51,34 @@ Gpu::Gpu(const GpuConfig &cfg, GlobalMemory &mem)
 void
 Gpu::setRetireObserver(ComputeUnit::RetireObserver obs)
 {
+    retire_obs_ = obs;
     for (auto &cu : cus_)
         cu->setRetireObserver(obs);
+    if (rabbit_)
+        rabbit_->setRetireObserver(obs);
 }
 
 void
 Gpu::refill(ComputeUnit &cu)
 {
-    while (current_ && cu.hasFreeSlot() &&
-           next_wid_ < current_->numWavefronts) {
+    while (current_ && cu.hasFreeSlot() && next_wid_ < dispatch_limit_) {
         cu.addWavefront(
             std::make_unique<Wavefront>(*current_, next_wid_++));
     }
+}
+
+bool
+Gpu::isTimingCounter(const std::string &name)
+{
+    // Cache/DRAM traffic and SIMD occupancy depend on which waves ran
+    // timed; everything else (transaction issue/elimination, store
+    // masks, instruction counts) is counted exactly by the rabbit path.
+    if (name.compare(0, 4, "mem.") == 0)
+        return true;
+    static const std::string simd_suffix = ".simd_busy_cycles";
+    return name.size() >= simd_suffix.size() &&
+           name.compare(name.size() - simd_suffix.size(),
+                        simd_suffix.size(), simd_suffix) == 0;
 }
 
 KernelResult
@@ -68,44 +87,93 @@ Gpu::run(const Kernel &kernel, Tick limit_cycles)
     fatal_if(kernel.code.empty(), "kernel '%s' has no instructions",
              kernel.name.c_str());
 
+    const unsigned total = kernel.numWavefronts;
+    const unsigned timed = std::min(cfg_.timingWaves, total);
+    const bool sampled = timed < total;
+
     current_ = &kernel;
     next_wid_ = 0;
-
-    const unsigned per_cu = cfg_.wavesPerCuForKernel(kernel.numVregs);
-    for (auto &cu : cus_)
-        cu->setMaxWaves(per_cu);
-
-    // Breadth-first initial dispatch for balance across CUs.
-    bool placed = true;
-    while (placed && next_wid_ < kernel.numWavefronts) {
-        placed = false;
-        for (auto &cu : cus_) {
-            if (next_wid_ >= kernel.numWavefronts)
-                break;
-            if (cu->hasFreeSlot()) {
-                cu->addWavefront(
-                    std::make_unique<Wavefront>(kernel, next_wid_++));
-                placed = true;
-            }
-        }
-    }
+    dispatch_limit_ = timed;
 
     KernelResult res;
     res.startTick = engine_.now();
+    res.endTick = res.startTick;
     const SnapshotSourceScope snapshot_scope(this);
-    res.endTick = engine_.run(res.startTick + limit_cycles);
+
+    // Snapshot the timing-dependent counters so the timed window's
+    // delta can be extrapolated over the rabbit-executed waves.
+    std::map<std::string, std::uint64_t> before;
+    if (sampled && timed > 0) {
+        for (const auto &[name, counter] : stats_.counters()) {
+            if (isTimingCounter(name))
+                before.emplace(name, counter.value());
+        }
+    }
+
+    if (timed > 0) {
+        const unsigned per_cu = cfg_.wavesPerCuForKernel(kernel.numVregs);
+        for (auto &cu : cus_)
+            cu->setMaxWaves(per_cu);
+
+        // Breadth-first initial dispatch for balance across CUs.
+        bool placed = true;
+        while (placed && next_wid_ < dispatch_limit_) {
+            placed = false;
+            for (auto &cu : cus_) {
+                if (next_wid_ >= dispatch_limit_)
+                    break;
+                if (cu->hasFreeSlot()) {
+                    cu->addWavefront(
+                        std::make_unique<Wavefront>(kernel, next_wid_++));
+                    placed = true;
+                }
+            }
+        }
+
+        res.endTick = engine_.run(res.startTick + limit_cycles);
+
+        fatal_if(engine_.hasPendingEvents(),
+                 "kernel '%s' reached the %llu-cycle limit before "
+                 "completion",
+                 kernel.name.c_str(),
+                 static_cast<unsigned long long>(limit_cycles));
+
+        for (const auto &cu : cus_) {
+            panic_if(cu->residentWaves() != 0,
+                     "kernel '%s' drained with resident wavefronts",
+                     kernel.name.c_str());
+        }
+    }
     res.cycles = res.endTick - res.startTick;
+    res.estCycles = res.cycles;
     current_ = nullptr;
 
-    fatal_if(engine_.hasPendingEvents(),
-             "kernel '%s' reached the %llu-cycle limit before completion",
-             kernel.name.c_str(),
-             static_cast<unsigned long long>(limit_cycles));
+    if (sampled) {
+        if (!rabbit_) {
+            rabbit_ = std::make_unique<RabbitExecutor>(cfg_, mem_, stats_,
+                                                       &engine_);
+            if (retire_obs_)
+                rabbit_->setRetireObserver(retire_obs_);
+        }
+        for (unsigned wid = timed; wid < total; ++wid)
+            rabbit_->run(kernel, wid);
 
-    for (const auto &cu : cus_) {
-        panic_if(cu->residentWaves() != 0,
-                 "kernel '%s' drained with resident wavefronts",
-                 kernel.name.c_str());
+        if (timed > 0) {
+            const double scale =
+                static_cast<double>(total) / static_cast<double>(timed);
+            for (const auto &[name, counter] : stats_.counters()) {
+                if (!isTimingCounter(name))
+                    continue;
+                const auto it = before.find(name);
+                const std::uint64_t was =
+                    it == before.end() ? 0 : it->second;
+                const std::uint64_t delta = counter.value() - was;
+                if (delta)
+                    est_extra_[name] += delta * (scale - 1.0);
+            }
+            res.estCycles = static_cast<Tick>(
+                std::llround(res.cycles * scale));
+        }
     }
 
     // Mirror the engine's own counters into the registry so the
@@ -142,26 +210,49 @@ Gpu::captureSnapshot() const
 }
 
 std::uint64_t
+Gpu::estSumCounters(const std::string &prefix,
+                    const std::string &suffix) const
+{
+    const std::uint64_t exact = stats_.sumCounters(prefix, suffix);
+    if (est_extra_.empty())
+        return exact; // no sampling happened: byte-identical totals
+    double extra = 0.0;
+    for (const auto &[name, v] : est_extra_) {
+        if (name.size() < prefix.size() + suffix.size())
+            continue;
+        if (name.compare(0, prefix.size(), prefix) != 0)
+            continue;
+        if (!suffix.empty() &&
+            name.compare(name.size() - suffix.size(), suffix.size(),
+                         suffix) != 0) {
+            continue;
+        }
+        extra += v;
+    }
+    return exact + static_cast<std::uint64_t>(std::llround(extra));
+}
+
+std::uint64_t
 Gpu::l1Requests() const
 {
-    return stats_.sumCounters("mem.l1.", ".hits") +
-           stats_.sumCounters("mem.l1.", ".misses") +
-           stats_.sumCounters("mem.l1.", ".write_throughs");
+    return estSumCounters("mem.l1.", ".hits") +
+           estSumCounters("mem.l1.", ".misses") +
+           estSumCounters("mem.l1.", ".write_throughs");
 }
 
 std::uint64_t
 Gpu::l2Requests() const
 {
-    return stats_.sumCounters("mem.l2.", ".hits") +
-           stats_.sumCounters("mem.l2.", ".misses") +
-           stats_.sumCounters("mem.l2.", ".write_throughs");
+    return estSumCounters("mem.l2.", ".hits") +
+           estSumCounters("mem.l2.", ".misses") +
+           estSumCounters("mem.l2.", ".write_throughs");
 }
 
 std::uint64_t
 Gpu::dramRequests() const
 {
-    return stats_.sumCounters("mem.dram.", ".reads") +
-           stats_.sumCounters("mem.dram.", ".writes");
+    return estSumCounters("mem.dram.", ".reads") +
+           estSumCounters("mem.dram.", ".writes");
 }
 
 } // namespace lazygpu

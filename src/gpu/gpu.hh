@@ -11,10 +11,13 @@
 #ifndef LAZYGPU_GPU_GPU_HH
 #define LAZYGPU_GPU_GPU_HH
 
+#include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "gpu/compute_unit.hh"
+#include "gpu/rabbit.hh"
 #include "isa/kernel.hh"
 #include "mem/hierarchy.hh"
 #include "mem/memory.hh"
@@ -31,9 +34,16 @@ namespace lazygpu
 /** Timing outcome of one kernel launch. */
 struct KernelResult
 {
-    Tick cycles = 0;    //!< launch-to-drain duration
+    Tick cycles = 0;    //!< timed-window launch-to-drain duration
     Tick startTick = 0; //!< simulated time at launch
     Tick endTick = 0;
+    /**
+     * Whole-kernel duration estimate. Equal to cycles when every wave
+     * ran timed; under --timing-waves sampling it is cycles scaled by
+     * totalWaves / timedWaves (zero timed waves estimate zero cycles:
+     * there is no timing signal to extrapolate from).
+     */
+    Tick estCycles = 0;
 };
 
 class Gpu : public SnapshotSource
@@ -71,13 +81,27 @@ class Gpu : public SnapshotSource
     /** The per-mode lazy-load lifecycle histograms. */
     const LifecycleTracker &lifecycle() const { return lifecycle_; }
 
-    /** Total data-path memory requests seen at each level (Fig 15). */
+    /**
+     * Total data-path memory requests seen at each level (Fig 15).
+     * Under --timing-waves sampling these include the extrapolated
+     * contribution of the rabbit-executed waves.
+     */
     std::uint64_t l1Requests() const;
     std::uint64_t l2Requests() const;
     std::uint64_t dramRequests() const;
 
+    /**
+     * sumCounters(prefix, suffix) plus the extrapolated contribution
+     * accumulated for matching counters under --timing-waves sampling.
+     * Identical to stats().sumCounters when no sampling has happened.
+     */
+    std::uint64_t estSumCounters(const std::string &prefix,
+                                 const std::string &suffix = "") const;
+
   private:
     void refill(ComputeUnit &cu);
+    /** Is this counter timing-dependent (extrapolated, not exact)? */
+    static bool isTimingCounter(const std::string &name);
 
     GpuConfig cfg_;
     GlobalMemory &mem_;
@@ -90,6 +114,20 @@ class Gpu : public SnapshotSource
 
     const Kernel *current_ = nullptr;
     unsigned next_wid_ = 0;
+    /** Waves [0, dispatch_limit_) go to the timed CUs this launch. */
+    unsigned dispatch_limit_ = 0;
+
+    /** Constructed lazily on the first sampled launch. */
+    std::unique_ptr<RabbitExecutor> rabbit_;
+    ComputeUnit::RetireObserver retire_obs_;
+    /**
+     * Extrapolated extra contribution per timing-dependent counter:
+     * delta-over-the-timed-window x (total/timed - 1), accumulated
+     * across sampled launches. Exact (sparsity) counters never appear
+     * here. Empty when no sampling has happened, keeping default runs
+     * byte-identical.
+     */
+    std::map<std::string, double> est_extra_;
 };
 
 } // namespace lazygpu

@@ -8,7 +8,7 @@ namespace lazygpu
 Wavefront::Wavefront(const Kernel &kernel, unsigned wid)
     : kernel_(&kernel), wid_(wid), values_(kernel.numVregs),
       state_(kernel.numVregs), busy_lanes_(kernel.numVregs, 0),
-      owner_(kernel.numVregs, -1)
+      owner_(kernel.numVregs, nullptr)
 {
     // values_ and state_ are value-initialised by the vector fill
     // constructor: every word reads 0 and every reg state reads Ready
@@ -33,36 +33,32 @@ Wavefront::anyInFlight(unsigned r) const
     return false;
 }
 
-PendingLoad *
-Wavefront::pendingFor(unsigned r)
-{
-    if (r >= owner_.size() || owner_[r] < 0)
-        return nullptr;
-    auto it = pendings_.find(static_cast<unsigned>(owner_[r]));
-    return it == pendings_.end() ? nullptr : &it->second;
-}
-
-const PendingLoad *
-Wavefront::pendingFor(unsigned r) const
-{
-    if (r >= owner_.size() || owner_[r] < 0)
-        return nullptr;
-    auto it = pendings_.find(static_cast<unsigned>(owner_[r]));
-    return it == pendings_.end() ? nullptr : &it->second;
-}
-
 PendingLoad &
 Wavefront::addPending(PendingLoad &&pl)
 {
     const unsigned id = next_pending_id_++;
-    const unsigned first = pl.firstDst;
-    const unsigned nregs = pl.numRegs;
     pl.id = id;
     auto [it, fresh] = pendings_.insert_or_assign(id, std::move(pl));
     panic_if(!fresh, "pending-load id reused");
-    for (unsigned r = first; r < first + nregs; ++r)
-        owner_[r] = static_cast<int>(id);
+    claimOwners(it->second);
     return it->second;
+}
+
+PendingLoad &
+Wavefront::emplacePending()
+{
+    const unsigned id = next_pending_id_++;
+    auto [it, fresh] = pendings_.try_emplace(id);
+    panic_if(!fresh, "pending-load id reused");
+    it->second.id = id;
+    return it->second;
+}
+
+void
+Wavefront::claimOwners(PendingLoad &pl)
+{
+    for (unsigned r = pl.firstDst; r < pl.firstDst + pl.numRegs; ++r)
+        owner_[r] = &pl;
 }
 
 void
@@ -73,8 +69,8 @@ Wavefront::removePending(unsigned id)
         return;
     const PendingLoad &pl = it->second;
     for (unsigned r = pl.firstDst; r < pl.firstDst + pl.numRegs; ++r) {
-        if (owner_[r] == static_cast<int>(id))
-            owner_[r] = -1;
+        if (owner_[r] == &pl)
+            owner_[r] = nullptr;
     }
     pendings_.erase(it);
 }

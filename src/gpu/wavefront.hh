@@ -12,9 +12,11 @@
 #ifndef LAZYGPU_GPU_WAVEFRONT_HH
 #define LAZYGPU_GPU_WAVEFRONT_HH
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "isa/kernel.hh"
@@ -22,6 +24,128 @@
 
 namespace lazygpu
 {
+
+/**
+ * The (reg offset, lane) word list of one pending-load transaction.
+ *
+ * A coalesced transaction feeds at most transactionSize/4 distinct
+ * words, which fit the inline buffer; broadcast access patterns (many
+ * lanes reading the same word) spill to the heap. Loads are recorded on
+ * the simulator's hottest paths, so keeping the common case
+ * allocation-free matters -- std::vector here costs one heap round trip
+ * per transaction.
+ */
+class TxWordList
+{
+  public:
+    using value_type = std::pair<std::uint8_t, std::uint8_t>;
+    using iterator = value_type *;
+    using const_iterator = const value_type *;
+
+    static constexpr unsigned inlineCap = transactionSize / 4;
+
+    TxWordList() = default;
+    TxWordList(const TxWordList &o) { *this = o; }
+    TxWordList(TxWordList &&o) noexcept { *this = std::move(o); }
+    ~TxWordList() { delete[] heap_; }
+
+    TxWordList &
+    operator=(const TxWordList &o)
+    {
+        if (this == &o)
+            return *this;
+        reset();
+        if (o.size_ > inlineCap) {
+            heap_ = new value_type[o.cap_];
+            cap_ = o.cap_;
+        }
+        size_ = o.size_;
+        std::copy(o.data(), o.data() + o.size_, data());
+        return *this;
+    }
+
+    TxWordList &
+    operator=(TxWordList &&o) noexcept
+    {
+        if (this == &o)
+            return *this;
+        reset();
+        if (o.heap_) {
+            heap_ = o.heap_;
+            cap_ = o.cap_;
+            size_ = o.size_;
+            o.heap_ = nullptr;
+        } else {
+            size_ = o.size_;
+            std::copy(o.inline_.begin(), o.inline_.begin() + o.size_,
+                      inline_.begin());
+        }
+        o.cap_ = inlineCap;
+        o.size_ = 0;
+        return *this;
+    }
+
+    value_type *data() { return heap_ ? heap_ : inline_.data(); }
+    const value_type *
+    data() const
+    {
+        return heap_ ? heap_ : inline_.data();
+    }
+    iterator begin() { return data(); }
+    iterator end() { return data() + size_; }
+    const_iterator begin() const { return data(); }
+    const_iterator end() const { return data() + size_; }
+    unsigned size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    void
+    reserve(unsigned n)
+    {
+        if (n > cap_)
+            grow(n);
+    }
+
+    void
+    emplace_back(std::uint8_t reg_off, std::uint8_t lane)
+    {
+        if (size_ == cap_)
+            grow(cap_ * 2);
+        data()[size_++] = value_type(reg_off, lane);
+    }
+
+    iterator
+    erase(iterator first, iterator last)
+    {
+        std::copy(last, end(), first);
+        size_ -= static_cast<unsigned>(last - first);
+        return first;
+    }
+
+  private:
+    void
+    grow(unsigned n)
+    {
+        value_type *bigger = new value_type[n];
+        std::copy(data(), data() + size_, bigger);
+        delete[] heap_;
+        heap_ = bigger;
+        cap_ = n;
+    }
+
+    void
+    reset()
+    {
+        delete[] heap_;
+        heap_ = nullptr;
+        cap_ = inlineCap;
+        size_ = 0;
+    }
+
+    std::array<value_type, inlineCap> inline_{};
+    value_type *heap_ = nullptr;
+    unsigned size_ = 0;
+    unsigned cap_ = inlineCap;
+};
 
 /** Per-(vreg, lane) scoreboard state. */
 enum class RegState : std::uint8_t
@@ -77,7 +201,7 @@ struct PendingLoad
     {
         Addr addr = 0; //!< transaction-aligned
         /** The (reg offset, lane) words this transaction feeds. */
-        std::vector<std::pair<std::uint8_t, std::uint8_t>> words;
+        TxWordList words;
         TxOutcome outcome = TxOutcome::Unissued;
         unsigned unresolved = 0;   //!< words not yet Ready/eliminated
         unsigned zeroedWords = 0;  //!< words resolved by the zero mask
@@ -166,6 +290,18 @@ class Wavefront
     /** Lanes of register r in Pending/InFlight/Suspended state. */
     unsigned busyLanes(unsigned r) const { return busy_lanes_[r]; }
 
+    // Whole-register rows for the rabbit executor's bulk fast paths.
+    // A caller that writes stateRow directly must keep the busy-lane
+    // count consistent through adjustBusyLanes.
+    std::uint32_t *valueRow(unsigned r) { return values_[r].data(); }
+    RegState *stateRow(unsigned r) { return state_[r].data(); }
+
+    void
+    adjustBusyLanes(unsigned r, int delta)
+    {
+        busy_lanes_[r] += static_cast<unsigned>(delta);
+    }
+
     /** True if any lane of register r is Pending/InFlight/Suspended. */
     bool anyNotReady(unsigned r) const { return busy_lanes_[r] != 0; }
 
@@ -173,12 +309,40 @@ class Wavefront
     bool anyInFlight(unsigned r) const;
 
     // --- Pending (lazy) loads -------------------------------------------
-    /** The pending load owning register r, or nullptr. */
-    PendingLoad *pendingFor(unsigned r);
-    const PendingLoad *pendingFor(unsigned r) const;
+    /** True iff some pending load owns register r (cheap precheck). */
+    bool
+    hasPendingOwner(unsigned r) const
+    {
+        return r < owner_.size() && owner_[r] != nullptr;
+    }
+
+    // The pending load owning register r, or nullptr. pendings_ is
+    // node-based, so the owner pointers stay valid across rehashes and
+    // unrelated insert/erase.
+    PendingLoad *
+    pendingFor(unsigned r)
+    {
+        return r < owner_.size() ? owner_[r] : nullptr;
+    }
+
+    const PendingLoad *
+    pendingFor(unsigned r) const
+    {
+        return r < owner_.size() ? owner_[r] : nullptr;
+    }
 
     /** Record a new pending load; assigns it a unique id. */
     PendingLoad &addPending(PendingLoad &&pl);
+
+    /**
+     * Create an empty pending load in place (avoids moving the filled
+     * record into the map); the caller fills it, then claims register
+     * ownership with claimOwners.
+     */
+    PendingLoad &emplacePending();
+
+    /** Point pl's destination registers at it (addPending's tail). */
+    void claimOwners(PendingLoad &pl);
 
     /** Remove a fully resolved pending load by id. */
     void removePending(unsigned id);
@@ -218,8 +382,8 @@ class Wavefront
     std::vector<unsigned> busy_lanes_; //!< non-Ready lanes per vreg
     std::unordered_map<unsigned, PendingLoad> pendings_; //!< by id
     unsigned next_pending_id_ = 0;
-    /** reg -> id of the pending load that owns it, or -1. */
-    std::vector<int> owner_;
+    /** reg -> the pending load that owns it, or nullptr. */
+    std::vector<PendingLoad *> owner_;
 
     friend class ComputeUnit;
 };

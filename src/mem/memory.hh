@@ -76,6 +76,16 @@ class GlobalMemory
         writeU32Straddle(a, v);
     }
 
+    /**
+     * The page buffer holding addr, or nullptr when the page is
+     * untouched (reads as zero). For callers resolving many words of
+     * one transaction: a transactionSize-aligned block never straddles
+     * a page (transactionSize divides pageSize), so one lookup covers
+     * every word that starts inside the block. The pointer stays valid
+     * as documented on the page cache below.
+     */
+    const std::uint8_t *pageForSpan(Addr a) const { return pageFor(a); }
+
     float readF32(Addr a) const;
     void writeF32(Addr a, float v);
 

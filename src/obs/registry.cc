@@ -23,7 +23,9 @@ Histogram::percentile(double p) const
 {
     if (count_ == 0)
         return 0.0;
-    if (p <= 0.0)
+    // Negated comparison so a NaN percentile lands on the exact min()
+    // answer instead of propagating through the interpolation below.
+    if (!(p > 0.0))
         return static_cast<double>(min_);
     if (p >= 100.0)
         return static_cast<double>(max_);

@@ -93,6 +93,20 @@ struct GpuConfig
      */
     bool injectSkipSuspendRequalify = false;
 
+    /** timingWaves value meaning "no sampling: every wave is timed". */
+    static constexpr unsigned timingWavesAll = ~0u;
+
+    /**
+     * Multi-resolution sampling window (--timing-waves): the first
+     * timingWaves wavefronts of each kernel run through the detailed
+     * timing pipeline; the rest are interpreted by the functional
+     * RabbitExecutor with full sparsity accounting. Timing-only stats
+     * (cycles, memory traffic, SIMD busy cycles) are linearly
+     * extrapolated from the timed window. timingWavesAll (the default)
+     * disables sampling entirely; 0 runs everything in rabbit mode.
+     */
+    unsigned timingWaves = timingWavesAll;
+
     unsigned numCus() const { return numShaderArrays * cusPerSa; }
     unsigned maxWavesPerCu() const { return simdPerCu * maxWavesPerSimd; }
 

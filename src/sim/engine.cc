@@ -150,6 +150,29 @@ Engine::pollControl()
     }
 }
 
+void
+Engine::externalHeartbeat(std::uint64_t progress)
+{
+    if (!ctl_)
+        return;
+    const std::uint64_t beat = now_ + events_executed_ + progress;
+    ctl_->heartbeat.store(beat, std::memory_order_relaxed);
+    trace_[trace_count_++ % recentTraceSize] = {now_,
+                                                events_executed_ + progress};
+    const std::uint32_t cancel =
+        ctl_->cancel.load(std::memory_order_relaxed);
+    if (cancel) {
+        throwSimError(
+            SimError::Kind::Timeout, __FILE__, __LINE__,
+            detail::formatString(
+                "watchdog cancelled the run at cycle %llu (%s)",
+                static_cast<unsigned long long>(now_),
+                cancel == ExecControl::cancelStalled
+                    ? "no forward progress"
+                    : "wall-clock timeout exceeded"));
+    }
+}
+
 std::vector<std::pair<Tick, std::uint64_t>>
 Engine::recentActivity() const
 {

@@ -207,6 +207,16 @@ class Engine
     void attachControl(ExecControl *ctl) { ctl_ = ctl; }
 
     /**
+     * Watchdog heartbeat for non-event execution phases (e.g. the rabbit
+     * functional executor, which makes forward progress without running
+     * engine events). Publishes now() + eventsExecuted() + progress so
+     * the beat keeps advancing, records the sample in the
+     * recent-activity ring, and throws SimError(Timeout) when the cancel
+     * flag is set. No-op when no control channel is attached.
+     */
+    void externalHeartbeat(std::uint64_t progress);
+
+    /**
      * Attach (or detach, with nullptr) a trace sink. While attached,
      * every time advance of at least traceSampleTicks emits one
      * EngineCounters record (queue depth, pool chunks, active clocked

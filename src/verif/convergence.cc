@@ -1,0 +1,170 @@
+#include "verif/convergence.hh"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "sim/logging.hh"
+#include "verif/differential.hh"
+
+namespace lazygpu
+{
+namespace verif
+{
+
+namespace
+{
+
+/** |a - b| <= max(absSlack, relTol * max(a, b)). */
+bool
+withinRel(std::uint64_t a, std::uint64_t b, double rel_tol,
+          std::uint64_t abs_slack, double &rel_err)
+{
+    const std::uint64_t hi = a > b ? a : b;
+    const std::uint64_t delta = a > b ? a - b : b - a;
+    rel_err = hi ? static_cast<double>(delta) / static_cast<double>(hi)
+                 : 0.0;
+    if (delta <= abs_slack)
+        return true;
+    return rel_err <= rel_tol;
+}
+
+std::string
+mismatch(ExecMode mode, const char *stat, std::uint64_t full,
+         std::uint64_t sampled, double rel_err, double rel_tol)
+{
+    return detail::formatString(
+        "[%s] %s diverged under sampling: full-timing %llu vs sampled "
+        "%llu (rel err %.4f > tol %.4f)",
+        toString(mode).c_str(), stat,
+        static_cast<unsigned long long>(full),
+        static_cast<unsigned long long>(sampled), rel_err, rel_tol);
+}
+
+} // namespace
+
+std::string
+ConvergenceReport::firstFailure() const
+{
+    for (const ConvergenceCell &c : cells) {
+        if (!c.ok)
+            return c.detail;
+    }
+    return "";
+}
+
+ConvergenceReport
+checkConvergence(const std::function<Workload()> &make,
+                 const ConvergenceOptions &opt)
+{
+    ConvergenceReport report;
+    const std::vector<ExecMode> &modes =
+        opt.modes.empty() ? allModes() : opt.modes;
+
+    for (ExecMode mode : modes) {
+        ConvergenceCell cell;
+        cell.mode = mode;
+
+        GpuConfig cfg = hasZeroCaches(mode) ? GpuConfig::lazyGpu(mode)
+                                            : GpuConfig::r9Nano();
+        if (opt.scale > 1)
+            cfg = cfg.scaled(opt.scale);
+        cfg.mode = mode;
+
+        {
+            Workload w = make();
+            cell.full = runWorkload(cfg, w, opt.verify, nullptr,
+                                    opt.limitCycles);
+        }
+        {
+            GpuConfig sampled_cfg = cfg;
+            sampled_cfg.timingWaves = opt.timingWaves;
+            Workload w = make();
+            cell.sampled = runWorkload(sampled_cfg, w, opt.verify,
+                                       nullptr, opt.limitCycles);
+        }
+
+        auto fail = [&cell](std::string why) {
+            if (cell.ok) {
+                cell.ok = false;
+                cell.detail = std::move(why);
+            }
+        };
+
+        if (cell.full.status != RunStatus::Ok)
+            fail("[" + toString(mode) + "] full-timing run failed: " +
+                 cell.full.error);
+        if (cell.sampled.status != RunStatus::Ok)
+            fail("[" + toString(mode) + "] sampled run failed: " +
+                 cell.sampled.error);
+        if (opt.verify) {
+            if (!cell.full.verifyError.empty())
+                fail("[" + toString(mode) + "] full-timing verify: " +
+                     cell.full.verifyError);
+            if (!cell.sampled.verifyError.empty())
+                fail("[" + toString(mode) + "] sampled verify: " +
+                     cell.sampled.verifyError);
+        }
+
+        const double rate_delta = std::fabs(
+            cell.full.eliminationRate() - cell.sampled.eliminationRate());
+        if (rate_delta > opt.rateSlack) {
+            fail(detail::formatString(
+                "[%s] eliminationRate diverged under sampling: "
+                "full-timing %.4f vs sampled %.4f (|delta| %.4f > "
+                "slack %.4f)",
+                toString(mode).c_str(), cell.full.eliminationRate(),
+                cell.sampled.eliminationRate(), rate_delta,
+                opt.rateSlack));
+        }
+
+        // Elimination classes are compared as a sum: zero vs otimes vs
+        // dead shifts with mask-arrival order, the total does not.
+        const std::uint64_t full_elim = cell.full.txsElimZero +
+                                        cell.full.txsElimOtimes +
+                                        cell.full.txsElimDead;
+        const std::uint64_t sampled_elim = cell.sampled.txsElimZero +
+                                           cell.sampled.txsElimOtimes +
+                                           cell.sampled.txsElimDead;
+
+        struct Stat
+        {
+            const char *name;
+            std::uint64_t full;
+            std::uint64_t sampled;
+            bool timing; //!< queue-sensitive estimate: timingRelTol
+        };
+        // EagerZC's issued/short-circuit split is decided by the race
+        // between the mask fill and the data issue (see convergence.hh).
+        const bool issued_is_timing = mode == ExecMode::EagerZC;
+        const Stat stats[] = {
+            {"txs_issued", cell.full.txsIssued, cell.sampled.txsIssued,
+             issued_is_timing},
+            {"txs_eliminated", full_elim, sampled_elim, false},
+            {"store_txs", cell.full.storeTxs, cell.sampled.storeTxs,
+             false},
+            {"store_txs_zero_skipped", cell.full.storeTxsZeroSkipped,
+             cell.sampled.storeTxsZeroSkipped, false},
+            {"l1_requests", cell.full.l1Requests,
+             cell.sampled.l1Requests, true},
+            {"l2_requests", cell.full.l2Requests,
+             cell.sampled.l2Requests, true},
+            {"dram_requests", cell.full.dramRequests,
+             cell.sampled.dramRequests, true},
+        };
+        for (const Stat &s : stats) {
+            const double tol = s.timing ? opt.timingRelTol : opt.relTol;
+            double rel_err = 0.0;
+            if (!withinRel(s.full, s.sampled, tol, opt.absSlack,
+                           rel_err)) {
+                fail(mismatch(mode, s.name, s.full, s.sampled, rel_err,
+                              tol));
+            }
+        }
+
+        report.cells.push_back(std::move(cell));
+    }
+    return report;
+}
+
+} // namespace verif
+} // namespace lazygpu

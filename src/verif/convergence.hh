@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Convergence checker for multi-resolution (--timing-waves) sampling.
+ *
+ * The sampling contract has two halves. Functional state is *exact*:
+ * the rabbit executor performs the same sparsity accounting as the
+ * timed pipeline, so the differential checker (differential.hh) covers
+ * bit-level equivalence. Timing-derived statistics are *estimates*:
+ * memory traffic and cycles are extrapolated linearly from the timed
+ * window, and transaction elimination -- while counted exactly -- can
+ * shift between outcome classes when mask-arrival ordering differs.
+ * This checker pins the second half: for each execution mode it runs
+ * the same workload once with full timing and once sampled, and asserts
+ * the headline sparsity/traffic statistics agree within tolerance.
+ *
+ * Two tolerance classes apply. Accounting statistics (elimination rate
+ * and counts, issued/store transactions) are produced by the same exact
+ * bookkeeping on both paths and must agree to 2%. Hierarchy request
+ * totals are *extrapolated* from the timed window and inherit two
+ * systematic sampling biases that no linear scale-up can remove: the
+ * cache model counts secondary misses per arriving request, so request
+ * totals depend on queue occupancy (the window's drain tail is scaled
+ * up N/T times), and capacity effects (writeback evictions, zero-cache
+ * residency) only appear once the working set exceeds the cache, which
+ * a short window may never reach. Those statistics get the looser
+ * timingRelTol. EagerZC's issued-transaction count is the one
+ * accounting stat in the timing class: its issued/short-circuit split
+ * is decided by a race between the mask fill and data issue, which the
+ * rabbit executor can only approximate with a residency set.
+ */
+
+#ifndef LAZYGPU_VERIF_CONVERGENCE_HH
+#define LAZYGPU_VERIF_CONVERGENCE_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "analysis/harness.hh"
+#include "core/exec_mode.hh"
+#include "sim/config.hh"
+
+namespace lazygpu
+{
+namespace verif
+{
+
+struct ConvergenceOptions
+{
+    /** Sampling window for the sampled run of each mode. */
+    unsigned timingWaves = 64;
+    /** Relative tolerance for exact accounting statistics (2%). */
+    double relTol = 0.02;
+    /** Absolute tolerance for the elimination *rate* (a 0..1 ratio). */
+    double rateSlack = 0.02;
+    /**
+     * Relative tolerance for queue-sensitive extrapolated statistics
+     * (l1/l2/dram requests; txsIssued under EagerZC). See the file
+     * comment for why these cannot meet relTol under prefix sampling.
+     */
+    double timingRelTol = 0.35;
+    /**
+     * Counts whose full-timing value is at most this are compared with
+     * absolute slack instead: tiny denominators make relative error
+     * meaningless.
+     */
+    std::uint64_t absSlack = 64;
+    /** Modes to check; empty = all five (allModes()). */
+    std::vector<ExecMode> modes;
+    /** Run each workload's functional verify() in both runs. */
+    bool verify = true;
+    /** Machine shrink factor, as in DiffOptions (0/1 = no scaling). */
+    unsigned scale = 8;
+    /** Per-kernel livelock guard; 0 uses Gpu::run's default. */
+    Tick limitCycles = 0;
+};
+
+/** One mode's full-timing vs sampled comparison. */
+struct ConvergenceCell
+{
+    ExecMode mode = ExecMode::Baseline;
+    RunResult full;
+    RunResult sampled;
+    bool ok = true;
+    std::string detail; //!< first out-of-tolerance statistic
+};
+
+struct ConvergenceReport
+{
+    std::vector<ConvergenceCell> cells;
+
+    bool
+    ok() const
+    {
+        for (const ConvergenceCell &c : cells) {
+            if (!c.ok)
+                return false;
+        }
+        return true;
+    }
+
+    /** First failing cell's detail ("" when everything converged). */
+    std::string firstFailure() const;
+};
+
+/**
+ * For each requested mode, run a fresh workload instance full-timing
+ * and another sampled at opt.timingWaves, and compare:
+ *
+ *  - eliminationRate (absolute, rateSlack);
+ *  - txsIssued, total eliminated transactions, storeTxs,
+ *    storeTxsZeroSkipped (relative, relTol) -- eliminated transactions
+ *    are compared as a sum because zero/otimes/dead classification
+ *    legitimately shifts with mask-arrival order;
+ *  - l1/l2/dram request totals, and txsIssued under EagerZC (relative,
+ *    timingRelTol; these are queue-sensitive estimates);
+ *  - both runs' verifyError must be empty when opt.verify is set.
+ *
+ * The machine config per mode matches runDifferential: zero-cache
+ * modes use GpuConfig::lazyGpu, the others r9Nano, scaled by
+ * opt.scale.
+ */
+ConvergenceReport checkConvergence(
+    const std::function<Workload()> &make,
+    const ConvergenceOptions &opt = {});
+
+} // namespace verif
+} // namespace lazygpu
+
+#endif // LAZYGPU_VERIF_CONVERGENCE_HH

@@ -184,6 +184,7 @@ runDifferential(
             cfg = cfg.scaled(opt.scale);
         cfg.mode = mode;
         cfg.injectSkipSuspendRequalify = opt.injectSuspendBug;
+        cfg.timingWaves = opt.timingWaves;
 
         GlobalMemory mem = image;
         Gpu gpu(cfg, mem);

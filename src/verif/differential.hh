@@ -36,6 +36,7 @@
 #include "core/exec_mode.hh"
 #include "isa/kernel.hh"
 #include "mem/memory.hh"
+#include "sim/config.hh"
 #include "sim/types.hh"
 #include "verif/kernel_gen.hh"
 
@@ -61,6 +62,12 @@ struct DiffOptions
     /** Shrink factor for the simulated machine (fuzz throughput). */
     unsigned scale = 8;
     Tick limitCycles = 100'000'000ull;
+    /**
+     * Multi-resolution sampling window (GpuConfig::timingWaves): waves
+     * beyond the window run through the rabbit executor, so a sampled
+     * differential checks rabbit<->reference equivalence too.
+     */
+    unsigned timingWaves = GpuConfig::timingWavesAll;
 };
 
 /** Outcome of one mode's timed run vs the reference. */

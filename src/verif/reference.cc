@@ -1,9 +1,8 @@
 #include "verif/reference.hh"
 
 #include <algorithm>
-#include <cmath>
-#include <cstring>
 
+#include "isa/eval.hh"
 #include "sim/logging.hh"
 
 namespace lazygpu
@@ -13,22 +12,6 @@ namespace verif
 
 namespace
 {
-
-float
-asF(std::uint32_t bits)
-{
-    float f;
-    std::memcpy(&f, &bits, sizeof(f));
-    return f;
-}
-
-std::uint32_t
-asU(float f)
-{
-    std::uint32_t bits;
-    std::memcpy(&bits, &f, sizeof(bits));
-    return bits;
-}
 
 std::uint32_t
 readSrc(const RefWaveState &w, const Src &s, unsigned lane)
@@ -44,79 +27,6 @@ readSrc(const RefWaveState &w, const Src &s, unsigned lane)
         return 0;
     }
     return 0;
-}
-
-std::uint32_t
-evalValu(Opcode op, std::uint32_t a, std::uint32_t b, std::uint32_t acc,
-         unsigned wid, unsigned lane, bool &known)
-{
-    switch (op) {
-      case Opcode::VMov:
-        return a;
-      case Opcode::VAddF32:
-        return asU(asF(a) + asF(b));
-      case Opcode::VSubF32:
-        return asU(asF(a) - asF(b));
-      case Opcode::VMulF32:
-        return asU(asF(a) * asF(b));
-      case Opcode::VMacF32:
-        return asU(asF(acc) + asF(a) * asF(b));
-      case Opcode::VMaxF32:
-        return asU(std::max(asF(a), asF(b)));
-      case Opcode::VMinF32:
-        return asU(std::min(asF(a), asF(b)));
-      case Opcode::VRcpF32:
-        return asU(1.0f / asF(a));
-      case Opcode::VSqrtF32:
-        return asU(std::sqrt(asF(a)));
-      case Opcode::VCmpGtF32:
-        return asU(asF(a) > asF(b) ? 1.0f : 0.0f);
-      case Opcode::VCmpLtF32:
-        return asU(asF(a) < asF(b) ? 1.0f : 0.0f);
-      case Opcode::VAddU32:
-        return a + b;
-      case Opcode::VSubU32:
-        return a - b;
-      case Opcode::VMulU32:
-        return a * b;
-      case Opcode::VShlU32:
-        return a << (b & 31);
-      case Opcode::VShrU32:
-        return a >> (b & 31);
-      case Opcode::VAndB32:
-        return a & b;
-      case Opcode::VOrB32:
-        return a | b;
-      case Opcode::VXorB32:
-        return a ^ b;
-      case Opcode::VCmpEqU32:
-        return (a == b) ? 1u : 0u;
-      case Opcode::VMinU32:
-        return std::min(a, b);
-      case Opcode::VCvtF32U32:
-        return asU(static_cast<float>(a));
-      case Opcode::VThreadId:
-        return wid * wavefrontSize + lane;
-      case Opcode::VLaneId:
-        return lane;
-      default:
-        known = false;
-        return 0;
-    }
-}
-
-std::uint32_t
-loadWord(const GlobalMemory &mem, Opcode op, Addr addr, unsigned reg_off)
-{
-    switch (op) {
-      case Opcode::LoadByte:
-        return mem.readByte(addr);
-      case Opcode::LoadShort:
-        return mem.readByte(addr) |
-               (static_cast<std::uint32_t>(mem.readByte(addr + 1)) << 8);
-      default:
-        return mem.readU32(addr + 4ull * reg_off);
-    }
 }
 
 } // namespace
@@ -203,7 +113,7 @@ runReference(const Kernel &kernel, GlobalMemory &mem,
                         inst.base + w.vregs[inst.src0.value][lane];
                     for (unsigned r = 0; r < nregs; ++r) {
                         w.vregs[inst.dst + r][lane] =
-                            loadWord(mem, inst.op, addr, r);
+                            isa::loadRegWord(mem, inst.op, addr, r);
                     }
                 }
                 ++pc;
@@ -227,7 +137,7 @@ runReference(const Kernel &kernel, GlobalMemory &mem,
                     const std::uint32_t acc = w.vregs[inst.dst][lane];
                     bool known = true;
                     const std::uint32_t out =
-                        evalValu(inst.op, a, b, acc, wid, lane, known);
+                        isa::evalValu(inst.op, a, b, acc, wid, lane, known);
                     if (!known) {
                         res.error = "unhandled VALU opcode " +
                                     opcodeName(inst.op);

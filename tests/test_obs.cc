@@ -18,6 +18,7 @@
 
 #include "analysis/journal.hh"
 #include "analysis/json_reader.hh"
+#include "analysis/json_writer.hh"
 #include "gpu/gpu.hh"
 #include "isa/kernel.hh"
 #include "obs/lifecycle.hh"
@@ -112,6 +113,37 @@ TEST(Histogram, PercentileOfConstantSamplesIsTheConstant)
     EXPECT_DOUBLE_EQ(37.0, h.percentile(0.0));
     EXPECT_DOUBLE_EQ(37.0, h.percentile(50.0));
     EXPECT_DOUBLE_EQ(37.0, h.percentile(100.0));
+}
+
+// Boundary pins: percentile() must never step outside [min, max], for
+// any argument, including the degenerate single-sample histogram and
+// non-finite percentiles.
+TEST(Histogram, PercentileBoundaryArguments)
+{
+    Histogram h;
+    h.sample(1000); // single sample in a wide bucket (512..1024)
+    EXPECT_DOUBLE_EQ(1000.0, h.percentile(0.0));
+    EXPECT_DOUBLE_EQ(1000.0, h.percentile(100.0));
+    EXPECT_DOUBLE_EQ(1000.0, h.percentile(50.0));
+    EXPECT_DOUBLE_EQ(1000.0, h.percentile(-5.0));
+    EXPECT_DOUBLE_EQ(1000.0, h.percentile(250.0));
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    EXPECT_DOUBLE_EQ(1000.0, h.percentile(nan));
+
+    Histogram empty;
+    EXPECT_DOUBLE_EQ(0.0, empty.percentile(0.0));
+    EXPECT_DOUBLE_EQ(0.0, empty.percentile(100.0));
+    EXPECT_DOUBLE_EQ(0.0, empty.percentile(nan));
+
+    // Two extreme samples: every percentile stays inside the range even
+    // though the bucket interpolation spans far beyond both values.
+    Histogram two;
+    two.sample(3);
+    two.sample(513);
+    for (double p : {0.0, 1.0, 49.9, 50.1, 99.0, 100.0}) {
+        EXPECT_GE(two.percentile(p), 3.0) << "p=" << p;
+        EXPECT_LE(two.percentile(p), 513.0) << "p=" << p;
+    }
 }
 
 TEST(Histogram, PercentilesAreMonotoneAndClampedToObservedRange)
@@ -505,6 +537,51 @@ TEST(JsonReader, ParsesNonFiniteLiterals)
     // Truncated literals stay rejected.
     EXPECT_FALSE(parseJson("{\"a\":Inf}", doc));
     EXPECT_FALSE(parseJson("{\"a\":Na}", doc));
+}
+
+TEST(JsonReader, DecodesUtf16SurrogatePairs)
+{
+    JsonValue doc;
+    // U+1F600 as a surrogate pair, and a BMP escape alongside.
+    ASSERT_TRUE(parseJson("\"\\ud83d\\ude00=\\u00e9\"", doc));
+    EXPECT_EQ("\xf0\x9f\x98\x80=\xc3\xa9", doc.text);
+
+    // First and last representable supplementary code points.
+    ASSERT_TRUE(parseJson("\"\\uD800\\uDC00\"", doc)); // U+10000
+    EXPECT_EQ("\xf0\x90\x80\x80", doc.text);
+    ASSERT_TRUE(parseJson("\"\\udbff\\udfff\"", doc)); // U+10FFFF
+    EXPECT_EQ("\xf4\x8f\xbf\xbf", doc.text);
+}
+
+TEST(JsonReader, RejectsUnpairedSurrogates)
+{
+    JsonValue doc;
+    std::string err;
+    EXPECT_FALSE(parseJson("\"\\ud83d\"", doc, &err)); // lone high
+    EXPECT_NE(std::string::npos, err.find("high surrogate")) << err;
+    EXPECT_FALSE(parseJson("\"\\ud83d rest\"", doc)); // high + text
+    EXPECT_FALSE(parseJson("\"\\ud83d\\u0041\"", doc)); // high + BMP
+    EXPECT_FALSE(parseJson("\"\\ude00\"", doc)); // lone low
+    EXPECT_FALSE(parseJson("\"\\ud83d\\ud83d\"", doc)); // high + high
+    EXPECT_FALSE(parseJson("\"\\uD8G0\"", doc)); // bad hex digit
+    EXPECT_FALSE(parseJson("\"\\ud83d\\u\"", doc)); // truncated pair
+}
+
+TEST(JsonReader, SurrogateEscapesRoundTripThroughWriter)
+{
+    // The writer emits non-ASCII as raw UTF-8 (it only escapes control
+    // bytes), so a parsed surrogate pair must survive a write/parse
+    // cycle byte-identically.
+    JsonValue doc;
+    ASSERT_TRUE(parseJson("{\"s\":\"a\\ud83d\\ude00\\u20acz\"}", doc));
+    const std::string decoded = doc.find("s")->text;
+    EXPECT_EQ("a\xf0\x9f\x98\x80\xe2\x82\xacz", decoded);
+
+    Json out = Json::object();
+    out.set("s", decoded);
+    JsonValue again;
+    ASSERT_TRUE(parseJson(out.dump(), again));
+    EXPECT_EQ(decoded, again.find("s")->text);
 }
 
 } // namespace

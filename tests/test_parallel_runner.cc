@@ -128,5 +128,33 @@ TEST(ParallelRunnerDeath, MalformedEnvVarIsFatal)
     ::unsetenv("LAZYGPU_JOBS");
 }
 
+// The env parse is strict digits-only: values strtoul would wave
+// through (whitespace, signs, trailing garbage, overflow) are all
+// configuration mistakes and must be fatal rather than silently
+// truncated to some other job count.
+TEST(ParallelRunnerDeath, EnvVarRejectsNonCanonicalNumbers)
+{
+    for (const char *bad : {" 4", "4 ", "+2", "-2", "4x", "0x4", "",
+                            "2.0", "99999999999999999999", "4294967296"}) {
+        ::setenv("LAZYGPU_JOBS", bad, 1);
+        EXPECT_EXIT(ParallelRunner::defaultJobs(),
+                    ::testing::ExitedWithCode(1), "LAZYGPU_JOBS")
+            << "value '" << bad << "'";
+    }
+    ::setenv("LAZYGPU_JOBS", "0", 1);
+    EXPECT_EXIT(ParallelRunner::defaultJobs(),
+                ::testing::ExitedWithCode(1), "LAZYGPU_JOBS");
+    ::unsetenv("LAZYGPU_JOBS");
+}
+
+TEST(ParallelRunner, EnvVarAcceptsCanonicalNumbers)
+{
+    ::setenv("LAZYGPU_JOBS", "1", 1);
+    EXPECT_EQ(1u, ParallelRunner::defaultJobs());
+    ::setenv("LAZYGPU_JOBS", "4096", 1); // documented ceiling
+    EXPECT_EQ(4096u, ParallelRunner::defaultJobs());
+    ::unsetenv("LAZYGPU_JOBS");
+}
+
 } // namespace
 } // namespace lazygpu
