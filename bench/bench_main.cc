@@ -35,6 +35,26 @@ parseTimingWaves(const std::string &value)
     return static_cast<unsigned>(v);
 }
 
+unsigned
+parseSaThreads(const std::string &value, const char *what)
+{
+    char *end = nullptr;
+    const unsigned long v = std::strtoul(value.c_str(), &end, 10);
+    fatal_if(end == value.c_str() || *end != '\0' || v > 4096,
+             "%s expects a small non-negative integer, got '%s'", what,
+             value.c_str());
+    return static_cast<unsigned>(v);
+}
+
+/** LAZYGPU_SA_THREADS env var, or 0 (classic engine) when unset. */
+unsigned
+defaultSaThreads()
+{
+    if (const char *env = std::getenv("LAZYGPU_SA_THREADS"))
+        return parseSaThreads(env, "LAZYGPU_SA_THREADS");
+    return 0;
+}
+
 double
 parseSeconds(const char *flag, const std::string &value)
 {
@@ -52,6 +72,7 @@ BenchOptions
 parseBenchOptions(int argc, char **argv)
 {
     BenchOptions opt;
+    opt.saThreads = defaultSaThreads();
 
     // Shared flags taking a value; accepts --flag V and --flag=V.
     auto valueFor = [&](int &i, const std::string &a,
@@ -100,6 +121,8 @@ parseBenchOptions(int argc, char **argv)
             opt.traceCellKey = v;
         } else if (valueFor(i, a, "--timing-waves", v)) {
             opt.timingWaves = parseTimingWaves(v);
+        } else if (valueFor(i, a, "--sa-threads", v)) {
+            opt.saThreads = parseSaThreads(v, "--sa-threads");
         } else {
             opt.args.push_back(a);
         }
@@ -127,6 +150,7 @@ BenchOptions::sweepOptions(const std::string &bench) const
     s.tracePath = tracePath;
     s.traceCellKey = traceCellKey;
     s.timingWaves = timingWaves;
+    s.saThreads = saThreads;
     return s;
 }
 

@@ -34,6 +34,13 @@
  *                    the fast functional rabbit executor with exact
  *                    sparsity accounting and extrapolated timing stats;
  *                    'all' (the default) disables sampling
+ *   --sa-threads N   intra-GPU parallel simulation: shard every cell's
+ *                    simulation across per-shader-array event domains
+ *                    driven by N threads (0, the default, keeps the
+ *                    classic single-domain engine; falls back to the
+ *                    LAZYGPU_SA_THREADS env var). Results are identical
+ *                    for any N >= 1; composed with --jobs > 1 the value
+ *                    is clamped to hardware_concurrency / jobs
  *
  * Remaining arguments are returned positionally for bench-specific
  * knobs (`--quick`, wave counts, ...). Printed tables and JSON
@@ -74,6 +81,9 @@ struct BenchOptions
 
     /** --timing-waves sampling window; timingWavesAll disables it. */
     unsigned timingWaves = GpuConfig::timingWavesAll;
+
+    /** --sa-threads domain threads per cell; 0 = classic engine. */
+    unsigned saThreads = 0;
 
     /** Arguments other than the shared flags, in order. */
     std::vector<std::string> args;

@@ -25,11 +25,13 @@
 #include <cstdio>
 #include <functional>
 #include <queue>
+#include <thread>
 #include <vector>
 
 #include "analysis/json_writer.hh"
 #include "analysis/parallel_runner.hh"
 #include "bench/bench_main.hh"
+#include "sim/domains.hh"
 #include "sim/engine.hh"
 #include "workloads/suite.hh"
 
@@ -142,6 +144,73 @@ eventsPerSecond(Sched &sched, std::uint64_t total_events)
     // The checksum depends on every callback having run; printing it
     // pins the work against dead-code elimination.
     std::printf("  checksum %llx, %.2fs\n",
+                static_cast<unsigned long long>(checksum), secs);
+    return static_cast<double>(total_events) / secs;
+}
+
+/**
+ * Domain-scheduler micro: the synthetic chain mix sharded over 8 SA
+ * domains, windowed at the production lookahead (52). Chains stay
+ * SA-local (each writes only its own state), so the number measures the
+ * wheel + window-barrier overhead and whatever parallel speedup the
+ * host's cores allow.
+ */
+double
+domainsEventsPerSecond(unsigned threads, std::uint64_t total_events)
+{
+    constexpr unsigned kSa = 8;
+    constexpr unsigned kBanks = 4;
+    constexpr unsigned kChains = 64;
+    static constexpr Tick kDeltas[] = {1,   2,   4,   8,    16,  40,
+                                       120, 300, 700, 1500, 2600};
+    constexpr unsigned kNumDeltas = sizeof(kDeltas) / sizeof(kDeltas[0]);
+
+    DomainScheduler::Options o;
+    o.lookahead = 52;
+    o.threads = threads;
+    DomainScheduler sched(o, kSa, kBanks);
+
+    struct Chain
+    {
+        std::uint32_t lcg = 12345;
+        std::uint64_t left = 0;
+        std::uint64_t checksum = 0;
+    };
+    std::vector<Chain> chains(kChains);
+    for (Chain &c : chains)
+        c.left = total_events / kChains;
+
+    // Chains touch only their own slot and their own SA's engine, so
+    // concurrent windows never race.
+    std::function<void(unsigned, Addr, Tick)> fire =
+        [&](unsigned c, Addr addr, Tick issued) {
+            Chain &ch = chains[c];
+            ch.checksum += addr + issued;
+            if (ch.left == 0)
+                return;
+            --ch.left;
+            ch.lcg = ch.lcg * 1664525u + 1013904223u;
+            const Tick d = kDeltas[ch.lcg % kNumDeltas];
+            Engine &eng = sched.saEngine(c % kSa);
+            const Addr next_addr = addr + 32;
+            const Tick now = eng.now();
+            eng.schedule(now + d, [&fire, c, next_addr, now]() {
+                fire(c, next_addr, now);
+            });
+        };
+
+    const auto t0 = std::chrono::steady_clock::now();
+    for (unsigned c = 0; c < kChains; ++c) {
+        sched.saEngine(c % kSa).schedule(
+            c + 1, [&fire, c]() { fire(c, 0x1000 * c, 0); });
+    }
+    sched.run();
+    const double secs = secondsSince(t0);
+
+    std::uint64_t checksum = 0;
+    for (const Chain &c : chains)
+        checksum += c.checksum;
+    std::printf("  %u threads: checksum %llx, %.2fs\n", threads,
                 static_cast<unsigned long long>(checksum), secs);
     return static_cast<double>(total_events) / secs;
 }
@@ -277,7 +346,52 @@ main(int argc, char **argv)
                 est_cycles_rel_err, rabbit_samp.eliminationRate(),
                 rabbit_full.eliminationRate());
 
-    std::printf("peak RSS: %llu KiB\n",
+    // Intra-GPU parallel simulation: (a) the domain-scheduler micro at
+    // 1/2/4/8 worker threads, (b) the paper-scale 64-CU fig03 MM cell
+    // (2048 waves, fully timed) on the sharded engine at the same
+    // thread counts. Simulated results are thread-count-independent
+    // (pinned by test_sa_parallel.cc); these numbers record what the
+    // parallelism buys in wall clock on THIS host -- on a single-core
+    // runner the overhead of the extra threads shows up honestly as
+    // speedup < 1.
+    std::printf("\nsa_parallel micro (%llu events, 8 SA domains):\n",
+                static_cast<unsigned long long>(kMicroEvents));
+    const std::vector<unsigned> kSaThreads = {1, 2, 4, 8};
+    std::vector<double> domain_eps;
+    for (unsigned n : kSaThreads)
+        domain_eps.push_back(domainsEventsPerSecond(n, kMicroEvents));
+
+    std::printf("\nsa_parallel fig03 cell (MM 2048 waves, LazyCore, "
+                "64 CUs, full timing):\n");
+    auto saCell = [](unsigned threads) {
+        WorkloadParams p;
+        p.sparsity = 0.0;
+        p.scale = 16;
+        Workload w = makeMM(p, 2048);
+        GpuConfig cfg = GpuConfig::r9Nano();
+        cfg.mode = ExecMode::LazyCore;
+        cfg.saThreads = threads;
+        const auto t0 = std::chrono::steady_clock::now();
+        const RunResult r = runWorkload(cfg, w, false);
+        return std::make_pair(secondsSince(t0), r.cycles);
+    };
+    std::vector<double> sa_cell_secs;
+    Tick sa_cell_cycles = 0;
+    for (unsigned n : kSaThreads) {
+        const auto [secs, cycles] = saCell(n);
+        if (sa_cell_cycles == 0)
+            sa_cell_cycles = cycles;
+        else if (sa_cell_cycles != cycles)
+            std::printf("  WARNING: cycles diverged across thread "
+                        "counts (%llu vs %llu)\n",
+                        static_cast<unsigned long long>(sa_cell_cycles),
+                        static_cast<unsigned long long>(cycles));
+        sa_cell_secs.push_back(secs);
+        std::printf("  %u threads: %.2fs (%.2fx vs 1 thread)\n", n, secs,
+                    sa_cell_secs.front() / secs);
+    }
+
+    std::printf("\npeak RSS: %llu KiB\n",
                 static_cast<unsigned long long>(peakRssKib()));
 
     Json micro = Json::object();
@@ -311,11 +425,29 @@ main(int argc, char **argv)
         .set("elim_rate_full", rabbit_full.eliminationRate())
         .set("elim_rate_sampled", rabbit_samp.eliminationRate());
 
+    Json sa_parallel = Json::object();
+    Json sa_rows = Json::array();
+    for (std::size_t i = 0; i < kSaThreads.size(); ++i) {
+        Json row = Json::object();
+        row.set("threads", kSaThreads[i])
+            .set("micro_events_per_sec", domain_eps[i])
+            .set("micro_speedup", domain_eps[i] / domain_eps.front())
+            .set("fig03_cell_ms", sa_cell_secs[i] * 1e3)
+            .set("fig03_cell_speedup",
+                 sa_cell_secs.front() / sa_cell_secs[i]);
+        sa_rows.push(std::move(row));
+    }
+    sa_parallel.set("rows", std::move(sa_rows))
+        .set("fig03_cell_waves", 2048u)
+        .set("fig03_cell_cycles", sa_cell_cycles)
+        .set("hardware_threads", std::thread::hardware_concurrency());
+
     Json data = Json::object();
     data.set("scheduler_micro", std::move(micro))
         .set("fig03_sweep", std::move(sweep))
         .set("obs_ab", std::move(obs_ab))
         .set("rabbit_sampling", std::move(rabbit))
+        .set("sa_parallel", std::move(sa_parallel))
         .set("peak_rss_kib", peakRssKib());
     writeBenchJson("perf", data);
     return 0;

@@ -9,6 +9,7 @@
  *              [--modes Baseline,LazyGPU,...]
  *              [--waves N] [--sparsity X] [--body-ops N]
  *              [--timing-waves W1,W2,...] (numbers, 'boundary', 'all')
+ *              [--sa-threads N]
  *              [--corpus DIR] [--corpus-only] [--minimize]
  *              [--inject-bug] [--verbose]
  *
@@ -26,6 +27,11 @@
  * plus 'boundary' (numWavefronts - 1: one rabbit wave) and 'all'
  * (numWavefronts: sampling armed but every wave still timed); 0 runs
  * everything in rabbit mode. Any discrepancy is a real bug.
+ *
+ * --sa-threads N (or the LAZYGPU_SA_THREADS env var) runs every timed
+ * simulation on the sharded intra-GPU engine with N domain threads, so
+ * a sweep or corpus replay cross-checks the parallel schedule against
+ * the reference executor.
  *
  * --inject-bug is the self-test demanded by the PR acceptance criteria:
  * it arms GpuConfig::injectSkipSuspendRequalify (optimization (2)
@@ -64,6 +70,7 @@ struct Args
     unsigned bodyOps = 0;
     /** Raw --timing-waves tokens; resolved per generated case. */
     std::vector<std::string> timingWaves;
+    unsigned saThreads = 0; //!< sharded-engine domain threads (0 = off)
     std::string corpusDir;
     bool corpusOnly = false;
     bool minimize = false;
@@ -106,6 +113,8 @@ Args
 parseArgs(int argc, char **argv)
 {
     Args a;
+    if (const char *env = std::getenv("LAZYGPU_SA_THREADS"))
+        a.saThreads = static_cast<unsigned>(std::stoul(env));
     auto value = [&](int &i) -> const char * {
         fatal_if(i + 1 >= argc, "%s needs a value", argv[i]);
         return argv[++i];
@@ -144,6 +153,8 @@ parseArgs(int argc, char **argv)
                          "or 'all', got '%s'", s.c_str());
                 a.timingWaves.push_back(s);
             }
+        } else if (arg == "--sa-threads") {
+            a.saThreads = static_cast<unsigned>(std::stoul(value(i)));
         } else if (arg == "--corpus") {
             a.corpusDir = value(i);
         } else if (arg == "--corpus-only") {
@@ -322,6 +333,7 @@ int
 runInjectBug(const Args &a)
 {
     DiffOptions base;
+    base.saThreads = a.saThreads;
     base.injectSuspendBug = true;
     // The fault lives in optimization (2); only LazyGPU exercises it.
     base.modes = {ExecMode::LazyGPU};
@@ -371,6 +383,7 @@ main(int argc, char **argv)
 
     DiffOptions dopt;
     dopt.modes = a.modes;
+    dopt.saThreads = a.saThreads;
 
     if (!a.corpusDir.empty()) {
         const int rc = runCorpus(a, dopt);

@@ -56,7 +56,8 @@ usage()
                  "usage: lazygpu_sim [--workload NAME] [--mode MODE] "
                  "[--sparsity F] [--scale N]\n"
                  "                   [--machine N] [--l1-split N] "
-                 "[--l2-split N] [--seed N] [--no-verify]\n");
+                 "[--l2-split N] [--seed N]\n"
+                 "                   [--sa-threads N] [--no-verify]\n");
     std::exit(2);
 }
 
@@ -70,7 +71,10 @@ main(int argc, char **argv)
     WorkloadParams params;
     unsigned machine = 4;
     unsigned l1_split = 8, l2_split = 8;
+    unsigned sa_threads = 0;
     bool verify = true;
+    if (const char *env = std::getenv("LAZYGPU_SA_THREADS"))
+        sa_threads = static_cast<unsigned>(std::atoi(env));
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -96,6 +100,8 @@ main(int argc, char **argv)
         else if (arg == "--seed")
             params.seed = static_cast<std::uint64_t>(
                 std::strtoull(next(), nullptr, 10));
+        else if (arg == "--sa-threads")
+            sa_threads = static_cast<unsigned>(std::atoi(next()));
         else if (arg == "--no-verify")
             verify = false;
         else
@@ -113,6 +119,7 @@ main(int argc, char **argv)
             ? GpuConfig::r9Nano()
             : GpuConfig::withZeroCacheSplit(l1_split, l2_split, mode);
     cfg = cfg.scaled(machine);
+    cfg.saThreads = sa_threads;
 
     std::printf("workload %s | mode %s | sparsity %.0f%% | config %s "
                 "(%u CUs, %u L2 banks)\n\n",

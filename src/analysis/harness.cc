@@ -85,7 +85,7 @@ runWorkload(const GpuConfig &cfg, Workload &w, bool verify,
 {
     Gpu gpu(cfg, *w.mem);
     if (ctl)
-        gpu.engine().attachControl(ctl);
+        gpu.attachControl(ctl);
     RunResult res;
     for (const Kernel &k : w.kernels) {
         // estCycles == cycles unless --timing-waves sampling is active.

@@ -52,6 +52,21 @@ ParallelRunner::defaultJobs()
 ParallelRunner::ParallelRunner(unsigned jobs, SweepOptions opts)
     : jobs_(jobs ? jobs : defaultJobs()), opts_(std::move(opts))
 {
+    // Oversubscription guard: cell-level jobs multiply with intra-cell
+    // domain threads. With a single job the request is honoured as-is
+    // (scaling studies on small hosts stay meaningful).
+    if (opts_.saThreads > 1 && jobs_ > 1) {
+        const unsigned hw =
+            std::max(1u, std::thread::hardware_concurrency());
+        const unsigned cap = std::max(1u, hw / jobs_);
+        if (opts_.saThreads > cap) {
+            warn("clamping --sa-threads %u to %u: %u sweep jobs on %u "
+                 "hardware threads leave no headroom for intra-cell "
+                 "parallelism",
+                 opts_.saThreads, cap, jobs_, hw);
+            opts_.saThreads = cap;
+        }
+    }
 }
 
 ParallelRunner::~ParallelRunner() = default;
@@ -304,6 +319,8 @@ ParallelRunner::runSweep(const std::vector<RunJob> &batch)
             cfg.statsReport = cfg.statsReport || opts_.statsReport;
             if (opts_.timingWaves != GpuConfig::timingWavesAll)
                 cfg.timingWaves = opts_.timingWaves;
+            if (opts_.saThreads)
+                cfg.saThreads = opts_.saThreads;
             if (tracing && keys[i] == opts_.traceCellKey) {
                 cfg.enableTraces = true;
                 cfg.tracePath = opts_.tracePath;

@@ -106,6 +106,16 @@ struct SweepOptions
      */
     unsigned timingWaves = GpuConfig::timingWavesAll;
     /**
+     * Intra-GPU domain threads applied to every cell (--sa-threads):
+     * 0 keeps the classic single-domain engine; N >= 1 shards each
+     * simulation across per-SA event domains driven by N threads
+     * (results are independent of N; see GpuConfig::saThreads). When
+     * composed with --jobs > 1, the runner clamps this to
+     * hardware_concurrency / jobs so cell-level and intra-cell
+     * parallelism do not oversubscribe the host.
+     */
+    unsigned saThreads = 0;
+    /**
      * Write the traced cell's binary timeline to this file; empty
      * disables tracing. Tracing is observational (it never perturbs the
      * simulated outcome), so the traced cell's results stay identical.

@@ -51,9 +51,9 @@ cuPrefix(const GpuConfig &cfg, unsigned cu_id, unsigned sa_id)
 
 ComputeUnit::ComputeUnit(Engine &engine, StatsRegistry &stats,
                          LifecycleTracker &lifecycle,
-                         const GpuConfig &cfg, GlobalMemory &mem,
-                         MemoryHierarchy &hier, unsigned cu_id,
-                         unsigned sa_id, TraceSink *trace)
+                         Distribution &mem_latency, const GpuConfig &cfg,
+                         GlobalMemory &mem, MemoryHierarchy &hier,
+                         unsigned cu_id, unsigned sa_id, TraceSink *trace)
     : engine_(engine), stats_(stats), lifecycle_(lifecycle),
       trace_(trace), cfg_(cfg), mem_(mem), hier_(hier),
       cu_id_(cu_id), sa_id_(sa_id), mode_(cfg.mode),
@@ -94,10 +94,10 @@ ComputeUnit::ComputeUnit(Engine &engine, StatsRegistry &stats,
                                   "lanes_zeroed")),
       lanes_suspended_(stats.counter(cuPrefix(cfg, cu_id, sa_id) +
                                      "lanes_suspended")),
-      // One shared latency distribution per Gpu: keeping the sample
-      // (summation) order identical across configurations pins the
-      // golden avgMemLatency digits.
-      mem_latency_(stats.dist("mem.latency"))
+      // One shared latency distribution per engine domain: keeping the
+      // sample (summation) order identical across configurations pins
+      // the golden avgMemLatency digits.
+      mem_latency_(mem_latency)
 {
 }
 

@@ -44,10 +44,18 @@ namespace lazygpu
 class ComputeUnit : public Clocked
 {
   public:
+    /**
+     * `mem_latency` is the distribution every completed data
+     * transaction's latency is sampled into. The classic engine passes
+     * the registry's "mem.latency"; the sharded engine passes a per-SA
+     * shard distribution (merged in a fixed order at the end of each
+     * run, keeping the floating-point sum independent of thread count).
+     */
     ComputeUnit(Engine &engine, StatsRegistry &stats,
-                LifecycleTracker &lifecycle, const GpuConfig &cfg,
-                GlobalMemory &mem, MemoryHierarchy &hier, unsigned cu_id,
-                unsigned sa_id, TraceSink *trace);
+                LifecycleTracker &lifecycle, Distribution &mem_latency,
+                const GpuConfig &cfg, GlobalMemory &mem,
+                MemoryHierarchy &hier, unsigned cu_id, unsigned sa_id,
+                TraceSink *trace);
 
     /** Occupancy limit for the running kernel (register-usage bound). */
     void setMaxWaves(unsigned n) { max_waves_ = n; }

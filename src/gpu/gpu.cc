@@ -2,18 +2,62 @@
 
 #include <algorithm>
 #include <cmath>
+#include <mutex>
 
 #include "sim/logging.hh"
 
 namespace lazygpu
 {
 
+namespace
+{
+
+/** RAII around GlobalMemory's concurrent page-table mode. */
+struct ConcurrentScope
+{
+    ConcurrentScope(GlobalMemory &mem, bool on) : mem_(mem), on_(on)
+    {
+        if (on_)
+            mem_.setConcurrent(true);
+    }
+    ~ConcurrentScope()
+    {
+        if (on_)
+            mem_.setConcurrent(false);
+    }
+    GlobalMemory &mem_;
+    const bool on_;
+};
+
+} // namespace
+
+std::unique_ptr<DomainScheduler>
+Gpu::makeScheduler()
+{
+    if (cfg_.saThreads == 0)
+        return nullptr;
+    if (trace_) {
+        // Perfetto tracks record through a single shared sink; sharded
+        // domains would interleave it from many threads.
+        warn("traces are not supported with sa-threads; falling back to "
+             "the single-domain engine");
+        cfg_.saThreads = 0;
+        return nullptr;
+    }
+    DomainScheduler::Options o;
+    o.lookahead = std::max<Tick>(1, cfg_.l2HopLatency);
+    o.threads = cfg_.saThreads;
+    return std::make_unique<DomainScheduler>(o, cfg_.numShaderArrays,
+                                             cfg_.l2Banks);
+}
+
 Gpu::Gpu(const GpuConfig &cfg, GlobalMemory &mem)
     : cfg_(cfg), mem_(mem), lifecycle_(stats_, cfg.mode),
       trace_(cfg.enableTraces
                  ? std::make_unique<TraceSink>(cfg.tracePath)
                  : nullptr),
-      hier_(engine_, stats_, cfg_, mem_)
+      sched_(makeScheduler()),
+      hier_(engine_, stats_, cfg_, mem_, sched_.get())
 {
     if (trace_) {
         std::vector<std::string> cache_tracks;
@@ -35,22 +79,73 @@ Gpu::Gpu(const GpuConfig &cfg, GlobalMemory &mem)
         trace_->setMeta(std::move(meta));
     }
 
+    if (sched_) {
+        // Register the merge target up front so sharded dumps have the
+        // same stat-name set as classic ones even before any run.
+        stats_.dist("mem.latency");
+        for (unsigned sa = 0; sa < cfg_.numShaderArrays; ++sa)
+            shards_.push_back(std::make_unique<SaShard>(cfg_.mode));
+    }
+
     for (unsigned sa = 0; sa < cfg_.numShaderArrays; ++sa) {
+        Engine &sa_engine = sched_ ? sched_->saEngine(sa) : engine_;
+        LifecycleTracker &lc =
+            sched_ ? shards_[sa]->lifecycle : lifecycle_;
+        Distribution &lat =
+            sched_ ? shards_[sa]->memLatency : stats_.dist("mem.latency");
         for (unsigned c = 0; c < cfg_.cusPerSa; ++c) {
             unsigned cu_id = sa * cfg_.cusPerSa + c;
             cus_.push_back(std::make_unique<ComputeUnit>(
-                engine_, stats_, lifecycle_, cfg_, mem_, hier_, cu_id,
+                sa_engine, stats_, lc, lat, cfg_, mem_, hier_, cu_id,
                 sa, trace_.get()));
-            engine_.addClocked(cus_.back().get());
+            sa_engine.addClocked(cus_.back().get());
             ComputeUnit *cu = cus_.back().get();
-            cu->setRetireCallback([this, cu]() { refill(*cu); });
+            if (sched_) {
+                // Retire runs on the SA's domain thread; dispatching a
+                // replacement wave reads shared dispatch state, so defer
+                // it to the window barrier (drained in SA order there).
+                SaShard *shard = shards_[sa].get();
+                cu->setRetireCallback(
+                    [shard, cu]() { shard->pendingRefill.push_back(cu); });
+            } else {
+                cu->setRetireCallback([this, cu]() { refill(*cu); });
+            }
         }
     }
+
+    if (sched_) {
+        sched_->setBarrierHook([this]() {
+            for (auto &shard : shards_) {
+                for (ComputeUnit *cu : shard->pendingRefill)
+                    refill(*cu);
+                shard->pendingRefill.clear();
+            }
+        });
+    }
+}
+
+void
+Gpu::attachControl(ExecControl *ctl)
+{
+    engine_.attachControl(ctl);
+    if (sched_)
+        sched_->attachControl(ctl);
 }
 
 void
 Gpu::setRetireObserver(ComputeUnit::RetireObserver obs)
 {
+    if (sched_ && obs) {
+        // Retires run concurrently on domain threads but the observer
+        // (verification state) is shared: serialise invocations. The
+        // observed facts are per-wave, so the state they build is
+        // independent of the arrival order.
+        auto mutex = std::make_shared<std::mutex>();
+        obs = [mutex, inner = std::move(obs)](const Wavefront &w) {
+            std::lock_guard lk(*mutex);
+            inner(w);
+        };
+    }
     retire_obs_ = obs;
     for (auto &cu : cus_)
         cu->setRetireObserver(obs);
@@ -96,7 +191,7 @@ Gpu::run(const Kernel &kernel, Tick limit_cycles)
     dispatch_limit_ = timed;
 
     KernelResult res;
-    res.startTick = engine_.now();
+    res.startTick = sched_ ? sched_->now() : engine_.now();
     res.endTick = res.startTick;
     const SnapshotSourceScope snapshot_scope(this);
 
@@ -130,9 +225,18 @@ Gpu::run(const Kernel &kernel, Tick limit_cycles)
             }
         }
 
-        res.endTick = engine_.run(res.startTick + limit_cycles);
+        if (sched_) {
+            // Domain threads hit the functional memory concurrently;
+            // switch the page table to its locked + thread-cached mode
+            // for the duration of the timed phase.
+            const ConcurrentScope concurrent(mem_, true);
+            res.endTick = sched_->run(res.startTick + limit_cycles);
+        } else {
+            res.endTick = engine_.run(res.startTick + limit_cycles);
+        }
 
-        fatal_if(engine_.hasPendingEvents(),
+        fatal_if(sched_ ? sched_->anyPendingEvents()
+                        : engine_.hasPendingEvents(),
                  "kernel '%s' reached the %llu-cycle limit before "
                  "completion",
                  kernel.name.c_str(),
@@ -185,13 +289,40 @@ Gpu::run(const Kernel &kernel, Tick limit_cycles)
         c.reset();
         c += v;
     };
-    sync("engine.events_executed", engine_.eventsExecuted());
-    sync("engine.pool_chunks", engine_.poolChunks());
-    sync("engine.oversized_events", engine_.oversizedEvents());
+    if (sched_) {
+        // Aggregate across every domain wheel (plus engine_, which the
+        // rabbit phase may still use for heartbeats — zero events).
+        sync("engine.events_executed",
+             sched_->eventsExecuted() + engine_.eventsExecuted());
+        sync("engine.pool_chunks",
+             sched_->poolChunks() + engine_.poolChunks());
+        sync("engine.oversized_events",
+             sched_->oversizedEvents() + engine_.oversizedEvents());
+        mergeShardStats();
+    } else {
+        sync("engine.events_executed", engine_.eventsExecuted());
+        sync("engine.pool_chunks", engine_.poolChunks());
+        sync("engine.oversized_events", engine_.oversizedEvents());
+    }
 
     if (trace_)
         trace_->flush();
     return res;
+}
+
+void
+Gpu::mergeShardStats()
+{
+    // Rebuild the main-registry view from the shards: reset + merge in
+    // SA order keeps cumulative totals correct across repeated runs and
+    // the floating-point latency sum independent of the thread count.
+    Distribution &lat = stats_.dist("mem.latency");
+    lat.reset();
+    lifecycle_.reset();
+    for (auto &shard : shards_) {
+        lat.merge(shard->memLatency);
+        lifecycle_.merge(shard->lifecycle);
+    }
 }
 
 EngineSnapshot
@@ -199,11 +330,19 @@ Gpu::captureSnapshot() const
 {
     EngineSnapshot snap;
     snap.valid = true;
-    snap.cycle = engine_.now();
-    snap.eventsExecuted = engine_.eventsExecuted();
-    snap.pendingEvents = engine_.numPendingEvents();
-    snap.activeClocked = engine_.activeClocked();
-    snap.recentActivity = engine_.recentActivity();
+    if (sched_) {
+        snap.cycle = sched_->now();
+        snap.eventsExecuted = sched_->eventsExecuted();
+        snap.pendingEvents = sched_->numPendingEvents();
+        snap.activeClocked = sched_->activeClocked();
+        snap.recentActivity = sched_->recentActivity();
+    } else {
+        snap.cycle = engine_.now();
+        snap.eventsExecuted = engine_.eventsExecuted();
+        snap.pendingEvents = engine_.numPendingEvents();
+        snap.activeClocked = engine_.activeClocked();
+        snap.recentActivity = engine_.recentActivity();
+    }
     for (const auto &cu : cus_)
         cu->describeInto(snap.components);
     return snap;

@@ -25,6 +25,7 @@
 #include "obs/registry.hh"
 #include "obs/trace.hh"
 #include "sim/config.hh"
+#include "sim/domains.hh"
 #include "sim/engine.hh"
 #include "sim/sim_error.hh"
 
@@ -69,8 +70,20 @@ class Gpu : public SnapshotSource
     /** Install a verification retire observer on every compute unit. */
     void setRetireObserver(ComputeUnit::RetireObserver obs);
 
+    /**
+     * Attach the sweep watchdog. Classic mode attaches it to the single
+     * engine; sharded mode (cfg.saThreads >= 1) attaches it to the
+     * domain scheduler, whose window barrier aggregates heartbeats
+     * across every domain thread, and also to the engine so the rabbit
+     * phase keeps beating.
+     */
+    void attachControl(ExecControl *ctl);
+
     StatsRegistry &stats() { return stats_; }
     Engine &engine() { return engine_; }
+
+    /** The sharded-mode domain scheduler; nullptr in classic mode. */
+    DomainScheduler *domains() { return sched_.get(); }
     MemoryHierarchy &hierarchy() { return hier_; }
     GlobalMemory &memory() { return mem_; }
     const GpuConfig &config() const { return cfg_; }
@@ -99,9 +112,37 @@ class Gpu : public SnapshotSource
                                  const std::string &suffix = "") const;
 
   private:
+    /**
+     * Sharded-mode per-SA statistics shard. Compute units of shader
+     * array s sample their shared mutable stats (the mem.latency
+     * distribution and the lifecycle histograms) into shard s, touched
+     * only by SA domain s's thread; mergeShardStats() folds the shards
+     * into the main registry in a fixed SA order at the end of every
+     * run, so results are identical for any thread count. (Counters
+     * need no sharding: every Counter object is written by exactly one
+     * component on one domain thread.)
+     */
+    struct SaShard
+    {
+        StatsRegistry reg;
+        LifecycleTracker lifecycle;
+        Distribution &memLatency;
+        /** CUs that retired a wave this window; refilled at the barrier. */
+        std::vector<ComputeUnit *> pendingRefill;
+
+        explicit SaShard(ExecMode mode)
+            : lifecycle(reg, mode), memLatency(reg.dist("mem.latency"))
+        {
+        }
+    };
+
     void refill(ComputeUnit &cu);
     /** Is this counter timing-dependent (extrapolated, not exact)? */
     static bool isTimingCounter(const std::string &name);
+    /** cfg_.saThreads >= 1 -> a DomainScheduler (may clamp cfg_). */
+    std::unique_ptr<DomainScheduler> makeScheduler();
+    /** Fold the per-SA shard stats into the main registry (see SaShard). */
+    void mergeShardStats();
 
     GpuConfig cfg_;
     GlobalMemory &mem_;
@@ -109,6 +150,9 @@ class Gpu : public SnapshotSource
     StatsRegistry stats_;
     LifecycleTracker lifecycle_;
     std::unique_ptr<TraceSink> trace_;
+    /** Declared before hier_: the hierarchy places onto the domains. */
+    std::unique_ptr<DomainScheduler> sched_;
+    std::vector<std::unique_ptr<SaShard>> shards_;
     MemoryHierarchy hier_;
     std::vector<std::unique_ptr<ComputeUnit>> cus_;
 

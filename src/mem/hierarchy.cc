@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "sim/domains.hh"
 #include "sim/logging.hh"
 
 namespace lazygpu
@@ -21,17 +22,24 @@ BankRouter::bankFor(Addr addr) const
     return static_cast<unsigned>((addr / interleave_) % banks_.size());
 }
 
+Tick
+BankRouter::arbitrate(Tick when, unsigned size)
+{
+    // Crossbar occupancy: the aggregate ingress port serialises bursts.
+    const Tick service = std::max<Tick>(
+        1, (size + bytes_per_cycle_ - 1) / bytes_per_cycle_);
+    const Tick start = std::max(when, port_busy_);
+    port_busy_ = start + service;
+    return start;
+}
+
 void
 BankRouter::access(const MemAccess &acc, Completion done)
 {
     panic_if(banks_.empty(), "router has no banks");
 
-    // Crossbar occupancy: the aggregate ingress port serialises bursts.
     const Tick now = engine_.now();
-    const Tick service = std::max<Tick>(
-        1, (acc.size + bytes_per_cycle_ - 1) / bytes_per_cycle_);
-    const Tick start = std::max(now, port_busy_);
-    port_busy_ = start + service;
+    const Tick start = arbitrate(now, acc.size);
 
     MemDevice *bank = banks_[bankFor(acc.addr)];
     if (start == now) {
@@ -45,26 +53,39 @@ BankRouter::access(const MemAccess &acc, Completion done)
 }
 
 MemoryHierarchy::MemoryHierarchy(Engine &engine, StatsRegistry &stats,
-                                 const GpuConfig &cfg, GlobalMemory &mem)
+                                 const GpuConfig &cfg, GlobalMemory &mem,
+                                 DomainScheduler *domains)
     : mem_(mem)
 {
     const bool zero_caches = cfg.l1Zero.size > 0 && cfg.l2Zero.size > 0;
 
+    // Engine placement: classic mode puts everything on the single
+    // engine; sharded mode puts L2/ZL2 bank b and DRAM channel b on
+    // bank domain b, and L1/ZL1 of SA s on SA domain s.
+    auto bankEngine = [&](unsigned b) -> Engine & {
+        return domains ? domains->bankEngine(b) : engine;
+    };
+
     // One DRAM channel per L2 bank.
     for (unsigned b = 0; b < cfg.l2Banks; ++b) {
         dram_.push_back(std::make_unique<DramChannel>(
-            engine, stats, "mem.dram.ch" + std::to_string(b),
+            bankEngine(b), stats, "mem.dram.ch" + std::to_string(b),
             cfg.dramBytesPerCycle, cfg.dramLatency));
     }
 
-    // Memory-side L2 banks and their router.
+    // Memory-side L2 banks and their router. Sharded mode moves the
+    // L1->L2 hop latency off the cache and onto the response crossing
+    // (the lookahead the scheduler adds in respond()): per-path timing
+    // is identical, and the request-side injection happens at the same
+    // arbitrated start tick the classic router would use.
+    const Tick l2_latency = domains ? 0 : cfg.l2HopLatency;
     l2_router_ = std::make_unique<BankRouter>(
         engine, cfg.interleave, cfg.l2.bytesPerCycle * cfg.l2Banks);
     for (unsigned b = 0; b < cfg.l2Banks; ++b) {
         CacheParams p = cfg.l2;
-        p.latency = cfg.l2HopLatency;
+        p.latency = l2_latency;
         l2_.push_back(std::make_unique<Cache>(
-            engine, stats, "mem.l2.bank" + std::to_string(b), p,
+            bankEngine(b), stats, "mem.l2.bank" + std::to_string(b), p,
             Cache::WritePolicy::WriteBack, *dram_[b]));
         l2_router_->addBank(l2_[b].get());
     }
@@ -75,27 +96,60 @@ MemoryHierarchy::MemoryHierarchy(Engine &engine, StatsRegistry &stats,
             cfg.l2Zero.bytesPerCycle * cfg.l2Banks);
         for (unsigned b = 0; b < cfg.l2Banks; ++b) {
             CacheParams p = cfg.l2Zero;
-            p.latency = cfg.l2HopLatency;
+            p.latency = l2_latency;
             l2_zero_.push_back(std::make_unique<Cache>(
-                engine, stats, "mem.zl2.bank" + std::to_string(b), p,
-                Cache::WritePolicy::WriteBack, *dram_[b]));
+                bankEngine(b), stats, "mem.zl2.bank" + std::to_string(b),
+                p, Cache::WritePolicy::WriteBack, *dram_[b]));
             zc_router_->addBank(l2_zero_[b].get());
+        }
+    }
+
+    // Sharded mode: the routers' access() path is replaced by boundary
+    // channels. A router function runs on the coordinator at the window
+    // barrier, arbitrates the shared ingress port in the fixed merge
+    // order, and injects the access into the owning bank's domain.
+    unsigned data_router = 0;
+    unsigned mask_router = 0;
+    if (domains) {
+        data_router = domains->addRouter(
+            [this, domains](unsigned sa, Tick when, const MemAccess &acc,
+                            Completion &&done) {
+                const Tick start = l2_router_->arbitrate(when, acc.size);
+                const unsigned b = l2_router_->bankFor(acc.addr);
+                domains->injectBank(b, start, l2_[b].get(), acc, sa,
+                                    std::move(done));
+            });
+        if (zero_caches) {
+            mask_router = domains->addRouter(
+                [this, domains](unsigned sa, Tick when,
+                                const MemAccess &acc, Completion &&done) {
+                    const Tick start =
+                        zc_router_->arbitrate(when, acc.size);
+                    const unsigned b = zc_router_->bankFor(acc.addr);
+                    domains->injectBank(b, start, l2_zero_[b].get(), acc,
+                                        sa, std::move(done));
+                });
         }
     }
 
     // Core-side L1s, one per shader array.
     for (unsigned sa = 0; sa < cfg.numShaderArrays; ++sa) {
+        Engine &sa_engine = domains ? domains->saEngine(sa) : engine;
+        MemDevice &l1_below =
+            domains ? domains->port(sa, data_router) : *l2_router_;
         CacheParams p = cfg.l1;
         p.latency = cfg.l1HitLatency;
         l1_.push_back(std::make_unique<Cache>(
-            engine, stats, "mem.l1.sa" + std::to_string(sa), p,
-            Cache::WritePolicy::WriteAround, *l2_router_));
+            sa_engine, stats, "mem.l1.sa" + std::to_string(sa), p,
+            Cache::WritePolicy::WriteAround, l1_below));
         if (zero_caches) {
+            MemDevice &zl1_below =
+                domains ? domains->port(sa, mask_router) : *zc_router_;
             CacheParams zp = cfg.l1Zero;
             zp.latency = cfg.zcacheHitLatency;
             l1_zero_.push_back(std::make_unique<Cache>(
-                engine, stats, "mem.zl1.sa" + std::to_string(sa), zp,
-                Cache::WritePolicy::WriteAround, *zc_router_));
+                sa_engine, stats, "mem.zl1.sa" + std::to_string(sa), zp,
+                Cache::WritePolicy::WriteAround, zl1_below));
         }
     }
 }

@@ -26,6 +26,8 @@
 namespace lazygpu
 {
 
+class DomainScheduler;
+
 /** Routes an access to the L2 bank owning its address. */
 class BankRouter : public MemDevice
 {
@@ -37,7 +39,17 @@ class BankRouter : public MemDevice
 
     void access(const MemAccess &acc, Completion done) override;
 
+    /**
+     * Reserve the aggregate ingress port for an access arriving at
+     * `when`: returns the serialised start tick and advances the port.
+     * In the sharded engine this runs at the window barrier, once per
+     * request in the fixed merge order, so the shared port state stays
+     * deterministic for any thread count.
+     */
+    Tick arbitrate(Tick when, unsigned size);
+
     unsigned bankFor(Addr addr) const;
+    MemDevice *bank(unsigned b) { return banks_[b]; }
 
   private:
     Engine &engine_;
@@ -50,8 +62,15 @@ class BankRouter : public MemDevice
 class MemoryHierarchy
 {
   public:
+    /**
+     * Classic mode (domains == nullptr): every cache and DRAM channel
+     * schedules on `engine`. Sharded mode: L1s/ZL1s live on their SA's
+     * domain engine with the scheduler's boundary ports below them,
+     * L2/ZL2 bank b and DRAM channel b live on bank domain b, and the
+     * bank routers arbitrate at the window barrier (DESIGN.md §13).
+     */
     MemoryHierarchy(Engine &engine, StatsRegistry &stats, const GpuConfig &cfg,
-                    GlobalMemory &mem);
+                    GlobalMemory &mem, DomainScheduler *domains = nullptr);
 
     /** Issue a data transaction from shader array sa. */
     void accessData(unsigned sa, Addr addr, unsigned size, bool write,

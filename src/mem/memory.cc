@@ -1,9 +1,90 @@
 #include "mem/memory.hh"
 
+#include <atomic>
+#include <mutex>
+
 #include "sim/logging.hh"
 
 namespace lazygpu
 {
+
+namespace
+{
+
+/**
+ * Concurrent-mode page cache epoch. Every setConcurrent(true) stamps the
+ * GlobalMemory with a fresh epoch from this counter, and per-thread
+ * cache entries are only valid for the epoch they were filled under —
+ * a worker thread reused across sweep jobs can therefore never serve a
+ * page pointer from a previous job's (destroyed) GlobalMemory, even if
+ * the new instance landed at the same address.
+ */
+std::atomic<std::uint64_t> g_concurrent_epoch{0};
+
+struct ThreadPageCache
+{
+    std::uint64_t epoch = 0;
+    Addr key = ~Addr(0);
+    std::uint8_t *page = nullptr; //!< always a materialised buffer
+};
+
+thread_local ThreadPageCache t_page_cache;
+
+} // namespace
+
+void
+GlobalMemory::setConcurrent(bool on)
+{
+    concurrent_ = on;
+    if (on)
+        concurrent_epoch_ =
+            g_concurrent_epoch.fetch_add(1, std::memory_order_relaxed) + 1;
+    // Invalidate the shared one-entry cache both ways: entering, so the
+    // single-thread fast path never hits while sharded domains run;
+    // leaving, because pages materialised concurrently may have been
+    // cached as absent.
+    cached_key_ = ~Addr(0);
+    cached_page_ = nullptr;
+}
+
+const std::uint8_t *
+GlobalMemory::pageForConcurrent(Addr key) const
+{
+    ThreadPageCache &c = t_page_cache;
+    if (c.epoch == concurrent_epoch_ && c.key == key)
+        return c.page;
+    std::shared_lock lk(pages_mutex_);
+    auto it = pages_.find(key);
+    if (it == pages_.end())
+        return nullptr; // absent pages are never cached per-thread
+    // Safe to cache: page buffers never move once materialised.
+    std::uint8_t *page = const_cast<std::uint8_t *>(it->second.data());
+    c = {concurrent_epoch_, key, page};
+    return page;
+}
+
+std::uint8_t *
+GlobalMemory::pageForWriteConcurrent(Addr key)
+{
+    ThreadPageCache &c = t_page_cache;
+    if (c.epoch == concurrent_epoch_ && c.key == key)
+        return c.page;
+    {
+        std::shared_lock lk(pages_mutex_);
+        auto it = pages_.find(key);
+        if (it != pages_.end()) {
+            std::uint8_t *page = it->second.data();
+            c = {concurrent_epoch_, key, page};
+            return page;
+        }
+    }
+    std::unique_lock lk(pages_mutex_);
+    auto &page = pages_[key];
+    if (page.empty())
+        page.assign(pageSize, 0);
+    c = {concurrent_epoch_, key, page.data()};
+    return page.data();
+}
 
 Addr
 GlobalMemory::alloc(std::uint64_t size, std::uint64_t align)
@@ -30,9 +111,8 @@ GlobalMemory::pageForMiss(Addr key) const
 }
 
 std::uint8_t *
-GlobalMemory::pageForWrite(Addr a)
+GlobalMemory::pageForWriteMiss(Addr key)
 {
-    const Addr key = a >> pageShift;
     auto &page = pages_[key];
     if (page.empty())
         page.assign(pageSize, 0);

@@ -14,7 +14,9 @@
 
 #include <cstdint>
 #include <cstring>
+#include <shared_mutex>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "sim/types.hh"
@@ -27,6 +29,40 @@ class GlobalMemory
   public:
     static constexpr unsigned pageShift = 12;
     static constexpr Addr pageSize = Addr(1) << pageShift;
+
+    // Copyable/movable (the verifier snapshots memory images). The
+    // concurrency guard is per-instance state, not data: a copy gets
+    // its own fresh mutex and starts in single-thread mode with a cold
+    // cache. Only copy while no simulation thread is inside an accessor.
+    GlobalMemory() = default;
+    GlobalMemory(const GlobalMemory &o)
+        : pages_(o.pages_), next_alloc_(o.next_alloc_)
+    {
+    }
+    GlobalMemory(GlobalMemory &&o) noexcept
+        : pages_(std::move(o.pages_)), next_alloc_(o.next_alloc_)
+    {
+    }
+    GlobalMemory &
+    operator=(const GlobalMemory &o)
+    {
+        pages_ = o.pages_;
+        next_alloc_ = o.next_alloc_;
+        cached_key_ = ~Addr(0);
+        cached_page_ = nullptr;
+        concurrent_ = false;
+        return *this;
+    }
+    GlobalMemory &
+    operator=(GlobalMemory &&o) noexcept
+    {
+        pages_ = std::move(o.pages_);
+        next_alloc_ = o.next_alloc_;
+        cached_key_ = ~Addr(0);
+        cached_page_ = nullptr;
+        concurrent_ = false;
+        return *this;
+    }
 
     /** Allocate size bytes, aligned to align (power of two). */
     Addr alloc(std::uint64_t size, std::uint64_t align = 256);
@@ -110,6 +146,19 @@ class GlobalMemory
     /** Total bytes handed out by the allocator. */
     std::uint64_t footprint() const { return next_alloc_ - allocBase; }
 
+    /**
+     * Toggle concurrent-access mode (the sharded engine's SA domains
+     * read and write functional state from multiple threads). While
+     * enabled, the shared one-entry page cache is bypassed in favour of
+     * a per-thread cache and the page table itself is guarded by a
+     * reader/writer lock; page buffers never move once materialised, so
+     * cached data pointers stay valid across materialisations.
+     * Disabling invalidates the shared cache (pages materialised
+     * concurrently may have been cached as absent). Only call while no
+     * simulation thread is inside an accessor.
+     */
+    void setConcurrent(bool on);
+
     /** Base of the heap; fixed so kernels get stable addresses. */
     static constexpr Addr allocBase = 0x10000000ull;
 
@@ -149,13 +198,28 @@ class GlobalMemory
     pageFor(Addr a) const
     {
         const Addr key = a >> pageShift;
+        // In concurrent mode cached_key_ is pinned to ~0 (no real page
+        // key reaches it), so the shared-cache fast path never hits and
+        // the lookup routes through the per-thread cache.
         if (key == cached_key_)
             return cached_page_;
+        if (concurrent_)
+            return pageForConcurrent(key);
         return pageForMiss(key);
     }
 
     const std::uint8_t *pageForMiss(Addr key) const;
-    std::uint8_t *pageForWrite(Addr a);
+    const std::uint8_t *pageForConcurrent(Addr key) const;
+    std::uint8_t *
+    pageForWrite(Addr a)
+    {
+        const Addr key = a >> pageShift;
+        if (concurrent_)
+            return pageForWriteConcurrent(key);
+        return pageForWriteMiss(key);
+    }
+    std::uint8_t *pageForWriteMiss(Addr key);
+    std::uint8_t *pageForWriteConcurrent(Addr key);
     std::uint32_t readU32Straddle(Addr a) const;
     void writeU32Straddle(Addr a, std::uint32_t v);
 
@@ -165,6 +229,14 @@ class GlobalMemory
 
     mutable Addr cached_key_ = ~Addr(0);
     mutable const std::uint8_t *cached_page_ = nullptr;
+
+    // Concurrent mode (sharded engine): the page table is guarded by a
+    // reader/writer lock and each thread keeps its own one-entry cache,
+    // validated against a global epoch stamped per setConcurrent(true)
+    // so entries can never dangle into a later simulation's memory.
+    bool concurrent_ = false;
+    std::uint64_t concurrent_epoch_ = 0;
+    mutable std::shared_mutex pages_mutex_;
 };
 
 } // namespace lazygpu

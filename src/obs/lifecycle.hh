@@ -61,6 +61,34 @@ class LifecycleTracker
     /** A lane was (2)-suspended (record -> suspension age). */
     void suspended(Tick age) { suspend_wait_.sample(age); }
 
+    /**
+     * Sharded-engine support: the per-SA shard trackers are folded into
+     * the Gpu's main tracker in a fixed SA order at the end of each run
+     * (reset, then merge each shard), so dumps are identical for any
+     * thread count.
+     */
+    void reset()
+    {
+        issue_wait_.reset();
+        resolve_time_.reset();
+        elim_zero_.reset();
+        elim_otimes_.reset();
+        elim_dead_.reset();
+        mask_probe_.reset();
+        suspend_wait_.reset();
+    }
+
+    void merge(const LifecycleTracker &o)
+    {
+        issue_wait_.merge(o.issue_wait_);
+        resolve_time_.merge(o.resolve_time_);
+        elim_zero_.merge(o.elim_zero_);
+        elim_otimes_.merge(o.elim_otimes_);
+        elim_dead_.merge(o.elim_dead_);
+        mask_probe_.merge(o.mask_probe_);
+        suspend_wait_.merge(o.suspend_wait_);
+    }
+
     const Histogram &issueWait() const { return issue_wait_; }
     const Histogram &resolveTime() const { return resolve_time_; }
     const Histogram &elimZero() const { return elim_zero_; }

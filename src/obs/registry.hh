@@ -58,6 +58,24 @@ class Distribution
         ++count_;
     }
 
+    /**
+     * Fold other's samples into this distribution (used by the sharded
+     * engine to combine per-SA shard distributions in a fixed order —
+     * note floating-point sum_ makes merge order part of the result).
+     */
+    void
+    merge(const Distribution &other)
+    {
+        if (other.count_ == 0)
+            return;
+        if (count_ == 0 || other.min_ < min_)
+            min_ = other.min_;
+        if (count_ == 0 || other.max_ > max_)
+            max_ = other.max_;
+        sum_ += other.sum_;
+        count_ += other.count_;
+    }
+
     std::uint64_t count() const { return count_; }
     double sum() const { return sum_; }
     double min() const { return count_ ? min_ : 0.0; }
@@ -109,6 +127,22 @@ class Histogram
     double mean() const
     {
         return count_ ? static_cast<double>(sum_) / count_ : 0.0;
+    }
+
+    /** Fold other's samples into this histogram (exact: all integers). */
+    void
+    merge(const Histogram &other)
+    {
+        if (other.count_ == 0)
+            return;
+        if (count_ == 0 || other.min_ < min_)
+            min_ = other.min_;
+        if (count_ == 0 || other.max_ > max_)
+            max_ = other.max_;
+        sum_ += other.sum_;
+        count_ += other.count_;
+        for (unsigned i = 0; i < numBuckets; ++i)
+            buckets_[i] += other.buckets_[i];
     }
 
     std::uint64_t bucket(unsigned i) const { return buckets_[i]; }

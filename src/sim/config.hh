@@ -107,6 +107,21 @@ struct GpuConfig
      */
     unsigned timingWaves = timingWavesAll;
 
+    /**
+     * Intra-GPU parallel simulation (--sa-threads): 0 (the default)
+     * runs the classic single-domain engine; N >= 1 shards the engine
+     * into per-SA event domains plus per-L2-bank memory-side domains,
+     * synchronized by conservative lookahead windows of l2HopLatency
+     * cycles and executed by N threads (N = 1 is the sharded schedule
+     * on one thread). The sharded schedule is deterministic and
+     * thread-count-independent — identical statistics for any N >= 1 —
+     * but is a different (coarser-synchronized) schedule than the
+     * classic engine, so artifacts pin either 0 or >= 1, never both.
+     * Never part of the config name: the knob must not change which
+     * artifact a sweep writes.
+     */
+    unsigned saThreads = 0;
+
     unsigned numCus() const { return numShaderArrays * cusPerSa; }
     unsigned maxWavesPerCu() const { return simdPerCu * maxWavesPerSimd; }
 

@@ -231,6 +231,34 @@ Engine::run(Tick limit)
     }
 }
 
+Tick
+Engine::runWindow(Tick end, Tick limit)
+{
+    while (now_ < end) {
+        drainEventsAtNow();
+
+        if (active_clocked_ == 0) {
+            if (num_events_ == 0)
+                return now_;
+            const Tick next = nextEventTick();
+            if (next >= end)
+                return now_;
+            advanceTo(next);
+        } else {
+            for (Clocked *c : clocked_) {
+                if (!c->quiescent())
+                    c->tick();
+            }
+            advanceTo(now_ + 1);
+            panic_if(now_ > limit,
+                     "clocked components still ticking past %llu cycles; "
+                     "livelock suspected",
+                     static_cast<unsigned long long>(limit));
+        }
+    }
+    return now_;
+}
+
 void
 Engine::clearEvents()
 {

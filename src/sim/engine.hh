@@ -187,6 +187,38 @@ class Engine
     Tick run(Tick limit = maxTick);
 
     /**
+     * Run until simulated time reaches end (exclusive) or the domain
+     * goes idle, whichever comes first. Events scheduled exactly at end
+     * are NOT executed — they belong to the next window. This is the
+     * building block of the sharded engine (DomainScheduler): a domain
+     * advances through one conservative-lookahead window per call, and
+     * the caller injects cross-domain messages between calls.
+     *
+     * Returns the domain-local tick with the same convention as run():
+     * the tick after the last clocked tick, or the tick of the last
+     * drained event, capped at end. Unlike run(), going idle is not
+     * terminal — new cross-domain events may arrive before the next
+     * window.
+     *
+     * @param limit Livelock guard, as in run(): clocked components
+     *              still ticking past limit panic.
+     */
+    Tick runWindow(Tick end, Tick limit = maxTick);
+
+    /**
+     * Tick of the earliest pending event, or maxTick when none. Used by
+     * the sharded scheduler's global fast-forward across domains.
+     */
+    Tick
+    nextPendingTick() const
+    {
+        return num_events_ == 0 ? maxTick : nextEventTick();
+    }
+
+    /** No pending events and every clocked component quiescent. */
+    bool idle() const { return num_events_ == 0 && active_clocked_ == 0; }
+
+    /**
      * Discard all pending events, deregister every clocked component,
      * and reset time to zero. The engine is as freshly constructed;
      * components of a new simulation must be re-registered via

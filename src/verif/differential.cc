@@ -185,6 +185,7 @@ runDifferential(
         cfg.mode = mode;
         cfg.injectSkipSuspendRequalify = opt.injectSuspendBug;
         cfg.timingWaves = opt.timingWaves;
+        cfg.saThreads = opt.saThreads;
 
         GlobalMemory mem = image;
         Gpu gpu(cfg, mem);

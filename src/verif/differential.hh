@@ -68,6 +68,12 @@ struct DiffOptions
      * differential checks rabbit<->reference equivalence too.
      */
     unsigned timingWaves = GpuConfig::timingWavesAll;
+    /**
+     * Intra-GPU domain threads (GpuConfig::saThreads): N >= 1 runs the
+     * timed simulations on the sharded engine, so a corpus replay
+     * cross-checks the parallel schedule against the untimed reference.
+     */
+    unsigned saThreads = 0;
 };
 
 /** Outcome of one mode's timed run vs the reference. */

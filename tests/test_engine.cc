@@ -10,6 +10,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "mem/device.hh"
+#include "sim/domains.hh"
 #include "sim/engine.hh"
 
 namespace lazygpu
@@ -263,6 +265,147 @@ TEST(Engine, EventExactlyAtLimitStillRuns)
     EXPECT_EQ(1, fired);
     EXPECT_EQ(1000u, end);
     EXPECT_FALSE(e.hasPendingEvents());
+}
+
+TEST(Engine, RunWindowStopsBeforeWindowEnd)
+{
+    // runWindow(end) executes strictly below `end`: the event at the
+    // window edge belongs to the *next* window (its tick is the next
+    // window's start), so barrier-injected same-tick work still lands
+    // ahead of it in FIFO order.
+    Engine e;
+    std::vector<Tick> fired;
+    for (Tick t : {3u, 7u, 10u, 12u})
+        e.schedule(t, [&fired, &e]() { fired.push_back(e.now()); });
+    e.runWindow(10);
+    EXPECT_EQ((std::vector<Tick>{3, 7}), fired);
+    EXPECT_EQ(10u, e.nextPendingTick());
+    EXPECT_FALSE(e.idle());
+    e.runWindow(13);
+    EXPECT_EQ((std::vector<Tick>{3, 7, 10, 12}), fired);
+    EXPECT_EQ(maxTick, e.nextPendingTick());
+    EXPECT_TRUE(e.idle());
+}
+
+TEST(Engine, RunWindowTicksClockedComponents)
+{
+    Engine e;
+    Countdown c(e, 7);
+    e.addClocked(&c);
+    Tick t = e.runWindow(4);
+    EXPECT_EQ(4u, t);
+    EXPECT_EQ(3, c.remaining_);
+    t = e.runWindow(100);
+    EXPECT_EQ(7u, t);
+    EXPECT_EQ(0, c.remaining_);
+    EXPECT_TRUE(e.idle());
+}
+
+/** A bank-side device answering after a fixed local delay. */
+class DelayDevice : public MemDevice
+{
+  public:
+    DelayDevice(Engine &e, Tick delay) : engine_(e), delay_(delay) {}
+
+    void
+    access(const MemAccess &, Completion done) override
+    {
+        ++accesses_;
+        if (done)
+            engine_.scheduleIn(delay_,
+                               [cb = std::move(done)]() mutable { cb(); });
+    }
+
+    Engine &engine_;
+    Tick delay_;
+    int accesses_ = 0;
+};
+
+TEST(DomainScheduler, RoutesRequestsAndDeliversResponsesAcrossWindows)
+{
+    DomainScheduler::Options o;
+    o.lookahead = 4;
+    o.threads = 2;
+    DomainScheduler sched(o, 2, 2);
+    DelayDevice bank0(sched.bankEngine(0), 3);
+    const unsigned r =
+        sched.addRouter([&](unsigned sa, Tick when, const MemAccess &acc,
+                            Completion &&done) {
+            sched.injectBank(0, when, &bank0, acc, sa, std::move(done));
+        });
+
+    Tick delivered_at = maxTick;
+    Engine &sa0 = sched.saEngine(0);
+    sa0.schedule(2, [&]() {
+        sched.port(0, r).access(MemAccess{0x1000, 32, false},
+                                [&]() { delivered_at = sa0.now(); });
+    });
+    const Tick end = sched.run();
+    // Request at 2, bank access at 2, bank completion at 5, response
+    // crossing +lookahead delivers at 9.
+    EXPECT_EQ(1, bank0.accesses_);
+    EXPECT_EQ(9u, delivered_at);
+    EXPECT_EQ(9u, end);
+    EXPECT_FALSE(sched.anyPendingEvents());
+}
+
+TEST(DomainScheduler, ResetTearsDownAndRearmsDomains)
+{
+    // Reusing one scheduler across simulations: reset() must drop every
+    // domain wheel's events, deregister clocked components, clear the
+    // cross-domain channels, and leave the domains re-armable from
+    // tick zero (the clocked_ reset regression, sharded edition).
+    DomainScheduler::Options o;
+    o.lookahead = 4;
+    o.threads = 2;
+    DomainScheduler sched(o, 2, 2);
+
+    Countdown stale(sched.saEngine(1), 5);
+    sched.saEngine(1).addClocked(&stale);
+
+    DelayDevice bank0(sched.bankEngine(0), 3);
+    unsigned r = sched.addRouter([&](unsigned sa, Tick when,
+                                     const MemAccess &acc,
+                                     Completion &&done) {
+        sched.injectBank(0, when, &bank0, acc, sa, std::move(done));
+    });
+    int stale_deliveries = 0;
+    sched.saEngine(0).schedule(2, [&]() {
+        sched.port(0, r).access(MemAccess{0x1000, 32, false},
+                                [&]() { ++stale_deliveries; });
+    });
+    // A never-drained pending event far in the future.
+    sched.bankEngine(1).schedule(1'000'000, []() {});
+    EXPECT_TRUE(sched.anyPendingEvents());
+
+    sched.reset();
+    EXPECT_EQ(0u, sched.now());
+    EXPECT_EQ(0u, sched.activeClocked());
+    EXPECT_FALSE(sched.anyPendingEvents());
+
+    // Re-arm: fresh router, fresh component, fresh request — the old
+    // ones must stay gone.
+    DelayDevice fresh_bank(sched.bankEngine(0), 3);
+    r = sched.addRouter([&](unsigned sa, Tick when, const MemAccess &acc,
+                            Completion &&done) {
+        sched.injectBank(0, when, &fresh_bank, acc, sa, std::move(done));
+    });
+    Countdown fresh(sched.saEngine(1), 3);
+    sched.saEngine(1).addClocked(&fresh);
+    Tick delivered_at = maxTick;
+    Engine &sa0 = sched.saEngine(0);
+    sa0.schedule(2, [&]() {
+        sched.port(0, r).access(MemAccess{0x1000, 32, false},
+                                [&]() { delivered_at = sa0.now(); });
+    });
+    const Tick end = sched.run();
+    EXPECT_EQ(0, stale_deliveries);
+    EXPECT_EQ(5, stale.remaining_);
+    EXPECT_EQ(0, fresh.remaining_);
+    EXPECT_EQ(0, bank0.accesses_);
+    EXPECT_EQ(1, fresh_bank.accesses_);
+    EXPECT_EQ(9u, delivered_at);
+    EXPECT_EQ(9u, end);
 }
 
 } // namespace

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Tier-1 determinism suite for the sharded engine (--sa-threads).
+ *
+ * The parallel scheduler's contract is that the logical event schedule
+ * depends only on the domain decomposition, never on the worker-thread
+ * count: the full stats dump (every counter, distribution and histogram
+ * digit) must be byte-identical for any --sa-threads value. These tests
+ * pin that contract for all five execution modes, pin golden stat rows
+ * for the sharded schedule itself (which legitimately differs from the
+ * classic single-engine schedule by a few cache-hop cycles), and replay
+ * the committed verif corpus on the sharded engine to cross-check the
+ * parallel schedule against the untimed reference executor.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "analysis/harness.hh"
+#include "core/exec_mode.hh"
+#include "gpu/gpu.hh"
+#include "sim/config.hh"
+#include "verif/differential.hh"
+#include "verif/kernel_gen.hh"
+#include "workloads/common.hh"
+#include "workloads/suite.hh"
+
+namespace lazygpu
+{
+namespace
+{
+
+std::string
+sanitizedModeName(ExecMode mode)
+{
+    std::string name = toString(mode);
+    for (char &c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c)))
+            c = '_';
+    }
+    return name;
+}
+
+GpuConfig
+shardedConfig(ExecMode mode, unsigned sa_threads)
+{
+    // scaled(4) keeps 4 shader arrays and 2 L2 banks, so thread counts
+    // below, at and above the domain count are all exercised.
+    GpuConfig cfg = hasZeroCaches(mode) ? GpuConfig::lazyGpu(mode).scaled(4)
+                                        : GpuConfig::r9Nano().scaled(4);
+    cfg.mode = mode;
+    cfg.saThreads = sa_threads;
+    return cfg;
+}
+
+/** Run the small MM cell and capture the full stats dump. */
+std::string
+runShardedMM(ExecMode mode, double sparsity, unsigned sa_threads,
+             Tick &cycles)
+{
+    WorkloadParams p;
+    p.sparsity = sparsity;
+    p.scale = 16;
+    Workload w = makeMM(p);
+
+    const GpuConfig cfg = shardedConfig(mode, sa_threads);
+    Gpu gpu(cfg, *w.mem);
+    cycles = 0;
+    for (const Kernel &k : w.kernels)
+        cycles += gpu.run(k).cycles;
+    EXPECT_EQ("", w.verify(*w.mem))
+        << toString(mode) << " --sa-threads " << sa_threads;
+    return gpu.stats().dump();
+}
+
+class SaParallelDeterminism : public ::testing::TestWithParam<ExecMode>
+{
+};
+
+// The tentpole acceptance test: for every execution mode, the stats
+// dump -- and therefore any BENCH_*.json derived from it -- is
+// byte-identical whether the domains run on 1, 2 or 8 worker threads.
+TEST_P(SaParallelDeterminism, DumpByteIdenticalAcrossThreadCounts)
+{
+    const ExecMode mode = GetParam();
+    const double sparsity = hasZeroCaches(mode) ? 0.5 : 0.0;
+
+    Tick cycles1 = 0, cycles2 = 0, cycles8 = 0;
+    const std::string dump1 = runShardedMM(mode, sparsity, 1, cycles1);
+    const std::string dump2 = runShardedMM(mode, sparsity, 2, cycles2);
+    const std::string dump8 = runShardedMM(mode, sparsity, 8, cycles8);
+
+    EXPECT_EQ(cycles1, cycles2);
+    EXPECT_EQ(cycles1, cycles8);
+    EXPECT_EQ(dump1, dump2);
+    EXPECT_EQ(dump1, dump8);
+    EXPECT_NE(std::string::npos, dump1.find("gpu.sa0.cu0."))
+        << "dump lost its per-CU counters; the comparison above would "
+           "be vacuous";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModes, SaParallelDeterminism,
+    ::testing::Values(ExecMode::Baseline, ExecMode::LazyCore,
+                      ExecMode::LazyZC, ExecMode::LazyGPU,
+                      ExecMode::EagerZC),
+    [](const ::testing::TestParamInfo<ExecMode> &info) {
+        return sanitizedModeName(info.param);
+    });
+
+// Golden stat rows for the *sharded* schedule (captured from
+// --sa-threads 1; the domain decomposition re-times L2 hops so these
+// differ slightly from the classic-engine goldens in
+// test_golden_stats.cc). Any change here is a schedule change and must
+// be deliberate.
+struct ShardedGolden
+{
+    ExecMode mode;
+    double sparsity;
+    Tick cycles;
+    std::uint64_t txsIssued;
+    std::uint64_t txsElimZero;
+    std::uint64_t l2Requests;
+    std::uint64_t dramRequests;
+};
+
+class SaParallelGolden : public ::testing::TestWithParam<ShardedGolden>
+{
+};
+
+TEST_P(SaParallelGolden, MatchesPinnedShardedSchedule)
+{
+    const ShardedGolden &g = GetParam();
+    WorkloadParams p;
+    p.sparsity = g.sparsity;
+    p.scale = 16;
+    Workload w = makeMM(p);
+
+    GpuConfig cfg = shardedConfig(g.mode, 1);
+    const RunResult r = runWorkload(cfg, w, true);
+
+    EXPECT_EQ("", r.verifyError);
+    EXPECT_EQ(g.cycles, r.cycles);
+    EXPECT_EQ(g.txsIssued, r.txsIssued);
+    EXPECT_EQ(g.txsElimZero, r.txsElimZero);
+    EXPECT_EQ(g.l2Requests, r.l2Requests);
+    EXPECT_EQ(g.dramRequests, r.dramRequests);
+}
+
+const ShardedGolden kShardedGolden[] = {
+    {ExecMode::Baseline, 0.00, 5334ull, 19008ull, 0ull, 1232ull, 529ull},
+    {ExecMode::LazyGPU, 0.50, 2697ull, 8593ull, 2200ull, 1152ull, 530ull},
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    ShardedSchedule, SaParallelGolden,
+    ::testing::ValuesIn(kShardedGolden),
+    [](const ::testing::TestParamInfo<ShardedGolden> &info) {
+        return sanitizedModeName(info.param.mode) + "_s" +
+               std::to_string(static_cast<int>(info.param.sparsity * 100));
+    });
+
+// Replay the committed verif corpus on the sharded engine: the timed
+// simulation runs with two domain threads and must still match the
+// untimed reference word-for-word in every mode.
+TEST(SaParallel, CorpusReplayOnShardedEngine)
+{
+    const auto files = verif::listCorpusFiles(LAZYGPU_CORPUS_DIR);
+    ASSERT_FALSE(files.empty())
+        << "no *.case files under " LAZYGPU_CORPUS_DIR;
+
+    verif::DiffOptions opt;
+    opt.saThreads = 2;
+    for (const std::string &path : files) {
+        const verif::CorpusCase cc = verif::loadCorpusFile(path);
+        const verif::GeneratedCase probe = verif::generateCase(cc.opt);
+        const verif::GeneratedCase c = verif::generateCase(
+            cc.opt, verif::enabledMask(cc, probe.numActions));
+        const verif::DiffReport rep = verif::runDifferential(c, opt);
+        EXPECT_TRUE(rep.ok())
+            << path << " (" << c.summary << ") under --sa-threads 2\n  "
+            << rep.firstDivergence();
+    }
+}
+
+} // namespace
+} // namespace lazygpu
