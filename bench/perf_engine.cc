@@ -31,8 +31,12 @@
 #include "analysis/json_writer.hh"
 #include "analysis/parallel_runner.hh"
 #include "bench/bench_main.hh"
+#include "isa/kernel.hh"
+#include "isa/simd.hh"
 #include "sim/domains.hh"
 #include "sim/engine.hh"
+#include "verif/kernel_gen.hh"
+#include "verif/reference.hh"
 #include "workloads/suite.hh"
 
 using namespace lazygpu;
@@ -215,6 +219,99 @@ domainsEventsPerSecond(unsigned threads, std::uint64_t total_events)
     return static_cast<double>(total_events) / secs;
 }
 
+/** Minimum of reps timed runs of fn (per-run seconds). */
+template <typename Fn>
+double
+bestOfSecs(unsigned reps, Fn fn)
+{
+    double best = 1e30;
+    for (unsigned r = 0; r < reps; ++r) {
+        const auto t0 = std::chrono::steady_clock::now();
+        fn();
+        best = std::min(best, secondsSince(t0));
+    }
+    return best;
+}
+
+/**
+ * VALU-dense functional micro: a scalar loop around a straight-line body
+ * of 48 fp32 VALU ops over 8 live registers (~6% scalar loop overhead).
+ * Values stay bounded (VMinF32 clamp, compare results in {0,1}) so
+ * neither path trips denormal slow paths.
+ */
+Kernel
+makeValuDenseKernel(unsigned waves, unsigned iters)
+{
+    KernelBuilder b("valu_dense");
+    b.threadId(0);
+    b.valu(Opcode::VCvtF32U32, 1, Src::vreg(0));
+    b.valu(Opcode::VMov, 2, Src::immF(1.0009765625f));
+    b.valu(Opcode::VMov, 3, Src::immF(0.5f));
+    b.valu(Opcode::VMov, 4, Src::immF(0.0f));
+    b.salu(Opcode::SMov, 1, Src::imm(0));
+    const int loop = b.label();
+    b.place(loop);
+    for (unsigned u = 0; u < 6; ++u) {
+        b.valu(Opcode::VMulF32, 1, Src::vreg(1), Src::vreg(2));
+        b.valu(Opcode::VAddF32, 5, Src::vreg(1), Src::vreg(3));
+        b.mac(4, Src::vreg(5), Src::vreg(3));
+        b.valu(Opcode::VMaxF32, 6, Src::vreg(5), Src::vreg(4));
+        b.valu(Opcode::VSubF32, 7, Src::vreg(6), Src::vreg(3));
+        b.valu(Opcode::VMinF32, 1, Src::vreg(1), Src::immF(8.0e6f));
+        b.valu(Opcode::VCmpGtF32, 8, Src::vreg(7), Src::vreg(4));
+        b.valu(Opcode::VAddF32, 4, Src::vreg(4), Src::vreg(8));
+    }
+    b.salu(Opcode::SAddU32, 1, Src::sreg(1), Src::imm(1));
+    b.scmpLt(1, Src::imm(iters));
+    b.cbranch1(loop);
+    b.endpgm();
+    return b.build(waves);
+}
+
+/**
+ * Memory-mixed functional micro: unit-stride dword and dwordx4 loads and
+ * stores interleaved with a little arithmetic, the shape the batched
+ * pageForSpan fast path targets. Reported separately from the VALU row
+ * because memory traffic bounds the achievable speedup well below the
+ * pure-VALU headline.
+ */
+std::pair<Kernel, GlobalMemory>
+makeMemMixedKernel(unsigned waves, unsigned iters)
+{
+    const std::uint64_t threads = std::uint64_t(waves) * wavefrontSize;
+    GlobalMemory mem;
+    const Addr in1 = mem.alloc(threads * 4);
+    const Addr in4 = mem.alloc(threads * 16);
+    const Addr out1 = mem.alloc(threads * 4);
+    const Addr out4 = mem.alloc(threads * 16);
+    std::vector<float> vals(threads * 4);
+    for (std::size_t i = 0; i < vals.size(); ++i)
+        vals[i] = 0.25f * static_cast<float>(i % 64);
+    mem.writeF32Array(in4, vals);
+    vals.resize(threads);
+    mem.writeF32Array(in1, vals);
+
+    KernelBuilder b("mem_mixed");
+    b.threadId(0);
+    b.valu(Opcode::VShlU32, 1, Src::vreg(0), Src::imm(2));
+    b.valu(Opcode::VShlU32, 2, Src::vreg(0), Src::imm(4));
+    b.salu(Opcode::SMov, 1, Src::imm(0));
+    const int loop = b.label();
+    b.place(loop);
+    b.load(Opcode::LoadDword, 3, 1, in1);
+    b.load(Opcode::LoadDwordX4, 4, 2, in4);
+    b.valu(Opcode::VAddF32, 8, Src::vreg(3), Src::vreg(4));
+    b.mac(9, Src::vreg(5), Src::vreg(6));
+    b.valu(Opcode::VMulF32, 8, Src::vreg(8), Src::vreg(7));
+    b.store(Opcode::StoreDword, 1, 8, out1);
+    b.store(Opcode::StoreDwordX4, 2, 4, out4);
+    b.salu(Opcode::SAddU32, 1, Src::sreg(1), Src::imm(1));
+    b.scmpLt(1, Src::imm(iters));
+    b.cbranch1(loop);
+    b.endpgm();
+    return {b.build(waves), std::move(mem)};
+}
+
 std::uint64_t
 peakRssKib()
 {
@@ -346,6 +443,126 @@ main(int argc, char **argv)
                 est_cycles_rel_err, rabbit_samp.eliminationRate(),
                 rabbit_full.eliminationRate());
 
+    // Vectorized functional backend (src/isa/simd.cc): the untimed
+    // reference executor timed on the frozen scalar oracle vs the plane
+    // core, on (a) a VALU-dense micro (the headline number; ISSUE target
+    // >= 10x), (b) a memory-mixed micro (honest lower bound: unit-stride
+    // loads/stores batched through pageForSpan), and (c) the fuzz
+    // generator's kernel mix (what the 20k-seed differential sweep
+    // actually pays). Plus the plane core against its -fno-tree-vectorize
+    // twin, isolating what auto-vectorization itself buys -- the same
+    // ratio the A/B guard in test_simd_equiv.cc asserts on.
+    std::printf("\nfunctional_simd:\n");
+    auto refSecs = [](auto run, const Kernel &k, const GlobalMemory &img,
+                      std::uint64_t *insts) {
+        return bestOfSecs(3, [&]() {
+            GlobalMemory mem = img;
+            verif::RefResult r = run(k, mem, 8'000'000);
+            if (!r.ok())
+                std::printf("  reference ERROR: %s\n", r.error.c_str());
+            *insts = r.instsExecuted;
+        });
+    };
+
+    const Kernel valu_k = makeValuDenseKernel(128, 128);
+    const GlobalMemory valu_img;
+    std::uint64_t valu_insts = 0;
+    const double valu_scalar_s =
+        refSecs(verif::runReferenceScalar, valu_k, valu_img, &valu_insts);
+    const double valu_simd_s =
+        refSecs(verif::runReferenceSimd, valu_k, valu_img, &valu_insts);
+    std::printf("  valu micro: %llu insts, scalar %.1fms, simd %.1fms, "
+                "%.2fx\n",
+                static_cast<unsigned long long>(valu_insts),
+                valu_scalar_s * 1e3, valu_simd_s * 1e3,
+                valu_scalar_s / valu_simd_s);
+
+    const auto [mem_k, mem_img] = makeMemMixedKernel(256, 64);
+    std::uint64_t mem_insts = 0;
+    const double mem_scalar_s =
+        refSecs(verif::runReferenceScalar, mem_k, mem_img, &mem_insts);
+    const double mem_simd_s =
+        refSecs(verif::runReferenceSimd, mem_k, mem_img, &mem_insts);
+    std::printf("  mem mixed:  %llu insts, scalar %.1fms, simd %.1fms, "
+                "%.2fx\n",
+                static_cast<unsigned long long>(mem_insts),
+                mem_scalar_s * 1e3, mem_simd_s * 1e3,
+                mem_scalar_s / mem_simd_s);
+
+    constexpr unsigned kFuzzSeeds = 200;
+    std::vector<verif::GeneratedCase> fuzz_cases;
+    for (unsigned s = 0; s < kFuzzSeeds; ++s) {
+        verif::GenOptions o;
+        o.seed = s;
+        fuzz_cases.push_back(verif::generateCase(o));
+    }
+    auto fuzzSecs = [&](auto run, std::uint64_t *insts) {
+        return bestOfSecs(3, [&]() {
+            std::uint64_t n = 0;
+            for (const verif::GeneratedCase &c : fuzz_cases) {
+                GlobalMemory mem = c.image;
+                n += run(c.kernel, mem, 8'000'000).instsExecuted;
+            }
+            *insts = n;
+        });
+    };
+    std::uint64_t fuzz_insts = 0;
+    const double fuzz_scalar_s =
+        fuzzSecs(verif::runReferenceScalar, &fuzz_insts);
+    const double fuzz_simd_s = fuzzSecs(verif::runReferenceSimd, &fuzz_insts);
+    std::printf("  fuzz mix:   %u seeds, %llu insts, scalar %.1fms, "
+                "simd %.1fms, %.2fx\n",
+                kFuzzSeeds, static_cast<unsigned long long>(fuzz_insts),
+                fuzz_scalar_s * 1e3, fuzz_simd_s * 1e3,
+                fuzz_scalar_s / fuzz_simd_s);
+
+    // Plane core vs its -fno-tree-vectorize twin: identical source, only
+    // the codegen differs.
+    alignas(64) std::uint32_t pa[wavefrontSize], pb[wavefrontSize],
+        pd[wavefrontSize];
+    for (unsigned lane = 0; lane < wavefrontSize; ++lane) {
+        const float fa = 1.0f + 0.015625f * static_cast<float>(lane);
+        const float fb = 0.75f + 0.03125f * static_cast<float>(lane);
+        std::memcpy(&pa[lane], &fa, 4);
+        std::memcpy(&pb[lane], &fb, 4);
+        pd[lane] = 0;
+    }
+    static constexpr Opcode kPlaneOps[] = {
+        Opcode::VMulF32,   Opcode::VAddF32, Opcode::VMacF32,
+        Opcode::VMaxF32,   Opcode::VMinF32, Opcode::VCmpGtF32,
+        Opcode::VAddU32,   Opcode::VXorB32, Opcode::VMinU32,
+        Opcode::VCvtF32U32};
+    constexpr std::uint64_t kPlaneReps = 50'000;
+    constexpr std::uint64_t kPlaneCalls =
+        kPlaneReps * (sizeof(kPlaneOps) / sizeof(kPlaneOps[0]));
+    std::uint64_t plane_sink = 0;
+    auto planeSecs = [&](auto eval) {
+        return bestOfSecs(3, [&]() {
+            PlaneSrc a;
+            a.row = pa;
+            PlaneSrc b;
+            b.row = pb;
+            for (std::uint64_t r = 0; r < kPlaneReps; ++r)
+                for (const Opcode op : kPlaneOps)
+                    eval(op, pd, a, b, 0);
+            plane_sink += pd[0] ^ pd[wavefrontSize - 1];
+        });
+    };
+    const double plane_vec_s = planeSecs(
+        [](Opcode op, std::uint32_t *d, const PlaneSrc &a, const PlaneSrc &b,
+           unsigned wid) { return isa::evalValuPlane(op, d, a, b, wid); });
+    const double plane_novec_s =
+        planeSecs([](Opcode op, std::uint32_t *d, const PlaneSrc &a,
+                     const PlaneSrc &b, unsigned wid) {
+            return isa_novec::evalValuPlane(op, d, a, b, wid);
+        });
+    std::printf("  plane A/B:  %llu plane ops (sink %llx), vectorized "
+                "%.1fms, novec %.1fms, %.2fx\n",
+                static_cast<unsigned long long>(kPlaneCalls),
+                static_cast<unsigned long long>(plane_sink),
+                plane_vec_s * 1e3, plane_novec_s * 1e3,
+                plane_novec_s / plane_vec_s);
+
     // Intra-GPU parallel simulation: (a) the domain-scheduler micro at
     // 1/2/4/8 worker threads, (b) the paper-scale 64-CU fig03 MM cell
     // (2048 waves, fully timed) on the sharded engine at the same
@@ -442,11 +659,43 @@ main(int argc, char **argv)
         .set("fig03_cell_cycles", sa_cell_cycles)
         .set("hardware_threads", std::thread::hardware_concurrency());
 
+    Json fsimd = Json::object();
+    {
+        Json valu = Json::object();
+        valu.set("insts", valu_insts)
+            .set("scalar_ms", valu_scalar_s * 1e3)
+            .set("simd_ms", valu_simd_s * 1e3)
+            .set("simd_minsts_per_sec",
+                 static_cast<double>(valu_insts) / valu_simd_s / 1e6)
+            .set("speedup", valu_scalar_s / valu_simd_s);
+        Json memmix = Json::object();
+        memmix.set("insts", mem_insts)
+            .set("scalar_ms", mem_scalar_s * 1e3)
+            .set("simd_ms", mem_simd_s * 1e3)
+            .set("speedup", mem_scalar_s / mem_simd_s);
+        Json fuzzmix = Json::object();
+        fuzzmix.set("seeds", kFuzzSeeds)
+            .set("insts", fuzz_insts)
+            .set("scalar_ms", fuzz_scalar_s * 1e3)
+            .set("simd_ms", fuzz_simd_s * 1e3)
+            .set("speedup", fuzz_scalar_s / fuzz_simd_s);
+        Json plane = Json::object();
+        plane.set("plane_ops", kPlaneCalls)
+            .set("vectorized_ms", plane_vec_s * 1e3)
+            .set("novec_ms", plane_novec_s * 1e3)
+            .set("vec_over_novec", plane_novec_s / plane_vec_s);
+        fsimd.set("valu_micro", std::move(valu))
+            .set("memory_mixed", std::move(memmix))
+            .set("fuzz_mix", std::move(fuzzmix))
+            .set("plane_ab", std::move(plane));
+    }
+
     Json data = Json::object();
     data.set("scheduler_micro", std::move(micro))
         .set("fig03_sweep", std::move(sweep))
         .set("obs_ab", std::move(obs_ab))
         .set("rabbit_sampling", std::move(rabbit))
+        .set("functional_simd", std::move(fsimd))
         .set("sa_parallel", std::move(sa_parallel))
         .set("peak_rss_kib", peakRssKib());
     writeBenchJson("perf", data);

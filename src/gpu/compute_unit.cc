@@ -357,7 +357,7 @@ ComputeUnit::trySuspend(Wavefront &wave, const Instruction &inst,
                         unsigned reg)
 {
     PendingLoad *pl = wave.pendingFor(reg);
-    if (!pl || wave.busyLanes(reg) == 0)
+    if (!pl || !wave.anyNotReady(reg))
         return;
     for (unsigned lane = 0; lane < wavefrontSize; ++lane) {
         if (wave.regState(reg, lane) != RegState::Pending)
@@ -408,14 +408,7 @@ ComputeUnit::issueSoonNeeded(Wavefront &wave)
             return;
         if (otimes_src)
             trySuspend(wave, inst, reg);
-        bool has_pending = false;
-        for (unsigned lane = 0;
-             wave.busyLanes(reg) != 0 && lane < wavefrontSize &&
-             !has_pending;
-             ++lane) {
-            has_pending =
-                wave.regState(reg, lane) == RegState::Pending;
-        }
+        const bool has_pending = wave.pendingMask(reg) != 0;
         if (has_pending &&
             std::find(issue_ids.begin(), issue_ids.end(), pl->id) ==
                 issue_ids.end()) {
@@ -463,7 +456,7 @@ ComputeUnit::ensureReady(Wavefront &wave, const Instruction &inst,
 {
     bool any_busy = false;
     for (unsigned reg : regs) {
-        if (wave.busyLanes(reg) == 0)
+        if (!wave.anyNotReady(reg))
             continue; // every lane Ready: skip the per-lane scan
         for (unsigned lane = 0; lane < wavefrontSize; ++lane) {
             switch (wave.regState(reg, lane)) {
@@ -495,17 +488,10 @@ ComputeUnit::ensureReady(Wavefront &wave, const Instruction &inst,
 
     bool must_wait = false;
     for (unsigned reg : regs) {
-        if (wave.busyLanes(reg) == 0)
-            continue;
-        for (unsigned lane = 0; lane < wavefrontSize; ++lane) {
-            RegState st = wave.regState(reg, lane);
-            if (st == RegState::InFlight || st == RegState::Pending) {
-                must_wait = true;
-                break;
-            }
-        }
-        if (must_wait)
+        if (wave.pendingMask(reg) != 0 || wave.inFlightMask(reg) != 0) {
+            must_wait = true;
             break;
+        }
     }
     if (must_wait)
         setStatus(wave, WaveStatus::Waiting);

@@ -1,10 +1,12 @@
 #include "gpu/rabbit.hh"
 
 #include <algorithm>
+#include <bit>
 #include <string>
 
 #include "isa/encoding.hh"
 #include "isa/eval.hh"
+#include "isa/simd.hh"
 #include "sim/logging.hh"
 
 namespace lazygpu
@@ -19,18 +21,26 @@ rabbitStat(const char *leaf)
     return std::string("gpu.rabbit.") + leaf;
 }
 
-/** Apply f to every lane of (row-or-splat a, row-or-splat b). */
-template <typename F>
-inline void
-forLanes(std::uint32_t *dst, const std::uint32_t *a_row,
-         std::uint32_t a_imm, const std::uint32_t *b_row,
-         std::uint32_t b_imm, F &&f)
+/** One VALU operand as a register plane (suspended lanes read zero). */
+inline PlaneSrc
+planeSrc(Wavefront &wave, const Src &s)
 {
-    for (unsigned lane = 0; lane < wavefrontSize; ++lane) {
-        const std::uint32_t a = a_row ? a_row[lane] : a_imm;
-        const std::uint32_t b = b_row ? b_row[lane] : b_imm;
-        dst[lane] = f(a, b);
+    PlaneSrc p;
+    switch (s.kind) {
+      case SrcKind::VReg:
+        p.row = wave.valueRow(s.value);
+        p.zeroed = wave.suspendedMask(s.value);
+        break;
+      case SrcKind::SReg:
+        p.imm = wave.sregs[s.value];
+        break;
+      case SrcKind::Imm:
+        p.imm = s.value;
+        break;
+      case SrcKind::None:
+        break;
     }
+    return p;
 }
 
 } // namespace
@@ -196,10 +206,11 @@ void
 RabbitExecutor::trySuspend(Wavefront &wave, PendingLoad &pl,
                            const Instruction &inst, unsigned reg)
 {
-    // counterpartZero's per-lane answer, with the lane-invariant parts
-    // (mode gate, counterpart operand resolution) hoisted out of the
-    // 64-lane loop -- this sits inside the decode-window scan.
-    if (!hasOtimesElimination(mode_) || wave.busyLanes(reg) == 0)
+    // counterpartZero's per-lane answer as one bitmap expression: the
+    // lane-invariant parts (mode gate, counterpart operand resolution)
+    // hoist out, and the per-lane "counterpart Ready and zero" test is
+    // the counterpart's zero bitmap minus its busy bitmap.
+    if (!hasOtimesElimination(mode_) || !wave.anyNotReady(reg))
         return;
     const Src *other = nullptr;
     if (inst.src0.kind == SrcKind::VReg && inst.src0.value == reg)
@@ -208,18 +219,20 @@ RabbitExecutor::trySuspend(Wavefront &wave, PendingLoad &pl,
         other = &inst.src0;
     if (!other || other->kind == SrcKind::None)
         return;
-    if (other->kind != SrcKind::VReg && readSrc(wave, *other, 0) != 0)
-        return; // lane-invariant nonzero counterpart: nothing suspends
-    for (unsigned lane = 0; lane < wavefrontSize; ++lane) {
-        if (wave.regState(reg, lane) != RegState::Pending)
-            continue;
-        if (other->kind == SrcKind::VReg &&
-            (wave.regState(other->value, lane) != RegState::Ready ||
-             wave.vreg(other->value, lane) != 0)) {
-            continue;
-        }
-        wave.setRegState(reg, lane, RegState::Suspended);
-        ++lanes_suspended_;
+    LaneMask zero_other;
+    if (other->kind == SrcKind::VReg) {
+        zero_other =
+            wave.zeroMask(other->value) & ~wave.busyMask(other->value);
+    } else {
+        zero_other = readSrc(wave, *other, 0) == 0 ? allLanes : 0;
+    }
+    const LaneMask to_suspend = wave.pendingMask(reg) & zero_other;
+    if (!to_suspend)
+        return;
+    wave.suspendLanes(reg, to_suspend);
+    lanes_suspended_ += std::popcount(to_suspend);
+    for (LaneMask t = to_suspend; t; t &= t - 1) {
+        const unsigned lane = std::countr_zero(t);
         if (auto *tx = pl.txFor(pl.wordAddr(reg - pl.firstDst, lane)))
             tx->hadSuspended = true;
     }
@@ -229,31 +242,46 @@ void
 RabbitExecutor::materialize(Wavefront &wave, const Instruction &inst,
                             const std::vector<unsigned> &regs)
 {
-    // ensureReady's requalification pass. InFlight never occurs on the
-    // rabbit path (issue resolves synchronously), so after windowIssue
-    // below every lane of regs is Ready or correctly Suspended.
+    // ensureReady's requalification pass, on bitmaps. InFlight never
+    // occurs on the rabbit path (issue resolves synchronously), so after
+    // windowIssue below every lane of regs is Ready or correctly
+    // Suspended.
     bool any_busy = false;
     for (unsigned reg : regs) {
-        if (wave.busyLanes(reg) == 0)
+        if (!wave.anyNotReady(reg))
             continue;
-        for (unsigned lane = 0; lane < wavefrontSize; ++lane) {
-            switch (wave.regState(reg, lane)) {
-              case RegState::Ready:
-                break;
-              case RegState::InFlight:
-              case RegState::Pending:
-                any_busy = true;
-                break;
-              case RegState::Suspended:
-                if (!counterpartZero(wave, inst, reg, lane)) {
-                    if (cfg_.injectSkipSuspendRequalify)
-                        break; // injected fault: lane wrongly reads as 0
-                    wave.setRegState(reg, lane, RegState::Pending);
-                    any_busy = true;
+        const LaneMask susp = wave.suspendedMask(reg);
+        if (susp && !cfg_.injectSkipSuspendRequalify) {
+            // counterpartZero over the whole plane: lanes whose
+            // counterpart is still Ready and zero stay suspended, the
+            // rest are needed after all. (With the injected fault the
+            // requalification is skipped and stale lanes wrongly read
+            // as zero, as on the timed path.)
+            LaneMask keep = 0;
+            if (isOtimes(inst.op) && hasOtimesElimination(mode_)) {
+                const Src *other = nullptr;
+                if (inst.src0.kind == SrcKind::VReg &&
+                    inst.src0.value == reg) {
+                    other = &inst.src1;
+                } else if (inst.src1.kind == SrcKind::VReg &&
+                           inst.src1.value == reg) {
+                    other = &inst.src0;
                 }
-                break;
+                if (other && other->kind == SrcKind::VReg) {
+                    keep = wave.zeroMask(other->value) &
+                           ~wave.busyMask(other->value);
+                } else if (other && other->kind != SrcKind::None) {
+                    keep = readSrc(wave, *other, 0) == 0 ? allLanes : 0;
+                }
+            }
+            const LaneMask requal = susp & ~keep;
+            if (requal) {
+                wave.requalifyLanes(reg, requal);
+                any_busy = true;
             }
         }
+        if ((wave.busyMask(reg) & ~wave.suspendedMask(reg)) != 0)
+            any_busy = true;
     }
     if (any_busy)
         windowIssue(wave);
@@ -326,15 +354,7 @@ RabbitExecutor::windowIssue(Wavefront &wave)
             continue;
         if (c.otimesSrc)
             trySuspend(wave, *pl, *c.inst, c.reg);
-        bool has_pending = false;
-        for (unsigned lane = 0;
-             wave.busyLanes(c.reg) != 0 && lane < wavefrontSize &&
-             !has_pending;
-             ++lane) {
-            has_pending =
-                wave.regState(c.reg, lane) == RegState::Pending;
-        }
-        if (has_pending &&
+        if (wave.pendingMask(c.reg) != 0 &&
             std::find(issue_ids.begin(), issue_ids.end(), pl->id) ==
                 issue_ids.end()) {
             issue_ids.push_back(pl->id);
@@ -359,11 +379,11 @@ RabbitExecutor::execValu(Wavefront &wave, const Instruction &inst)
     // materialize is a no-op when no operand lane is busy; skip even
     // building the operand list in that (overwhelmingly common) case.
     const bool s0_busy = inst.src0.kind == SrcKind::VReg &&
-                         wave.busyLanes(inst.src0.value) != 0;
+                         wave.anyNotReady(inst.src0.value);
     const bool s1_busy = inst.src1.kind == SrcKind::VReg &&
-                         wave.busyLanes(inst.src1.value) != 0;
+                         wave.anyNotReady(inst.src1.value);
     if (s0_busy || s1_busy ||
-        (reads_dst && wave.busyLanes(inst.dst) != 0)) {
+        (reads_dst && wave.anyNotReady(inst.dst))) {
         std::vector<unsigned> &srcs = scratch_srcs_;
         srcs.clear();
         if (inst.src0.kind == SrcKind::VReg)
@@ -379,21 +399,26 @@ RabbitExecutor::execValu(Wavefront &wave, const Instruction &inst)
 
     ++valu_insts_;
 
-    // After materialize, every operand lane is Ready or Suspended; when
-    // no lane of any operand (or of the destination) is busy at all, the
-    // per-lane scoreboard checks are dead weight -- take the bulk path.
-    const bool any_busy =
-        (inst.src0.kind == SrcKind::VReg &&
-         wave.busyLanes(inst.src0.value) != 0) ||
-        (inst.src1.kind == SrcKind::VReg &&
-         wave.busyLanes(inst.src1.value) != 0) ||
-        wave.busyLanes(inst.dst) != 0;
-    if (!any_busy) {
-        execValuFast(wave, inst);
+    // After materialize, every operand lane is Ready or (correctly)
+    // Suspended, and a suspended lane reads as zero.
+    if (!isa::scalarRefEnabled()) {
+        // Vectorized plane path: one opcode dispatch per instruction,
+        // lanes as one dense loop over the contiguous register planes.
+        // Suspended lanes ride along as PlaneSrc::zeroed (VMacF32's
+        // accumulator -- the destination plane -- stays raw, as in the
+        // timed path).
+        const PlaneSrc a = planeSrc(wave, inst.src0);
+        const PlaneSrc b = planeSrc(wave, inst.src1);
+        std::uint32_t *dst = wave.valueRow(inst.dst);
+        panic_if(!isa::evalValuPlane(inst.op, dst, a, b, wave.wid()),
+                 "unhandled VALU opcode %s", opcodeName(inst.op).c_str());
+        wave.setZeroMask(inst.dst, isa::zeroLanes(dst));
         ++wave.pc;
         return;
     }
 
+    // Scalar oracle path (LAZYGPU_SCALAR_REF): one lane at a time
+    // through isa::evalValu, the single source of per-lane semantics.
     auto read = [&](const Src &s, unsigned lane) -> std::uint32_t {
         // A (2)-suspended lane is read as zero, as in the timed path.
         if (s.kind == SrcKind::VReg &&
@@ -418,94 +443,9 @@ RabbitExecutor::execValu(Wavefront &wave, const Instruction &inst)
 }
 
 void
-RabbitExecutor::execValuFast(Wavefront &wave, const Instruction &inst)
-{
-    // Operands collapse to either a register row or a lane-invariant
-    // splat; the destination row is written in place (aliasing a source
-    // row is fine -- lanes are independent and processed in order, as in
-    // the generic loop).
-    const std::uint32_t *a_row = nullptr;
-    const std::uint32_t *b_row = nullptr;
-    std::uint32_t a_imm = 0;
-    std::uint32_t b_imm = 0;
-    if (inst.src0.kind == SrcKind::VReg)
-        a_row = wave.valueRow(inst.src0.value);
-    else
-        a_imm = readSrc(wave, inst.src0, 0);
-    if (inst.src1.kind == SrcKind::VReg)
-        b_row = wave.valueRow(inst.src1.value);
-    else
-        b_imm = readSrc(wave, inst.src1, 0);
-    std::uint32_t *dst = wave.valueRow(inst.dst);
-
-    if (inst.op == Opcode::VMacF32 && a_row && b_row) {
-        // The MAC inner loop dominates the GEMM kernels; one dedicated
-        // loop keeps the opcode dispatch out of the lane loop.
-        for (unsigned lane = 0; lane < wavefrontSize; ++lane) {
-            dst[lane] = isa::f32ToBits(
-                isa::bitsToF32(dst[lane]) +
-                isa::bitsToF32(a_row[lane]) * isa::bitsToF32(b_row[lane]));
-        }
-        return;
-    }
-
-    // Dedicated loops for the remaining high-frequency opcodes; the
-    // per-lane results match isa::evalValu exactly.
-    const auto asF = isa::bitsToF32;
-    const auto asU = isa::f32ToBits;
-    switch (inst.op) {
-      case Opcode::VAddF32:
-        forLanes(dst, a_row, a_imm, b_row, b_imm,
-                 [&](std::uint32_t a, std::uint32_t b) {
-                     return asU(asF(a) + asF(b));
-                 });
-        return;
-      case Opcode::VMulF32:
-        forLanes(dst, a_row, a_imm, b_row, b_imm,
-                 [&](std::uint32_t a, std::uint32_t b) {
-                     return asU(asF(a) * asF(b));
-                 });
-        return;
-      case Opcode::VMaxF32:
-        forLanes(dst, a_row, a_imm, b_row, b_imm,
-                 [&](std::uint32_t a, std::uint32_t b) {
-                     return asU(std::max(asF(a), asF(b)));
-                 });
-        return;
-      case Opcode::VAddU32:
-        forLanes(dst, a_row, a_imm, b_row, b_imm,
-                 [](std::uint32_t a, std::uint32_t b) { return a + b; });
-        return;
-      case Opcode::VMulU32:
-        forLanes(dst, a_row, a_imm, b_row, b_imm,
-                 [](std::uint32_t a, std::uint32_t b) { return a * b; });
-        return;
-      case Opcode::VShlU32:
-        forLanes(dst, a_row, a_imm, b_row, b_imm,
-                 [](std::uint32_t a, std::uint32_t b) {
-                     return a << (b & 31);
-                 });
-        return;
-      default:
-        break;
-    }
-
-    for (unsigned lane = 0; lane < wavefrontSize; ++lane) {
-        const std::uint32_t a = a_row ? a_row[lane] : a_imm;
-        const std::uint32_t b = b_row ? b_row[lane] : b_imm;
-        bool known = true;
-        const std::uint32_t out = isa::evalValu(
-            inst.op, a, b, dst[lane], wave.wid(), lane, known);
-        panic_if(!known, "unhandled VALU opcode %s",
-                 opcodeName(inst.op).c_str());
-        dst[lane] = out;
-    }
-}
-
-void
 RabbitExecutor::execLoad(Wavefront &wave, const Instruction &inst)
 {
-    if (wave.busyLanes(inst.src0.value) != 0) {
+    if (wave.anyNotReady(inst.src0.value)) {
         std::vector<unsigned> &srcs = scratch_srcs_;
         srcs.clear();
         srcs.push_back(inst.src0.value);
@@ -604,12 +544,9 @@ RabbitExecutor::recordLoad(Wavefront &wave, const Instruction &inst,
     // InFlight never occurs on this path), so each row flips from
     // all-Ready to all-Pending wholesale.
     for (unsigned r = 0; r < nregs; ++r) {
-        panic_if(wave.busyLanes(inst.dst + r) != 0,
+        panic_if(wave.anyNotReady(inst.dst + r),
                  "recording a load over a busy destination register");
-        RegState *st = wave.stateRow(inst.dst + r);
-        std::fill(st, st + wavefrontSize, RegState::Pending);
-        wave.adjustBusyLanes(inst.dst + r,
-                             static_cast<int>(wavefrontSize));
+        wave.markAllPending(inst.dst + r);
     }
 
     const std::uint64_t shared_upper = upperBits(lane_addr[0]);
@@ -772,29 +709,35 @@ RabbitExecutor::issuePending(Wavefront &wave, PendingLoad &pl)
             };
             if (tx.unresolved == tx.words.size()) {
                 // No word resolved yet, so no per-word Ready checks.
+                LaneMask done = 0, zero_bits = 0;
                 for (const auto &w : tx.words) {
                     const unsigned lane = w.second;
-                    val_row[lane] = readWord(pl.laneAddr[lane]);
+                    const std::uint32_t v = readWord(pl.laneAddr[lane]);
+                    val_row[lane] = v;
                     st_row[lane] = RegState::Ready;
+                    done |= LaneMask(1) << lane;
+                    zero_bits |= LaneMask(v == 0) << lane;
                 }
-                wave.adjustBusyLanes(
-                    first_dst, -static_cast<int>(tx.unresolved));
+                wave.resolveLanes(first_dst, done, zero_bits);
                 pl.wordsLeft -= tx.unresolved;
                 tx.unresolved = 0;
                 continue;
             }
-            unsigned resolved = 0;
+            LaneMask done = 0, zero_bits = 0;
             for (const auto &w : tx.words) {
                 const unsigned lane = w.second;
                 if (st_row[lane] == RegState::Ready)
                     continue;
-                val_row[lane] = readWord(pl.laneAddr[lane]);
+                const std::uint32_t v = readWord(pl.laneAddr[lane]);
+                val_row[lane] = v;
                 st_row[lane] = RegState::Ready;
-                ++resolved;
+                done |= LaneMask(1) << lane;
+                zero_bits |= LaneMask(v == 0) << lane;
             }
+            wave.resolveLanes(first_dst, done, zero_bits);
+            const unsigned resolved = std::popcount(done);
             tx.unresolved -= resolved;
             pl.wordsLeft -= resolved;
-            wave.adjustBusyLanes(first_dst, -static_cast<int>(resolved));
             continue;
         }
         for (const auto &[r, lane] : tx.words) {

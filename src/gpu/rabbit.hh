@@ -15,6 +15,14 @@
  * pipeline. Functional state (GlobalMemory, retired register values) is
  * bit-exact with the timed path for race-free kernels.
  *
+ * VALU instructions execute on the shared vectorized plane core
+ * (isa::evalValuPlane over the Wavefront's contiguous register planes,
+ * suspended lanes passed as PlaneSrc::zeroed bitmaps); the
+ * LAZYGPU_SCALAR_REF oracle toggle (isa::scalarRefEnabled) routes them
+ * through the per-lane scalar interpreter instead. Scoreboard decisions
+ * (suspension, requalification, pending probes) are 64-bit bitmap tests
+ * on the Wavefront's busy/suspended/zero masks on both paths.
+ *
  * The one deliberate approximation: memory responses are instantaneous.
  * Zero masks "arrive" at record time (in the timed pipeline they arrive
  * a few cycles later but, per Fig 7, always before the data issue
@@ -80,8 +88,6 @@ class RabbitExecutor
     // --- Interpretation -------------------------------------------------
     void execScalar(Wavefront &wave, const Instruction &inst, bool &done);
     void execValu(Wavefront &wave, const Instruction &inst);
-    /** All-lanes-Ready VALU lane loop (no per-lane scoreboard checks). */
-    void execValuFast(Wavefront &wave, const Instruction &inst);
     void execLoad(Wavefront &wave, const Instruction &inst);
     void execStore(Wavefront &wave, const Instruction &inst);
     void retire(Wavefront &wave);

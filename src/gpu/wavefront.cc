@@ -7,30 +7,20 @@ namespace lazygpu
 
 Wavefront::Wavefront(const Kernel &kernel, unsigned wid)
     : kernel_(&kernel), wid_(wid), values_(kernel.numVregs),
-      state_(kernel.numVregs), busy_lanes_(kernel.numVregs, 0),
-      owner_(kernel.numVregs, nullptr)
+      state_(kernel.numVregs), busy_(kernel.numVregs, 0),
+      susp_(kernel.numVregs, 0), inflight_(kernel.numVregs, 0),
+      zero_(kernel.numVregs, allLanes), owner_(kernel.numVregs, nullptr)
 {
     // values_ and state_ are value-initialised by the vector fill
     // constructor: every word reads 0 and every reg state reads Ready
-    // (== 0) without a second zeroing pass.
+    // (== 0) without a second zeroing pass; the zero bitmap starts at
+    // allLanes to match.
     static_assert(static_cast<std::uint8_t>(RegState::Ready) == 0);
 
     sregs.assign(kernel.numSregs, 0);
     sregs[0] = wid;
     if (kernel.initSregs)
         kernel.initSregs(wid, sregs);
-}
-
-bool
-Wavefront::anyInFlight(unsigned r) const
-{
-    if (busy_lanes_[r] == 0)
-        return false;
-    for (unsigned lane = 0; lane < wavefrontSize; ++lane) {
-        if (state_[r][lane] == RegState::InFlight)
-            return true;
-    }
-    return false;
 }
 
 PendingLoad &

@@ -14,12 +14,14 @@
 
 #include <algorithm>
 #include <array>
+#include <bit>
 #include <cstdint>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "isa/kernel.hh"
+#include "isa/simd.hh"
 #include "sim/types.hh"
 
 namespace lazygpu
@@ -258,6 +260,14 @@ class Wavefront
     std::vector<std::uint32_t> sregs;
 
     // --- Vector register file slice ------------------------------------
+    //
+    // Each architectural register is one contiguous 64-lane plane
+    // (values_[r]), shadowed by three scoreboard bitmaps (busy /
+    // suspended / in-flight lanes as one LaneMask each) and a zero
+    // bitmap (bit set iff the lane's word is 0). Every per-lane write
+    // keeps the bitmaps coherent; the bulk plane writers below take the
+    // whole-mask shortcuts instead of 64 read-modify-writes.
+
     std::uint32_t
     vreg(unsigned r, unsigned lane) const
     {
@@ -268,6 +278,8 @@ class Wavefront
     setVreg(unsigned r, unsigned lane, std::uint32_t v)
     {
         values_[r][lane] = v;
+        const LaneMask bit = LaneMask(1) << lane;
+        zero_[r] = (zero_[r] & ~bit) | (LaneMask(v == 0) << lane);
     }
 
     RegState regState(unsigned r, unsigned lane) const
@@ -278,35 +290,100 @@ class Wavefront
     void
     setRegState(unsigned r, unsigned lane, RegState s)
     {
-        const RegState old = state_[r][lane];
         state_[r][lane] = s;
-        // Maintain the per-register busy-lane count so the scoreboard's
-        // common case -- every source lane Ready -- is answered without
-        // scanning 64 lanes (the execute path checks it per operand).
-        busy_lanes_[r] += unsigned(s != RegState::Ready) -
-                          unsigned(old != RegState::Ready);
+        const LaneMask bit = LaneMask(1) << lane;
+        busy_[r] = (busy_[r] & ~bit) |
+                   (LaneMask(s != RegState::Ready) << lane);
+        susp_[r] = (susp_[r] & ~bit) |
+                   (LaneMask(s == RegState::Suspended) << lane);
+        inflight_[r] = (inflight_[r] & ~bit) |
+                       (LaneMask(s == RegState::InFlight) << lane);
     }
 
     /** Lanes of register r in Pending/InFlight/Suspended state. */
-    unsigned busyLanes(unsigned r) const { return busy_lanes_[r]; }
-
-    // Whole-register rows for the rabbit executor's bulk fast paths.
-    // A caller that writes stateRow directly must keep the busy-lane
-    // count consistent through adjustBusyLanes.
-    std::uint32_t *valueRow(unsigned r) { return values_[r].data(); }
-    RegState *stateRow(unsigned r) { return state_[r].data(); }
-
-    void
-    adjustBusyLanes(unsigned r, int delta)
+    LaneMask busyMask(unsigned r) const { return busy_[r]; }
+    /** Lanes of register r in the (2)-Suspended state. */
+    LaneMask suspendedMask(unsigned r) const { return susp_[r]; }
+    /** Lanes of register r with a request in the memory system. */
+    LaneMask inFlightMask(unsigned r) const { return inflight_[r]; }
+    /** Lanes of register r recorded but neither issued nor suspended. */
+    LaneMask
+    pendingMask(unsigned r) const
     {
-        busy_lanes_[r] += static_cast<unsigned>(delta);
+        return busy_[r] & ~susp_[r] & ~inflight_[r];
     }
 
+    /** Lanes of register r whose word is zero (zero-probe bitmap). */
+    LaneMask zeroMask(unsigned r) const { return zero_[r]; }
+
+    // Whole-register rows for the vectorized bulk paths. A caller that
+    // writes valueRow or stateRow directly must restore bitmap
+    // coherence through the bulk helpers below before any reader runs.
+    std::uint32_t *valueRow(unsigned r) { return values_[r].data(); }
+    const std::uint32_t *valueRow(unsigned r) const
+    {
+        return values_[r].data();
+    }
+    RegState *stateRow(unsigned r) { return state_[r].data(); }
+
+    /** Bulk record-time fill: every lane of r becomes Pending. */
+    void
+    markAllPending(unsigned r)
+    {
+        RegState *st = state_[r].data();
+        std::fill(st, st + wavefrontSize, RegState::Pending);
+        busy_[r] = allLanes;
+        susp_[r] = 0;
+        inflight_[r] = 0;
+    }
+
+    /** Bulk Pending -> Suspended for the lanes in m. */
+    void
+    suspendLanes(unsigned r, LaneMask m)
+    {
+        for (LaneMask t = m; t; t &= t - 1)
+            state_[r][std::countr_zero(t)] = RegState::Suspended;
+        susp_[r] |= m; // the lanes were Pending: already busy
+    }
+
+    /** Bulk Suspended -> Pending (requalification) for the lanes in m. */
+    void
+    requalifyLanes(unsigned r, LaneMask m)
+    {
+        for (LaneMask t = m; t; t &= t - 1)
+            state_[r][std::countr_zero(t)] = RegState::Pending;
+        susp_[r] &= ~m;
+    }
+
+    /**
+     * Bulk resolve bookkeeping: the caller has already written the
+     * value and state rows of the lanes in m (now Ready); zero_bits
+     * carries their new zero-bitmap bits (subset of m).
+     */
+    void
+    resolveLanes(unsigned r, LaneMask m, LaneMask zero_bits)
+    {
+        busy_[r] &= ~m;
+        susp_[r] &= ~m;
+        inflight_[r] &= ~m;
+        zero_[r] = (zero_[r] & ~m) | zero_bits;
+    }
+
+    /** Re-derive the zero bitmap after a bulk valueRow write. */
+    void
+    refreshZeroMask(unsigned r)
+    {
+        zero_[r] = isa::zeroLanes(values_[r].data());
+    }
+
+    /** Install a zero bitmap the bulk writer computed alongside. */
+    void setZeroMask(unsigned r, LaneMask m) { zero_[r] = m; }
+
     /** True if any lane of register r is Pending/InFlight/Suspended. */
-    bool anyNotReady(unsigned r) const { return busy_lanes_[r] != 0; }
+    bool anyNotReady(unsigned r) const { return busy_[r] != 0; }
 
     /** True if any lane of register r is InFlight. */
-    bool anyInFlight(unsigned r) const;
+    bool anyInFlight(unsigned r) const { return inflight_[r] != 0; }
 
     // --- Pending (lazy) loads -------------------------------------------
     /** True iff some pending load owns register r (cheap precheck). */
@@ -379,7 +456,10 @@ class Wavefront
     unsigned wid_;
     std::vector<std::array<std::uint32_t, wavefrontSize>> values_;
     std::vector<std::array<RegState, wavefrontSize>> state_;
-    std::vector<unsigned> busy_lanes_; //!< non-Ready lanes per vreg
+    std::vector<LaneMask> busy_;     //!< non-Ready lanes per vreg
+    std::vector<LaneMask> susp_;     //!< Suspended lanes per vreg
+    std::vector<LaneMask> inflight_; //!< InFlight lanes per vreg
+    std::vector<LaneMask> zero_;     //!< zero-valued lanes per vreg
     std::unordered_map<unsigned, PendingLoad> pendings_; //!< by id
     unsigned next_pending_id_ = 0;
     /** reg -> the pending load that owns it, or nullptr. */

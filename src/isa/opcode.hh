@@ -129,6 +129,17 @@ inline bool isLoad(Opcode op) { return loadDstRegs(op) > 0; }
 inline bool isStore(Opcode op) { return storeBytes(op) > 0; }
 inline bool isMemory(Opcode op) { return isLoad(op) || isStore(op); }
 
+/**
+ * True for the vector ALU ops (everything per-lane that is not a
+ * memory access). The enum keeps them contiguous so the functional
+ * interpreters can classify their hottest case with two compares.
+ */
+inline bool
+isVectorAlu(Opcode op)
+{
+    return op >= Opcode::VMov && op <= Opcode::VLaneId;
+}
+
 /** True for the paper's otimes instructions (mul, mac, and). */
 inline bool
 isOtimes(Opcode op)

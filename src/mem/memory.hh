@@ -122,6 +122,13 @@ class GlobalMemory
      */
     const std::uint8_t *pageForSpan(Addr a) const { return pageFor(a); }
 
+    /**
+     * Writable counterpart of pageForSpan: the (materialised) page
+     * buffer holding addr, for bulk writers that have already checked
+     * their whole span stays inside one page.
+     */
+    std::uint8_t *pageForSpanWrite(Addr a) { return pageForWrite(a); }
+
     float readF32(Addr a) const;
     void writeF32(Addr a, float v);
 

@@ -45,18 +45,37 @@ checkWavefront(const Wavefront &wave, ExecMode mode)
 
     unsigned suspended_lanes = 0;
     for (unsigned r = 0; r < nvregs; ++r) {
-        unsigned busy = 0;
+        LaneMask busy = 0, susp = 0, infl = 0, zero = 0;
         for (unsigned lane = 0; lane < wavefrontSize; ++lane) {
             const RegState st = wave.regState(r, lane);
-            busy += st != RegState::Ready;
+            const LaneMask bit = LaneMask(1) << lane;
+            busy |= st != RegState::Ready ? bit : 0;
+            susp |= st == RegState::Suspended ? bit : 0;
+            infl |= st == RegState::InFlight ? bit : 0;
+            zero |= wave.vreg(r, lane) == 0 ? bit : 0;
             suspended_lanes += st == RegState::Suspended;
         }
-        panic_if(busy != wave.busyLanes(r),
-                 "wid %u: vreg %u busy-lane count %u, recount %u", wid, r,
-                 wave.busyLanes(r), busy);
+        panic_if(busy != wave.busyMask(r),
+                 "wid %u: vreg %u busy bitmap %llx, recount %llx", wid, r,
+                 static_cast<unsigned long long>(wave.busyMask(r)),
+                 static_cast<unsigned long long>(busy));
+        panic_if(susp != wave.suspendedMask(r),
+                 "wid %u: vreg %u suspended bitmap %llx, recount %llx",
+                 wid, r,
+                 static_cast<unsigned long long>(wave.suspendedMask(r)),
+                 static_cast<unsigned long long>(susp));
+        panic_if(infl != wave.inFlightMask(r),
+                 "wid %u: vreg %u in-flight bitmap %llx, recount %llx",
+                 wid, r,
+                 static_cast<unsigned long long>(wave.inFlightMask(r)),
+                 static_cast<unsigned long long>(infl));
+        panic_if(zero != wave.zeroMask(r),
+                 "wid %u: vreg %u zero bitmap %llx, recount %llx", wid, r,
+                 static_cast<unsigned long long>(wave.zeroMask(r)),
+                 static_cast<unsigned long long>(zero));
         panic_if(busy != 0 && wave.pendingFor(r) == nullptr,
-                 "wid %u: vreg %u has %u busy lanes but no pending load",
-                 wid, r, busy);
+                 "wid %u: vreg %u has busy lanes but no pending load",
+                 wid, r);
     }
     panic_if(suspended_lanes != 0 && !hasOtimesElimination(mode),
              "wid %u: %u Suspended lanes in mode %s", wid, suspended_lanes,

@@ -62,12 +62,31 @@ struct RefResult
 
 /**
  * Execute every wavefront of the kernel to completion, untimed,
- * mutating mem (pass a copy of the launch image).
+ * mutating mem (pass a copy of the launch image). Routes to the
+ * vectorized plane executor unless the LAZYGPU_SCALAR_REF toggle
+ * (isa::scalarRefEnabled) selects the scalar oracle; both produce
+ * bit-identical RefResults.
  *
  * @param max_insts_per_wave livelock guard; exceeded -> error set.
  */
 RefResult runReference(const Kernel &kernel, GlobalMemory &mem,
                        std::uint64_t max_insts_per_wave = 4'000'000);
+
+/**
+ * The frozen scalar oracle: one lane at a time through isa::evalValu /
+ * loadRegWord / writeU32, deliberately independent of the vectorized
+ * plane core so the two paths check each other differentially.
+ */
+RefResult runReferenceScalar(const Kernel &kernel, GlobalMemory &mem,
+                             std::uint64_t max_insts_per_wave = 4'000'000);
+
+/**
+ * The vectorized executor: VALU ops as one dense 64-lane loop per
+ * opcode over contiguous register planes (isa::evalValuPlane), and
+ * unit-stride loads/stores batched through the pageForSpan fast path.
+ */
+RefResult runReferenceSimd(const Kernel &kernel, GlobalMemory &mem,
+                           std::uint64_t max_insts_per_wave = 4'000'000);
 
 } // namespace verif
 } // namespace lazygpu
