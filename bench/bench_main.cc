@@ -10,12 +10,23 @@ namespace lazygpu
 namespace
 {
 
+/**
+ * strtoul would quietly accept leading whitespace and '+'/'-' signs
+ * (with '-' wrapping modulo ULONG_MAX); any of those in a bench flag
+ * is a mistake to surface, so numerics must start with a digit.
+ */
+bool
+startsWithDigit(const std::string &value)
+{
+    return !value.empty() && value[0] >= '0' && value[0] <= '9';
+}
+
 unsigned
 parseJobs(const std::string &value)
 {
     char *end = nullptr;
     const unsigned long v = std::strtoul(value.c_str(), &end, 10);
-    fatal_if(end == value.c_str() || *end != '\0' || v > 4096,
+    fatal_if(!startsWithDigit(value) || *end != '\0' || v > 4096,
              "--jobs expects a small non-negative integer, got '%s'",
              value.c_str());
     return static_cast<unsigned>(v);
@@ -28,7 +39,7 @@ parseTimingWaves(const std::string &value)
         return GpuConfig::timingWavesAll;
     char *end = nullptr;
     const unsigned long v = std::strtoul(value.c_str(), &end, 10);
-    fatal_if(end == value.c_str() || *end != '\0' ||
+    fatal_if(!startsWithDigit(value) || *end != '\0' ||
                  v >= GpuConfig::timingWavesAll,
              "--timing-waves expects a wave count or 'all', got '%s'",
              value.c_str());
@@ -40,7 +51,7 @@ parseSaThreads(const std::string &value, const char *what)
 {
     char *end = nullptr;
     const unsigned long v = std::strtoul(value.c_str(), &end, 10);
-    fatal_if(end == value.c_str() || *end != '\0' || v > 4096,
+    fatal_if(!startsWithDigit(value) || *end != '\0' || v > 4096,
              "%s expects a small non-negative integer, got '%s'", what,
              value.c_str());
     return static_cast<unsigned>(v);
@@ -60,16 +71,25 @@ parseSeconds(const char *flag, const std::string &value)
 {
     char *end = nullptr;
     const double v = std::strtod(value.c_str(), &end);
-    fatal_if(end == value.c_str() || *end != '\0' || v < 0.0,
+    fatal_if(!(startsWithDigit(value) || (value.size() > 1 &&
+                                          value[0] == '.')) ||
+                 *end != '\0' || v < 0.0,
              "%s expects a non-negative number of seconds, got '%s'",
              flag, value.c_str());
     return v;
 }
 
+constexpr const char *sharedFlagUsage =
+    "--jobs N, --timeout S, --stall S, --keep-going, --resume, "
+    "--journal PATH, --crash-dir DIR, --inject-panic KEY, "
+    "--inject-livelock KEY, --progress, --report, --trace FILE, "
+    "--trace-cell KEY, --timing-waves N|all, --sa-threads N";
+
 } // namespace
 
 BenchOptions
-parseBenchOptions(int argc, char **argv)
+parseBenchOptions(int argc, char **argv,
+                  const std::vector<std::string> &bench_flags)
 {
     BenchOptions opt;
     opt.saThreads = defaultSaThreads();
@@ -123,6 +143,26 @@ parseBenchOptions(int argc, char **argv)
             opt.timingWaves = parseTimingWaves(v);
         } else if (valueFor(i, a, "--sa-threads", v)) {
             opt.saThreads = parseSaThreads(v, "--sa-threads");
+        } else if (a.rfind("--", 0) == 0) {
+            // Unknown flags fail fast: a typo must not silently turn
+            // into a positional argument and change what the bench runs.
+            bool known = false;
+            for (const std::string &f : bench_flags) {
+                if (a == f || a.rfind(f + "=", 0) == 0) {
+                    known = true;
+                    break;
+                }
+            }
+            if (!known) {
+                std::string allowed;
+                for (const std::string &f : bench_flags)
+                    allowed += (allowed.empty() ? "" : ", ") + f;
+                fatal("unknown flag '%s'; shared flags: %s%s%s",
+                      a.c_str(), sharedFlagUsage,
+                      allowed.empty() ? "" : "; bench flags: ",
+                      allowed.c_str());
+            }
+            opt.args.push_back(a);
         } else {
             opt.args.push_back(a);
         }

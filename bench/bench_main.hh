@@ -105,6 +105,25 @@ struct BenchOptions
     }
 
     /**
+     * The value of a bench-specific value flag (`--flag V` or
+     * `--flag=V`), or fallback when absent. The flag must be in the
+     * allowlist passed to parseBenchOptions or parsing already failed.
+     */
+    std::string
+    flagValue(const std::string &flag,
+              const std::string &fallback = "") const
+    {
+        const std::string eq = flag + "=";
+        for (std::size_t k = 0; k < args.size(); ++k) {
+            if (args[k] == flag && k + 1 < args.size())
+                return args[k + 1];
+            if (args[k].rfind(eq, 0) == 0)
+                return args[k].substr(eq.size());
+        }
+        return fallback;
+    }
+
+    /**
      * The SweepOptions these flags describe for the named bench: the
      * journal defaults to BENCH_<bench>.journal.jsonl, crash reports to
      * crash-reports/<bench>-<cell>.json.
@@ -114,8 +133,16 @@ struct BenchOptions
 
 /**
  * Parse argv, consuming the shared flags; fatal on a malformed value.
+ *
+ * Any `--flag` that is neither a shared flag nor listed in
+ * `bench_flags` (each bench's own knobs, e.g. {"--quick", "--full"})
+ * fails fast with a usage message naming both sets — a typo like
+ * `--job 4` must not silently become a positional argument. Non-flag
+ * arguments still pass through positionally via BenchOptions::args.
  */
-BenchOptions parseBenchOptions(int argc, char **argv);
+BenchOptions
+parseBenchOptions(int argc, char **argv,
+                  const std::vector<std::string> &bench_flags = {});
 
 } // namespace lazygpu
 

@@ -22,7 +22,8 @@ using namespace lazygpu;
 int
 main(int argc, char **argv)
 {
-    const BenchOptions opt = parseBenchOptions(argc, argv);
+    const BenchOptions opt =
+        parseBenchOptions(argc, argv, {"--quick", "--full"});
     // Default to three sparsity points; --full adds the paper's 5 % and
     // 10 % columns, --quick drops to two.
     const bool quick = opt.hasFlag("--quick");

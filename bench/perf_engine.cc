@@ -401,6 +401,32 @@ main(int argc, char **argv)
                 "on/off %.2fx\n",
                 obs_off_secs, obs_on_secs, obs_on_secs / obs_off_secs);
 
+    // Fault-injection A/B: the same cell with no injector and with one
+    // armed at a cycle the run never reaches (every hook evaluates, the
+    // fault never fires). With injection off every hook is one
+    // null-pointer test — the same contract as the trace sink — so the
+    // two runs should be within noise; the ratio lands in the artifact
+    // so a regression in the off path shows up in the history.
+    std::printf("\ninject A/B (MM 1024 waves, LazyCore):\n");
+    auto injectCell = [](const char *plan) {
+        WorkloadParams p;
+        p.scale = 16;
+        Workload w = makeMM(p, 1024);
+        GpuConfig cfg = GpuConfig::r9Nano().scaled(4);
+        cfg.mode = ExecMode::LazyCore;
+        cfg.injectPlan = plan;
+        const auto t0 = std::chrono::steady_clock::now();
+        runWorkload(cfg, w, false);
+        return secondsSince(t0);
+    };
+    const double inj_off_secs = injectCell("");
+    const double inj_armed_secs = injectCell(
+        "site=mem-resp-flip,cycle=9000000000000000000,cu=0,seed=1");
+    std::printf("  injection off %.2fs, armed-never-fires %.2fs, "
+                "armed/off %.2fx\n",
+                inj_off_secs, inj_armed_secs,
+                inj_armed_secs / inj_off_secs);
+
     // Multi-resolution sampling: the 16-CU fig03 MM cell, full timing
     // vs --timing-waves 256 (first 256 of 16384 waves detailed, the
     // rest through the rabbit executor). Reports the wall-clock speedup
@@ -630,6 +656,11 @@ main(int argc, char **argv)
         .set("on_ms", obs_on_secs * 1e3)
         .set("on_over_off", obs_on_secs / obs_off_secs);
 
+    Json inject_ab = Json::object();
+    inject_ab.set("off_ms", inj_off_secs * 1e3)
+        .set("armed_ms", inj_armed_secs * 1e3)
+        .set("armed_over_off", inj_armed_secs / inj_off_secs);
+
     Json rabbit = Json::object();
     rabbit.set("total_waves", kRabbitTotalWaves)
         .set("timing_waves", kRabbitTimedWaves)
@@ -694,6 +725,7 @@ main(int argc, char **argv)
     data.set("scheduler_micro", std::move(micro))
         .set("fig03_sweep", std::move(sweep))
         .set("obs_ab", std::move(obs_ab))
+        .set("inject_ab", std::move(inject_ab))
         .set("rabbit_sampling", std::move(rabbit))
         .set("functional_simd", std::move(fsimd))
         .set("sa_parallel", std::move(sa_parallel))

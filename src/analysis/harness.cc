@@ -86,12 +86,24 @@ runWorkload(const GpuConfig &cfg, Workload &w, bool verify,
     Gpu gpu(cfg, *w.mem);
     if (ctl)
         gpu.attachControl(ctl);
-    RunResult res;
+    Tick cycles = 0;
     for (const Kernel &k : w.kernels) {
         // estCycles == cycles unless --timing-waves sampling is active.
-        res.cycles += limit_cycles ? gpu.run(k, limit_cycles).estCycles
-                                   : gpu.run(k).estCycles;
+        cycles += limit_cycles ? gpu.run(k, limit_cycles).estCycles
+                               : gpu.run(k).estCycles;
     }
+    RunResult res = collectMetrics(gpu, cycles);
+    if (verify && w.verify)
+        res.verifyError = w.verify(*w.mem);
+    return res;
+}
+
+RunResult
+collectMetrics(Gpu &gpu, Tick cycles)
+{
+    const GpuConfig &cfg = gpu.config();
+    RunResult res;
+    res.cycles = cycles;
 
     const StatsRegistry &st = gpu.stats();
     // Per-CU counters live under "gpu.sa<S>.cu<C>.<stat>"; the headline
@@ -136,9 +148,6 @@ runWorkload(const GpuConfig &cfg, Workload &w, bool verify,
 
     if (cfg.statsReport)
         std::fputs(st.report().c_str(), stderr);
-
-    if (verify && w.verify)
-        res.verifyError = w.verify(*w.mem);
     return res;
 }
 

@@ -66,6 +66,14 @@ struct RunResult
     std::uint64_t zl1Hits = 0, zl1Misses = 0;
     std::uint64_t zl2Hits = 0, zl2Misses = 0;
     std::string verifyError; //!< empty when functional check passed
+    /**
+     * Free-form classification label attached by custom cell bodies
+     * (the fault campaign records its verdict — "masked", "sdc", ... —
+     * here). Journaled and restored like every other field, but only
+     * serialized when non-empty so artifacts without tags stay
+     * byte-identical to builds that predate the field.
+     */
+    std::string tag;
 
     /** Fraction of candidate load transactions eliminated. */
     double eliminationRate() const;
@@ -104,6 +112,15 @@ struct RunResult
 RunResult runWorkload(const GpuConfig &cfg, Workload &w,
                       bool verify = true, ExecControl *ctl = nullptr,
                       Tick limit_cycles = 0);
+
+/**
+ * Harvest the headline metrics of a finished simulation into a
+ * RunResult. `cycles` is supplied by the caller: runWorkload sums
+ * estCycles across launches; the fault campaign uses total engine
+ * time so its forked-and-resumed runs compare against straight-through
+ * ones. Does not run the workload's functional verify.
+ */
+RunResult collectMetrics(Gpu &gpu, Tick cycles);
 
 /**
  * speedup = cycles(base) / cycles(test); 0.0 when either run failed

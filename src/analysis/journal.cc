@@ -46,6 +46,8 @@ resultToJson(const RunResult &r)
         .set("zl2_hits", r.zl2Hits)
         .set("zl2_misses", r.zl2Misses)
         .set("verify_error", r.verifyError);
+    if (!r.tag.empty())
+        j.set("tag", r.tag);
     return j;
 }
 
@@ -94,6 +96,7 @@ resultFromJson(const JsonValue &j, RunResult &r)
     u64("zl2_hits", r.zl2Hits);
     u64("zl2_misses", r.zl2Misses);
     str("verify_error", r.verifyError);
+    str("tag", r.tag);
     return true;
 }
 
@@ -128,10 +131,31 @@ parseJournalLine(const std::string &line, std::string &key, RunResult &r)
 SweepJournal::SweepJournal(const std::string &path, bool append)
     : path_(path)
 {
+    // A hard kill mid-append can leave the journal without a final
+    // newline. Appending straight after would concatenate the first new
+    // entry onto the torn line, corrupting both; terminate the torn
+    // line first so only the half-written cell is lost.
+    bool needs_newline = false;
+    if (append) {
+        if (std::FILE *old = std::fopen(path.c_str(), "rb")) {
+            if (std::fseek(old, -1, SEEK_END) == 0)
+                needs_newline = std::fgetc(old) != '\n';
+            std::fclose(old);
+        }
+    }
     file_ = std::fopen(path.c_str(), append ? "a" : "w");
-    if (!file_)
+    if (!file_) {
         warn("cannot open sweep journal %s; continuing without one",
              path.c_str());
+        return;
+    }
+    if (needs_newline) {
+        warn("%s: journal ended mid-line (torn write from a killed "
+             "run?); terminating it before appending",
+             path.c_str());
+        std::fputc('\n', file_);
+        std::fflush(file_);
+    }
 }
 
 SweepJournal::~SweepJournal()

@@ -199,6 +199,8 @@ toJson(const RunResult &r)
         .set("alu_utilization", r.aluUtilization);
     if (!r.error.empty())
         j.set("error", r.error);
+    if (!r.tag.empty())
+        j.set("tag", r.tag);
     return j;
 }
 

@@ -311,7 +311,6 @@ ParallelRunner::runSweep(const std::vector<RunJob> &batch)
                      "injected fault in cell %s", keys[i].c_str());
             const bool livelock = !opts_.injectLivelockKey.empty() &&
                                   keys[i] == opts_.injectLivelockKey;
-            Workload w = livelock ? makeLivelockWorkload() : job.make();
             // Observability knobs are applied here, centrally, so every
             // bench gets --report/--trace without plumbing them through
             // each figure's job-building code.
@@ -325,8 +324,14 @@ ParallelRunner::runSweep(const std::vector<RunJob> &batch)
                 cfg.enableTraces = true;
                 cfg.tracePath = opts_.tracePath;
             }
-            r = runWorkload(cfg, w, job.verify, &slot.ctl,
-                            job.limitCycles);
+            if (job.custom && !livelock) {
+                r = job.custom(cfg, &slot.ctl);
+            } else {
+                Workload w =
+                    livelock ? makeLivelockWorkload() : job.make();
+                r = runWorkload(cfg, w, job.verify, &slot.ctl,
+                                job.limitCycles);
+            }
         } catch (const SimError &e) {
             r = RunResult{};
             r.status = statusOf(e.kind());

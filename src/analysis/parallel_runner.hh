@@ -58,8 +58,19 @@ struct RunJob
     std::string key = {};
     /** Free-form description (workload, seed) echoed in crash reports. */
     std::string note = {};
-    /** Per-kernel livelock guard; 0 uses Gpu::run's default. */
+    /** Per-kernel livelock guard; 0 uses Gpu's default. */
     Tick limitCycles = 0;
+    /**
+     * Custom cell body (the fault campaign's clean + injected + classify
+     * sequence). When set, it replaces the default make()/runWorkload
+     * body but still runs inside the worker's RecoverableScope, watchdog
+     * slot and journal bookkeeping: a panic/fatal inside it is recorded
+     * against this cell, and its RunResult (including tag) is journaled
+     * and restorable like any other. `cfg` arrives with the sweep-level
+     * observability knobs already applied.
+     */
+    std::function<RunResult(const GpuConfig &cfg, ExecControl *ctl)>
+        custom = {};
 };
 
 /** Fault-tolerance policy for a runner's sweeps. */

@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "gpu/coalescer.hh"
+#include "inject/fault.hh"
 #include "isa/encoding.hh"
 #include "sim/logging.hh"
 
@@ -220,6 +221,12 @@ void
 ComputeUnit::tick()
 {
     const Tick now = engine_.now();
+    if (inject_) {
+        if (inject_->wantLaneBitmapFlip(now))
+            corruptLaneBitmap();
+        if (inject_->stallThisCycle(now))
+            return;
+    }
     for (unsigned s = 0; s < cfg_.simdPerCu; ++s) {
         if (simd_busy_[s] > now || ready_per_simd_[s] == 0)
             continue;
@@ -857,13 +864,21 @@ ComputeUnit::issuePendingLoad(Wavefront &wave, PendingLoad &pl)
                 PendingLoad &p = it->second;
                 --p.inflightTxs;
                 load_drained = p.inflightTxs == 0;
+                if (inject_ &&
+                    inject_->wantScoreboardFlip(engine_.now())) {
+                    p.wordsLeft += 1;
+                }
                 if (auto *t = p.txFor(tx_addr)) {
                     for (const auto &[r2, l2] : t->words) {
                         if (w.regState(p.firstDst + r2, l2) ==
                             RegState::InFlight) {
-                            resolveWord(w, p, *t, r2, l2,
-                                        loadWord(p.op,
-                                                 p.laneAddr[l2], r2));
+                            std::uint32_t v =
+                                loadWord(p.op, p.laneAddr[l2], r2);
+                            if (inject_) {
+                                v = inject_->filterLoadWord(
+                                    engine_.now(), v);
+                            }
+                            resolveWord(w, p, *t, r2, l2, v);
                         }
                     }
                 }
@@ -971,7 +986,10 @@ ComputeUnit::onMaskResponse(Wavefront &wave, unsigned pl_id,
             const unsigned reg = pl.firstDst + r;
             if (wave.regState(reg, lane) != RegState::Pending)
                 continue;
-            if (mem_.isZeroWord(pl.wordAddr(r, lane))) {
+            bool zero = mem_.isZeroWord(pl.wordAddr(r, lane));
+            if (inject_)
+                zero ^= inject_->flipZeroProbe(engine_.now());
+            if (zero) {
                 // Optimization (1): materialise the zero without memory
                 // traffic (busy bit cleared, register initialised to 0).
                 ++lanes_zeroed_;
@@ -1152,6 +1170,18 @@ ComputeUnit::executeStore(Wavefront &wave, const Instruction &inst)
 void
 ComputeUnit::issueTx(Addr addr, bool write, Completion cb)
 {
+    if (inject_ && cb) {
+        const Tick now = engine_.now();
+        if (inject_->dropResponse(now)) {
+            // The hierarchy still services the access; the completion
+            // never reaches the LSU (a lost response packet).
+            cb = nullptr;
+        } else if (const Tick d = inject_->extraResponseDelay(now)) {
+            cb = [this, d, inner = std::move(cb)]() mutable {
+                engine_.scheduleIn(d, std::move(inner));
+            };
+        }
+    }
     engine_.scheduleIn(cfg_.lsuPipeLatency,
                        [this, addr, write, cb = std::move(cb)]() mutable {
                            hier_.accessData(sa_id_, addr, transactionSize,
@@ -1168,6 +1198,48 @@ ComputeUnit::issueMaskTx(Addr mask_addr, bool write, Completion cb)
                            hier_.accessMask(sa_id_, mask_addr, write,
                                             std::move(cb));
                        });
+}
+
+void
+ComputeUnit::corruptLaneBitmap()
+{
+    // In the timed pipeline the (2)-suspension bitmap is the per-lane
+    // RegState word. Losing a set bit (Suspended -> Ready) makes the
+    // lane read stale register data instead of the architectural zero
+    // AND strands the scoreboard word the mark covered (resolveWord
+    // skips Ready lanes, so the retire invariant can fire). Gaining a
+    // spurious bit (Pending -> Suspended) zeroes a live operand until
+    // the next consumer requalifies it.
+    const unsigned want = inject_->laneFromSeed();
+    for (const auto &w : waves_) {
+        for (unsigned r = 0; r < w->kernel().numVregs; ++r) {
+            for (unsigned l = 0; l < wavefrontSize; ++l) {
+                const unsigned lane = (want + l) % wavefrontSize;
+                if (w->regState(r, lane) == RegState::Suspended) {
+                    w->setRegState(r, lane, RegState::Ready);
+                    return;
+                }
+            }
+        }
+    }
+    for (const auto &w : waves_) {
+        for (unsigned r = 0; r < w->kernel().numVregs; ++r) {
+            for (unsigned l = 0; l < wavefrontSize; ++l) {
+                const unsigned lane = (want + l) % wavefrontSize;
+                if (w->regState(r, lane) == RegState::Pending) {
+                    w->setRegState(r, lane, RegState::Suspended);
+                    return;
+                }
+            }
+        }
+    }
+    // No live lane metadata on this CU: flip the zero bitmap consulted
+    // by the rabbit executor's suspension decisions instead.
+    if (!waves_.empty()) {
+        Wavefront &w = *waves_.front();
+        w.setZeroMask(0, w.zeroMask(0) ^
+                             (LaneMask(1) << inject_->laneFromSeed()));
+    }
 }
 
 void

@@ -41,6 +41,11 @@
 namespace lazygpu
 {
 
+namespace inject
+{
+class Injector;
+}
+
 class ComputeUnit : public Clocked
 {
   public:
@@ -85,6 +90,14 @@ class ComputeUnit : public Clocked
     {
         retire_obs_ = std::move(obs);
     }
+
+    /**
+     * Arm (or disarm, with nullptr) fault injection on this CU. The Gpu
+     * only arms the one CU the plan targets; every other CU keeps the
+     * null pointer, so the injection-off path is a single predicted
+     * branch per site (the trace-sink pattern).
+     */
+    void setInjector(inject::Injector *inj) { inject_ = inj; }
 
     // Clocked interface.
     void tick() override;
@@ -189,10 +202,18 @@ class ComputeUnit : public Clocked
         return static_cast<std::uint16_t>(cu_id_);
     }
 
+    /**
+     * LaneBitmapFlip landing: corrupt one lane bit of the zero bitmap
+     * of the first busy register of the first resident wavefront (the
+     * seed picks the lane). Called from tick() after the injector arms.
+     */
+    void corruptLaneBitmap();
+
     Engine &engine_;
     StatsRegistry &stats_;
     LifecycleTracker &lifecycle_;
     TraceSink *trace_;
+    inject::Injector *inject_ = nullptr;
     const GpuConfig &cfg_;
     GlobalMemory &mem_;
     MemoryHierarchy &hier_;

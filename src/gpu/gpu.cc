@@ -122,6 +122,23 @@ Gpu::Gpu(const GpuConfig &cfg, GlobalMemory &mem)
             }
         });
     }
+
+    if (!cfg_.injectPlan.empty()) {
+        inject::InjectionPlan plan;
+        std::string err;
+        fatal_if(!inject::InjectionPlan::parse(cfg_.injectPlan, plan,
+                                               err),
+                 "bad injection plan '%s': %s", cfg_.injectPlan.c_str(),
+                 err.c_str());
+        fatal_if(plan.cu >= cfg_.numCus(),
+                 "injection plan targets cu %u but the machine has %u "
+                 "CUs",
+                 plan.cu, cfg_.numCus());
+        inject_ = std::make_unique<inject::Injector>(plan, stats_);
+        // Only the targeted CU sees the injector; every other CU keeps
+        // the null pointer and pays one predicted branch per site.
+        cus_[plan.cu]->setInjector(inject_.get());
+    }
 }
 
 void
@@ -323,6 +340,81 @@ Gpu::mergeShardStats()
         lat.merge(shard->memLatency);
         lifecycle_.merge(shard->lifecycle);
     }
+}
+
+namespace
+{
+
+/** Bump on any incompatible change to the checkpoint layout. */
+constexpr std::uint32_t checkpointVersion = 1;
+
+} // namespace
+
+void
+Gpu::saveCheckpoint(std::vector<std::uint8_t> &out) const
+{
+    fatal_if(sched_ != nullptr,
+             "checkpoint/restore supports only the classic engine "
+             "(--sa-threads 0)");
+    fatal_if(trace_ != nullptr,
+             "checkpoint/restore does not support tracing");
+    fatal_if(rabbit_ != nullptr || !est_extra_.empty(),
+             "checkpoint/restore does not support --timing-waves "
+             "sampling");
+    panic_if(!engine_.idle(),
+             "checkpointing mid-kernel: the engine has pending events");
+    for (const auto &cu : cus_) {
+        panic_if(cu->residentWaves() != 0,
+                 "checkpointing with resident wavefronts");
+    }
+
+    ByteWriter w;
+    w.tag("LZGC");
+    w.u32(checkpointVersion);
+    const Engine::CheckpointState es = engine_.checkpointState();
+    w.u64(es.now);
+    w.u64(es.nextSeq);
+    w.u64(es.eventsExecuted);
+    w.u64(es.oversizedEvents);
+    w.u64(es.poolChunks);
+    mem_.checkpointTo(w);
+    hier_.checkpointTo(w);
+    stats_.checkpointTo(w);
+    out = w.take();
+}
+
+void
+Gpu::restoreCheckpoint(const std::vector<std::uint8_t> &bytes)
+{
+    fatal_if(sched_ != nullptr,
+             "checkpoint/restore supports only the classic engine "
+             "(--sa-threads 0)");
+    fatal_if(trace_ != nullptr,
+             "checkpoint/restore does not support tracing");
+    fatal_if(rabbit_ != nullptr || !est_extra_.empty(),
+             "checkpoint/restore does not support --timing-waves "
+             "sampling");
+
+    ByteReader r(bytes);
+    fatal_if(!r.tag("LZGC"), "not a LazyGPU checkpoint");
+    const std::uint32_t version = r.u32();
+    fatal_if(version != checkpointVersion,
+             "checkpoint version %u does not match this build (%u)",
+             version, checkpointVersion);
+    Engine::CheckpointState es;
+    es.now = r.u64();
+    es.nextSeq = r.u64();
+    es.eventsExecuted = r.u64();
+    es.oversizedEvents = r.u64();
+    es.poolChunks = r.u64();
+    engine_.restoreCheckpoint(es);
+    mem_.restoreFrom(r);
+    hier_.restoreFrom(r);
+    stats_.restoreFrom(r);
+    fatal_if(!r.ok() || !r.atEnd(),
+             "truncated or corrupt checkpoint image (%zu of %zu bytes "
+             "consumed)",
+             r.pos(), bytes.size());
 }
 
 EngineSnapshot

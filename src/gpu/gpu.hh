@@ -18,6 +18,7 @@
 
 #include "gpu/compute_unit.hh"
 #include "gpu/rabbit.hh"
+#include "inject/fault.hh"
 #include "isa/kernel.hh"
 #include "mem/hierarchy.hh"
 #include "mem/memory.hh"
@@ -91,6 +92,30 @@ class Gpu : public SnapshotSource
     /** The trace sink, or nullptr when cfg.enableTraces is off. */
     TraceSink *trace() { return trace_.get(); }
 
+    /** The armed fault injector, or nullptr (cfg.injectPlan empty). */
+    const inject::Injector *injector() const { return inject_.get(); }
+
+    /**
+     * Serialize the full resumable device state (engine counters,
+     * global memory, cache/DRAM/router timing state, statistics) into
+     * `out`. Checkpoints are only legal at kernel-launch boundaries
+     * (the engine idle, no resident wavefronts: in-flight events are
+     * type-erased closures and cannot travel) and only on the classic
+     * engine without traces or --timing-waves sampling; violating
+     * either is a fatal error, never a silently partial checkpoint.
+     * Format: DESIGN.md §15.
+     */
+    void saveCheckpoint(std::vector<std::uint8_t> &out) const;
+
+    /**
+     * Restore a checkpoint produced by saveCheckpoint into this
+     * freshly constructed Gpu (same GpuConfig, no runs yet). After
+     * restore, run() continues byte-identically to the run that took
+     * the checkpoint. Fatal on a version/geometry mismatch or a
+     * truncated image.
+     */
+    void restoreCheckpoint(const std::vector<std::uint8_t> &bytes);
+
     /** The per-mode lazy-load lifecycle histograms. */
     const LifecycleTracker &lifecycle() const { return lifecycle_; }
 
@@ -150,6 +175,8 @@ class Gpu : public SnapshotSource
     StatsRegistry stats_;
     LifecycleTracker lifecycle_;
     std::unique_ptr<TraceSink> trace_;
+    /** Armed fault (cfg.injectPlan); the target CU holds a raw pointer. */
+    std::unique_ptr<inject::Injector> inject_;
     /** Declared before hier_: the hierarchy places onto the domains. */
     std::unique_ptr<DomainScheduler> sched_;
     std::vector<std::unique_ptr<SaShard>> shards_;

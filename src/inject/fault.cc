@@ -1,0 +1,194 @@
+#include "inject/fault.hh"
+
+#include <cstdlib>
+
+#include "sim/logging.hh"
+
+namespace lazygpu
+{
+
+namespace inject
+{
+
+namespace
+{
+
+/** SplitMix64: one hop is enough to decorrelate small seeds. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+struct SiteName
+{
+    FaultSite site;
+    const char *name;
+};
+
+constexpr SiteName siteNames[] = {
+    {FaultSite::None, "none"},
+    {FaultSite::MemRespFlip, "mem-resp-flip"},
+    {FaultSite::MemRespDrop, "mem-resp-drop"},
+    {FaultSite::MemRespDelay, "mem-resp-delay"},
+    {FaultSite::ZeroMaskFlip, "zero-mask-flip"},
+    {FaultSite::LaneBitmapFlip, "lane-bitmap-flip"},
+    {FaultSite::TxScoreboardFlip, "tx-scoreboard-flip"},
+    {FaultSite::CuStall, "cu-stall"},
+};
+
+/** Strict non-negative integer parse; false on any malformation. */
+bool
+parseU64(const std::string &text, std::uint64_t &out)
+{
+    if (text.empty())
+        return false;
+    char *end = nullptr;
+    errno = 0;
+    const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+    if (errno != 0 || end != text.c_str() + text.size() || text[0] == '-')
+        return false;
+    out = v;
+    return true;
+}
+
+} // namespace
+
+const char *
+toString(FaultSite s)
+{
+    for (const SiteName &sn : siteNames) {
+        if (sn.site == s)
+            return sn.name;
+    }
+    return "unknown";
+}
+
+bool
+faultSiteFromString(const std::string &name, FaultSite &out)
+{
+    for (const SiteName &sn : siteNames) {
+        if (name == sn.name) {
+            out = sn.site;
+            return true;
+        }
+    }
+    return false;
+}
+
+unsigned
+InjectionPlan::flipBit() const
+{
+    if (bit != unsetBit)
+        return bit & 31u;
+    return static_cast<unsigned>(mix64(seed) & 31u);
+}
+
+std::string
+InjectionPlan::toString() const
+{
+    std::string s = "site=";
+    s += inject::toString(site);
+    s += ",cycle=" + std::to_string(cycle);
+    s += ",cu=" + std::to_string(cu);
+    s += ",seed=" + std::to_string(seed);
+    if (bit != unsetBit)
+        s += ",bit=" + std::to_string(bit);
+    if (site == FaultSite::MemRespDelay)
+        s += ",delay=" + std::to_string(delay);
+    if (site == FaultSite::CuStall)
+        s += ",stall=" + std::to_string(stall);
+    return s;
+}
+
+bool
+InjectionPlan::parse(const std::string &spec, InjectionPlan &out,
+                     std::string &err)
+{
+    InjectionPlan plan;
+    bool have_site = false;
+    std::size_t start = 0;
+    while (start <= spec.size()) {
+        std::size_t comma = spec.find(',', start);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        const std::string field = spec.substr(start, comma - start);
+        start = comma + 1;
+        if (field.empty()) {
+            if (comma == spec.size())
+                break;
+            err = "empty field in injection plan '" + spec + "'";
+            return false;
+        }
+        const std::size_t eq = field.find('=');
+        if (eq == std::string::npos) {
+            err = "field '" + field + "' is not key=value";
+            return false;
+        }
+        const std::string key = field.substr(0, eq);
+        const std::string value = field.substr(eq + 1);
+        if (key == "site") {
+            if (!faultSiteFromString(value, plan.site)) {
+                err = "unknown fault site '" + value + "'";
+                return false;
+            }
+            have_site = true;
+            continue;
+        }
+        std::uint64_t num = 0;
+        if (!parseU64(value, num)) {
+            err = "malformed number '" + value + "' for key '" + key +
+                  "'";
+            return false;
+        }
+        if (key == "cycle") {
+            plan.cycle = num;
+        } else if (key == "cu") {
+            plan.cu = static_cast<unsigned>(num);
+        } else if (key == "seed") {
+            plan.seed = num;
+        } else if (key == "bit") {
+            if (num > 31) {
+                err = "bit must be in [0, 31], got " + value;
+                return false;
+            }
+            plan.bit = static_cast<unsigned>(num);
+        } else if (key == "delay") {
+            plan.delay = num;
+        } else if (key == "stall") {
+            plan.stall = static_cast<unsigned>(num);
+        } else {
+            err = "unknown injection-plan key '" + key + "'";
+            return false;
+        }
+    }
+    if (!have_site || plan.site == FaultSite::None) {
+        err = "injection plan must name a site (site=<name>)";
+        return false;
+    }
+    out = plan;
+    return true;
+}
+
+Injector::Injector(const InjectionPlan &plan, StatsRegistry &stats)
+    : plan_(plan), armed_counter_(stats.counter("inject.armed")),
+      fired_counter_(stats.counter("inject.fired")),
+      fired_at_counter_(stats.counter("inject.fired_at"))
+{
+    panic_if(plan_.site == FaultSite::None,
+             "constructing an injector with no fault site");
+    ++armed_counter_;
+}
+
+unsigned
+Injector::laneFromSeed() const
+{
+    return static_cast<unsigned>(mix64(plan_.seed ^ 0xabcdu) & 63u);
+}
+
+} // namespace inject
+
+} // namespace lazygpu

@@ -251,4 +251,64 @@ Cache::drainPending()
     }
 }
 
+void
+Cache::checkpointTo(ByteWriter &w) const
+{
+    panic_if(!mshrs_.empty() || !pending_.empty(),
+             "checkpointing cache '%s' with transactions in flight",
+             name_.c_str());
+    w.tag("CACH");
+    w.u64(lru_clock_);
+    w.u64(port_busy_);
+    w.u64(lines_.size());
+    std::uint64_t n_valid = 0;
+    for (const Line &line : lines_) {
+        if (line.valid)
+            ++n_valid;
+    }
+    w.u64(n_valid);
+    for (std::size_t i = 0; i < lines_.size(); ++i) {
+        const Line &line = lines_[i];
+        if (!line.valid)
+            continue;
+        w.u64(i);
+        w.u64(line.tag);
+        w.u8(line.dirty ? 1 : 0);
+        w.u64(line.lruStamp);
+    }
+}
+
+void
+Cache::restoreFrom(ByteReader &r)
+{
+    panic_if(!mshrs_.empty() || !pending_.empty(),
+             "restoring cache '%s' with transactions in flight",
+             name_.c_str());
+    if (!r.tag("CACH"))
+        return;
+    lru_clock_ = r.u64();
+    port_busy_ = r.u64();
+    const std::uint64_t n_lines = r.u64();
+    if (n_lines != lines_.size()) {
+        // Geometry mismatch means the restoring Gpu was built from a
+        // different configuration; the caller checks r.ok() and fatals.
+        while (r.ok())
+            r.u8();
+        return;
+    }
+    for (Line &line : lines_)
+        line = Line{};
+    const std::uint64_t n_valid = r.u64();
+    for (std::uint64_t i = 0; i < n_valid && r.ok(); ++i) {
+        const std::uint64_t idx = r.u64();
+        if (idx >= lines_.size())
+            return;
+        Line &line = lines_[idx];
+        line.valid = true;
+        line.tag = r.u64();
+        line.dirty = r.u8() != 0;
+        line.lruStamp = r.u64();
+    }
+}
+
 } // namespace lazygpu

@@ -66,6 +66,17 @@ class Cache : public MemDevice
         track_ = track;
     }
 
+    /**
+     * Serialize the resumable tag-array state (valid lines, LRU clock,
+     * port occupancy). Only legal while the cache is transaction-
+     * quiescent — no MSHRs and no parked requests — which holds at the
+     * engine-idle kernel boundaries where checkpoints are taken.
+     */
+    void checkpointTo(ByteWriter &w) const;
+
+    /** Restore state saved by checkpointTo into this (idle) cache. */
+    void restoreFrom(ByteReader &r);
+
   private:
     struct Line
     {

@@ -28,6 +28,10 @@ class DramChannel : public MemDevice
 
     void access(const MemAccess &acc, Completion done) override;
 
+    /** Checkpoint access: the channel's busy-window high-water mark. */
+    Tick busyUntil() const { return busy_until_; }
+    void restoreBusyUntil(Tick t) { busy_until_ = t; }
+
   private:
     Engine &engine_;
     Tick busy_until_ = 0;

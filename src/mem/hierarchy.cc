@@ -189,6 +189,57 @@ MemoryHierarchy::accessMask(unsigned sa, Addr mask_addr, bool write,
                          std::move(done));
 }
 
+void
+MemoryHierarchy::checkpointTo(ByteWriter &w) const
+{
+    w.tag("HIER");
+    const auto caches = [&w](const std::vector<std::unique_ptr<Cache>>
+                                 &level) {
+        w.u64(level.size());
+        for (const auto &c : level)
+            c->checkpointTo(w);
+    };
+    caches(l1_);
+    caches(l1_zero_);
+    caches(l2_);
+    caches(l2_zero_);
+    w.u64(dram_.size());
+    for (const auto &d : dram_)
+        w.u64(d->busyUntil());
+    w.u64(l2_router_ ? l2_router_->portBusy() : 0);
+    w.u64(zc_router_ ? zc_router_->portBusy() : 0);
+}
+
+void
+MemoryHierarchy::restoreFrom(ByteReader &r)
+{
+    if (!r.tag("HIER"))
+        return;
+    const auto caches = [&r](const std::vector<std::unique_ptr<Cache>>
+                                 &level) {
+        if (r.u64() != level.size())
+            return false;
+        for (const auto &c : level)
+            c->restoreFrom(r);
+        return true;
+    };
+    if (!caches(l1_) || !caches(l1_zero_) || !caches(l2_) ||
+        !caches(l2_zero_)) {
+        fatal("checkpoint cache geometry does not match this "
+              "configuration");
+    }
+    fatal_if(r.u64() != dram_.size(),
+             "checkpoint DRAM geometry does not match this configuration");
+    for (const auto &d : dram_)
+        d->restoreBusyUntil(r.u64());
+    const Tick l2_port = r.u64();
+    const Tick zc_port = r.u64();
+    if (l2_router_)
+        l2_router_->restorePortBusy(l2_port);
+    if (zc_router_)
+        zc_router_->restorePortBusy(zc_port);
+}
+
 bool
 MemoryHierarchy::maskResidentInL1(unsigned sa, Addr mask_addr)
 {

@@ -51,6 +51,10 @@ class BankRouter : public MemDevice
     unsigned bankFor(Addr addr) const;
     MemDevice *bank(unsigned b) { return banks_[b]; }
 
+    /** Checkpoint access: the ingress port's busy high-water mark. */
+    Tick portBusy() const { return port_busy_; }
+    void restorePortBusy(Tick t) { port_busy_ = t; }
+
   private:
     Engine &engine_;
     std::vector<MemDevice *> banks_;
@@ -97,6 +101,17 @@ class MemoryHierarchy
      * record's track id; the Gpu embeds the list in the trace meta).
      */
     void attachTrace(TraceSink *trace, std::vector<std::string> &tracks);
+
+    /**
+     * Serialize every cache's tag state plus the DRAM-channel and
+     * router port occupancy, in fixed declaration order. Part of the
+     * Gpu checkpoint (DESIGN.md §15); only legal while the hierarchy is
+     * transaction-quiescent (engine idle).
+     */
+    void checkpointTo(ByteWriter &w) const;
+
+    /** Restore state saved by checkpointTo into this idle hierarchy. */
+    void restoreFrom(ByteReader &r);
 
     Cache &l1(unsigned sa) { return *l1_[sa]; }
     Cache &l2(unsigned bank) { return *l2_[bank]; }

@@ -1,5 +1,6 @@
 #include "mem/memory.hh"
 
+#include <algorithm>
 #include <atomic>
 #include <mutex>
 
@@ -177,6 +178,89 @@ GlobalMemory::readF32Array(Addr a, std::uint64_t count) const
     for (std::uint64_t i = 0; i < count; ++i)
         out[i] = readF32(a + 4 * i);
     return out;
+}
+
+namespace
+{
+
+bool
+allZero(const std::vector<std::uint8_t> &page)
+{
+    for (std::uint8_t b : page) {
+        if (b)
+            return false;
+    }
+    return true;
+}
+
+/** Non-zero page keys in ascending order (deterministic traversal). */
+std::vector<Addr>
+sortedPageKeys(const std::unordered_map<Addr, std::vector<std::uint8_t>>
+                   &pages)
+{
+    std::vector<Addr> keys;
+    keys.reserve(pages.size());
+    for (const auto &[key, page] : pages) {
+        if (!allZero(page))
+            keys.push_back(key);
+    }
+    std::sort(keys.begin(), keys.end());
+    return keys;
+}
+
+} // namespace
+
+void
+GlobalMemory::checkpointTo(ByteWriter &w) const
+{
+    w.tag("GMEM");
+    w.u64(next_alloc_);
+    const std::vector<Addr> keys = sortedPageKeys(pages_);
+    w.u64(keys.size());
+    for (Addr key : keys) {
+        w.u64(key);
+        w.bytes(pages_.at(key).data(), pageSize);
+    }
+}
+
+void
+GlobalMemory::restoreFrom(ByteReader &r)
+{
+    if (!r.tag("GMEM"))
+        return;
+    pages_.clear();
+    cached_key_ = ~Addr(0);
+    cached_page_ = nullptr;
+    next_alloc_ = r.u64();
+    const std::uint64_t n = r.u64();
+    for (std::uint64_t i = 0; i < n && r.ok(); ++i) {
+        const Addr key = r.u64();
+        std::vector<std::uint8_t> page(pageSize);
+        if (!r.bytes(page.data(), pageSize))
+            return;
+        pages_.emplace(key, std::move(page));
+    }
+}
+
+std::uint64_t
+GlobalMemory::contentHash() const
+{
+    std::uint64_t h = 1469598103934665603ull; // FNV offset basis
+    const auto mix = [&h](std::uint64_t v) {
+        for (unsigned i = 0; i < 8; ++i) {
+            h ^= (v >> (8 * i)) & 0xff;
+            h *= 1099511628211ull; // FNV prime
+        }
+    };
+    for (Addr key : sortedPageKeys(pages_)) {
+        mix(key);
+        const std::vector<std::uint8_t> &page = pages_.at(key);
+        for (std::uint8_t b : page) {
+            h ^= b;
+            h *= 1099511628211ull;
+        }
+    }
+    return h;
 }
 
 std::uint8_t

@@ -19,6 +19,7 @@
 #include <utility>
 #include <vector>
 
+#include "sim/serialize.hh"
 #include "sim/types.hh"
 
 namespace lazygpu
@@ -152,6 +153,24 @@ class GlobalMemory
 
     /** Total bytes handed out by the allocator. */
     std::uint64_t footprint() const { return next_alloc_ - allocBase; }
+
+    /**
+     * Serialize the full functional image (allocator cursor + every
+     * non-zero page, in ascending page order). All-zero pages are
+     * skipped: an untouched page and a materialised page of zeros read
+     * identically, so the encoding — like contentHash() — depends only
+     * on content, never on which pages happen to be materialised.
+     */
+    void checkpointTo(ByteWriter &w) const;
+
+    /** Restore an image saved by checkpointTo, replacing all content. */
+    void restoreFrom(ByteReader &r);
+
+    /**
+     * Order- and materialisation-independent FNV-1a hash of the whole
+     * image (the fault campaign's output-divergence test).
+     */
+    std::uint64_t contentHash() const;
 
     /**
      * Toggle concurrent-access mode (the sharded engine's SA domains

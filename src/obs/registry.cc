@@ -126,6 +126,89 @@ StatsRegistry::reset()
         s.reset();
 }
 
+void
+StatsRegistry::checkpointTo(ByteWriter &w) const
+{
+    w.tag("STAT");
+    w.u64(counters_.size());
+    for (const auto &[name, ctr] : counters_) {
+        w.str(name);
+        w.u64(ctr.value());
+    }
+    w.u64(dists_.size());
+    for (const auto &[name, d] : dists_) {
+        w.str(name);
+        w.u64(d.count());
+        w.f64(d.sum());
+        w.f64(d.min());
+        w.f64(d.max());
+    }
+    w.u64(hists_.size());
+    for (const auto &[name, h] : hists_) {
+        w.str(name);
+        w.u64(h.count());
+        w.u64(h.sum());
+        w.u64(h.min());
+        w.u64(h.max());
+        for (unsigned i = 0; i < Histogram::numBuckets; ++i)
+            w.u64(h.bucket(i));
+    }
+    w.u64(series_.size());
+    for (const auto &[name, s] : series_) {
+        w.str(name);
+        w.u64(s.points().size());
+        for (const TimeSeries::Point &p : s.points()) {
+            w.u64(p.tick);
+            w.f64(p.value);
+        }
+    }
+}
+
+void
+StatsRegistry::restoreFrom(ByteReader &r)
+{
+    if (!r.tag("STAT"))
+        return;
+    const std::uint64_t n_counters = r.u64();
+    for (std::uint64_t i = 0; i < n_counters && r.ok(); ++i) {
+        const std::string name = r.str();
+        counter(name).restore(r.u64());
+    }
+    const std::uint64_t n_dists = r.u64();
+    for (std::uint64_t i = 0; i < n_dists && r.ok(); ++i) {
+        const std::string name = r.str();
+        const std::uint64_t count = r.u64();
+        const double sum = r.f64();
+        const double min = r.f64();
+        const double max = r.f64();
+        dist(name).restore(count, sum, min, max);
+    }
+    const std::uint64_t n_hists = r.u64();
+    for (std::uint64_t i = 0; i < n_hists && r.ok(); ++i) {
+        const std::string name = r.str();
+        const std::uint64_t count = r.u64();
+        const std::uint64_t sum = r.u64();
+        const std::uint64_t min = r.u64();
+        const std::uint64_t max = r.u64();
+        std::array<std::uint64_t, Histogram::numBuckets> buckets{};
+        for (auto &b : buckets)
+            b = r.u64();
+        hist(name).restore(count, sum, min, max, buckets);
+    }
+    const std::uint64_t n_series = r.u64();
+    for (std::uint64_t i = 0; i < n_series && r.ok(); ++i) {
+        const std::string name = r.str();
+        TimeSeries &s = series(name);
+        s.reset();
+        const std::uint64_t n_points = r.u64();
+        for (std::uint64_t p = 0; p < n_points && r.ok(); ++p) {
+            const Tick t = r.u64();
+            const double v = r.f64();
+            s.sample(t, v);
+        }
+    }
+}
+
 std::string
 StatsRegistry::dump() const
 {

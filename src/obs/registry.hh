@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/serialize.hh"
 #include "sim/types.hh"
 
 namespace lazygpu
@@ -38,6 +39,9 @@ class Counter
     void operator++(int) { ++value_; }
     std::uint64_t value() const { return value_; }
     void reset() { value_ = 0; }
+
+    /** Checkpoint restore: overwrite the running value. */
+    void restore(std::uint64_t v) { value_ = v; }
 
   private:
     std::uint64_t value_ = 0;
@@ -87,6 +91,16 @@ class Distribution
     {
         count_ = 0;
         sum_ = min_ = max_ = 0.0;
+    }
+
+    /** Checkpoint restore: overwrite the running aggregate exactly. */
+    void
+    restore(std::uint64_t count, double sum, double min, double max)
+    {
+        count_ = count;
+        sum_ = sum;
+        min_ = min;
+        max_ = max;
     }
 
   private:
@@ -173,6 +187,19 @@ class Histogram
         count_ = sum_ = min_ = max_ = 0;
     }
 
+    /** Checkpoint restore: overwrite the aggregate and bucket array. */
+    void
+    restore(std::uint64_t count, std::uint64_t sum, std::uint64_t min,
+            std::uint64_t max,
+            const std::array<std::uint64_t, numBuckets> &buckets)
+    {
+        count_ = count;
+        sum_ = sum;
+        min_ = min;
+        max_ = max;
+        buckets_ = buckets;
+    }
+
   private:
     std::array<std::uint64_t, numBuckets> buckets_{};
     std::uint64_t count_ = 0;
@@ -251,6 +278,22 @@ class StatsRegistry
 
     /** Zero every stat; registrations (and references) stay valid. */
     void reset();
+
+    /**
+     * Serialize every stat's current value (not its registration: the
+     * restoring registry re-creates the same name set by constructing
+     * the same components, so only values travel). Deterministic byte
+     * stream: the maps iterate in name order.
+     */
+    void checkpointTo(ByteWriter &w) const;
+
+    /**
+     * Restore stat values saved by checkpointTo. Names that do not
+     * exist yet are created with the saved kind (harmless for stats
+     * registered lazily on first use); a cross-kind collision panics
+     * via the usual registration check.
+     */
+    void restoreFrom(ByteReader &r);
 
     /** Render every counter/distribution as "name value" lines. */
     std::string dump() const;

@@ -93,6 +93,16 @@ struct GpuConfig
      */
     bool injectSkipSuspendRequalify = false;
 
+    /**
+     * Structured hardware fault injection (--inject-plan): the textual
+     * form of one inject::InjectionPlan, parsed and armed by the Gpu at
+     * construction. Empty (the default) builds no injector at all, so
+     * every hook collapses to one predicted null-pointer branch. Never
+     * part of the config name: a fault is an experiment on a
+     * configuration, not a configuration.
+     */
+    std::string injectPlan;
+
     /** timingWaves value meaning "no sampling: every wave is timed". */
     static constexpr unsigned timingWavesAll = ~0u;
 

@@ -230,6 +230,51 @@ class Engine
     std::size_t numPendingEvents() const { return num_events_; }
 
     /**
+     * The engine state a checkpoint must carry to make a resumed run
+     * byte-identical to a straight-through one. Pending events are
+     * type-erased closures and cannot travel, so checkpoints are only
+     * legal at event-quiescent points (kernel-launch boundaries);
+     * poolChunks is included so the restored engine pre-grows its pool
+     * and the engine.pool_chunks counter matches the original run.
+     */
+    struct CheckpointState
+    {
+        Tick now = 0;
+        std::uint64_t nextSeq = 0;
+        std::uint64_t eventsExecuted = 0;
+        std::uint64_t oversizedEvents = 0;
+        std::uint64_t poolChunks = 0;
+    };
+
+    /** Capture the resumable state; the engine must be idle. */
+    CheckpointState
+    checkpointState() const
+    {
+        panic_if(!idle(), "checkpointing a non-idle engine");
+        return {now_, next_seq_, events_executed_, oversized_events_,
+                poolChunks()};
+    }
+
+    /**
+     * Restore a checkpoint into this (freshly constructed or reset)
+     * engine: simulated time jumps to the saved tick with an empty
+     * wheel, counters resume their cumulative values, and the event
+     * pool is pre-grown to the saved chunk count.
+     */
+    void
+    restoreCheckpoint(const CheckpointState &s)
+    {
+        panic_if(!idle() || now_ != 0,
+                 "restoring a checkpoint into a used engine");
+        now_ = s.now;
+        next_seq_ = s.nextSeq;
+        events_executed_ = s.eventsExecuted;
+        oversized_events_ = s.oversizedEvents;
+        while (poolChunks() < s.poolChunks)
+            growPool();
+    }
+
+    /**
      * Attach (or detach, with nullptr) a watchdog channel. The engine
      * polls it every pollInterval scheduler iterations: it publishes
      * now() + eventsExecuted() as the heartbeat, records the sample in

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Negative paths for the shared bench flag parser: unknown flags and
+ * malformed numeric values must fail fast with a usage message, never
+ * silently fall through as positional arguments.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "bench/bench_main.hh"
+#include "sim/sim_error.hh"
+
+namespace lazygpu
+{
+namespace
+{
+
+/** argv must be mutable char*; keep the storage alive alongside it. */
+struct Argv
+{
+    explicit Argv(std::vector<std::string> args) : storage(std::move(args))
+    {
+        ptrs.push_back(const_cast<char *>("bench"));
+        for (std::string &s : storage)
+            ptrs.push_back(s.data());
+    }
+    int argc() const { return static_cast<int>(ptrs.size()); }
+    char **argv() { return ptrs.data(); }
+
+    std::vector<std::string> storage;
+    std::vector<char *> ptrs;
+};
+
+std::string
+fatalMessageFor(std::vector<std::string> args,
+                const std::vector<std::string> &bench_flags = {})
+{
+    const RecoverableScope scope;
+    Argv a(std::move(args));
+    try {
+        parseBenchOptions(a.argc(), a.argv(), bench_flags);
+    } catch (const SimError &e) {
+        EXPECT_EQ(SimError::Kind::Fatal, e.kind());
+        return e.message();
+    }
+    return "";
+}
+
+TEST(BenchFlags, UnknownFlagFailsFastWithUsage)
+{
+    const std::string msg = fatalMessageFor({"--jbos", "4"});
+    EXPECT_NE(std::string::npos, msg.find("--jbos"));
+    EXPECT_NE(std::string::npos, msg.find("--jobs N"))
+        << "usage must name the shared flags: " << msg;
+}
+
+TEST(BenchFlags, UnknownFlagMessageNamesBenchFlags)
+{
+    const std::string msg =
+        fatalMessageFor({"--quik"}, {"--quick", "--full"});
+    EXPECT_NE(std::string::npos, msg.find("--quik"));
+    EXPECT_NE(std::string::npos, msg.find("--quick"));
+    EXPECT_NE(std::string::npos, msg.find("--full"));
+}
+
+TEST(BenchFlags, MalformedNumericValuesFailFast)
+{
+    EXPECT_NE("", fatalMessageFor({"--jobs", "four"}));
+    EXPECT_NE("", fatalMessageFor({"--jobs", ""}));
+    EXPECT_NE("", fatalMessageFor({"--jobs", "+1"}))
+        << "leading sign must be rejected, not strtoul-swallowed";
+    EXPECT_NE("", fatalMessageFor({"--jobs", "-1"}));
+    EXPECT_NE("", fatalMessageFor({"--jobs", "4x"}));
+    EXPECT_NE("", fatalMessageFor({"--jobs", "5000"}));
+    EXPECT_NE("", fatalMessageFor({"--timeout", "soon"}));
+    EXPECT_NE("", fatalMessageFor({"--timeout", "-1.5"}));
+    EXPECT_NE("", fatalMessageFor({"--stall", "1.5s"}));
+    EXPECT_NE("", fatalMessageFor({"--timing-waves", "most"}));
+    EXPECT_NE("", fatalMessageFor({"--sa-threads", "many"}));
+    EXPECT_NE("", fatalMessageFor({"--jobs"}))
+        << "a value flag with no value must fail";
+}
+
+TEST(BenchFlags, WellFormedFlagsStillParse)
+{
+    Argv a({"--jobs", "4", "--timeout=2.5", "--timing-waves", "all",
+            "--keep-going", "--quick", "--inject-plan",
+            "site=cu-stall,cycle=5", "1024"});
+    const BenchOptions opt = parseBenchOptions(
+        a.argc(), a.argv(), {"--quick", "--inject-plan"});
+    EXPECT_EQ(4u, opt.jobs);
+    EXPECT_DOUBLE_EQ(2.5, opt.timeoutSec);
+    EXPECT_EQ(GpuConfig::timingWavesAll, opt.timingWaves);
+    EXPECT_TRUE(opt.keepGoing);
+    EXPECT_TRUE(opt.hasFlag("--quick"));
+    EXPECT_EQ("site=cu-stall,cycle=5", opt.flagValue("--inject-plan"));
+    EXPECT_EQ("1024", opt.arg(3));
+
+    Argv b({"--inject-plan=site=cu-stall,cycle=5"});
+    const BenchOptions eq =
+        parseBenchOptions(b.argc(), b.argv(), {"--inject-plan"});
+    EXPECT_EQ("site=cu-stall,cycle=5", eq.flagValue("--inject-plan"));
+}
+
+} // namespace
+} // namespace lazygpu

@@ -325,6 +325,79 @@ TEST(FaultTolerance, ResumeReplaysOkCellsAndRerunsFailed)
     EXPECT_TRUE(entries.at("cell/b").ok());
 }
 
+TEST(SweepJournalTest, TruncatedFinalLineIsSkippedAndRepaired)
+{
+    // A hard kill mid-fwrite leaves the journal's last line torn. Load
+    // must skip it with a warning (so --resume still works), and
+    // reopening for append must terminate the torn line so the next
+    // entry doesn't concatenate onto it.
+    const std::string journal = "ft_torn_journal.jsonl";
+    std::remove(journal.c_str());
+
+    RunResult ok;
+    ok.cycles = 42;
+    const std::string torn = journalLine("cell/torn", ok);
+    {
+        std::ofstream out(journal, std::ios::binary);
+        out << journalLine("cell/a", ok) << "\n";
+        out << journalLine("cell/b", ok) << "\n";
+        out << torn.substr(0, torn.size() / 2); // chopped, no newline
+    }
+
+    auto entries = SweepJournal::load(journal);
+    EXPECT_EQ(2u, entries.size());
+    EXPECT_EQ(42u, entries.at("cell/a").cycles);
+    EXPECT_EQ(0u, entries.count("cell/torn"));
+
+    // Append after the crash: the repaired journal must yield all three
+    // healthy entries, and the torn fragment stays dead.
+    {
+        SweepJournal j(journal, true);
+        j.append("cell/c", ok);
+    }
+    entries = SweepJournal::load(journal);
+    EXPECT_EQ(3u, entries.size());
+    EXPECT_EQ(42u, entries.at("cell/c").cycles);
+    EXPECT_EQ(0u, entries.count("cell/torn"));
+}
+
+TEST(FaultTolerance, WorkerScopeReArmsAcrossReuse)
+{
+    // One worker thread processes fail/ok/fail/ok in sequence: the
+    // RecoverableScope must re-arm for every cell, so the second panic
+    // is captured exactly like the first instead of aborting.
+    std::vector<RunJob> jobs;
+    jobs.push_back(RunJob{tinyCfg(),
+                          []() -> Workload {
+                              panic("first reuse panic");
+                          },
+                          false, "cell/fail-0"});
+    jobs.push_back(healthyJob("cell/ok-0"));
+    jobs.push_back(RunJob{tinyCfg(),
+                          []() -> Workload {
+                              panic("second reuse panic");
+                          },
+                          false, "cell/fail-1"});
+    jobs.push_back(healthyJob("cell/ok-1"));
+
+    SweepOptions opts;
+    opts.keepGoing = true;
+    ParallelRunner runner(1, opts);
+    const SweepOutcome out = runner.runSweep(jobs);
+
+    ASSERT_EQ(4u, out.results.size());
+    EXPECT_EQ(RunStatus::Panic, out.results[0].status);
+    EXPECT_NE(std::string::npos,
+              out.results[0].error.find("first reuse panic"));
+    EXPECT_TRUE(out.results[1].ok());
+    EXPECT_EQ(RunStatus::Panic, out.results[2].status);
+    EXPECT_NE(std::string::npos,
+              out.results[2].error.find("second reuse panic"));
+    EXPECT_TRUE(out.results[3].ok());
+    // The worker thread's scope is gone: this thread stays unarmed.
+    EXPECT_FALSE(recoverableErrorsArmed());
+}
+
 TEST(FaultToleranceDeath, FailFastRunStillExitsNonzero)
 {
     // Without --keep-going, run() keeps the historical contract: a

@@ -569,7 +569,8 @@ TEST(SimdEquiv, RabbitVerifiesOnBothPathsAllModes)
 
 // Only meaningful on optimized, unsanitized builds; elsewhere the two
 // TUs get near-identical codegen and the ratio is noise.
-#if defined(__OPTIMIZE__) && !defined(__SANITIZE_THREAD__)
+#if defined(__OPTIMIZE__) && !defined(__SANITIZE_THREAD__) && \
+    !defined(__SANITIZE_ADDRESS__)
 TEST(SimdEquiv, VectorizedPlaneBeatsNoVecTwin)
 {
     std::mt19937_64 rng(5);
