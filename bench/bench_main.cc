@@ -83,7 +83,8 @@ constexpr const char *sharedFlagUsage =
     "--jobs N, --timeout S, --stall S, --keep-going, --resume, "
     "--journal PATH, --crash-dir DIR, --inject-panic KEY, "
     "--inject-livelock KEY, --progress, --report, --trace FILE, "
-    "--trace-cell KEY, --timing-waves N|all, --sa-threads N";
+    "--trace-cell KEY, --stats-json FILE, --stats-cell KEY, "
+    "--timing-waves N|all, --sa-threads N";
 
 } // namespace
 
@@ -139,6 +140,10 @@ parseBenchOptions(int argc, char **argv,
             opt.tracePath = v;
         } else if (valueFor(i, a, "--trace-cell", v)) {
             opt.traceCellKey = v;
+        } else if (valueFor(i, a, "--stats-json", v)) {
+            opt.statsJsonPath = v;
+        } else if (valueFor(i, a, "--stats-cell", v)) {
+            opt.statsCellKey = v;
         } else if (valueFor(i, a, "--timing-waves", v)) {
             opt.timingWaves = parseTimingWaves(v);
         } else if (valueFor(i, a, "--sa-threads", v)) {
@@ -189,6 +194,8 @@ BenchOptions::sweepOptions(const std::string &bench) const
     s.statsReport = statsReport;
     s.tracePath = tracePath;
     s.traceCellKey = traceCellKey;
+    s.statsJsonPath = statsJsonPath;
+    s.statsCellKey = statsCellKey;
     s.timingWaves = timingWaves;
     s.saThreads = saThreads;
     return s;

@@ -29,6 +29,12 @@
  *                    simulated results)
  *   --trace-cell KEY which cell --trace records (default: the first
  *                    cell of the first sweep)
+ *   --stats-json FILE
+ *                    dump one cell's full StatsRegistry as JSON to FILE
+ *                    (deterministic key order, tmp+rename write; purely
+ *                    observational)
+ *   --stats-cell KEY which cell --stats-json dumps (default: the first
+ *                    cell of the first sweep)
  *   --timing-waves N multi-resolution sampling: the first N wavefronts
  *                    of each kernel run in detailed timing, the rest in
  *                    the fast functional rabbit executor with exact
@@ -78,6 +84,8 @@ struct BenchOptions
     bool statsReport = false;
     std::string tracePath;
     std::string traceCellKey;
+    std::string statsJsonPath;
+    std::string statsCellKey;
 
     /** --timing-waves sampling window; timingWavesAll disables it. */
     unsigned timingWaves = GpuConfig::timingWavesAll;

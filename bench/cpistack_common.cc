@@ -1,0 +1,151 @@
+#include "bench/cpistack_common.hh"
+
+#include "bench/bench_util.hh"
+#include "obs/cycacct.hh"
+#include "workloads/suite.hh"
+
+namespace lazygpu
+{
+
+namespace cpistack
+{
+
+const std::vector<ExecMode> &
+modes()
+{
+    static const std::vector<ExecMode> m = {
+        ExecMode::Baseline, ExecMode::LazyCore, ExecMode::LazyZC,
+        ExecMode::LazyGPU, ExecMode::EagerZC};
+    return m;
+}
+
+const std::vector<std::string> &
+workloads()
+{
+    static const std::vector<std::string> w = {"mm", "fir", "spmv"};
+    return w;
+}
+
+namespace
+{
+
+Workload
+makeWorkload(const std::string &name, bool quick)
+{
+    WorkloadParams p;
+    // Default scale runs in seconds; --quick shrinks further for the
+    // CI smoke leg (the stack shape, not its magnitude, is the point).
+    p.scale = quick ? 16 : 8;
+    if (name == "mm")
+        return makeMM(p);
+    if (name == "fir")
+        return makeFIR(p);
+    return makeSPMV(p);
+}
+
+/** Short mode key used in cell ids and JSON ("base", "lazycore", ...). */
+std::string
+modeKey(ExecMode m)
+{
+    switch (m) {
+      case ExecMode::Baseline:
+        return "base";
+      case ExecMode::LazyCore:
+        return "lazycore";
+      case ExecMode::LazyZC:
+        return "lazyzc";
+      case ExecMode::LazyGPU:
+        return "lazygpu";
+      case ExecMode::EagerZC:
+        return "eagerzc";
+    }
+    return "?";
+}
+
+} // namespace
+
+std::vector<RunJob>
+buildJobs(bool quick)
+{
+    std::vector<RunJob> jobs;
+    for (const std::string &w : workloads()) {
+        for (ExecMode mode : modes()) {
+            GpuConfig cfg = configFor(mode);
+            cfg.cycleAccounting = true;
+            RunJob job;
+            job.cfg = cfg;
+            job.key = w + "/" + modeKey(mode);
+            job.note = w + ", " + toString(mode) +
+                       (quick ? ", quick" : "");
+            // Custom body: the default runWorkload path does not expose
+            // the Gpu, and the bucket totals must be harvested from its
+            // registry and journaled via the tag.
+            job.custom = [w, quick](const GpuConfig &cell_cfg,
+                                    ExecControl *ctl) {
+                Workload wl = makeWorkload(w, quick);
+                Gpu gpu(cell_cfg, *wl.mem);
+                if (ctl)
+                    gpu.attachControl(ctl);
+                Tick cycles = 0;
+                for (const Kernel &k : wl.kernels)
+                    cycles += gpu.run(k).estCycles;
+                RunResult res = collectMetrics(gpu, cycles);
+                res.tag = cycacct::encodeTotals(
+                    cycacct::sumBuckets(gpu.stats()));
+                return res;
+            };
+            jobs.push_back(std::move(job));
+        }
+    }
+    return jobs;
+}
+
+Json
+buildDoc(bool quick, const std::vector<RunResult> &results)
+{
+    Json workloads_arr = Json::array();
+    std::size_t idx = 0;
+    for (const std::string &w : workloads()) {
+        Json modes_arr = Json::array();
+        for (ExecMode mode : modes()) {
+            const RunResult &r = results[idx++];
+            Json row = Json::object();
+            row.set("mode", modeKey(mode))
+                .set("status", toString(r.status))
+                .set("cycles", static_cast<std::uint64_t>(r.cycles));
+            std::array<std::uint64_t, cycacct::numBuckets> t{};
+            const bool have = cycacct::decodeTotals(r.tag, t);
+            std::uint64_t total = 0;
+            for (std::uint64_t v : t)
+                total += v;
+            Json buckets = Json::object();
+            Json fractions = Json::object();
+            for (unsigned i = 0; i < cycacct::numBuckets; ++i) {
+                const char *name =
+                    cycacct::bucketName(static_cast<cycacct::Bucket>(i));
+                buckets.set(name, have ? t[i] : std::uint64_t(0));
+                fractions.set(
+                    name, Json::exactNum(
+                              have && total
+                                  ? static_cast<double>(t[i]) /
+                                        static_cast<double>(total)
+                                  : 0.0));
+            }
+            row.set("cu_cycles_total", total)
+                .set("buckets", std::move(buckets))
+                .set("fractions", std::move(fractions));
+            modes_arr.push(std::move(row));
+        }
+        Json wl = Json::object();
+        wl.set("name", w).set("modes", std::move(modes_arr));
+        workloads_arr.push(std::move(wl));
+    }
+    Json doc = Json::object();
+    doc.set("quick", quick)
+        .set("workloads", std::move(workloads_arr));
+    return doc;
+}
+
+} // namespace cpistack
+
+} // namespace lazygpu

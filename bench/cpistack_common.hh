@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Shared grid/artifact builder for the CPI-stack bench (fig_cpistack).
+ *
+ * The builder lives in bench_common so the bench binary and
+ * tests/test_cycacct.cc assemble the *same* jobs and render the *same*
+ * BENCH_cpistack.json document: the test's byte-identical comparison
+ * across --jobs and --sa-threads then covers exactly what the bench
+ * ships, not a parallel reimplementation.
+ *
+ * Grid: all five ExecModes x {mm, fir, spmv}. Every cell runs with
+ * cycle accounting enabled and encodes its GPU-wide bucket totals into
+ * RunResult::tag (cycacct::encodeTotals), so the stacks survive the
+ * sweep journal and --resume reproduces the artifact byte-identically.
+ */
+
+#ifndef LAZYGPU_BENCH_CPISTACK_COMMON_HH
+#define LAZYGPU_BENCH_CPISTACK_COMMON_HH
+
+#include <string>
+#include <vector>
+
+#include "analysis/json_writer.hh"
+#include "analysis/parallel_runner.hh"
+
+namespace lazygpu
+{
+
+namespace cpistack
+{
+
+/** The five modes, in ladder order (matches the paper's ablation). */
+const std::vector<ExecMode> &modes();
+
+/** Workload names, in grid order: mm, fir, spmv. */
+const std::vector<std::string> &workloads();
+
+/**
+ * The (workload x mode) grid as custom-body jobs with cycle accounting
+ * on. `quick` shrinks the problem sizes (CI smoke), not the grid.
+ */
+std::vector<RunJob> buildJobs(bool quick);
+
+/**
+ * Render a completed sweep (results in buildJobs submission order)
+ * into the BENCH_cpistack.json document: per workload, per mode, the
+ * cycle count and each bucket as an absolute count and as a fraction
+ * of the CU-cycle total.
+ */
+Json buildDoc(bool quick, const std::vector<RunResult> &results);
+
+} // namespace cpistack
+
+} // namespace lazygpu
+
+#endif // LAZYGPU_BENCH_CPISTACK_COMMON_HH

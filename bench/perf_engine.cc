@@ -427,6 +427,29 @@ main(int argc, char **argv)
                 inj_off_secs, inj_armed_secs,
                 inj_armed_secs / inj_off_secs);
 
+    // Cycle-accounting A/B: the same cell with per-CU cycle accounting
+    // off and on. Off is the default and must stay within the
+    // trace-sink contract — one predicted branch per tick site — with
+    // an acceptance bar of <2% against a build that predates the
+    // subsystem; on pays the incremental bucket arithmetic. Both
+    // ratios land in the artifact history.
+    std::printf("\ncycacct A/B (MM 1024 waves, LazyCore):\n");
+    auto cycacctCell = [](bool on) {
+        WorkloadParams p;
+        p.scale = 16;
+        Workload w = makeMM(p, 1024);
+        GpuConfig cfg = GpuConfig::r9Nano().scaled(4);
+        cfg.mode = ExecMode::LazyCore;
+        cfg.cycleAccounting = on;
+        const auto t0 = std::chrono::steady_clock::now();
+        runWorkload(cfg, w, false);
+        return secondsSince(t0);
+    };
+    const double cyc_off_secs = cycacctCell(false);
+    const double cyc_on_secs = cycacctCell(true);
+    std::printf("  accounting off %.2fs, on %.2fs, on/off %.2fx\n",
+                cyc_off_secs, cyc_on_secs, cyc_on_secs / cyc_off_secs);
+
     // Multi-resolution sampling: the 16-CU fig03 MM cell, full timing
     // vs --timing-waves 256 (first 256 of 16384 waves detailed, the
     // rest through the rabbit executor). Reports the wall-clock speedup
@@ -606,6 +629,17 @@ main(int argc, char **argv)
 
     std::printf("\nsa_parallel fig03 cell (MM 2048 waves, LazyCore, "
                 "64 CUs, full timing):\n");
+    // Each cell also runs the scheduler's self-profiler
+    // (cfg.profileScheduler): per-phase wall time, coordinator barrier
+    // wait, serial coordinator work and per-domain runWindow seconds
+    // feed the sa_parallel rows, so a scaling regression shows *where*
+    // the wall time went, not just that it grew.
+    struct SaCellResult
+    {
+        double secs;
+        Tick cycles;
+        DomainScheduler::Profile prof;
+    };
     auto saCell = [](unsigned threads) {
         WorkloadParams p;
         p.sparsity = 0.0;
@@ -614,14 +648,25 @@ main(int argc, char **argv)
         GpuConfig cfg = GpuConfig::r9Nano();
         cfg.mode = ExecMode::LazyCore;
         cfg.saThreads = threads;
+        cfg.profileScheduler = true;
         const auto t0 = std::chrono::steady_clock::now();
-        const RunResult r = runWorkload(cfg, w, false);
-        return std::make_pair(secondsSince(t0), r.cycles);
+        // Inline runWorkload body: the Gpu must stay alive to harvest
+        // the scheduler profile after the run.
+        Gpu gpu(cfg, *w.mem);
+        Tick cycles = 0;
+        for (const Kernel &k : w.kernels)
+            cycles += gpu.run(k).estCycles;
+        SaCellResult out{secondsSince(t0), cycles, {}};
+        if (gpu.domains())
+            out.prof = gpu.domains()->profile();
+        return out;
     };
     std::vector<double> sa_cell_secs;
+    std::vector<DomainScheduler::Profile> sa_cell_profs;
     Tick sa_cell_cycles = 0;
     for (unsigned n : kSaThreads) {
-        const auto [secs, cycles] = saCell(n);
+        const auto [secs, cycles, prof] = saCell(n);
+        sa_cell_profs.push_back(prof);
         if (sa_cell_cycles == 0)
             sa_cell_cycles = cycles;
         else if (sa_cell_cycles != cycles)
@@ -661,6 +706,11 @@ main(int argc, char **argv)
         .set("armed_ms", inj_armed_secs * 1e3)
         .set("armed_over_off", inj_armed_secs / inj_off_secs);
 
+    Json cycacct_ab = Json::object();
+    cycacct_ab.set("off_ms", cyc_off_secs * 1e3)
+        .set("on_ms", cyc_on_secs * 1e3)
+        .set("on_over_off", cyc_on_secs / cyc_off_secs);
+
     Json rabbit = Json::object();
     rabbit.set("total_waves", kRabbitTotalWaves)
         .set("timing_waves", kRabbitTimedWaves)
@@ -683,6 +733,18 @@ main(int argc, char **argv)
             .set("fig03_cell_ms", sa_cell_secs[i] * 1e3)
             .set("fig03_cell_speedup",
                  sa_cell_secs.front() / sa_cell_secs[i]);
+        const DomainScheduler::Profile &prof = sa_cell_profs[i];
+        Json prof_json = Json::object();
+        prof_json.set("windows", prof.windows)
+            .set("sa_phase_ms", prof.saPhaseSec * 1e3)
+            .set("bank_phase_ms", prof.bankPhaseSec * 1e3)
+            .set("barrier_wait_ms", prof.barrierWaitSec * 1e3)
+            .set("coord_serial_ms", prof.coordSerialSec * 1e3);
+        Json domain_ms = Json::array();
+        for (double s : prof.domainSec)
+            domain_ms.push(s * 1e3);
+        prof_json.set("domain_ms", std::move(domain_ms));
+        row.set("profile", std::move(prof_json));
         sa_rows.push(std::move(row));
     }
     sa_parallel.set("rows", std::move(sa_rows))
@@ -726,6 +788,7 @@ main(int argc, char **argv)
         .set("fig03_sweep", std::move(sweep))
         .set("obs_ab", std::move(obs_ab))
         .set("inject_ab", std::move(inject_ab))
+        .set("cycacct_ab", std::move(cycacct_ab))
         .set("rabbit_sampling", std::move(rabbit))
         .set("functional_simd", std::move(fsimd))
         .set("sa_parallel", std::move(sa_parallel))

@@ -16,6 +16,10 @@
  *                          use + queued requests)
  *   EngineCounters      -> "C" counters for the event engine (queued
  *                          events, pool chunks, active clocked)
+ *   StatSample          -> "C" counters for every sampled TimeSeries
+ *                          stat, named generically from the meta's
+ *                          "seriesTracks" list (the interval sampler's
+ *                          CPI-stack buckets and headline counters)
  *
  * Usage: trace_export TRACE.bin [OUT.json]   (default OUT: TRACE.json)
  */
@@ -41,6 +45,7 @@ struct Meta
     std::string mode = "unknown";
     unsigned cusPerSa = 1;
     std::vector<std::string> cacheTracks;
+    std::vector<std::string> seriesTracks;
 };
 
 Meta
@@ -67,6 +72,12 @@ parseMeta(const std::string &raw)
             m.cacheTracks.push_back(e.kind == JsonValue::Kind::String
                                         ? e.text
                                         : "cache");
+    }
+    if (const JsonValue *v = doc.find("seriesTracks")) {
+        for (const JsonValue &e : v->elems)
+            m.seriesTracks.push_back(e.kind == JsonValue::Kind::String
+                                         ? e.text
+                                         : "series");
     }
     return m;
 }
@@ -266,6 +277,22 @@ main(int argc, char **argv)
                          "\"args\":{\"mshrs\":%llu,\"queued\":%llu}",
                          name.c_str(),
                          static_cast<unsigned long long>(rec.id),
+                         static_cast<unsigned long long>(rec.arg));
+            w.end();
+            break;
+        }
+        case TraceKind::StatSample: {
+            // One counter track per sampled series; names come from the
+            // meta blob, so this stays generic as the sampler grows.
+            const std::string name =
+                rec.track < meta.seriesTracks.size()
+                    ? meta.seriesTracks[rec.track]
+                    : "series" + std::to_string(rec.track);
+            w.begin("C", rec.tick);
+            std::fprintf(out,
+                         ",\"pid\":1,\"name\":\"%s\","
+                         "\"args\":{\"value\":%llu}",
+                         name.c_str(),
                          static_cast<unsigned long long>(rec.arg));
             w.end();
             break;

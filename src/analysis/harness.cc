@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <sstream>
 
+#include "analysis/json_writer.hh"
 #include "sim/logging.hh"
 
 namespace lazygpu
@@ -148,6 +149,10 @@ collectMetrics(Gpu &gpu, Tick cycles)
 
     if (cfg.statsReport)
         std::fputs(st.report().c_str(), stderr);
+    if (!cfg.statsJsonPath.empty() &&
+        !writeFileAtomic(cfg.statsJsonPath, st.dumpJson()))
+        warn("could not write --stats-json file %s",
+             cfg.statsJsonPath.c_str());
     return res;
 }
 

@@ -265,6 +265,12 @@ ParallelRunner::runSweep(const std::vector<RunJob> &batch)
         opts_.traceCellKey = keys[0];
     const bool tracing = !opts_.tracePath.empty();
 
+    // Same designation rule for the --stats-json cell.
+    if (!opts_.statsJsonPath.empty() && opts_.statsCellKey.empty() &&
+        batch_id == 0 && !keys.empty())
+        opts_.statsCellKey = keys[0];
+    const bool stats_dump = !opts_.statsJsonPath.empty();
+
     // Cells the journal recorded as Ok are replayed verbatim; failed or
     // missing cells go back into the work list. The traced cell is
     // exempt — it must actually run to produce the trace file (tracing
@@ -275,7 +281,8 @@ ParallelRunner::runSweep(const std::vector<RunJob> &batch)
     for (std::size_t i = 0; i < batch.size(); ++i) {
         const auto it = restored_.find(keys[i]);
         if (it != restored_.end() && it->second.ok() &&
-            !(tracing && keys[i] == opts_.traceCellKey)) {
+            !(tracing && keys[i] == opts_.traceCellKey) &&
+            !(stats_dump && keys[i] == opts_.statsCellKey)) {
             out.results[i] = it->second;
             ++out.numRestored;
             if (it->second.wallMs) {
@@ -324,6 +331,8 @@ ParallelRunner::runSweep(const std::vector<RunJob> &batch)
                 cfg.enableTraces = true;
                 cfg.tracePath = opts_.tracePath;
             }
+            if (stats_dump && keys[i] == opts_.statsCellKey)
+                cfg.statsJsonPath = opts_.statsJsonPath;
             if (job.custom && !livelock) {
                 r = job.custom(cfg, &slot.ctl);
             } else {

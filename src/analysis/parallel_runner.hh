@@ -139,6 +139,19 @@ struct SweepOptions
      * produces the trace file.
      */
     std::string traceCellKey;
+    /**
+     * Dump one cell's full StatsRegistry as JSON to this file
+     * (--stats-json); empty disables. Like tracing, the dump is
+     * observational and never perturbs the dumped cell's results.
+     */
+    std::string statsJsonPath;
+    /**
+     * Which cell --stats-json dumps; empty with statsJsonPath set dumps
+     * the first cell of the first batch. Like the traced cell, the
+     * dumped cell is always re-run, never restored from the journal, so
+     * a --stats-json --resume run still produces the file.
+     */
+    std::string statsCellKey;
 };
 
 /** What a sweep did, beyond the per-cell results. */

@@ -224,8 +224,17 @@ ComputeUnit::tick()
     if (inject_) {
         if (inject_->wantLaneBitmapFlip(now))
             corruptLaneBitmap();
-        if (inject_->stallThisCycle(now))
+        if (inject_->stallThisCycle(now)) {
+            // An injected pipeline stall eats the issue slot exactly
+            // like a scoreboard conflict.
+            if (cyc_)
+                cyc_->chargeCycle(cycacct::Bucket::ScoreboardWait, now);
             return;
+        }
+    }
+    if (cyc_) {
+        tickAccounted(now);
+        return;
     }
     for (unsigned s = 0; s < cfg_.simdPerCu; ++s) {
         if (simd_busy_[s] > now || ready_per_simd_[s] == 0)
@@ -234,6 +243,102 @@ ComputeUnit::tick()
         if (wave)
             executeOne(*wave, s);
     }
+}
+
+void
+ComputeUnit::tickAccounted(Tick now)
+{
+    bool busy = false;
+    for (unsigned s = 0; s < cfg_.simdPerCu; ++s) {
+        if (simd_busy_[s] > now) {
+            busy = true; // mid-execution (multi-cycle VALU occupancy)
+            continue;
+        }
+        if (ready_per_simd_[s] == 0)
+            continue;
+        Wavefront *wave = pickWave(s);
+        if (wave) {
+            executeOne(*wave, s);
+            busy = true;
+        }
+    }
+    cyc_->chargeCycle(busy ? cycacct::Bucket::Busy
+                           : cycacct::Bucket::ScoreboardWait,
+                      now);
+    // Execution may have stalled or retired the last ready wave; the
+    // engine will not tick this CU again until something wakes it, so
+    // classify the gap that starts next cycle.
+    if (ready_waves_ == 0)
+        cyc_->setGapClass(classifyStall());
+}
+
+cycacct::Bucket
+ComputeUnit::classifyStall() const
+{
+    if (waves_.empty()) {
+        return dispatch_exhausted_ ? cycacct::Bucket::DrainedIdle
+                                   : cycacct::Bucket::FetchEmpty;
+    }
+    bool txs = false, masks = false, waiting = false;
+    for (const auto &w : waves_) {
+        if (w->outstanding_txs_ > 0)
+            txs = true;
+        if (w->outstanding_masks_ > 0)
+            masks = true;
+        if (w->status == WaveStatus::Waiting)
+            waiting = true;
+    }
+    if (txs) {
+        return hier_.l1(sa_id_).saturated()
+                   ? cycacct::Bucket::MshrBackpressure
+                   : cycacct::Bucket::MemLatency;
+    }
+    if (masks)
+        return cycacct::Bucket::SuspZero;
+    if (waiting)
+        return cycacct::Bucket::ScoreboardWait;
+    // Residual: resident waves, none ready/waiting/outstanding (e.g. a
+    // Ready wave throttled by nextIssue). The pipeline is the holdup.
+    return cycacct::Bucket::ScoreboardWait;
+}
+
+void
+ComputeUnit::enableCycleAccounting(cycacct::IntervalSampler *sampler)
+{
+    cyc_ = std::make_unique<cycacct::CuCycleAccount>(
+        stats_, cuPrefix(cfg_, cu_id_, sa_id_));
+    if (sampler)
+        sampler->registerAccount(cyc_.get());
+}
+
+void
+ComputeUnit::finalizeCycleAccounting()
+{
+    if (!cyc_)
+        return;
+    cyc_->finalize(engine_.now());
+#ifdef LAZYGPU_CHECK
+    panic_if(cyc_->total() != engine_.now(),
+             "cu.%u: cycle buckets sum to %llu but %llu cycles elapsed",
+             cu_id_, static_cast<unsigned long long>(cyc_->total()),
+             static_cast<unsigned long long>(engine_.now()));
+#endif
+}
+
+void
+ComputeUnit::syncCycleAccounting()
+{
+    if (cyc_)
+        cyc_->syncTo(engine_.now());
+}
+
+void
+ComputeUnit::setDispatchExhausted(bool exhausted)
+{
+    dispatch_exhausted_ = exhausted;
+    // A quiescent, empty CU flips between FetchEmpty and DrainedIdle the
+    // moment dispatch progress changes.
+    restallIfQuiescent();
 }
 
 std::uint32_t
@@ -822,6 +927,7 @@ ComputeUnit::issuePendingLoad(Wavefront &wave, PendingLoad &pl)
                     }
                     wake(w);
                     maybeFinalize(wp);
+                    restallIfQuiescent();
                 });
             continue;
         }
@@ -889,6 +995,7 @@ ComputeUnit::issuePendingLoad(Wavefront &wave, PendingLoad &pl)
             if (load_drained)
                 wake(w);
             maybeFinalize(wp);
+            restallIfQuiescent();
         });
     }
 }
@@ -959,6 +1066,7 @@ ComputeUnit::requestMasks(Wavefront &wave, PendingLoad &pl)
             if (masks_done)
                 wake(w);
             maybeFinalize(wp);
+            restallIfQuiescent();
         });
     }
 }

@@ -32,6 +32,7 @@
 #include "gpu/wavefront.hh"
 #include "mem/hierarchy.hh"
 #include "mem/memory.hh"
+#include "obs/cycacct.hh"
 #include "obs/lifecycle.hh"
 #include "obs/registry.hh"
 #include "obs/trace.hh"
@@ -102,6 +103,43 @@ class ComputeUnit : public Clocked
     // Clocked interface.
     void tick() override;
     bool quiescent() const override;
+
+    // --- Cycle accounting (CPI stacks, DESIGN.md §16) --------------------
+    /**
+     * Enable per-CU cycle accounting: registers the bucket counters and
+     * switches tick() to the accounted path. When a sampler is given
+     * (classic engine only) the account is registered with it so interval
+     * snapshots can flush the lazy gap cursor. Must be called before the
+     * first tick; off, the cost is one predicted null-pointer branch.
+     */
+    void enableCycleAccounting(cycacct::IntervalSampler *sampler);
+
+    /**
+     * Close the open stall interval at this CU's current engine time (its
+     * domain engine under --sa-threads). Under LAZYGPU_CHECK, panics
+     * unless the buckets sum exactly to the elapsed cycles.
+     */
+    void finalizeCycleAccounting();
+
+    /**
+     * Checkpoint restore: bucket counters were restored through the
+     * registry; re-base the account cursor to the restored engine time so
+     * the pre-checkpoint cycles are not charged twice.
+     */
+    void syncCycleAccounting();
+
+    /**
+     * Kernel-dispatch progress from the Gpu: false while the running
+     * kernel still has undispatched wavefronts, true once the dispatch
+     * cursor is exhausted. Splits empty-CU cycles into fetch-empty
+     * (waiting for work that exists) vs drained-idle (tail of the run).
+     */
+    void setDispatchExhausted(bool exhausted);
+
+    const cycacct::CuCycleAccount *cycleAccount() const
+    {
+        return cyc_.get();
+    }
 
     /**
      * Append one state-dump line per resident wavefront (plus a CU
@@ -209,6 +247,36 @@ class ComputeUnit : public Clocked
      */
     void corruptLaneBitmap();
 
+    // --- Cycle accounting internals --------------------------------------
+    /**
+     * The accounted twin of tick()'s SIMD loop: issues exactly the same
+     * work, then charges the cycle (Busy when any SIMD executed or was
+     * mid-execution, ScoreboardWait otherwise) and classifies the
+     * upcoming gap if the CU just went quiescent. Kept separate so the
+     * accounting-off tick loop stays byte-for-byte untouched.
+     */
+    void tickAccounted(Tick now);
+
+    /**
+     * Exclusive stall class of a quiescent CU right now (DESIGN.md §16
+     * priority order): outstanding data txs -> MshrBackpressure when the
+     * SA's L1 is saturated, else MemLatency; else outstanding mask
+     * probes -> SuspZero; else a Waiting wave -> ScoreboardWait; else no
+     * resident waves -> FetchEmpty / DrainedIdle by dispatch progress.
+     */
+    cycacct::Bucket classifyStall() const;
+
+    /**
+     * Mid-gap reclassification hook, appended to every async callback
+     * that can change what a quiescent CU is waiting on.
+     */
+    void
+    restallIfQuiescent()
+    {
+        if (cyc_ && ready_waves_ == 0)
+            cyc_->restall(engine_.now(), classifyStall());
+    }
+
     Engine &engine_;
     StatsRegistry &stats_;
     LifecycleTracker &lifecycle_;
@@ -223,6 +291,12 @@ class ComputeUnit : public Clocked
 
     unsigned max_waves_ = 0;
     std::vector<std::unique_ptr<Wavefront>> waves_;
+
+    // Cycle accounting (nullptr unless cfg.cycleAccounting).
+    std::unique_ptr<cycacct::CuCycleAccount> cyc_;
+    /** True once the running kernel has no undispatched wavefronts. */
+    bool dispatch_exhausted_ = true;
+
     std::vector<Tick> simd_busy_;
     std::function<void()> retire_cb_;
     RetireObserver retire_obs_;

@@ -47,6 +47,7 @@ Gpu::makeScheduler()
     DomainScheduler::Options o;
     o.lookahead = std::max<Tick>(1, cfg_.l2HopLatency);
     o.threads = cfg_.saThreads;
+    o.profile = cfg_.profileScheduler;
     return std::make_unique<DomainScheduler>(o, cfg_.numShaderArrays,
                                              cfg_.l2Banks);
 }
@@ -59,6 +60,16 @@ Gpu::Gpu(const GpuConfig &cfg, GlobalMemory &mem)
       sched_(makeScheduler()),
       hier_(engine_, stats_, cfg_, mem_, sched_.get())
 {
+    // The interval sampler needs the classic engine (like traces: one
+    // shared sink, and domain engines advance independently); the per-CU
+    // accounts themselves work in every mode.
+    if (cfg_.cycleAccounting && !sched_ && cfg_.cycacctSampleTicks > 0) {
+        cyc_sampler_ = std::make_unique<cycacct::IntervalSampler>(
+            stats_, trace_.get());
+        engine_.attachSampler(cyc_sampler_.get(),
+                              cfg_.cycacctSampleTicks);
+    }
+
     if (trace_) {
         std::vector<std::string> cache_tracks;
         hier_.attachTrace(trace_.get(), cache_tracks);
@@ -74,6 +85,15 @@ Gpu::Gpu(const GpuConfig &cfg, GlobalMemory &mem)
             if (i)
                 meta += ',';
             meta += '"' + cache_tracks[i] + '"';
+        }
+        meta += "],\"seriesTracks\":[";
+        if (cyc_sampler_) {
+            const auto &names = cyc_sampler_->seriesNames();
+            for (std::size_t i = 0; i < names.size(); ++i) {
+                if (i)
+                    meta += ',';
+                meta += '"' + names[i] + '"';
+            }
         }
         meta += "]}";
         trace_->setMeta(std::move(meta));
@@ -100,6 +120,8 @@ Gpu::Gpu(const GpuConfig &cfg, GlobalMemory &mem)
                 sa, trace_.get()));
             sa_engine.addClocked(cus_.back().get());
             ComputeUnit *cu = cus_.back().get();
+            if (cfg_.cycleAccounting)
+                cu->enableCycleAccounting(cyc_sampler_.get());
             if (sched_) {
                 // Retire runs on the SA's domain thread; dispatching a
                 // replacement wave reads shared dispatch state, so defer
@@ -177,6 +199,23 @@ Gpu::refill(ComputeUnit &cu)
         cu.addWavefront(
             std::make_unique<Wavefront>(*current_, next_wid_++));
     }
+    announceDispatchExhausted();
+}
+
+void
+Gpu::announceDispatchExhausted()
+{
+    if (dispatch_announced_ || next_wid_ < dispatch_limit_)
+        return;
+    dispatch_announced_ = true;
+    if (!cfg_.cycleAccounting)
+        return;
+    // Classic mode: called from a retire callback on the one engine
+    // thread. Sharded mode: refills only run at the window barrier,
+    // where the domain threads are parked, so touching every CU's
+    // account (on its own domain engine's clock) is race-free.
+    for (auto &cu : cus_)
+        cu->setDispatchExhausted(true);
 }
 
 bool
@@ -186,6 +225,9 @@ Gpu::isTimingCounter(const std::string &name)
     // timed; everything else (transaction issue/elimination, store
     // masks, instruction counts) is counted exactly by the rabbit path.
     if (name.compare(0, 4, "mem.") == 0)
+        return true;
+    // Cycle buckets partition elapsed time, which is itself timing.
+    if (name.find(".cyc.") != std::string::npos)
         return true;
     static const std::string simd_suffix = ".simd_busy_cycles";
     return name.size() >= simd_suffix.size() &&
@@ -227,6 +269,14 @@ Gpu::run(const Kernel &kernel, Tick limit_cycles)
         for (auto &cu : cus_)
             cu->setMaxWaves(per_cu);
 
+        // This launch has waves to hand out: an empty CU is now
+        // starved (FetchEmpty), not drained.
+        dispatch_announced_ = false;
+        if (cfg_.cycleAccounting) {
+            for (auto &cu : cus_)
+                cu->setDispatchExhausted(false);
+        }
+
         // Breadth-first initial dispatch for balance across CUs.
         bool placed = true;
         while (placed && next_wid_ < dispatch_limit_) {
@@ -241,6 +291,7 @@ Gpu::run(const Kernel &kernel, Tick limit_cycles)
                 }
             }
         }
+        announceDispatchExhausted();
 
         if (sched_) {
             // Domain threads hit the functional memory concurrently;
@@ -263,6 +314,19 @@ Gpu::run(const Kernel &kernel, Tick limit_cycles)
             panic_if(cu->residentWaves() != 0,
                      "kernel '%s' drained with resident wavefronts",
                      kernel.name.c_str());
+        }
+
+        if (cfg_.cycleAccounting) {
+            // Close every open stall interval at each CU's own engine
+            // time (domain engines stop at different ticks under
+            // --sa-threads) — this is where the LAZYGPU_CHECK
+            // sum-of-buckets == elapsed-cycles invariant fires. Runs
+            // before the rabbit extrapolation below so the invariant
+            // sees raw timed-window buckets.
+            for (auto &cu : cus_)
+                cu->finalizeCycleAccounting();
+            if (cyc_sampler_)
+                cyc_sampler_->sample(res.endTick);
         }
     }
     res.cycles = res.endTick - res.startTick;
@@ -411,6 +475,11 @@ Gpu::restoreCheckpoint(const std::vector<std::uint8_t> &bytes)
     mem_.restoreFrom(r);
     hier_.restoreFrom(r);
     stats_.restoreFrom(r);
+    // Bucket counters were just restored with the pre-checkpoint cycles
+    // already charged; re-base each account's cursor to the restored
+    // clock so those cycles are not charged twice.
+    for (auto &cu : cus_)
+        cu->syncCycleAccounting();
     fatal_if(!r.ok() || !r.atEnd(),
              "truncated or corrupt checkpoint image (%zu of %zu bytes "
              "consumed)",

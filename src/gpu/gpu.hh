@@ -92,6 +92,16 @@ class Gpu : public SnapshotSource
     /** The trace sink, or nullptr when cfg.enableTraces is off. */
     TraceSink *trace() { return trace_.get(); }
 
+    /**
+     * The cycle-accounting interval sampler, or nullptr (needs
+     * cfg.cycleAccounting, the classic engine, and a nonzero
+     * cfg.cycacctSampleTicks).
+     */
+    const cycacct::IntervalSampler *cycSampler() const
+    {
+        return cyc_sampler_.get();
+    }
+
     /** The armed fault injector, or nullptr (cfg.injectPlan empty). */
     const inject::Injector *injector() const { return inject_.get(); }
 
@@ -162,6 +172,12 @@ class Gpu : public SnapshotSource
     };
 
     void refill(ComputeUnit &cu);
+    /**
+     * Flip every CU's dispatch-progress flag once the running kernel's
+     * dispatch cursor is exhausted (cycle accounting's FetchEmpty vs
+     * DrainedIdle split). Idempotent; no-op while waves remain.
+     */
+    void announceDispatchExhausted();
     /** Is this counter timing-dependent (extrapolated, not exact)? */
     static bool isTimingCounter(const std::string &name);
     /** cfg_.saThreads >= 1 -> a DomainScheduler (may clamp cfg_). */
@@ -175,6 +191,8 @@ class Gpu : public SnapshotSource
     StatsRegistry stats_;
     LifecycleTracker lifecycle_;
     std::unique_ptr<TraceSink> trace_;
+    /** Interval telemetry (cfg.cycleAccounting, classic engine only). */
+    std::unique_ptr<cycacct::IntervalSampler> cyc_sampler_;
     /** Armed fault (cfg.injectPlan); the target CU holds a raw pointer. */
     std::unique_ptr<inject::Injector> inject_;
     /** Declared before hier_: the hierarchy places onto the domains. */
@@ -187,6 +205,8 @@ class Gpu : public SnapshotSource
     unsigned next_wid_ = 0;
     /** Waves [0, dispatch_limit_) go to the timed CUs this launch. */
     unsigned dispatch_limit_ = 0;
+    /** announceDispatchExhausted() already ran for this launch. */
+    bool dispatch_announced_ = true;
 
     /** Constructed lazily on the first sampled launch. */
     std::unique_ptr<RabbitExecutor> rabbit_;

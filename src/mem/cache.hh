@@ -58,6 +58,17 @@ class Cache : public MemDevice
 
     const std::string &name() const { return name_; }
 
+    /**
+     * True while the miss path is saturated: every MSHR is in use or
+     * requests are already parked in the FIFO. Used by cycle accounting
+     * to split memory-bound CU stalls into latency vs backpressure.
+     */
+    bool
+    saturated() const
+    {
+        return mshrs_.size() >= mshr_limit_ || !pending_.empty();
+    }
+
     /** Sample MSHR/pending occupancy into `trace` as track `track`. */
     void
     attachTrace(TraceSink *trace, std::uint16_t track)

@@ -1,6 +1,7 @@
 #include "obs/registry.hh"
 
 #include <bit>
+#include <cstdio>
 #include <sstream>
 
 #include "sim/logging.hh"
@@ -224,8 +225,77 @@ StatsRegistry::dump() const
         os << name << ".count " << h.count() << "\n";
         os << name << ".mean " << h.mean() << "\n";
         os << name << ".p99 " << h.percentile(99.0) << "\n";
+        os << name << ".p999 " << h.percentile(99.9) << "\n";
         os << name << ".max " << h.max() << "\n";
     }
+    return os.str();
+}
+
+std::string
+StatsRegistry::dumpJson() const
+{
+    // Deterministic machine-readable dump (--stats-json): one object per
+    // stat kind, keys in registry (name) order. Doubles print with
+    // enough digits to round-trip so the file is byte-stable for a
+    // byte-stable simulation.
+    std::ostringstream os;
+    const auto num = [&os](double v) {
+        char buf[40];
+        std::snprintf(buf, sizeof(buf), "%.17g", v);
+        os << buf;
+    };
+
+    os << "{\n  \"counters\": {";
+    bool first = true;
+    for (const auto &[name, ctr] : counters_) {
+        os << (first ? "\n" : ",\n") << "    \"" << name
+           << "\": " << ctr.value();
+        first = false;
+    }
+    os << "\n  },\n  \"distributions\": {";
+    first = true;
+    for (const auto &[name, d] : dists_) {
+        os << (first ? "\n" : ",\n") << "    \"" << name
+           << "\": {\"count\": " << d.count() << ", \"mean\": ";
+        num(d.mean());
+        os << ", \"min\": ";
+        num(d.min());
+        os << ", \"max\": ";
+        num(d.max());
+        os << "}";
+        first = false;
+    }
+    os << "\n  },\n  \"histograms\": {";
+    first = true;
+    for (const auto &[name, h] : hists_) {
+        os << (first ? "\n" : ",\n") << "    \"" << name
+           << "\": {\"count\": " << h.count() << ", \"mean\": ";
+        num(h.mean());
+        os << ", \"p50\": ";
+        num(h.percentile(50.0));
+        os << ", \"p99\": ";
+        num(h.percentile(99.0));
+        os << ", \"p999\": ";
+        num(h.percentile(99.9));
+        os << ", \"min\": " << h.min() << ", \"max\": " << h.max()
+           << "}";
+        first = false;
+    }
+    os << "\n  },\n  \"series\": {";
+    first = true;
+    for (const auto &[name, s] : series_) {
+        os << (first ? "\n" : ",\n") << "    \"" << name << "\": [";
+        bool p_first = true;
+        for (const TimeSeries::Point &p : s.points()) {
+            os << (p_first ? "" : ", ") << "[" << p.tick << ", ";
+            num(p.value);
+            os << "]";
+            p_first = false;
+        }
+        os << "]";
+        first = false;
+    }
+    os << "\n  }\n}\n";
     return os.str();
 }
 
@@ -292,7 +362,8 @@ StatsRegistry::report() const
             const Histogram &h = hists_.at(name);
             os << leaf << " count=" << h.count() << " mean=" << h.mean()
                << " p50=" << h.percentile(50.0)
-               << " p99=" << h.percentile(99.0) << " max=" << h.max()
+               << " p99=" << h.percentile(99.0)
+               << " p999=" << h.percentile(99.9) << " max=" << h.max()
                << "\n";
             break;
         }

@@ -299,6 +299,15 @@ class StatsRegistry
     std::string dump() const;
 
     /**
+     * The --stats-json rendering: every stat as JSON, grouped by kind,
+     * keys in name order, doubles printed with round-trip precision —
+     * byte-stable for a byte-stable simulation. (Percentiles, including
+     * p999, are reported for histograms only: Distribution keeps no
+     * buckets, so it has count/mean/min/max and nothing in between.)
+     */
+    std::string dumpJson() const;
+
+    /**
      * The --report rendering: the dotted names as an indented
      * component tree, counters as plain values, distributions and
      * histograms with their summary stats.

@@ -59,6 +59,11 @@ enum class TraceKind : std::uint16_t
     CacheDepth = 10,
     /** Engine depth. id=queued events, arg=(pool chunks<<32)|clocked. */
     EngineCounters = 11,
+    /**
+     * Sampled stat value (interval telemetry). track=index into the
+     * meta blob's "seriesTracks" name list, arg=sampled value.
+     */
+    StatSample = 12,
 };
 
 /** One fixed-size trace event; written to the file verbatim. */

@@ -85,6 +85,43 @@ struct GpuConfig
     bool statsReport = false;
 
     /**
+     * Dump the full StatsRegistry as JSON to this path after each run
+     * (--stats-json). Deterministic key order, tmp+rename write. Purely
+     * observational — never part of the config name.
+     */
+    std::string statsJsonPath;
+
+    /**
+     * Per-CU cycle accounting (CPI stacks, DESIGN.md §16): classify
+     * every CU cycle into exclusive stall buckets maintained
+     * incrementally in the CU hot path (trace-sink pattern: one
+     * predicted branch per site when off). Deterministic — buckets are
+     * pure tick arithmetic — so enabling it never perturbs simulated
+     * results, and bucket totals are byte-identical across --jobs and
+     * --sa-threads. Never part of the config name.
+     */
+    bool cycleAccounting = false;
+
+    /**
+     * Interval sampler period in ticks for cycle accounting: every N
+     * cycles the Gpu snapshots the GPU-wide bucket totals plus key
+     * elimination counters into TimeSeries stats (and, when tracing,
+     * StatSample trace records for Perfetto counter tracks). Classic
+     * engine only, like traces. 0 disables sampling.
+     */
+    Tick cycacctSampleTicks = 4096;
+
+    /**
+     * Host-side phase profiler for the DomainScheduler (--sa-threads
+     * runs only): accumulate wall time per scheduler phase (SA windows,
+     * bank windows, coordinator-serial barrier work, barrier waits).
+     * Reported by perf_engine into BENCH_perf.json sa_parallel; wall
+     * times are host-dependent and never enter BENCH artifacts from
+     * figure benches. Never part of the config name.
+     */
+    bool profileScheduler = false;
+
+    /**
      * Fault injection for the differential checker's self-test: a
      * (2)-suspended lane is NOT requalified to Pending when a non-otimes
      * consumer reads it, so the consumer wrongly observes zero instead of

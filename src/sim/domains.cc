@@ -22,6 +22,8 @@ DomainScheduler::DomainScheduler(Options opts, unsigned num_sa,
     banks_.reserve(num_banks_);
     for (unsigned b = 0; b < num_banks_; ++b)
         banks_.push_back(std::make_unique<BankDomain>());
+    if (opts_.profile)
+        profile_.domainSec.assign(num_sa_ + num_banks_, 0.0);
 
     // The coordinator executes domains too, so N requested threads mean
     // N-1 pool workers. More threads than domains in the wider phase
@@ -176,13 +178,35 @@ DomainScheduler::deliverResponses()
     merge_responses_.clear();
 }
 
+namespace
+{
+
+using ProfClock = std::chrono::steady_clock;
+
+double
+secondsSince(ProfClock::time_point t0)
+{
+    return std::chrono::duration<double>(ProfClock::now() - t0).count();
+}
+
+} // namespace
+
 void
 DomainScheduler::runDomain(unsigned item)
 {
     try {
         Engine &e =
             phase_is_sa_ ? sa_[item]->engine : banks_[item]->engine;
-        e.runWindow(phase_end_, phase_limit_);
+        if (opts_.profile) {
+            const auto t0 = ProfClock::now();
+            e.runWindow(phase_end_, phase_limit_);
+            const double sec = secondsSince(t0);
+            const unsigned slot = phase_is_sa_ ? item : num_sa_ + item;
+            std::lock_guard lk(profile_mutex_);
+            profile_.domainSec[slot] += sec;
+        } else {
+            e.runWindow(phase_end_, phase_limit_);
+        }
     } catch (...) {
         phase_errors_[item] = std::current_exception();
     }
@@ -239,6 +263,7 @@ DomainScheduler::workerLoop(bool arm_recoverable)
 void
 DomainScheduler::runPhase(bool sa_phase, Tick end, Tick limit)
 {
+    const auto phase_t0 = ProfClock::now();
     const unsigned total = sa_phase ? num_sa_ : num_banks_;
     if (workers_.empty()) {
         phase_is_sa_ = sa_phase;
@@ -263,8 +288,17 @@ DomainScheduler::runPhase(bool sa_phase, Tick end, Tick limit)
         }
         pool_work_.notify_all();
         drainClaims(gen);
-        std::unique_lock lk(pool_mutex_);
-        pool_done_.wait(lk, [&] { return phase_done_ == total; });
+        const auto wait_t0 = ProfClock::now();
+        {
+            std::unique_lock lk(pool_mutex_);
+            pool_done_.wait(lk, [&] { return phase_done_ == total; });
+        }
+        if (opts_.profile)
+            profile_.barrierWaitSec += secondsSince(wait_t0);
+    }
+    if (opts_.profile) {
+        (sa_phase ? profile_.saPhaseSec : profile_.bankPhaseSec) +=
+            secondsSince(phase_t0);
     }
     // Rethrow the first failure in fixed domain order so error
     // reporting is as deterministic as the simulation itself.
@@ -335,13 +369,30 @@ DomainScheduler::run(Tick limit)
                              ? maxTick
                              : start + opts_.lookahead;
         runPhase(true, end, limit);
-        routeRequests();
-        runPhase(false, end, limit);
-        deliverResponses();
-        if (barrier_hook_)
-            barrier_hook_();
-        if (ctl_)
-            pollControl();
+        if (opts_.profile) {
+            const auto t0 = ProfClock::now();
+            routeRequests();
+            const auto t1 = ProfClock::now();
+            runPhase(false, end, limit);
+            const auto t2 = ProfClock::now();
+            deliverResponses();
+            if (barrier_hook_)
+                barrier_hook_();
+            if (ctl_)
+                pollControl();
+            profile_.coordSerialSec +=
+                std::chrono::duration<double>(t1 - t0).count() +
+                secondsSince(t2);
+            ++profile_.windows;
+        } else {
+            routeRequests();
+            runPhase(false, end, limit);
+            deliverResponses();
+            if (barrier_hook_)
+                barrier_hook_();
+            if (ctl_)
+                pollControl();
+        }
     }
 }
 

@@ -26,6 +26,7 @@
 #define LAZYGPU_SIM_DOMAINS_HH
 
 #include <array>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <exception>
@@ -55,7 +56,37 @@ class DomainScheduler
         Tick lookahead = 1;
         /** Worker threads (the coordinator also executes domains). */
         unsigned threads = 1;
+        /**
+         * Host-side phase profiling (GpuConfig::profileScheduler):
+         * accumulate wall time per scheduler phase and per domain into
+         * profile(). Wall times are host-dependent — report them in
+         * perf artifacts only, never in simulated-result artifacts.
+         */
+        bool profile = false;
     };
+
+    /**
+     * Where the scheduler's wall time goes, accumulated across every
+     * run() while Options::profile is set. All times are seconds of the
+     * coordinator's clock except domainSec, which sums each domain's
+     * own window-execution time (on whichever thread ran it) — so
+     * sum(domainSec) can exceed the coordinator phase times when
+     * domains genuinely run in parallel.
+     */
+    struct Profile
+    {
+        double saPhaseSec = 0.0;     //!< SA-phase span (publish -> done)
+        double bankPhaseSec = 0.0;   //!< bank-phase span
+        double barrierWaitSec = 0.0; //!< coordinator idle in pool_done_
+        /** Serial coordinator work: routing, delivery, hooks, polling. */
+        double coordSerialSec = 0.0;
+        std::uint64_t windows = 0;   //!< lookahead windows executed
+        /** Per-domain runWindow seconds: SA domains, then bank domains. */
+        std::vector<double> domainSec;
+    };
+
+    /** The accumulated profile (zeros unless Options::profile). */
+    const Profile &profile() const { return profile_; }
 
     /**
      * A memory-side router: called at the window barrier, on the
@@ -264,6 +295,15 @@ class DomainScheduler
     unsigned phase_claimed_ = 0;
     unsigned phase_done_ = 0;
     std::vector<std::exception_ptr> phase_errors_;
+
+    // --- Phase profiling (Options::profile) -----------------------------
+    Profile profile_;
+    /**
+     * Guards profile_.domainSec only: domains run concurrently on pool
+     * threads, off the pool_mutex_. The scalar phase fields are only
+     * touched by the coordinator.
+     */
+    std::mutex profile_mutex_;
 
     // --- Watchdog -------------------------------------------------------
     ExecControl *ctl_ = nullptr;

@@ -74,6 +74,12 @@ Engine::advanceTo(Tick t)
             (static_cast<std::uint64_t>(chunks_.size()) << 32) |
                 active_clocked_);
     }
+    if (sampler_ && t - sampler_last_ >= sampler_period_) {
+        // Snap to the period grid so sample ticks depend only on the
+        // period, not on which ticks this particular schedule visited.
+        sampler_last_ = t - t % sampler_period_;
+        sampler_->sample(sampler_last_);
+    }
 }
 
 Tick
@@ -298,6 +304,8 @@ Engine::reset()
     poll_countdown_ = pollInterval;
     trace_count_ = 0;
     trace_sink_last_ = 0;
+    sampler_ = nullptr;
+    sampler_last_ = 0;
 }
 
 } // namespace lazygpu

@@ -44,6 +44,21 @@ namespace lazygpu
 class TraceSink;
 
 /**
+ * A periodic observer of simulated time (Engine::attachSampler): the
+ * engine calls sample(now) whenever at least the attached period has
+ * elapsed since the last sample, from the same off-hot-path hook as
+ * engine-depth trace records. Samplers are purely observational — they
+ * may read component state and record statistics, but must not
+ * schedule events or mutate simulated state.
+ */
+class TickSampler
+{
+  public:
+    virtual ~TickSampler() = default;
+    virtual void sample(Tick now) = 0;
+};
+
+/**
  * Watchdog channel between a simulation thread and its monitor.
  *
  * The engine periodically (every few thousand scheduler iterations, off
@@ -310,6 +325,22 @@ class Engine
     static constexpr Tick traceSampleTicks = 64;
 
     /**
+     * Attach (or detach, with nullptr) a periodic sampler, called with
+     * the current tick whenever at least `period` ticks have elapsed
+     * since the last call (same advance-time hook as the trace sink:
+     * one predicted branch when absent, nothing on the per-event path).
+     * Sample ticks are a deterministic function of simulated time, so
+     * sampled series are identical across hosts and thread counts.
+     */
+    void
+    attachSampler(TickSampler *s, Tick period)
+    {
+        sampler_ = s;
+        sampler_period_ = period ? period : 1;
+        sampler_last_ = 0;
+    }
+
+    /**
      * The last recentTraceSize heartbeat samples (tick, eventsExecuted),
      * oldest first — the forward-progress trajectory embedded in crash
      * snapshots. Only populated while a control channel is attached.
@@ -473,6 +504,11 @@ class Engine
     // Observability sink (nullptr unless tracing is enabled).
     TraceSink *trace_sink_ = nullptr;
     Tick trace_sink_last_ = 0;
+
+    // Periodic sampler (nullptr unless cycle accounting samples).
+    TickSampler *sampler_ = nullptr;
+    Tick sampler_period_ = 1;
+    Tick sampler_last_ = 0;
 };
 
 } // namespace lazygpu
